@@ -1,0 +1,73 @@
+"""Figure 1: retina-simulation speedup on the (simulated) Cray Y-MP.
+
+Paper: speedup over the sequential version, normalized to 1 — roughly 1,
+2, 2, and 3.3 for one through four processors; "three processors perform
+at almost exactly the same rate as two" because the computation is four
+roughly equal tasks.
+"""
+
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.machine import SimulatedExecutor, cray_ymp
+
+CONFIG = RetinaConfig()
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_retina(2, CONFIG)
+
+
+@pytest.fixture(scope="module")
+def curve(compiled):
+    times = {}
+    for p in (1, 2, 3, 4):
+        result = SimulatedExecutor(cray_ymp(p)).run(
+            compiled.graph, registry=compiled.registry
+        )
+        times[p] = result.ticks
+    return {p: times[1] / t for p, t in times.items()}
+
+
+def test_fig1_speedup_curve(benchmark, compiled, curve, report):
+    benchmark(
+        lambda: SimulatedExecutor(cray_ymp(4)).run(
+            compiled.graph, registry=compiled.registry
+        )
+    )
+    rows = ["processors   speedup   (paper)"]
+    paper = {1: 1.0, 2: 2.0, 3: 2.0, 4: 3.3}
+    for p, s in curve.items():
+        rows.append(f"{p:>10}   {s:>7.2f}   ({paper[p]:.1f})")
+    rows.append("")
+    scale = 60 / 4.0  # chart full scale at speedup 4
+    for p, s in curve.items():
+        bar = "#" * int(round(s * scale))
+        rows.append(f"P={p} |{bar:<60}| {s:.2f}")
+    rows.append("      note the flat step from P=2 to P=3: four equal tasks")
+    report("Figure 1 — Retina Simulation on Cray Y-MP (simulated)",
+           "\n".join(rows))
+    # Shape assertions: near-linear to 2, plateau at 3, >3 at 4.
+    assert curve[2] == pytest.approx(2.0, abs=0.2)
+    assert curve[3] == pytest.approx(curve[2], abs=0.25)
+    assert 3.0 < curve[4] < 4.0
+
+
+def test_fig1_v1_caps_near_two(benchmark, report):
+    compiled = compile_retina(1, CONFIG)
+
+    def run(p):
+        return SimulatedExecutor(cray_ymp(p)).run(
+            compiled.graph, registry=compiled.registry
+        ).ticks
+
+    t1 = run(1)
+    t4 = benchmark(lambda: run(4))
+    speedup = t1 / t4
+    report(
+        "Figure 1 companion — unbalanced v1",
+        f"v1 speedup on 4 processors: {speedup:.2f} "
+        "(paper: 'slightly less than two')",
+    )
+    assert speedup == pytest.approx(2.0, abs=0.25)

@@ -1,0 +1,75 @@
+"""Section 5.2: the node-timing dumps and the load-balance narrative.
+
+Paper, v1 (ticks of the Cray-2 clock)::
+
+    call of convol_split took 10013
+    call of convol_bite took 1059919 / 1135594 / 1060799 / 1062540
+    call of post_up took 45672 ... call of post_up took 4070365
+
+"Roughly half of its invocations executed in negligible time while half
+took as long as all the convolutions combined.  In the latter case, we
+could achieve at most a speedup of two."  After rebalancing (v2)::
+
+    call of update_split took 16195
+    call of update_bite took 952171 / 952589 / 1171466 / 953576
+    call of done_up took 43239
+"""
+
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.machine import SimulatedExecutor, cray_2
+from repro.tools import load_balance_summary, node_timing_report
+
+CONFIG = RetinaConfig()
+
+
+def traced_run(version: int):
+    compiled = compile_retina(version, CONFIG)
+    return SimulatedExecutor(cray_2(4), trace=True).run(
+        compiled.graph, registry=compiled.registry
+    )
+
+
+def test_sec52_v1_dump_shows_post_up_bottleneck(benchmark, report):
+    result = benchmark(lambda: traced_run(1))
+    assert result.tracer is not None
+    dump = node_timing_report(
+        result.tracer, include={"convol_split", "convol_bite", "post_up"}
+    )
+    summary = load_balance_summary(
+        result.tracer, include={"convol_bite", "post_up"}
+    )
+    report(
+        "Section 5.2 — v1 node timings (simulated Cray-2 ticks)",
+        "\n".join(dump.splitlines()[:12]) + "\n...\n" + summary.describe(),
+    )
+    assert summary.bottleneck == "post_up"
+    # Half the post_up calls negligible, half as big as all convolutions.
+    post_ups = sorted(
+        r.ticks for r in result.tracer.op_records() if r.label == "post_up"
+    )
+    cheap, expensive = post_ups[: len(post_ups) // 2], post_ups[len(post_ups) // 2 :]
+    convol_total_per_slab = sum(
+        r.ticks for r in result.tracer.op_records() if r.label == "convol_bite"
+    ) / (CONFIG.num_iter * (CONFIG.final_slab - CONFIG.start_slab))
+    assert max(cheap) < 0.1 * min(expensive)
+    assert min(expensive) == pytest.approx(convol_total_per_slab, rel=0.15)
+
+
+def test_sec52_v2_dump_is_balanced(benchmark, report):
+    result = benchmark(lambda: traced_run(2))
+    assert result.tracer is not None
+    dump = node_timing_report(
+        result.tracer, include={"update_split", "update_bite", "done_up"}
+    )
+    summary = load_balance_summary(
+        result.tracer,
+        include={"convol_bite", "update_split", "update_bite", "done_up"},
+    )
+    report(
+        "Section 5.2 — v2 node timings after rebalancing",
+        "\n".join(dump.splitlines()[:8]) + "\n...\n" + summary.describe(),
+    )
+    # "almost perfect balance": no single node dominates a slab.
+    assert summary.imbalance_ratio < 2.0

@@ -1,0 +1,47 @@
+"""Table 1: per-pass compile times, sequential vs three Sequent processors.
+
+Paper (msec): Lexing 91/91, Parsing 200/78, Macro Expansion 117/50,
+Env Analysis 300/120, Optimization 350/160, Graph Conversion 380/160;
+totals 1438/659 (~2.2x), per-pass speedups between two and three.
+Sequential ticks are calibrated to the paper's sequential column (the cost
+model's anchor); the parallel column is measured from the simulated
+schedule.
+"""
+
+import pytest
+
+from repro.apps.compiler_app import run_table1
+from repro.tools import pass_table
+
+PAPER = {
+    "Lexing": (91, 91),
+    "Parsing": (200, 78),
+    "Macro Expansion": (117, 50),
+    "Env Analysis": (300, 120),
+    "Optimization": (350, 160),
+    "Graph Conversion": (380, 160),
+}
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_table1(n_functions=48, seed=1990)
+
+
+def test_table1_parallel_compiler(benchmark, table, report):
+    benchmark(lambda: run_table1(n_functions=16, seed=3))
+    body = [pass_table(table.sequential, table.parallel, table.n_processors)]
+    body.append("")
+    body.append("paper (msec):    " + "  ".join(
+        f"{name}: {seq}/{par}" for name, (seq, par) in PAPER.items()
+    ))
+    report("Table 1 — The Parallel Compiler (on a simulated Sequent)",
+           "\n".join(body))
+
+    # Shape: lexing sequential; per-pass speedup in [2, 3]; total ~2.2.
+    speedups = table.per_pass_speedup()
+    assert speedups["Lexing"] == pytest.approx(1.0, abs=0.01)
+    for name, s in speedups.items():
+        if name != "Lexing":
+            assert 2.0 <= s <= 3.0, (name, s)
+    assert table.overall_speedup == pytest.approx(2.2, abs=0.35)

@@ -1,0 +1,116 @@
+"""Table 2: the coordination-model comparison, made executable.
+
+The paper's table is a taxonomy (model + notation per language).  We print
+the taxonomy and then *measure* the property the Delirium row claims and
+the others cannot: run the same floating-point reduction workload under
+
+* Delirium's restricted-shared-data model (the compiled fork-join tree),
+* a uniform-shared-memory model with locks (embedded primitives), and
+* a Linda-style tuple space with replicated workers (embedded primitives),
+
+across many scheduling seeds.  Delirium yields exactly one result;
+the baselines' results depend on execution order (float association
+follows the interleaving), which is precisely why section 8 calls
+determinism the model's most important property.
+"""
+
+import pytest
+
+from repro import compile_source, default_registry
+from repro.compare import lock_based_sum, replicated_worker_sum
+from repro.machine import SimulatedExecutor, sequent
+from repro.runtime import SequentialExecutor
+
+#: Magnitude-mixed items: float addition over these is order sensitive.
+ITEMS = [0.1 * (10 ** (i % 6)) for i in range(40)]
+
+TAXONOMY = """\
+Language            Coordination Model       Notation
+Delirium            restricted shared data   embedding
+ADA                 rendezvous               embedded
+OCCAM               protocol                 embedded
+RPC                 protocol                 embedded
+Linda               shared database          embedded
+Concurrent Prolog   shared variables         radical
+ALFL                shared data              radical
+Enhanced Fortran/C  task-oriented            embedded
+Emerald/Sloop       protocol                 embedded"""
+
+
+def _delirium_sum_program():
+    """Pairwise tree reduction expressed as a Delirium framework."""
+    reg = default_registry()
+
+    @reg.register(name="item", pure=True, cost=5.0)
+    def item(i):
+        return ITEMS[i]
+
+    @reg.register(name="fadd", pure=True, cost=10.0)
+    def fadd(a, b):
+        return a + b
+
+    def tree(lo: int, hi: int) -> str:
+        if hi - lo == 1:
+            return f"item({lo})"
+        mid = (lo + hi) // 2
+        return f"fadd({tree(lo, mid)}, {tree(mid, hi)})"
+
+    source = f"main() {tree(0, len(ITEMS))}"
+    return compile_source(source, registry=reg), reg
+
+
+SEEDS = range(10)
+
+
+@pytest.fixture(scope="module")
+def delirium_results():
+    compiled, reg = _delirium_sum_program()
+    out = set()
+    for seed in SEEDS:
+        out.add(
+            SequentialExecutor(seed=seed)
+            .run(compiled.graph, registry=reg)
+            .value
+        )
+        out.add(
+            SimulatedExecutor(sequent(3), seed=seed)
+            .run(compiled.graph, registry=reg)
+            .value
+        )
+    return out
+
+
+def test_table2_model_comparison(benchmark, delirium_results, report):
+    lock_results = {lock_based_sum(ITEMS, seed=s) for s in SEEDS}
+    linda_results = {replicated_worker_sum(ITEMS, seed=s) for s in SEEDS}
+    benchmark(lambda: lock_based_sum(ITEMS, seed=1))
+
+    body = [
+        TAXONOMY,
+        "",
+        "measured: distinct results of one float reduction over "
+        f"{len(SEEDS)} scheduling seeds",
+        f"  Delirium (restricted shared data): "
+        f"{len(delirium_results)} distinct value(s)",
+        f"  shared memory + locks (embedded):  "
+        f"{len(lock_results)} distinct value(s)",
+        f"  Linda tuple space (embedded):      "
+        f"{len(linda_results)} distinct value(s)",
+    ]
+    report("Table 2 — Coordination Model Comparison", "\n".join(body))
+
+    assert len(delirium_results) == 1, "Delirium must be deterministic"
+    assert len(lock_results) > 1, "lock model should expose ordering"
+    assert len(linda_results) > 1, "tuple-space model should expose ordering"
+
+
+def test_table2_all_models_agree_approximately(report):
+    """The models disagree only in rounding: same math, different orders."""
+    reference = sum(ITEMS)
+    assert lock_based_sum(ITEMS, seed=0) == pytest.approx(reference, rel=1e-9)
+    assert replicated_worker_sum(ITEMS, seed=0) == pytest.approx(
+        reference, rel=1e-9
+    )
+    compiled, reg = _delirium_sum_program()
+    value = SequentialExecutor().run(compiled.graph, registry=reg).value
+    assert value == pytest.approx(reference, rel=1e-9)

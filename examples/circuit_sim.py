@@ -1,0 +1,41 @@
+"""Level-parallel logic simulation under Delirium (section 4 application).
+
+Builds a random levelized circuit, simulates it with the Delirium
+coordination (each level's gates split four ways), checks the outputs
+against a direct evaluation, and shows how speedup tracks level width.
+
+Run:  python examples/circuit_sim.py
+"""
+
+from repro.apps.circuit import (
+    compile_circuit_sim,
+    evaluate_sequential,
+    random_circuit,
+)
+from repro.machine import SimulatedExecutor, sequent, speedup_curve
+from repro.runtime import SequentialExecutor
+
+
+def main() -> None:
+    circuit = random_circuit(n_inputs=32, n_gates=600, n_outputs=16, seed=5)
+    print(circuit.describe())
+
+    program = compile_circuit_sim(circuit)
+    result = SequentialExecutor().run(program.graph, registry=program.registry)
+    oracle = tuple(int(v) for v in evaluate_sequential(circuit))
+    assert result.value == oracle
+    print(f"outputs: {''.join(map(str, result.value))} (match the oracle)")
+    print(f"in-place value-array updates: {result.stats.in_place_writes} "
+          "(the merge never copies: single reference at merge time)")
+
+    curve = speedup_curve(
+        program.graph, sequent(1), [1, 2, 4], registry=program.registry
+    )
+    print("speedup on simulated Sequent:",
+          ", ".join(f"P={p}: {s:.2f}" for p, s in curve.items()))
+    print("(bounded by level width: narrow levels serialize, like the "
+          "paper's discussion of hard-wired parallelism in section 9.2)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Ray tracing under Delirium coordination (the section 4 application).
+
+Renders a short animation with scanline bands traced in parallel, verifies
+the image against a direct render, writes the final frame as a PPM file,
+and sweeps processors on the simulated Sequent.
+
+Run:  python examples/raytracer_render.py [out.ppm]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.raytracer import compile_raytracer, render_animation_sequential
+from repro.machine import SimulatedExecutor, sequent, speedup_curve
+from repro.runtime import SequentialExecutor
+
+
+def write_ppm(path: str, image: np.ndarray) -> None:
+    """Write an (H, W, 3) float image as a binary PPM."""
+    data = (np.clip(image, 0, 1) * 255).astype(np.uint8)
+    header = f"P6\n{image.shape[1]} {image.shape[0]}\n255\n".encode()
+    with open(path, "wb") as fh:
+        fh.write(header + data.tobytes())
+
+
+def main() -> None:
+    out = sys.argv[1] if len(sys.argv) > 1 else "raytraced.ppm"
+    width, height, frames = 160, 100, 3
+
+    program = compile_raytracer(
+        width=width, height=height, n_spheres=7, n_frames=frames
+    )
+    result = SequentialExecutor().run(program.graph, registry=program.registry)
+    film = result.value
+    oracle = render_animation_sequential(
+        width=width, height=height, n_spheres=7, n_frames=frames
+    )
+    assert np.array_equal(film, oracle), "band render diverged from oracle"
+    print(f"rendered {frames} frames at {width}x{height}; "
+          f"final frame matches the direct render exactly")
+
+    write_ppm(out, film)
+    print(f"wrote {out}")
+
+    curve = speedup_curve(
+        program.graph, sequent(1), [1, 2, 4], registry=program.registry
+    )
+    print("speedup on simulated Sequent:",
+          ", ".join(f"P={p}: {s:.2f}" for p, s in curve.items()))
+
+
+if __name__ == "__main__":
+    main()

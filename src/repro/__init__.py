@@ -1,0 +1,134 @@
+"""Reproduction of Lucco & Sharp, *Delirium: An Embedding Coordination
+Language* (SC 1990).
+
+Delirium is an *embedding* coordination language: sequential operators
+(Python callables here, C/Fortran in the original) are embedded inside a
+compact single-assignment functional coordination framework.  This package
+provides the language, the Pythia optimizing compiler, a template-activation
+runtime with copy-on-write data blocks, real sequential/threaded executors,
+discrete-event simulated multiprocessors (Cray Y-MP, Cray-2, Sequent
+Symmetry, BBN Butterfly), and the paper's case studies.
+
+Quickstart::
+
+    from repro import compile_source, default_registry
+
+    reg = default_registry()
+
+    @reg.register(pure=True, cost=1000.0)
+    def square(x):
+        return x * x
+
+    program = compile_source(
+        '''
+        main(n)
+          let a = square(n)
+              b = square(incr(n))
+          in add(a, b)
+        ''',
+        registry=reg,
+    )
+    print(program.run(args=(3,)).value)   # 25
+"""
+
+from .compiler import (
+    CompiledProgram,
+    compile_file,
+    compile_source,
+    run_source,
+)
+from .errors import (
+    ArityError,
+    CompileError,
+    DeliriumError,
+    GraphError,
+    LexError,
+    MachineError,
+    OperatorError,
+    ParseError,
+    PreprocessorError,
+    RuntimeFailure,
+    SingleAssignmentError,
+    UnboundNameError,
+    UnknownOperatorError,
+)
+from .graph import GraphProgram, Template
+from .graph.serialize import load as load_graph
+from .graph.serialize import save as save_graph
+from .graph.validate import validate_program
+from .graph.viz import ascii_framework, to_dot, to_networkx
+from .lang.prelude import PRELUDE_SOURCE
+from .machine import (
+    MachineModel,
+    SimResult,
+    SimulatedExecutor,
+    butterfly,
+    cray_2,
+    cray_ymp,
+    sequent,
+    speedup_curve,
+    uniform,
+)
+from .runtime import (
+    NULL,
+    OperatorRegistry,
+    OperatorSpec,
+    RunResult,
+    SequentialExecutor,
+    ThreadedExecutor,
+    builtin_registry,
+    default_registry,
+)
+from .tools import gantt, load_balance_summary, node_timing_report, pass_table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArityError",
+    "CompileError",
+    "CompiledProgram",
+    "DeliriumError",
+    "GraphError",
+    "GraphProgram",
+    "LexError",
+    "MachineError",
+    "MachineModel",
+    "NULL",
+    "PRELUDE_SOURCE",
+    "OperatorError",
+    "OperatorRegistry",
+    "OperatorSpec",
+    "ParseError",
+    "PreprocessorError",
+    "RunResult",
+    "RuntimeFailure",
+    "SequentialExecutor",
+    "SimResult",
+    "SimulatedExecutor",
+    "SingleAssignmentError",
+    "Template",
+    "ThreadedExecutor",
+    "UnboundNameError",
+    "UnknownOperatorError",
+    "ascii_framework",
+    "builtin_registry",
+    "butterfly",
+    "compile_file",
+    "compile_source",
+    "cray_2",
+    "cray_ymp",
+    "default_registry",
+    "gantt",
+    "load_balance_summary",
+    "load_graph",
+    "save_graph",
+    "node_timing_report",
+    "pass_table",
+    "run_source",
+    "sequent",
+    "speedup_curve",
+    "to_dot",
+    "to_networkx",
+    "uniform",
+    "validate_program",
+]

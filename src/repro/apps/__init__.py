@@ -1,0 +1,10 @@
+"""The paper's applications, built on the public Delirium API.
+
+* :mod:`repro.apps.retina` — the convolution retina model (section 5);
+* :mod:`repro.apps.compiler_app` — the compiler compiled in parallel by
+  itself (section 6, Table 1);
+* :mod:`repro.apps.queens` — parallel backtracking N-queens (section 3);
+* :mod:`repro.apps.tree` — the parallel tree-walk framework (section 6.2);
+* :mod:`repro.apps.raytracer` and :mod:`repro.apps.circuit` — the two
+  larger applications section 4 mentions, in miniature.
+"""

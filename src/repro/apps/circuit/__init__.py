@@ -1,0 +1,31 @@
+"""The circuit-simulator application (mentioned in section 4 of the paper)."""
+
+from .coordination import CIRCUIT_SIM, compile_circuit_sim, make_registry
+from .netlist import (
+    AND,
+    INPUT,
+    NAND,
+    NOT,
+    OR,
+    XOR,
+    Circuit,
+    eval_gates,
+    evaluate_sequential,
+    random_circuit,
+)
+
+__all__ = [
+    "AND",
+    "CIRCUIT_SIM",
+    "Circuit",
+    "INPUT",
+    "NAND",
+    "NOT",
+    "OR",
+    "XOR",
+    "compile_circuit_sim",
+    "eval_gates",
+    "evaluate_sequential",
+    "make_registry",
+    "random_circuit",
+]

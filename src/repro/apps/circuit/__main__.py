@@ -1,0 +1,24 @@
+"""Driver: ``python -m repro.apps.circuit [n_gates]``."""
+
+import sys
+
+from ...runtime import SequentialExecutor
+from .coordination import compile_circuit_sim
+from .netlist import evaluate_sequential, random_circuit
+
+
+def main() -> int:
+    n_gates = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    circuit = random_circuit(n_gates=n_gates)
+    print(circuit.describe())
+    program = compile_circuit_sim(circuit)
+    value = SequentialExecutor().run(
+        program.graph, registry=program.registry
+    ).value
+    assert value == tuple(int(v) for v in evaluate_sequential(circuit))
+    print("outputs:", "".join(map(str, value)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,90 @@
+"""Delirium coordination for the circuit simulator.
+
+An ``iterate`` walks the circuit's levels; each round splits the level's
+gates into four weight-balanced chunks, evaluates them in parallel, and a
+merging operator (which declares it *modifies* the value array — the
+runtime's reference counts make that an in-place update, since by merge
+time the state has a single reference) writes the results back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...compiler import CompiledProgram, compile_source
+from ...runtime.operators import OperatorRegistry, default_registry
+from . import netlist
+from .netlist import Circuit
+
+CIRCUIT_SIM = """
+main()
+  iterate
+  {
+    level = 1, incr(level)
+    state = init_state(),
+      let
+        <c1,c2,c3,c4> = level_split(state, level)
+        r1 = eval_bite(c1)
+        r2 = eval_bite(c2)
+        r3 = eval_bite(c3)
+        r4 = eval_bite(c4)
+      in level_merge(state, r1, r2, r3, r4)
+  }
+  while is_less(level, N_LEVELS),
+  result read_outputs(state)
+"""
+
+N_CHUNKS = 4
+
+
+def make_registry(circuit: Circuit) -> OperatorRegistry:
+    """Operators closed over one circuit; costs scale with gates."""
+    reg = default_registry()
+    local = OperatorRegistry()
+    ticks_per_gate = 800.0
+
+    @local.register(name="init_state", cost=2_000.0)
+    def init_state():
+        values = np.zeros(circuit.n_gates, dtype=np.uint8)
+        n_inputs = len(circuit.input_values)
+        values[:n_inputs] = circuit.input_values
+        return values
+
+    @local.register(name="level_split", cost=1_500.0)
+    def level_split(values: np.ndarray, level: int):
+        ids = circuit.gates_at_level(level)
+        chunks = np.array_split(ids, N_CHUNKS)
+        return tuple(
+            {"ids": chunk, "values": values} for chunk in chunks
+        )
+
+    @local.register(
+        name="eval_bite",
+        pure=True,
+        cost=lambda chunk: 200.0 + len(chunk["ids"]) * ticks_per_gate,
+    )
+    def eval_bite(chunk):
+        ids = chunk["ids"]
+        out = netlist.eval_gates(circuit, ids, chunk["values"])
+        return {"ids": ids, "out": out}
+
+    @local.register(name="level_merge", modifies=(0,), cost=1_000.0)
+    def level_merge(values: np.ndarray, *results):
+        for r in results:
+            values[r["ids"]] = r["out"]
+        return values
+
+    @local.register(name="read_outputs", pure=True, cost=500.0)
+    def read_outputs(values: np.ndarray):
+        return tuple(int(v) for v in values[circuit.outputs])
+
+    return reg.merged_with(local)
+
+
+def compile_circuit_sim(circuit: Circuit) -> CompiledProgram:
+    """Compile the level-parallel simulator for ``circuit``."""
+    return compile_source(
+        CIRCUIT_SIM,
+        registry=make_registry(circuit),
+        defines={"N_LEVELS": circuit.n_levels},
+    )

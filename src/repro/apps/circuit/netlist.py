@@ -1,0 +1,133 @@
+"""A gate-level combinational circuit simulator (the paper's "simple
+circuit simulator", §4).
+
+Circuits are levelized DAGs stored in NumPy arrays: gate types, input
+indices, and a topological level per gate.  Evaluation proceeds level by
+level; within a level every gate is independent — the parallelism the
+Delirium coordination exploits by splitting each level's gates four ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Gate type codes.
+INPUT, AND, OR, NOT, XOR, NAND = range(6)
+_GATE_NAMES = {INPUT: "IN", AND: "AND", OR: "OR", NOT: "NOT",
+               XOR: "XOR", NAND: "NAND"}
+
+
+@dataclass
+class Circuit:
+    """A levelized combinational netlist.
+
+    Arrays are indexed by gate id; level 0 gates are primary inputs.
+    ``outputs`` lists the gate ids whose values are the circuit outputs.
+    """
+
+    gate_type: np.ndarray       #: (n,) int8
+    in0: np.ndarray             #: (n,) int32 (-1 for inputs)
+    in1: np.ndarray             #: (n,) int32 (-1 for inputs/NOT)
+    level: np.ndarray           #: (n,) int32
+    outputs: np.ndarray         #: (k,) int32
+    input_values: np.ndarray    #: (#inputs,) uint8
+
+    @property
+    def n_gates(self) -> int:
+        return len(self.gate_type)
+
+    @property
+    def n_levels(self) -> int:
+        return int(self.level.max()) + 1
+
+    def gates_at_level(self, level: int) -> np.ndarray:
+        return np.nonzero(self.level == level)[0]
+
+    def describe(self) -> str:
+        counts = {
+            _GATE_NAMES[t]: int((self.gate_type == t).sum())
+            for t in _GATE_NAMES
+            if (self.gate_type == t).any()
+        }
+        return (
+            f"circuit: {self.n_gates} gates, {self.n_levels} levels, "
+            f"{len(self.outputs)} outputs, {counts}"
+        )
+
+
+def random_circuit(
+    n_inputs: int = 32,
+    n_gates: int = 400,
+    n_outputs: int = 16,
+    seed: int = 5,
+) -> Circuit:
+    """A seeded random levelized circuit.
+
+    Each gate draws operands from strictly earlier gates (biased toward
+    recent ones so levels deepen realistically).
+    """
+    rng = np.random.default_rng(seed)
+    total = n_inputs + n_gates
+    gate_type = np.empty(total, dtype=np.int8)
+    in0 = np.full(total, -1, dtype=np.int32)
+    in1 = np.full(total, -1, dtype=np.int32)
+    level = np.zeros(total, dtype=np.int32)
+    gate_type[:n_inputs] = INPUT
+    for g in range(n_inputs, total):
+        kind = int(rng.choice([AND, OR, NOT, XOR, NAND]))
+        gate_type[g] = kind
+        # Bias operand choice toward recent gates to deepen the circuit.
+        if rng.random() < 0.7 and g > n_inputs + 4:
+            a = int(rng.integers(max(n_inputs, g - 24), g))
+        else:
+            a = int(rng.integers(0, g))
+        in0[g] = a
+        lvl = level[a] + 1
+        if kind != NOT:
+            b = int(rng.integers(0, g))
+            in1[g] = b
+            lvl = max(lvl, level[b] + 1)
+        level[g] = lvl
+    outputs = np.sort(rng.choice(total - 1, size=n_outputs, replace=False) + 1)
+    input_values = rng.integers(0, 2, size=n_inputs).astype(np.uint8)
+    return Circuit(
+        gate_type=gate_type,
+        in0=in0,
+        in1=in1,
+        level=level,
+        outputs=outputs.astype(np.int32),
+        input_values=input_values,
+    )
+
+
+def eval_gates(
+    circuit: Circuit, gate_ids: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Evaluate ``gate_ids`` (all at one level) against current values.
+
+    Pure: returns the gates' outputs, does not touch ``values``.
+    """
+    kinds = circuit.gate_type[gate_ids]
+    a = values[circuit.in0[gate_ids]]
+    b_idx = circuit.in1[gate_ids]
+    b = np.where(b_idx >= 0, values[np.maximum(b_idx, 0)], 0).astype(np.uint8)
+    out = np.zeros(len(gate_ids), dtype=np.uint8)
+    out = np.where(kinds == AND, a & b, out)
+    out = np.where(kinds == OR, a | b, out)
+    out = np.where(kinds == NOT, 1 - a, out)
+    out = np.where(kinds == XOR, a ^ b, out)
+    out = np.where(kinds == NAND, 1 - (a & b), out)
+    return out
+
+
+def evaluate_sequential(circuit: Circuit) -> np.ndarray:
+    """Level-by-level reference evaluation; returns the output bits."""
+    values = np.zeros(circuit.n_gates, dtype=np.uint8)
+    n_inputs = len(circuit.input_values)
+    values[:n_inputs] = circuit.input_values
+    for lvl in range(1, circuit.n_levels):
+        ids = circuit.gates_at_level(lvl)
+        values[ids] = eval_gates(circuit, ids, values)
+    return values[circuit.outputs].copy()

@@ -1,0 +1,19 @@
+"""The parallel-compilation case study (section 6 of the paper)."""
+
+from .operators import TABLE1_TARGETS, make_registry, split_source_chunks
+from .program import PARALLEL_COMPILER, PASS_LABELS, compile_parallel_compiler
+from .table1 import Table1Result, pass_spans, run_table1
+from .workload import generate_workload
+
+__all__ = [
+    "PARALLEL_COMPILER",
+    "PASS_LABELS",
+    "TABLE1_TARGETS",
+    "Table1Result",
+    "compile_parallel_compiler",
+    "generate_workload",
+    "make_registry",
+    "pass_spans",
+    "run_table1",
+    "split_source_chunks",
+]

@@ -1,0 +1,14 @@
+"""Driver: ``python -m repro.apps.compiler_app`` — prints Table 1."""
+
+from ...tools import pass_table
+from .table1 import run_table1
+
+
+def main() -> int:
+    result = run_table1()
+    print(pass_table(result.sequential, result.parallel, result.n_processors))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

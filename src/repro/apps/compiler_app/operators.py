@@ -1,0 +1,235 @@
+"""Operators for the parallel compilation of Delirium by Delirium.
+
+Section 6: the compiler's passes are cast as parallel tree walks — clipped
+subtree sets processed independently and merged by pointer.  Here the
+"subtrees" are top-level function definitions (the natural clip points of
+a program tree), packed into three weight-balanced groups exactly like the
+paper's Sequent run (n=3).
+
+Every ``*_bite`` operator runs the *real* pass code from
+:mod:`repro.compiler` on its group: parsing parses, "macro expansion"
+performs the tree-rewriting lowering of ``iterate`` (plus symbolic
+constants, already textual), env analysis analyzes, optimization runs the
+four passes, graph conversion emits templates.  Merges reassemble by
+reference — "the merge simply returns a pointer."
+
+Simulated costs are calibrated so that the **sequential** pass totals land
+on Table 1's left column (91 / 200 / 117 / 300 / 350 / 380, read as
+kiloticks for msec); the parallel column is then *emergent* from the
+coordination structure, the skewed workload, and greedy packing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ...compiler.analysis import analyze_program
+from ...compiler.graphgen import generate_graphs
+from ...compiler.lowering import lower_program
+from ...compiler.passes.pipeline import optimize
+from ...compiler.symtab import analyze
+from ...lang import ast
+from ...lang.parser import parse_program
+from ...runtime.operators import (
+    OperatorRegistry,
+    builtin_registry,
+    default_registry,
+)
+from ..tree.partition import pack
+
+#: Table 1 sequential targets, in ticks (paper msec x 1000).
+TABLE1_TARGETS = {
+    "Lexing": 91_000.0,
+    "Parsing": 200_000.0,
+    "Macro Expansion": 117_000.0,
+    "Env Analysis": 300_000.0,
+    "Optimization": 350_000.0,
+    "Graph Conversion": 380_000.0,
+}
+
+_FUNCTION_START = re.compile(r"^[A-Za-z_]\w*\s*\(", re.MULTILINE)
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Per-pass tick rates derived from the workload's measured weight."""
+
+    per_char: float       # parsing (includes chunk lexing)
+    per_node: dict[str, float]  # macro/env/opt/graph rates
+
+    #: Fraction of each pass spent in the *sequential* tree division (the
+    #: paper's section 6.3 bottleneck, after their fix).
+    SPLIT_FRACTION = 0.08
+    #: Graph conversion runs after optimization has shrunk the trees by
+    #: roughly this factor; its rate compensates so the sequential total
+    #: still lands on Table 1's 380.
+    OPT_SHRINK = 0.60
+
+    @classmethod
+    def for_source(cls, source: str) -> "Calibration":
+        program = parse_program(source)
+        total_nodes = sum(f.body.size() for f in program.functions)
+        total_chars = max(len(source), 1)
+        bite_share = 1.0 - cls.SPLIT_FRACTION
+
+        def node_rate(pass_name: str, shrink: float = 1.0) -> float:
+            return (
+                TABLE1_TARGETS[pass_name] * bite_share / (total_nodes * shrink)
+            )
+
+        return cls(
+            per_char=TABLE1_TARGETS["Parsing"] * bite_share / total_chars,
+            per_node={
+                "macro": node_rate("Macro Expansion"),
+                "env": node_rate("Env Analysis"),
+                "opt": node_rate("Optimization"),
+                "graph": node_rate("Graph Conversion", cls.OPT_SHRINK),
+            },
+        )
+
+    def split_cost(self, pass_name: str) -> float:
+        return TABLE1_TARGETS[pass_name] * self.SPLIT_FRACTION
+
+
+def split_source_chunks(source: str) -> list[str]:
+    """Divide source text at top-level function starts (column 0)."""
+    starts = [m.start() for m in _FUNCTION_START.finditer(source)]
+    starts = [s for s in starts if s == 0 or source[s - 1] == "\n"]
+    if not starts:
+        return [source]
+    starts.append(len(source))
+    return [
+        source[starts[i] : starts[i + 1]] for i in range(len(starts) - 1)
+    ]
+
+
+def _group_nodes(group: list[tuple[int, ast.FunDef]]) -> float:
+    return float(sum(f.body.size() for _, f in group))
+
+
+def make_registry(source: str, n_groups: int = 3) -> OperatorRegistry:
+    """Operators for compiling ``source`` with ``n_groups``-way passes."""
+    calibration = Calibration.for_source(source)
+    per_node = calibration.per_node
+    reg = default_registry()
+    local = OperatorRegistry()
+    opt_registry = builtin_registry()  # purity facts for the workload's ops
+
+    # -- front end --------------------------------------------------------
+    @local.register(name="lex_pass", cost=TABLE1_TARGETS["Lexing"])
+    def lex_pass(src: str):
+        from ...lang.lexer import tokenize
+
+        return len(tokenize(src))  # the token count; parsing re-lexes chunks
+
+    @local.register(
+        name="chunk_source", cost=calibration.split_cost("Parsing")
+    )
+    def chunk_source(src: str, n_tokens: int):
+        # n_tokens is a data dependency: chunking follows lexing, as in
+        # the paper's pipeline.
+        chunks = split_source_chunks(src)
+        return [(i, c) for i, c in enumerate(chunks)]
+
+    @local.register(name="split_chunks", cost=4_000.0)
+    def split_chunks(indexed_chunks):
+        groups = pack(
+            [((i, c), len(c)) for i, c in indexed_chunks], n_groups
+        )
+        return tuple(groups)
+
+    @local.register(
+        name="parse_bite",
+        cost=lambda group: sum(len(c) for _, c in group)
+        * calibration.per_char,
+    )
+    def parse_bite(group):
+        out = []
+        for index, chunk in group:
+            program = parse_program(chunk)
+            for f in program.functions:
+                out.append((index, f))
+        return out
+
+    @local.register(name="parse_merge", cost=2_000.0)
+    def parse_merge(*parts):
+        functions = [f for part in parts for f in part]
+        functions.sort(key=lambda p: p[0])
+        return functions  # list of (index, FunDef)
+
+    # -- tree passes --------------------------------------------------------
+    _TABLE1_KEY = {
+        "macro": "Macro Expansion",
+        "env": "Env Analysis",
+        "opt": "Optimization",
+        "graph": "Graph Conversion",
+    }
+
+    def _register_tree_pass(pass_name: str, bite):
+        rate = per_node[pass_name]
+        split_ticks = calibration.split_cost(_TABLE1_KEY[pass_name])
+
+        @local.register(name=f"{pass_name}_split", cost=split_ticks)
+        def _split(indexed_functions):
+            groups = pack(
+                [((i, f), f.body.size()) for i, f in indexed_functions],
+                n_groups,
+            )
+            return tuple(groups)
+
+        # The tree-rewriting bites mutate their group's FunDefs in place
+        # (lowering and optimization rewrite bodies), so they declare it;
+        # groups have a single consumer each, so this stays in-place.
+        local.register(
+            name=f"{pass_name}_bite",
+            modifies=(0,),
+            cost=lambda group: _group_nodes(group) * rate,
+        )(bite)
+
+        @local.register(name=f"{pass_name}_merge", cost=2_000.0)
+        def _merge(*parts):
+            functions = [f for part in parts for f in part]
+            functions.sort(key=lambda p: p[0])
+            return functions
+
+    def macro_bite(group):
+        """Macro expansion / lowering: the iterate -> tail-recursion tree
+        rewrite (symbolic constants were substituted textually)."""
+        program = ast.Program(functions=[f for _, f in group])
+        lower_program(program)
+        return [(i, f) for (i, _), f in zip(group, program.functions)]
+
+    def env_bite(group):
+        program = ast.Program(functions=[f for _, f in group])
+        analyze(program, known_operators=None, strict=False)
+        return list(group)
+
+    def opt_bite(group):
+        program = ast.Program(functions=[f for _, f in group])
+        optimize(program, opt_registry)
+        return [(i, f) for (i, _), f in zip(group, program.functions)]
+
+    def graph_bite(group):
+        program = ast.Program(functions=[f for _, f in group])
+        env = analyze(program, known_operators=None, strict=False)
+        analysis = analyze_program(env, pure_operators=None)
+        graph = generate_graphs(program, env, analysis, registry=None)
+        first_index = group[0][0] if group else 0
+        return [(first_index, graph)]
+
+    _register_tree_pass("macro", macro_bite)
+    _register_tree_pass("env", env_bite)
+    _register_tree_pass("opt", opt_bite)
+    _register_tree_pass("graph", graph_bite)
+
+    @local.register(name="finish", cost=1_000.0)
+    def finish(indexed_graphs):
+        total_templates = 0
+        total_nodes = 0
+        for _, graph in indexed_graphs:
+            total_templates += len(graph.templates)
+            total_nodes += graph.total_nodes()
+        return {"templates": total_templates, "nodes": total_nodes}
+
+    return reg.merged_with(local)

@@ -1,0 +1,82 @@
+"""The Delirium coordination framework for the parallel compiler.
+
+Section 6.4: "To switch to the parallel version, we remove a 100 line main
+module and replace it with 100 lines of Delirium and a 400 line auxiliary
+module that defines the operators."  This is that Delirium: lexing is
+sequential (Table 1 shows 91 msec both ways), parsing splits the source at
+function boundaries, and every tree pass is a three-way fork-join over
+weight-packed groups of function trees.  The three-way width is hardwired
+in the source, exactly the limitation section 9.2 owns up to ("the number
+of pieces into which a data structure is divided is chosen explicitly by
+the Delirium programmer").
+"""
+
+from __future__ import annotations
+
+from ...compiler import CompiledProgram, compile_source
+from .operators import make_registry
+
+PARALLEL_COMPILER = """
+main(src)
+  let n_toks  = lex_pass(src)
+      chunks  = chunk_source(src, n_toks)
+      parsed  = do_parse(chunks)
+      lowered = do_macro(parsed)
+      checked = do_env(lowered)
+      opted   = do_opt(checked)
+      graphs  = do_graph(opted)
+  in finish(graphs)
+
+do_parse(chunks)
+  let <s1,s2,s3> = split_chunks(chunks)
+      p1 = parse_bite(s1)
+      p2 = parse_bite(s2)
+      p3 = parse_bite(s3)
+  in parse_merge(p1,p2,p3)
+
+do_macro(functions)
+  let <g1,g2,g3> = macro_split(functions)
+      r1 = macro_bite(g1)
+      r2 = macro_bite(g2)
+      r3 = macro_bite(g3)
+  in macro_merge(r1,r2,r3)
+
+do_env(functions)
+  let <g1,g2,g3> = env_split(functions)
+      r1 = env_bite(g1)
+      r2 = env_bite(g2)
+      r3 = env_bite(g3)
+  in env_merge(r1,r2,r3)
+
+do_opt(functions)
+  let <g1,g2,g3> = opt_split(functions)
+      r1 = opt_bite(g1)
+      r2 = opt_bite(g2)
+      r3 = opt_bite(g3)
+  in opt_merge(r1,r2,r3)
+
+do_graph(functions)
+  let <g1,g2,g3> = graph_split(functions)
+      r1 = graph_bite(g1)
+      r2 = graph_bite(g2)
+      r3 = graph_bite(g3)
+  in graph_merge(r1,r2,r3)
+"""
+
+#: Labels belonging to each Table 1 pass, for span extraction from traces.
+PASS_LABELS: dict[str, set[str]] = {
+    "Lexing": {"lex_pass"},
+    "Parsing": {"chunk_source", "split_chunks", "parse_bite", "parse_merge"},
+    "Macro Expansion": {"macro_split", "macro_bite", "macro_merge"},
+    "Env Analysis": {"env_split", "env_bite", "env_merge"},
+    "Optimization": {"opt_split", "opt_bite", "opt_merge"},
+    "Graph Conversion": {"graph_split", "graph_bite", "graph_merge"},
+}
+
+
+def compile_parallel_compiler(workload_source: str) -> CompiledProgram:
+    """Compile the coordination framework against operators calibrated for
+    ``workload_source`` (the program the compiler will compile)."""
+    return compile_source(
+        PARALLEL_COMPILER, registry=make_registry(workload_source)
+    )

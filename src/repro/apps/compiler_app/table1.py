@@ -1,0 +1,91 @@
+"""Table 1 driver: per-pass compile times, sequential vs parallel (n=3).
+
+Runs the parallel-compiler Delirium program on the simulated Sequent
+Symmetry with one and with three processors, extracts per-pass elapsed
+spans from the node-timing trace, and renders the paper's table.  The
+sequential column is calibrated to Table 1's absolute numbers (that is
+the cost model's anchor); the parallel column is *measured* from the
+simulated schedule — packing imbalance, the sequential splits, and the
+merges all take their toll exactly as they did on the Sequent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...machine import SimulatedExecutor, sequent
+from ...runtime.tracing import Tracer
+from .program import PASS_LABELS, compile_parallel_compiler
+from .workload import generate_workload
+
+
+def pass_spans(tracer: Tracer) -> dict[str, float]:
+    """Elapsed (wall-tick) span of each compiler pass in a traced run."""
+    spans: dict[str, float] = {}
+    for pass_name, labels in PASS_LABELS.items():
+        records = [r for r in tracer.op_records() if r.label in labels]
+        if not records:
+            spans[pass_name] = 0.0
+            continue
+        start = min(r.start for r in records)
+        end = max(r.start + r.ticks for r in records)
+        spans[pass_name] = end - start
+    return spans
+
+
+@dataclass
+class Table1Result:
+    """Both columns of Table 1, plus the compiled artifact summary."""
+
+    sequential: dict[str, float]
+    parallel: dict[str, float]
+    n_processors: int = 3
+    artifact: dict = field(default_factory=dict)
+
+    @property
+    def total_sequential(self) -> float:
+        return sum(self.sequential.values())
+
+    @property
+    def total_parallel(self) -> float:
+        return sum(self.parallel.values())
+
+    @property
+    def overall_speedup(self) -> float:
+        return self.total_sequential / self.total_parallel
+
+    def per_pass_speedup(self) -> dict[str, float]:
+        return {
+            name: (self.sequential[name] / self.parallel[name])
+            if self.parallel[name]
+            else 1.0
+            for name in self.sequential
+        }
+
+
+def run_table1(
+    n_functions: int = 48,
+    seed: int = 1990,
+    n_processors: int = 3,
+) -> Table1Result:
+    """Compile the generated workload sequentially and on n processors."""
+    workload = generate_workload(n_functions=n_functions, seed=seed)
+    compiled = compile_parallel_compiler(workload)
+
+    def measure(p: int) -> tuple[dict[str, float], dict]:
+        executor = SimulatedExecutor(sequent(p), trace=True)
+        result = executor.run(
+            compiled.graph, args=(workload,), registry=compiled.registry
+        )
+        assert result.tracer is not None
+        return pass_spans(result.tracer), result.value
+
+    sequential, artifact = measure(1)
+    parallel, artifact_parallel = measure(n_processors)
+    assert artifact == artifact_parallel, "parallel compile changed output"
+    return Table1Result(
+        sequential=sequential,
+        parallel=parallel,
+        n_processors=n_processors,
+        artifact=artifact,
+    )

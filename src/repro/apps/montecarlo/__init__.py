@@ -1,0 +1,33 @@
+"""Monte-Carlo simulation (the section 2 scientific workload)."""
+
+from .coordination import (
+    OPTION_PROGRAM,
+    PI_PROGRAM,
+    compile_option,
+    compile_pi,
+    make_registry,
+)
+from .model import (
+    OptionSpec,
+    batch_rng,
+    option_batch,
+    option_sequential,
+    pi_batch,
+    pi_estimate,
+    pi_sequential,
+)
+
+__all__ = [
+    "OPTION_PROGRAM",
+    "OptionSpec",
+    "PI_PROGRAM",
+    "batch_rng",
+    "compile_option",
+    "compile_pi",
+    "make_registry",
+    "option_batch",
+    "option_sequential",
+    "pi_batch",
+    "pi_estimate",
+    "pi_sequential",
+]

@@ -1,0 +1,31 @@
+"""The parallel N-queens case study (section 3 of the paper)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...compiler import CompiledProgram, compile_source
+from .operators import make_registry
+from .programs import PAPER_EIGHT_QUEENS, queens_source
+from .sequential import SOLUTION_COUNTS, solve_sequential
+
+__all__ = [
+    "PAPER_EIGHT_QUEENS",
+    "SOLUTION_COUNTS",
+    "compile_queens",
+    "make_registry",
+    "queens_source",
+    "solve",
+    "solve_sequential",
+]
+
+
+def compile_queens(n: int = 8, **kwargs: Any) -> CompiledProgram:
+    """Compile the N-queens coordination framework with its operators."""
+    return compile_source(queens_source(n), registry=make_registry(n), **kwargs)
+
+
+def solve(n: int = 8, executor: Any | None = None) -> list[tuple[int, ...]]:
+    """Solve N-queens through the Delirium program; returns sorted tuples."""
+    compiled = compile_queens(n)
+    return compiled.run(executor=executor).value

@@ -1,0 +1,21 @@
+"""Driver: ``python -m repro.apps.queens [N]``."""
+
+import sys
+
+from . import solve, solve_sequential
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    solutions = solve(n)
+    assert solutions == solve_sequential(n)
+    print(f"{n}-queens: {len(solutions)} solution(s)")
+    for sol in solutions[:5]:
+        print("  ", sol)
+    if len(solutions) > 5:
+        print(f"   ... and {len(solutions) - 5} more")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,79 @@
+"""Operators for the parallel N-queens case study (section 3).
+
+The paper: "A straight-forward implementation of the operators for this
+example involves roughly 100 lines of C."  This is the Python equivalent.
+A board is a list of column positions, one per already-placed queen; a
+complete board of length N is a solution.  ``add_queen`` declares that it
+destructively modifies the board — the runtime's reference counting turns
+the eight parallel ``try`` calls on one shared board into seven
+copy-on-writes plus (at most) one in-place append, which is precisely the
+coordination-model behaviour the example demonstrates.
+
+``merge`` here shadows the builtin: it understands the two shapes flowing
+up the recursion — a complete *board* (a solution, normalized to a tuple)
+and a *list of solutions* from a deeper ``do_it`` — and drops the NULLs of
+failed tries.
+"""
+
+from __future__ import annotations
+
+from ...runtime.operators import OperatorRegistry, default_registry
+from ...runtime.values import NULL
+
+
+def _is_board(value: object) -> bool:
+    return (
+        isinstance(value, list)
+        and len(value) > 0
+        and all(isinstance(x, int) for x in value)
+    )
+
+
+def make_registry(n: int = 8) -> OperatorRegistry:
+    """Build the queens operator registry for board size ``n``.
+
+    Costs model a 1990s C implementation: validity checking scans placed
+    queens (O(len)); everything else is constant and small.  The costs
+    only matter on the simulated machines.
+    """
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(name="empty_board", cost=5.0)
+    def empty_board():
+        return []
+
+    @local.register(name="add_queen", modifies=(0,), cost=10.0)
+    def add_queen(board, queen, location):
+        assert len(board) == queen - 1, "queens must be placed in order"
+        board.append(location)
+        return board
+
+    @local.register(name="is_valid", pure=True, cost=lambda b: 5.0 + 4.0 * len(b))
+    def is_valid(board):
+        q = len(board) - 1
+        loc = board[q]
+        for i in range(q):
+            if board[i] == loc or abs(board[i] - loc) == abs(i - q):
+                return 0
+        return 1
+
+    @local.register(name="merge", cost=lambda *hs: 5.0 + len(hs), pure=True)
+    def merge(*hypotheses):
+        out = []
+        for h in hypotheses:
+            if h is NULL:
+                continue
+            if _is_board(h):
+                out.append(tuple(h))
+            elif isinstance(h, list):
+                out.extend(h)
+            else:  # pragma: no cover - nothing else flows here
+                raise TypeError(f"merge cannot handle {type(h).__name__}")
+        return out
+
+    @local.register(name="show_solutions", cost=20.0)
+    def show_solutions(solutions):
+        return sorted(solutions)
+
+    return reg.merged_with(local)

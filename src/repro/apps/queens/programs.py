@@ -1,0 +1,61 @@
+"""Delirium sources for N-queens.
+
+``PAPER_EIGHT_QUEENS`` is the section 3 listing, verbatim modulo
+whitespace.  :func:`queens_source` generalizes the same shape to any board
+size (``n`` parallel ``try`` bindings per recursion level).
+"""
+
+from __future__ import annotations
+
+#: The listing from section 3 of the paper.
+PAPER_EIGHT_QUEENS = """
+main()
+  let board = empty_board()
+  in show_solutions(do_it(board,1))
+
+do_it(board,queen)
+  let h1 = try(board,queen,1)
+      h2 = try(board,queen,2)
+      h3 = try(board,queen,3)
+      h4 = try(board,queen,4)
+      h5 = try(board,queen,5)
+      h6 = try(board,queen,6)
+      h7 = try(board,queen,7)
+      h8 = try(board,queen,8)
+  in merge(h1,h2,h3,h4,h5,h6,h7,h8)
+
+try(board, queen, location)
+  let new_board = add_queen(board,queen,location)
+  in if is_valid(new_board)
+      then if is_equal(queen,8)
+            then new_board
+            else do_it(new_board,incr(queen))
+      else NULL
+"""
+
+
+def queens_source(n: int = 8) -> str:
+    """The paper's program shape for an ``n`` x ``n`` board."""
+    if n < 1:
+        raise ValueError("board size must be positive")
+    bindings = "\n      ".join(
+        f"h{i} = try(board,queen,{i})" for i in range(1, n + 1)
+    )
+    merge_args = ",".join(f"h{i}" for i in range(1, n + 1))
+    return f"""
+main()
+  let board = empty_board()
+  in show_solutions(do_it(board,1))
+
+do_it(board,queen)
+  let {bindings}
+  in merge({merge_args})
+
+try(board, queen, location)
+  let new_board = add_queen(board,queen,location)
+  in if is_valid(new_board)
+      then if is_equal(queen,{n})
+            then new_board
+            else do_it(new_board,incr(queen))
+      else NULL
+"""

@@ -1,0 +1,37 @@
+"""Sequential N-queens baseline (ordinary Python backtracking).
+
+The "original sequential version" every speedup is normalized against,
+and the independent oracle the Delirium version is tested against.
+"""
+
+from __future__ import annotations
+
+
+def solve_sequential(n: int = 8) -> list[tuple[int, ...]]:
+    """All solutions, as sorted tuples of 1-based column positions."""
+    solutions: list[tuple[int, ...]] = []
+    board: list[int] = []
+
+    def valid(location: int) -> bool:
+        q = len(board)
+        for i, placed in enumerate(board):
+            if placed == location or abs(placed - location) == q - i:
+                return False
+        return True
+
+    def place(queen: int) -> None:
+        if queen > n:
+            solutions.append(tuple(board))
+            return
+        for location in range(1, n + 1):
+            if valid(location):
+                board.append(location)
+                place(queen + 1)
+                board.pop()
+
+    place(1)
+    return sorted(solutions)
+
+
+#: Known solution counts, for tests (OEIS A000170).
+SOLUTION_COUNTS = {1: 1, 2: 0, 3: 0, 4: 2, 5: 10, 6: 4, 7: 40, 8: 92}

@@ -1,0 +1,29 @@
+"""The ray-tracer application (mentioned in section 4 of the paper)."""
+
+from .coordination import (
+    RAYTRACER,
+    compile_raytracer,
+    make_registry,
+    render_animation_sequential,
+)
+from .scene import (
+    Scene,
+    Sphere,
+    band_bounds,
+    build_scene,
+    render_rows,
+    render_sequential,
+)
+
+__all__ = [
+    "RAYTRACER",
+    "Scene",
+    "Sphere",
+    "band_bounds",
+    "build_scene",
+    "compile_raytracer",
+    "make_registry",
+    "render_animation_sequential",
+    "render_rows",
+    "render_sequential",
+]

@@ -1,0 +1,26 @@
+"""Driver: ``python -m repro.apps.raytracer [out.ppm]``."""
+
+import sys
+
+import numpy as np
+
+from ...runtime import SequentialExecutor
+from .coordination import compile_raytracer
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "raytraced.ppm"
+    program = compile_raytracer(width=160, height=100, n_frames=2)
+    film = SequentialExecutor().run(
+        program.graph, registry=program.registry
+    ).value
+    data = (np.clip(film, 0, 1) * 255).astype(np.uint8)
+    header = f"P6\n{film.shape[1]} {film.shape[0]}\n255\n".encode()
+    with open(out, "wb") as fh:
+        fh.write(header + data.tobytes())
+    print(f"wrote {out} ({film.shape[1]}x{film.shape[0]})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

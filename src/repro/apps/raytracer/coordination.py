@@ -1,0 +1,112 @@
+"""Delirium coordination for the ray tracer: scanline-band fork-join per
+frame, iterated over an animation.
+
+The film value flowing through the loop is the last rendered frame; each
+round builds the frame's scene (the light orbits), splits the film into
+four scanline bands, traces them in parallel, and merges by stacking —
+the same split/bite/merge idiom as the retina.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...compiler import CompiledProgram, compile_source
+from ...runtime.operators import OperatorRegistry, default_registry
+from . import scene as scn
+
+RAYTRACER = """
+main()
+  iterate
+  {
+    frame = 0, incr(frame)
+    film = black_film(),
+      let
+        world = make_scene(frame)
+        <b1,b2,b3,b4> = film_split(world)
+        r1 = trace_band(b1)
+        r2 = trace_band(b2)
+        r3 = trace_band(b3)
+        r4 = trace_band(b4)
+      in film_merge(r1,r2,r3,r4)
+  }
+  while is_not_equal(frame, NUM_FRAMES),
+  result film
+"""
+
+N_BANDS = 4
+
+
+def make_registry(
+    width: int = 96, height: int = 64, n_spheres: int = 6, seed: int = 11
+) -> OperatorRegistry:
+    """Ray-tracer operators; costs scale with pixels x spheres."""
+    reg = default_registry()
+    local = OperatorRegistry()
+    ticks_per_pixel_sphere = 60.0
+
+    @local.register(name="black_film", cost=1_000.0)
+    def black_film():
+        return np.zeros((height, width, 3))
+
+    @local.register(name="make_scene", cost=2_000.0)
+    def make_scene(frame: int):
+        return scn.build_scene(width, height, n_spheres, frame, seed)
+
+    @local.register(name="film_split", cost=2_000.0)
+    def film_split(world: scn.Scene):
+        return tuple(
+            {"scene": world, "band": b} for b in range(N_BANDS)
+        )
+
+    def _band_cost(band_job) -> float:
+        world = band_job["scene"]
+        y0, y1 = scn.band_bounds(world.height, N_BANDS, band_job["band"])
+        return (y1 - y0) * world.width * len(world.spheres) * ticks_per_pixel_sphere
+
+    @local.register(name="trace_band", cost=_band_cost)
+    def trace_band(band_job):
+        world = band_job["scene"]
+        y0, y1 = scn.band_bounds(world.height, N_BANDS, band_job["band"])
+        return {
+            "band": band_job["band"],
+            "y0": y0,
+            "rows": scn.render_rows(world, y0, y1),
+        }
+
+    @local.register(name="film_merge", cost=3_000.0)
+    def film_merge(*parts):
+        rows = [p["rows"] for p in sorted(parts, key=lambda p: p["band"])]
+        return np.concatenate(rows, axis=0)
+
+    return reg.merged_with(local)
+
+
+def compile_raytracer(
+    width: int = 96,
+    height: int = 64,
+    n_spheres: int = 6,
+    n_frames: int = 2,
+    seed: int = 11,
+) -> CompiledProgram:
+    """Compile the ray-tracing coordination framework."""
+    return compile_source(
+        RAYTRACER,
+        registry=make_registry(width, height, n_spheres, seed),
+        defines={"NUM_FRAMES": n_frames},
+    )
+
+
+def render_animation_sequential(
+    width: int = 96,
+    height: int = 64,
+    n_spheres: int = 6,
+    n_frames: int = 2,
+    seed: int = 11,
+) -> np.ndarray:
+    """The oracle: last frame of the animation, rendered directly."""
+    film = np.zeros((height, width, 3))
+    for frame in range(n_frames):
+        world = scn.build_scene(width, height, n_spheres, frame, seed)
+        film = scn.render_sequential(world)
+    return film

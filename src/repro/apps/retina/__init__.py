@@ -1,0 +1,18 @@
+"""The retina motion-detection case study (section 5 of the paper)."""
+
+from .model import Band, RetinaConfig, RetinaState, TargetChunk
+from .operators import make_registry
+from .programs import RETINA_V1, RETINA_V2, compile_retina
+from .sequential import run_sequential
+
+__all__ = [
+    "Band",
+    "RETINA_V1",
+    "RETINA_V2",
+    "RetinaConfig",
+    "RetinaState",
+    "TargetChunk",
+    "compile_retina",
+    "make_registry",
+    "run_sequential",
+]

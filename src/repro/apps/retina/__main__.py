@@ -1,0 +1,37 @@
+"""Driver: ``python -m repro.apps.retina [processors]``.
+
+Runs the balanced retina program on the simulated Cray Y-MP and prints
+the speedup curve plus a load-balance summary.
+"""
+
+import sys
+
+from ...machine import SimulatedExecutor, cray_ymp, speedup_curve
+from ...tools import load_balance_summary
+from .model import RetinaConfig
+from .programs import compile_retina
+
+
+def main() -> int:
+    max_p = int(sys.argv[1]) if len(sys.argv) > 1 else 4
+    config = RetinaConfig()
+    compiled = compile_retina(2, config)
+    curve = speedup_curve(
+        compiled.graph,
+        cray_ymp(),
+        list(range(1, max_p + 1)),
+        registry=compiled.registry,
+    )
+    for p, s in curve.items():
+        print(f"P={p}: speedup {s:.2f}")
+    traced = SimulatedExecutor(cray_ymp(max_p), trace=True).run(
+        compiled.graph, registry=compiled.registry
+    )
+    assert traced.tracer is not None
+    print()
+    print(load_balance_summary(traced.tracer).describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,327 @@
+"""The retina model: data types and numerical kernels (section 5).
+
+The original is Frank Eeckman's convolution-based neural-net model of the
+retina for motion detection [11], implemented in Fortran by David Andes
+and parallelized on the Cray Y-MP.  We reproduce its computational *shape*:
+
+* a population of moving **targets** (bright blobs with velocities),
+  simulated in four groups (``target_bite``);
+* a stack of **convolution slabs** applied to the stimulus frame — a
+  center-surround (difference-of-Gaussians) receptor layer, directional
+  motion kernels, and a smoothing layer — computed band-parallel
+  (``convol_bite``);
+* a **temporal update** that measures motion energy over the whole frame
+  and diffuses activity, which in the paper's first version (``post_up``)
+  ran sequentially and capped speedup at two, and in the balanced version
+  (``update_bite``) is band-parallel too.
+
+All kernels are NumPy/SciPy and fully deterministic (seeded).  Band
+decomposition uses halo rows wide enough for the 5x5 kernels, so the
+band-parallel computation is *bit-identical* to the full-frame one — the
+determinism story of the paper, testable as an equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+from scipy.signal import convolve2d
+
+
+@dataclass(frozen=True)
+class RetinaConfig:
+    """Problem-size and cost parameters for the retina simulation.
+
+    ``ticks_per_mac`` calibrates simulated operator costs so that one
+    ``convol_bite`` lands near the ~1.06M ticks of the paper's Cray-2
+    node-timing dump (16 rows x 64 cols x 5x5 kernel x ~41 ticks).
+    """
+
+    height: int = 64
+    width: int = 64
+    n_targets: int = 16
+    n_groups: int = 4
+    n_bands: int = 4
+    kernel_size: int = 5
+    num_iter: int = 4
+    start_slab: int = 0
+    final_slab: int = 4
+    seed: int = 7
+    ticks_per_mac: float = 41.0
+    #: Per-band cost multipliers modelling the cache-conflict imbalance
+    #: visible in the paper's own dumps ("barring cache conflicts and the
+    #: like"): convol_bites at 1.06/1.14/1.06/1.06 Mticks and update_bites
+    #: at 0.95/0.95/1.17/0.95.  Set to all-ones for perfectly even bands.
+    convol_skew: tuple[float, ...] = (1.0, 1.07, 1.0, 1.0)
+    update_skew: tuple[float, ...] = (1.0, 1.0, 1.23, 1.0)
+
+    @property
+    def halo(self) -> int:
+        return self.kernel_size // 2
+
+    def band_rows(self, band: int) -> tuple[int, int]:
+        """Half-open row range [r0, r1) of one band."""
+        base = self.height // self.n_bands
+        extra = self.height % self.n_bands
+        r0 = band * base + min(band, extra)
+        r1 = r0 + base + (1 if band < extra else 0)
+        return r0, r1
+
+
+@dataclass
+class RetinaState:
+    """The ``scene`` / ``convolve_data`` value flowing through the program."""
+
+    targets: np.ndarray        #: (n, 4) float64: x, y, vx, vy
+    frame: np.ndarray          #: (H, W) float64 activity image
+    energy: float = 0.0        #: latest motion-energy measurement
+    energy_history: tuple[float, ...] = ()
+
+    def signature(self) -> tuple:
+        """A comparable digest (tests compare v1 vs v2 vs sequential)."""
+        return (
+            round(float(self.frame.sum()), 9),
+            round(float(np.abs(self.frame).max()), 9),
+            round(self.energy, 9),
+            tuple(round(e, 9) for e in self.energy_history),
+            round(float(self.targets.sum()), 9),
+        )
+
+
+@dataclass
+class TargetChunk:
+    """One group of targets plus its privately rendered partial stimulus."""
+
+    group: int
+    targets: np.ndarray
+    partial: np.ndarray
+    carry: dict = field(default_factory=dict)
+
+
+@dataclass
+class Band:
+    """A horizontal band of the frame, with halo rows for exact stencils."""
+
+    index: int
+    rows: np.ndarray        #: (r1 - r0 + halos, W)
+    r0: int                 #: first real row (inclusive, frame coords)
+    r1: int                 #: last real row (exclusive)
+    top_halo: int           #: halo rows present above r0
+    carry: dict = field(default_factory=dict)
+
+    def real_rows(self) -> np.ndarray:
+        return self.rows[self.top_halo : self.top_halo + (self.r1 - self.r0)]
+
+
+# ---------------------------------------------------------------------------
+# Kernels
+# ---------------------------------------------------------------------------
+
+
+def _gaussian(size: int, sigma: float) -> np.ndarray:
+    ax = np.arange(size) - size // 2
+    g = np.exp(-(ax**2) / (2 * sigma**2))
+    k = np.outer(g, g)
+    return k / k.sum()
+
+
+def slab_kernels(config: RetinaConfig) -> list[np.ndarray]:
+    """One convolution kernel per slab.
+
+    Slab 0: center-surround receptor (difference of Gaussians);
+    slab 1: horizontal motion detector (antisymmetric in x);
+    slab 2: vertical motion detector; slab 3: smoothing Gaussian.
+    Patterns repeat if final_slab exceeds four.
+    """
+    size = config.kernel_size
+    dog = _gaussian(size, 0.8) - 0.9 * _gaussian(size, 2.0)
+    gx = np.gradient(_gaussian(size, 1.2), axis=1)
+    gy = np.gradient(_gaussian(size, 1.2), axis=0)
+    smooth = _gaussian(size, 1.0)
+    base = [dog, gx, gy, smooth]
+    n = max(config.final_slab - config.start_slab, 1)
+    return [base[i % 4] for i in range(n + config.start_slab)]
+
+
+# ---------------------------------------------------------------------------
+# Model steps (pure functions; the operators wrap these)
+# ---------------------------------------------------------------------------
+
+
+def initial_state(config: RetinaConfig) -> RetinaState:
+    """Seeded initial targets and an empty frame."""
+    rng = np.random.default_rng(config.seed)
+    x = rng.uniform(4, config.width - 4, config.n_targets)
+    y = rng.uniform(4, config.height - 4, config.n_targets)
+    vx = rng.uniform(-1.5, 1.5, config.n_targets)
+    vy = rng.uniform(-1.5, 1.5, config.n_targets)
+    targets = np.stack([x, y, vx, vy], axis=1)
+    frame = np.zeros((config.height, config.width))
+    return RetinaState(targets=targets, frame=frame)
+
+
+def split_targets(state: RetinaState, config: RetinaConfig) -> list[TargetChunk]:
+    """Divide the targets into equal groups, each with its own canvas."""
+    groups = np.array_split(np.arange(len(state.targets)), config.n_groups)
+    chunks = []
+    for gid, idx in enumerate(groups):
+        chunk = TargetChunk(
+            group=gid,
+            targets=state.targets[idx].copy(),
+            partial=np.zeros_like(state.frame),
+        )
+        if gid == 0:
+            chunk.carry = {
+                "energy": state.energy,
+                "energy_history": state.energy_history,
+            }
+        chunks.append(chunk)
+    return chunks
+
+
+_STAMP_CACHE: dict[int, np.ndarray] = {}
+
+
+def _stamp(size: int = 5) -> np.ndarray:
+    stamp = _STAMP_CACHE.get(size)
+    if stamp is None:
+        stamp = _gaussian(size, 1.0)
+        _STAMP_CACHE[size] = stamp
+    return stamp
+
+
+def advance_targets(chunk: TargetChunk, config: RetinaConfig) -> TargetChunk:
+    """Move this group's targets (bouncing walls) and render their blobs.
+
+    Mutates the chunk in place — this is ``target_bite``'s body, and the
+    operator declares ``modifies=(0,)`` accordingly.
+    """
+    t = chunk.targets
+    t[:, 0] += t[:, 2]
+    t[:, 1] += t[:, 3]
+    for axis, limit in ((0, config.width), (1, config.height)):
+        low = t[:, axis] < 2
+        high = t[:, axis] > limit - 3
+        t[low, axis] = 4 - t[low, axis]
+        t[high, axis] = 2 * (limit - 3) - t[high, axis]
+        t[low | high, axis + 2] *= -1.0
+    stamp = _stamp()
+    h = stamp.shape[0] // 2
+    chunk.partial[:] = 0.0
+    for x, y, _, _ in t:
+        cx, cy = int(round(x)), int(round(y))
+        y0, y1 = max(cy - h, 0), min(cy + h + 1, config.height)
+        x0, x1 = max(cx - h, 0), min(cx + h + 1, config.width)
+        chunk.partial[y0:y1, x0:x1] += stamp[
+            (y0 - cy + h) : (y1 - cy + h), (x0 - cx + h) : (x1 - cx + h)
+        ]
+    return chunk
+
+
+def combine_chunks(
+    chunks: list[TargetChunk], config: RetinaConfig
+) -> RetinaState:
+    """``pre_update``: merge the groups back into one state."""
+    targets = np.concatenate([c.targets for c in chunks], axis=0)
+    frame = np.zeros((config.height, config.width))
+    for c in chunks:
+        frame += c.partial
+    carry = chunks[0].carry
+    return RetinaState(
+        targets=targets,
+        frame=frame,
+        energy=carry.get("energy", 0.0),
+        energy_history=carry.get("energy_history", ()),
+    )
+
+
+def split_bands(state: RetinaState, config: RetinaConfig) -> list[Band]:
+    """``convol_split`` / ``update_split``: bands with halo rows copied."""
+    halo = config.halo
+    bands = []
+    for b in range(config.n_bands):
+        r0, r1 = config.band_rows(b)
+        top = min(halo, r0)
+        bottom = min(halo, config.height - r1)
+        rows = state.frame[r0 - top : r1 + bottom].copy()
+        band = Band(index=b, rows=rows, r0=r0, r1=r1, top_halo=top)
+        if b == 0:
+            band.carry = {
+                "targets": state.targets,
+                "energy": state.energy,
+                "energy_history": state.energy_history,
+            }
+        bands.append(band)
+    return bands
+
+
+def convolve_band(band: Band, kernel: np.ndarray) -> Band:
+    """``convol_bite``'s body: stencil one band; exact thanks to halos.
+
+    A zero-padded ('fill') convolution of the haloed rows, trimmed back to
+    the real rows, equals the corresponding rows of a full-frame
+    convolution: interior band edges see true neighbor data from the halo,
+    and frame edges see the same zero padding either way.
+    """
+    out = convolve2d(band.rows, kernel, mode="same", boundary="fill")
+    real = out[band.top_halo : band.top_halo + (band.r1 - band.r0)]
+    band.rows = real
+    band.top_halo = 0
+    return band
+
+
+def assemble_frame(bands: list[Band], config: RetinaConfig) -> np.ndarray:
+    """Stack real band rows back into one frame (bands must be trimmed)."""
+    frame = np.zeros((config.height, config.width))
+    for band in bands:
+        frame[band.r0 : band.r1] = band.real_rows()
+    return frame
+
+
+_DIFFUSE = _gaussian(5, 1.3)
+
+
+def band_energy_and_diffuse(
+    rows: np.ndarray, haloed: np.ndarray, top_halo: int, n_real: int
+) -> tuple[float, np.ndarray]:
+    """The per-band temporal update: motion energy + one diffusion pass.
+
+    ``haloed`` are the band rows including halo (so diffusion is exact);
+    returns (band's energy contribution, updated real rows).
+    """
+    energy = float(np.sum(rows * rows))
+    diffused = convolve2d(haloed, _DIFFUSE, mode="same", boundary="fill")
+    real = diffused[top_halo : top_halo + n_real]
+    return energy, real
+
+
+def is_update_slab(slab: int) -> bool:
+    """The temporal update runs on odd slabs only — which is why half of
+    v1's ``post_up`` calls were negligible and half enormous (section
+    5.2)."""
+    return slab % 2 == 1
+
+
+def full_frame_update(
+    frame: np.ndarray, config: RetinaConfig
+) -> tuple[float, np.ndarray]:
+    """v1's sequential temporal update (the bottleneck).
+
+    Computed band-by-band *in sequence* so its floating-point result is
+    bit-identical to v2's parallel decomposition — determinism lets the
+    paper's programmers verify rebalancing changed nothing.
+    """
+    halo = config.halo
+    energy = 0.0
+    out = np.zeros_like(frame)
+    for b in range(config.n_bands):
+        r0, r1 = config.band_rows(b)
+        top = min(halo, r0)
+        bottom = min(halo, config.height - r1)
+        haloed = frame[r0 - top : r1 + bottom]
+        real = frame[r0:r1]
+        e, updated = band_energy_and_diffuse(real, haloed, top, r1 - r0)
+        energy += e
+        out[r0:r1] = updated
+    return energy, out

@@ -1,0 +1,161 @@
+"""Registered operators for the retina programs.
+
+Each operator wraps a model step from :mod:`repro.apps.retina.model` and
+carries a simulated-cost hint calibrated to the section 5.2 node-timing
+dump (in Cray-2 ticks): ``convol_bite`` near 1.06M, v1's ``post_up``
+negligible on even slabs and ~4M on odd slabs (as long as all four
+convolutions combined — the bottleneck), v2's ``update_bite`` near 1M,
+``done_up`` ~43K, and the splits in the 10-16K range.
+
+The registry serves both program versions; v1 uses ``post_up`` and v2 uses
+``update_split``/``update_bite``/``done_up``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...runtime.operators import OperatorRegistry, default_registry
+from . import model
+from .model import Band, RetinaConfig, RetinaState, TargetChunk
+
+
+def make_registry(config: RetinaConfig | None = None) -> OperatorRegistry:
+    """Build the retina operator registry for ``config``."""
+    cfg = config or RetinaConfig()
+    kernels = model.slab_kernels(cfg)
+    mac = cfg.ticks_per_mac
+    k2 = cfg.kernel_size**2
+    frame_macs = cfg.height * cfg.width
+
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    # -- target phase ---------------------------------------------------
+    @local.register(name="set_up", cost=50_000.0)
+    def set_up():
+        return model.initial_state(cfg)
+
+    @local.register(name="target_split", cost=10_000.0)
+    def target_split(state: RetinaState):
+        return tuple(model.split_targets(state, cfg))
+
+    @local.register(
+        name="target_bite",
+        modifies=(0,),
+        cost=lambda chunk: 4_000.0 * max(len(chunk.targets), 1),
+    )
+    def target_bite(chunk: TargetChunk):
+        return model.advance_targets(chunk, cfg)
+
+    # -- convolution phase ------------------------------------------------
+    @local.register(
+        name="pre_update", cost=float(frame_macs * mac * 0.5)
+    )
+    def pre_update(c1, c2, c3, c4):
+        return model.combine_chunks([c1, c2, c3, c4], cfg)
+
+    @local.register(name="convol_split", cost=10_000.0)
+    def convol_split(state: RetinaState):
+        return tuple(model.split_bands(state, cfg))
+
+    def _band_macs(band: Band) -> float:
+        return float((band.r1 - band.r0) * cfg.width * k2)
+
+    def _skew(band: Band, table: tuple[float, ...]) -> float:
+        return table[band.index % len(table)] if table else 1.0
+
+    @local.register(
+        name="convol_bite",
+        modifies=(0,),
+        cost=lambda band, slab: _band_macs(band) * mac
+        * _skew(band, cfg.convol_skew),
+    )
+    def convol_bite(band: Band, slab: int):
+        return model.convolve_band(band, kernels[slab])
+
+    # -- v1: sequential temporal update (the bottleneck) ----------------
+    def _post_up_cost(slab, a, b, c, d) -> float:
+        if model.is_update_slab(slab):
+            return float(frame_macs * k2 * mac)  # ~4M: the whole frame
+        return float(frame_macs * 11)  # ~45K: reassembly only
+
+    @local.register(name="post_up", cost=_post_up_cost)
+    def post_up(slab: int, a: Band, b: Band, c: Band, d: Band):
+        bands = [a, b, c, d]
+        frame = model.assemble_frame(bands, cfg)
+        carry = bands[0].carry
+        energy = carry.get("energy", 0.0)
+        history = carry.get("energy_history", ())
+        if model.is_update_slab(slab):
+            energy, frame = model.full_frame_update(frame, cfg)
+            history = history + (energy,)
+        return RetinaState(
+            targets=carry["targets"],
+            frame=frame,
+            energy=energy,
+            energy_history=history,
+        )
+
+    # -- v2: band-parallel temporal update -------------------------------
+    @local.register(name="update_split", cost=16_000.0)
+    def update_split(a: Band, b: Band, c: Band, d: Band):
+        bands = [a, b, c, d]
+        frame = model.assemble_frame(bands, cfg)
+        carry = bands[0].carry
+        state = RetinaState(
+            targets=carry["targets"],
+            frame=frame,
+            energy=carry.get("energy", 0.0),
+            energy_history=carry.get("energy_history", ()),
+        )
+        return tuple(model.split_bands(state, cfg))
+
+    def _update_bite_cost(band, slab) -> float:
+        if model.is_update_slab(slab):
+            return _band_macs(band) * mac * _skew(band, cfg.update_skew)
+        return 5_000.0
+
+    @local.register(
+        name="update_bite", modifies=(0,), cost=_update_bite_cost
+    )
+    def update_bite(band: Band, slab: int):
+        if not model.is_update_slab(slab):
+            band.rows = band.real_rows().copy()
+            band.top_halo = 0
+            band.carry.setdefault("band_energy", 0.0)
+            return band
+        n_real = band.r1 - band.r0
+        energy, real = model.band_energy_and_diffuse(
+            band.real_rows(), band.rows, band.top_halo, n_real
+        )
+        band.rows = real
+        band.top_halo = 0
+        band.carry["band_energy"] = energy
+        return band
+
+    @local.register(name="done_up", cost=float(43_000.0))
+    def done_up(slab: int, a: Band, b: Band, c: Band, d: Band):
+        bands = [a, b, c, d]
+        frame = model.assemble_frame(bands, cfg)
+        carry = bands[0].carry
+        energy = carry.get("energy", 0.0)
+        history = carry.get("energy_history", ())
+        if model.is_update_slab(slab):
+            energy = float(
+                sum(band.carry.get("band_energy", 0.0) for band in bands)
+            )
+            history = history + (energy,)
+        return RetinaState(
+            targets=carry["targets"],
+            frame=frame,
+            energy=energy,
+            energy_history=history,
+        )
+
+    # -- inspection helpers ----------------------------------------------
+    @local.register(name="scene_energy", pure=True, cost=10.0)
+    def scene_energy(state: RetinaState):
+        return state.energy
+
+    return reg.merged_with(local)

@@ -1,0 +1,43 @@
+"""Sequential retina baseline: the same model steps in a plain Python loop.
+
+This is the oracle the Delirium versions are tested against — the paper's
+workflow in miniature: "a program that runs correctly on a uniprocessor
+will run correctly on a multiprocessor."
+"""
+
+from __future__ import annotations
+
+from . import model
+from .model import RetinaConfig, RetinaState
+
+
+def run_sequential(config: RetinaConfig | None = None) -> RetinaState:
+    """Run the retina model sequentially; matches the Delirium programs
+    bit-for-bit (tested)."""
+    cfg = config or RetinaConfig()
+    kernels = model.slab_kernels(cfg)
+    state = model.initial_state(cfg)
+    for _ in range(cfg.num_iter):
+        # target phase
+        chunks = model.split_targets(state, cfg)
+        for chunk in chunks:
+            model.advance_targets(chunk, cfg)
+        state = model.combine_chunks(chunks, cfg)
+        # convolution slabs
+        for slab in range(cfg.start_slab, cfg.final_slab):
+            bands = model.split_bands(state, cfg)
+            for band in bands:
+                model.convolve_band(band, kernels[slab])
+            frame = model.assemble_frame(bands, cfg)
+            energy = state.energy
+            history = state.energy_history
+            if model.is_update_slab(slab):
+                energy, frame = model.full_frame_update(frame, cfg)
+                history = history + (energy,)
+            state = RetinaState(
+                targets=state.targets,
+                frame=frame,
+                energy=energy,
+                energy_history=history,
+            )
+    return state

@@ -1,0 +1,48 @@
+"""Parallel tree-walking framework (section 6.2 of the paper)."""
+
+from .partition import Clipping, clip, imbalance, pack, partition, subtree_weight
+from .walks import (
+    inherited,
+    inherited_partitioned,
+    synthesized,
+    synthesized_partitioned,
+    top_down,
+    top_down_partitioned,
+    walk_packages,
+)
+
+__all__ = [
+    "Clipping",
+    "clip",
+    "imbalance",
+    "inherited",
+    "inherited_partitioned",
+    "pack",
+    "partition",
+    "subtree_weight",
+    "synthesized",
+    "synthesized_partitioned",
+    "top_down",
+    "top_down_partitioned",
+    "walk_packages",
+]
+
+from .coordination import (
+    compile_tree_walk,
+    make_inherited_registry,
+    make_synthesized_registry,
+    make_top_down_registry,
+    run_inherited,
+    run_synthesized,
+    run_top_down,
+)
+
+__all__ += [
+    "compile_tree_walk",
+    "make_inherited_registry",
+    "make_synthesized_registry",
+    "make_top_down_registry",
+    "run_inherited",
+    "run_synthesized",
+    "run_top_down",
+]

@@ -1,0 +1,226 @@
+"""Generic Delirium coordination for the three tree-walk schemes.
+
+Section 6.4: the parallel compiler's auxiliary module is "made up of
+parallel tree-walking primitives."  This is that module in reusable form:
+given any tree object (exposing ``children()``) and per-scheme visitor
+callables, :func:`compile_tree_walk` builds a Delirium program whose
+split/bite/merge operators run the partitioned walk from
+:mod:`repro.apps.tree.walks` — crown handled at the merge/split ends,
+subtree sets processed by parallel bites.
+
+The three schemes:
+
+* ``top_down``    — bite = run the update over a subtree set; merge is
+  the free pointer return (after the crown was updated by the split);
+* ``inherited``   — split computes the inherited package at each clip
+  point (crown pass), bites walk subtree sets from their packages;
+* ``synthesized`` — bites fold subtree sets bottom-up; the merge
+  finishes the fold over the crown.
+
+Costs are proportional to the subtree weights a bite processes, so the
+simulated machines show exactly the balance the weight-based clipping
+achieves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ...compiler import CompiledProgram, compile_source
+from ...runtime.operators import OperatorRegistry, default_registry
+from .partition import partition, subtree_weight
+from .walks import Fold, Inherit, Update, inherited, synthesized, top_down
+
+N_WAYS = 4
+
+TREE_WALK = """
+main()
+  let <s1,s2,s3,s4> = walk_split(the_tree())
+      r1 = walk_bite(s1)
+      r2 = walk_bite(s2)
+      r3 = walk_bite(s3)
+      r4 = walk_bite(s4)
+  in walk_merge(r1,r2,r3,r4)
+"""
+
+
+def _set_weight(subtree_set: list[Any]) -> float:
+    return float(sum(subtree_weight(node) for node in subtree_set))
+
+
+def make_top_down_registry(
+    tree: Any, update: Update, ticks_per_node: float = 100.0
+) -> OperatorRegistry:
+    """Operators for a partitioned top-down update walk over ``tree``."""
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(name="the_tree", cost=10.0)
+    def the_tree():
+        return tree
+
+    @local.register(
+        name="walk_split",
+        cost=lambda t: 50.0 + subtree_weight(t) * ticks_per_node * 0.05,
+    )
+    def walk_split(t):
+        crown, sets = partition(t, N_WAYS)
+        # Crown nodes are updated during division — their updates must
+        # precede every clipped subtree's (ancestors first).
+        for node in crown:
+            update(node)
+        return tuple({"set": s, "root": t} for s in sets)
+
+    @local.register(
+        name="walk_bite",
+        modifies=(0,),
+        cost=lambda job: 50.0 + _set_weight(job["set"]) * ticks_per_node,
+    )
+    def walk_bite(job):
+        for subtree in job["set"]:
+            top_down(subtree, update)
+        return job
+
+    @local.register(name="walk_merge", cost=10.0)
+    def walk_merge(j1, j2, j3, j4):
+        # "the merge simply returns a pointer to the entire tree."
+        return j1["root"]
+
+    return reg.merged_with(local)
+
+
+def make_inherited_registry(
+    tree: Any, inherit: Inherit, initial: Any, ticks_per_node: float = 100.0
+) -> OperatorRegistry:
+    """Operators for a partitioned inherited-attribute walk."""
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(name="the_tree", cost=10.0)
+    def the_tree():
+        return tree
+
+    @local.register(
+        name="walk_split",
+        cost=lambda t: 50.0 + subtree_weight(t) * ticks_per_node * 0.05,
+    )
+    def walk_split(t):
+        crown, sets = partition(t, N_WAYS)
+        crown_ids = set(map(id, crown))
+        entry_ctx: dict[int, Any] = {}
+
+        def walk_crown(node: Any, ctx: Any) -> None:
+            if id(node) not in crown_ids:
+                entry_ctx[id(node)] = ctx
+                return
+            child_ctx = inherit(node, ctx)
+            for child in node.children():
+                walk_crown(child, child_ctx)
+
+        if id(t) in crown_ids:
+            walk_crown(t, initial)
+        else:
+            entry_ctx[id(t)] = initial
+        return tuple(
+            {"set": s, "root": t, "ctx": {id(n): entry_ctx[id(n)] for n in s}}
+            for s in sets
+        )
+
+    @local.register(
+        name="walk_bite",
+        modifies=(0,),
+        cost=lambda job: 50.0 + _set_weight(job["set"]) * ticks_per_node,
+    )
+    def walk_bite(job):
+        for subtree in job["set"]:
+            inherited(subtree, inherit, job["ctx"][id(subtree)])
+        return job
+
+    @local.register(name="walk_merge", cost=10.0)
+    def walk_merge(j1, j2, j3, j4):
+        return j1["root"]
+
+    return reg.merged_with(local)
+
+
+def make_synthesized_registry(
+    tree: Any, fold: Fold, ticks_per_node: float = 100.0
+) -> OperatorRegistry:
+    """Operators for a partitioned synthesized-attribute walk."""
+    reg = default_registry()
+    local = OperatorRegistry()
+    crown, sets = partition(tree, N_WAYS)
+    crown_ids = set(map(id, crown))
+
+    @local.register(name="the_tree", cost=10.0)
+    def the_tree():
+        return tree
+
+    @local.register(
+        name="walk_split",
+        cost=lambda t: 50.0 + subtree_weight(t) * ticks_per_node * 0.05,
+    )
+    def walk_split(t):
+        return tuple({"set": s} for s in sets)
+
+    @local.register(
+        name="walk_bite",
+        modifies=(0,),
+        cost=lambda job: 50.0 + _set_weight(job["set"]) * ticks_per_node,
+    )
+    def walk_bite(job):
+        job["values"] = {
+            id(subtree): synthesized(subtree, fold) for subtree in job["set"]
+        }
+        return job
+
+    @local.register(
+        name="walk_merge",
+        cost=50.0 + len(crown) * ticks_per_node,
+    )
+    def walk_merge(*jobs):
+        # "must run over the crown of the tree finishing the pass now
+        # that the values for the subtrees have been computed."
+        subtree_value: dict[int, Any] = {}
+        for job in jobs:
+            subtree_value.update(job["values"])
+
+        def finish(node: Any) -> Any:
+            if id(node) not in crown_ids:
+                return subtree_value[id(node)]
+            return fold(node, [finish(c) for c in node.children()])
+
+        return finish(tree)
+
+    return reg.merged_with(local)
+
+
+def compile_tree_walk(registry: OperatorRegistry) -> CompiledProgram:
+    """Compile the four-way walk framework against a scheme registry."""
+    return compile_source(TREE_WALK, registry=registry)
+
+
+def run_top_down(
+    tree: Any, update: Update, executor: Any | None = None
+) -> Any:
+    """Convenience: partitioned top-down update through Delirium."""
+    program = compile_tree_walk(make_top_down_registry(tree, update))
+    return program.run(executor=executor).value
+
+
+def run_inherited(
+    tree: Any, inherit: Inherit, initial: Any, executor: Any | None = None
+) -> Any:
+    """Convenience: partitioned inherited-attribute walk through Delirium."""
+    program = compile_tree_walk(
+        make_inherited_registry(tree, inherit, initial)
+    )
+    return program.run(executor=executor).value
+
+
+def run_synthesized(
+    tree: Any, fold: Fold, executor: Any | None = None
+) -> Any:
+    """Convenience: partitioned synthesized fold through Delirium."""
+    program = compile_tree_walk(make_synthesized_registry(tree, fold))
+    return program.run(executor=executor).value

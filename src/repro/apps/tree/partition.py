@@ -1,0 +1,91 @@
+"""Weight-based tree clipping and partitioning (section 6.2).
+
+"To ensure that the sets of subtrees allocated to each processor are
+roughly equivalent in weight, every tree node is annotated with the size
+of the subtree below it.  We divide the total weight of the tree by the
+number of processors we will be using.  The tree traversal runs until we
+find a subtree that is less than one-third of the desired weight."
+
+:func:`clip` walks the crown, clipping off subtrees no heavier than the
+per-processor share (descending further only while a subtree is too
+heavy, and never below one third of the share); :func:`pack` distributes
+the clipped subtrees over processors greedily (heaviest first into the
+lightest set).  Works over any tree exposing ``children()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+
+def subtree_weight(node: Any) -> int:
+    """Annotation: 1 + total weight of children (the paper's node size)."""
+    return 1 + sum(subtree_weight(c) for c in node.children())
+
+
+@dataclass
+class Clipping:
+    """Result of clipping: the crown keeps nodes whose subtrees were
+    divided; ``pieces`` are the clipped-off subtrees with their weights."""
+
+    crown: list[Any] = field(default_factory=list)
+    pieces: list[tuple[Any, int]] = field(default_factory=list)
+
+
+def clip(root: Any, n_processors: int, weight: Callable[[Any], int] | None = None) -> Clipping:
+    """Clip subtrees off the crown for ``n_processors`` workers."""
+    if n_processors < 1:
+        raise ValueError("need at least one processor")
+    weigh = weight or subtree_weight
+    total = weigh(root)
+    desired = max(total / n_processors, 1.0)
+    floor = desired / 3.0
+    out = Clipping()
+
+    def descend(node: Any) -> None:
+        w = weigh(node)
+        if w <= desired or w < floor:
+            out.pieces.append((node, w))
+            return
+        children = list(node.children())
+        if not children:
+            out.pieces.append((node, w))
+            return
+        out.crown.append(node)
+        for child in children:
+            descend(child)
+
+    descend(root)
+    return out
+
+
+def pack(
+    pieces: Iterable[tuple[Any, int]], n_sets: int
+) -> list[list[Any]]:
+    """Greedy balanced packing: heaviest piece into the lightest set."""
+    if n_sets < 1:
+        raise ValueError("need at least one set")
+    sets: list[list[Any]] = [[] for _ in range(n_sets)]
+    loads = [0.0] * n_sets
+    for node, w in sorted(pieces, key=lambda p: -p[1]):
+        i = loads.index(min(loads))
+        sets[i].append(node)
+        loads[i] += w
+    return sets
+
+
+def partition(
+    root: Any, n_processors: int, weight: Callable[[Any], int] | None = None
+) -> tuple[list[Any], list[list[Any]]]:
+    """Clip + pack in one call; returns (crown nodes, per-processor sets)."""
+    clipping = clip(root, n_processors, weight)
+    return clipping.crown, pack(clipping.pieces, n_processors)
+
+
+def imbalance(sets: list[list[Any]], weight: Callable[[Any], int] | None = None) -> float:
+    """max set weight / mean set weight (1.0 = perfect balance)."""
+    weigh = weight or subtree_weight
+    loads = [sum(weigh(n) for n in s) for s in sets]
+    mean = sum(loads) / len(loads) if loads else 0.0
+    return (max(loads) / mean) if mean else 1.0

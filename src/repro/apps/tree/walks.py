@@ -1,0 +1,145 @@
+"""The three parallel tree-walk schemes (section 6.2).
+
+"We examined each of the passes over the tree, and realized that with
+some work they can all be cast into one of three kinds of tree walk":
+
+1. **top-down update** — update each node; ancestors are updated first;
+2. **inherited-attribute update** — compute an attribute downward and
+   hand each node the accumulated package;
+3. **synthesized-attribute update** — fold upward from the leaves.
+
+Each scheme has a sequential reference implementation and a *partitioned*
+form: the crown is handled on one processor, clipped subtrees are
+processed independently (these are the parallel "bites"), and a merge
+finishes the pass — which for the top-down walk is free (the pointer
+trick), while the synthesized walk "must run over the crown of the tree
+finishing the pass now that the values for the subtrees have been
+computed."
+
+Walks are generic over trees exposing ``children()``; node identity is
+used to stitch partitioned results back together.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .partition import partition
+
+Update = Callable[[Any], None]
+Inherit = Callable[[Any, Any], Any]       # (node, ctx) -> child ctx
+Fold = Callable[[Any, list[Any]], Any]    # (node, child values) -> value
+
+
+# ---------------------------------------------------------------------------
+# Sequential reference walks
+# ---------------------------------------------------------------------------
+
+
+def top_down(root: Any, update: Update) -> None:
+    """Update every node, parents before children."""
+    update(root)
+    for child in root.children():
+        top_down(child, update)
+
+
+def inherited(root: Any, inherit: Inherit, ctx: Any) -> None:
+    """Push an inherited attribute down the tree."""
+    child_ctx = inherit(root, ctx)
+    for child in root.children():
+        inherited(child, inherit, child_ctx)
+
+
+def synthesized(root: Any, fold: Fold) -> Any:
+    """Fold the tree bottom-up; returns the root's synthesized value."""
+    values = [synthesized(child, fold) for child in root.children()]
+    return fold(root, values)
+
+
+# ---------------------------------------------------------------------------
+# Partitioned walks
+# ---------------------------------------------------------------------------
+
+
+def top_down_partitioned(root: Any, update: Update, n_processors: int) -> None:
+    """Partitioned top-down walk.
+
+    The crown is updated first (sequentially — every clipped subtree's
+    ancestors must be done before it starts), then each processor's set of
+    subtrees independently.  The merge is free.
+    """
+    crown, sets = partition(root, n_processors)
+    crown_set = set(map(id, crown))
+    for node in crown:
+        update(node)
+    for subtree_set in sets:  # each set is one processor's work
+        for subtree in subtree_set:
+            top_down(subtree, update)
+    # merge: nothing to do — "the merge simply returns a pointer".
+    del crown_set
+
+
+def inherited_partitioned(
+    root: Any, inherit: Inherit, ctx: Any, n_processors: int
+) -> None:
+    """Partitioned inherited-attribute walk.
+
+    The crown pass computes the inherited package at every clip point;
+    each subtree then starts from its recorded package.
+    """
+    crown, sets = partition(root, n_processors)
+    crown_ids = set(map(id, crown))
+    entry_ctx: dict[int, Any] = {}
+
+    def walk_crown(node: Any, context: Any) -> None:
+        if id(node) not in crown_ids:
+            entry_ctx[id(node)] = context
+            return
+        child_ctx = inherit(node, context)
+        for child in node.children():
+            walk_crown(child, child_ctx)
+
+    if id(root) in crown_ids:
+        walk_crown(root, ctx)
+    else:
+        entry_ctx[id(root)] = ctx
+    for subtree_set in sets:
+        for subtree in subtree_set:
+            inherited(subtree, inherit, entry_ctx[id(subtree)])
+
+
+def synthesized_partitioned(root: Any, fold: Fold, n_processors: int) -> Any:
+    """Partitioned synthesized-attribute walk.
+
+    Subtree sets fold independently; the merge "must run over the crown
+    of the tree finishing the pass now that the values for the subtrees
+    have been computed."
+    """
+    crown, sets = partition(root, n_processors)
+    crown_ids = set(map(id, crown))
+    subtree_value: dict[int, Any] = {}
+    for subtree_set in sets:
+        for subtree in subtree_set:
+            subtree_value[id(subtree)] = synthesized(subtree, fold)
+
+    def finish(node: Any) -> Any:
+        if id(node) not in crown_ids:
+            return subtree_value[id(node)]
+        values = [finish(child) for child in node.children()]
+        return fold(node, values)
+
+    return finish(root)
+
+
+# ---------------------------------------------------------------------------
+# Work-package helpers for Delirium coordination
+# ---------------------------------------------------------------------------
+
+
+def walk_packages(
+    root: Any, n_processors: int
+) -> tuple[list[Any], list[list[Any]]]:
+    """Expose (crown, sets) so Delirium operators can ship sets to
+    processors; thin alias of :func:`partition` with a stable name for the
+    compiler case study."""
+    return partition(root, n_processors)

@@ -1,0 +1,23 @@
+"""Baseline coordination models for the Table 2 comparison.
+
+Delirium's model (restricted shared data, embedding notation) is compared
+against a miniature Linda (shared associative database, embedded) and a
+uniform-shared-memory/locking model (embedded).  Both baselines are real
+executable substrates with seeded schedulers, so the comparison in
+``benchmarks/bench_table2_models.py`` can *measure* the one property the
+paper's table is really about: whether results depend on execution order.
+"""
+
+from .linda import TupleSpace, TupleSpaceDeadlock, replicated_worker_sum, run_workers
+from .locks import LockStats, SharedMemory, lock_based_sum, run_lock_program
+
+__all__ = [
+    "LockStats",
+    "SharedMemory",
+    "TupleSpace",
+    "TupleSpaceDeadlock",
+    "lock_based_sum",
+    "replicated_worker_sum",
+    "run_lock_program",
+    "run_workers",
+]

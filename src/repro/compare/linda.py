@@ -1,0 +1,162 @@
+"""A miniature Linda: tuple space with ``out``/``in``/``rd`` (section 8).
+
+"Linda coordinates sub-computations through Tuple Space ... A
+sub-computation requests a particular kind of tuple, and the system
+responds with a **random selection** from the set of tuples which match
+the request."  That random selection is the semantic point Table 2 turns
+on: Linda programs may be nondeterministic where Delirium programs cannot
+be.
+
+This implementation runs worker processes as cooperative generators over a
+seeded scheduler, so a given seed is reproducible while different seeds
+explore different interleavings and different tuple selections — exactly
+what the Table 2 benchmark measures.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Generator, Iterable
+
+from ..errors import DeliriumError
+
+
+class TupleSpaceDeadlock(DeliriumError):
+    """Every worker is blocked on ``in_``/``rd`` and no tuple matches."""
+
+
+def _matches(pattern: tuple, candidate: tuple) -> bool:
+    """Anti-tuple matching: ``None`` is a wildcard, values must equal."""
+    if len(pattern) != len(candidate):
+        return False
+    return all(p is None or p == c for p, c in zip(pattern, candidate))
+
+
+class TupleSpace:
+    """The shared associative store."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self._tuples: list[tuple] = []
+        self._rng = rng
+
+    def out(self, *values: Any) -> None:
+        """Insert a tuple."""
+        self._tuples.append(tuple(values))
+
+    def try_in(self, *pattern: Any) -> tuple | None:
+        """Remove and return a random matching tuple, or None."""
+        hits = [i for i, t in enumerate(self._tuples) if _matches(pattern, t)]
+        if not hits:
+            return None
+        return self._tuples.pop(self._rng.choice(hits))
+
+    def try_rd(self, *pattern: Any) -> tuple | None:
+        """Return (without removing) a random matching tuple, or None."""
+        hits = [t for t in self._tuples if _matches(pattern, t)]
+        if not hits:
+            return None
+        return self._rng.choice(hits)
+
+    def count(self, *pattern: Any) -> int:
+        return sum(1 for t in self._tuples if _matches(pattern, t))
+
+
+#: A worker is a generator: it yields ("in", pattern) / ("rd", pattern) to
+#: block on a tuple (the matched tuple is sent back), or yields
+#: ("out", tuple_values) / None to just give up the processor.
+Worker = Generator[tuple | None, tuple | None, None]
+
+
+def run_workers(
+    make_workers: Callable[[TupleSpace], Iterable[Worker]],
+    seed: int = 0,
+    max_steps: int = 1_000_000,
+) -> TupleSpace:
+    """Run cooperative Linda workers under a seeded scheduler.
+
+    Each step the scheduler picks a random runnable worker and advances it
+    one operation — the model of "whatever interleaving the machine
+    happened to produce".  Blocked workers wait for a matching tuple.
+    """
+    rng = random.Random(seed)
+    space = TupleSpace(rng)
+    workers = list(make_workers(space))
+    waiting: dict[int, tuple[str, tuple]] = {}
+    pending_send: dict[int, tuple | None] = {i: None for i in range(len(workers))}
+    alive = set(range(len(workers)))
+
+    for _ in range(max_steps):
+        runnable = []
+        for i in list(alive):
+            if i not in waiting:
+                runnable.append(i)
+                continue
+            kind, pattern = waiting[i]
+            hit = (
+                space.try_in(*pattern)
+                if kind == "in"
+                else space.try_rd(*pattern)
+            )
+            if hit is not None:
+                del waiting[i]
+                pending_send[i] = hit
+                runnable.append(i)
+        if not runnable:
+            if not alive:
+                return space
+            raise TupleSpaceDeadlock(
+                f"{len(alive)} worker(s) blocked with no matching tuples"
+            )
+        i = rng.choice(runnable)
+        try:
+            request = workers[i].send(pending_send[i])
+            pending_send[i] = None
+        except StopIteration:
+            alive.discard(i)
+            continue
+        if request is None:
+            continue
+        op = request[0]
+        if op in ("in", "rd"):
+            waiting[i] = (op, tuple(request[1]))
+        elif op == "out":
+            space.out(*request[1])
+        else:  # pragma: no cover - worker programming error
+            raise DeliriumError(f"unknown tuple-space op {op!r}")
+    raise TupleSpaceDeadlock("worker pool did not terminate")
+
+
+def replicated_worker_sum(
+    items: list[float], n_workers: int = 4, seed: int = 0
+) -> float:
+    """The replicated-worker idiom (section 9.1) over a float reduction.
+
+    Workers repeatedly ``in`` two partial sums and ``out`` their sum; the
+    result *value* depends on association order, which depends on the
+    tuple selections — nondeterministic across seeds in floating point.
+    """
+
+    def make_workers(space: TupleSpace):
+        for x in items:
+            space.out("part", float(x))
+        space.out("remaining", len(items) - 1)
+
+        def worker() -> Worker:
+            while True:
+                remaining = yield ("in", ("remaining", None))
+                assert remaining is not None
+                if remaining[1] <= 0:
+                    space.out("remaining", remaining[1])
+                    return
+                space.out("remaining", remaining[1] - 1)
+                a = yield ("in", ("part", None))
+                b = yield ("in", ("part", None))
+                assert a is not None and b is not None
+                space.out("part", a[1] + b[1])
+
+        return [worker() for _ in range(n_workers)]
+
+    space = run_workers(make_workers, seed=seed)
+    final = space.try_in("part", None)
+    assert final is not None
+    return final[1]

@@ -1,0 +1,90 @@
+"""The uniform-shared-memory coordination model (section 8).
+
+"The simplest of all coordination models is that of uniform, distributed
+shared memory ... Higher-level coordination is done with locking (mutual
+exclusion) primitives embedded in a host language."
+
+This module models that style the way the Table 2 benchmark needs it:
+tasks read and write shared cells under a lock, and the *interleaving* is
+whatever the machine produced — here, a seeded scheduler, so one seed is
+reproducible but different seeds yield different execution orders, and any
+order-sensitive computation (floating-point reduction, last-writer-wins
+updates) yields different results.  Locks give atomicity, not
+determinism; that is the contrast with Delirium's model.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass
+class SharedMemory:
+    """Shared cells plus bookkeeping of every (atomic) access."""
+
+    cells: dict[str, Any] = field(default_factory=dict)
+    accesses: int = 0
+
+    def read(self, key: str, default: Any = None) -> Any:
+        self.accesses += 1
+        return self.cells.get(key, default)
+
+    def write(self, key: str, value: Any) -> None:
+        self.accesses += 1
+        self.cells[key] = value
+
+
+@dataclass
+class LockStats:
+    acquisitions: int = 0
+    contentions: int = 0
+
+
+def run_lock_program(
+    tasks: list[Callable[[SharedMemory], None]],
+    n_workers: int = 4,
+    seed: int = 0,
+) -> tuple[SharedMemory, LockStats]:
+    """Execute ``tasks`` on a simulated lock-based worker pool.
+
+    Each worker repeatedly grabs the next task off a shared queue (under
+    the lock) and runs it atomically.  The seeded scheduler decides which
+    worker wins each race — the model's nondeterminism knob.  Tasks run
+    atomically (coarse-grain critical sections), so this is the *best
+    behaved* version of the model; even so, order-sensitive results vary
+    by seed.
+    """
+    rng = random.Random(seed)
+    memory = SharedMemory()
+    stats = LockStats()
+    queue = list(tasks)
+    workers = list(range(n_workers))
+    while queue:
+        contenders = [w for w in workers if rng.random() < 0.9] or workers
+        _winner = rng.choice(contenders)
+        stats.acquisitions += 1
+        stats.contentions += len(contenders) - 1
+        task = queue.pop(rng.randrange(len(queue)) if len(queue) > 1 else 0)
+        task(memory)
+    return memory, stats
+
+
+def lock_based_sum(items: list[float], n_workers: int = 4, seed: int = 0) -> float:
+    """A float reduction through a shared accumulator under a lock.
+
+    Atomic, race-free — and still seed-dependent, because addition order
+    follows the workers' task-grabbing order.
+    """
+
+    def make_task(x: float) -> Callable[[SharedMemory], None]:
+        def task(memory: SharedMemory) -> None:
+            memory.write("acc", memory.read("acc", 0.0) + x)
+
+        return task
+
+    memory, _ = run_lock_program(
+        [make_task(float(x)) for x in items], n_workers, seed
+    )
+    return memory.read("acc", 0.0)

@@ -1,0 +1,33 @@
+"""Pythia: the optimizing Delirium compiler."""
+
+from .analysis import ProgramAnalysis, analyze_program, free_variables
+from .driver import (
+    PASS_NAMES,
+    CompiledProgram,
+    compile_file,
+    compile_source,
+    run_source,
+)
+from .graphgen import generate_graphs
+from .lowering import lower_program
+from .passes.pipeline import PASS_ORDER, OptimizationReport, optimize
+from .symtab import EnvAnalysis, FunctionInfo, analyze
+
+__all__ = [
+    "PASS_NAMES",
+    "PASS_ORDER",
+    "CompiledProgram",
+    "OptimizationReport",
+    "EnvAnalysis",
+    "FunctionInfo",
+    "ProgramAnalysis",
+    "analyze",
+    "analyze_program",
+    "compile_file",
+    "compile_source",
+    "free_variables",
+    "generate_graphs",
+    "lower_program",
+    "optimize",
+    "run_source",
+]

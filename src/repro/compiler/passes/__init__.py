@@ -1,0 +1,16 @@
+"""The Pythia optimization passes (inline, constprop, CSE, DCE)."""
+
+from . import constprop, cse, dce, inline
+from .common import PassContext
+from .pipeline import PASS_ORDER, OptimizationReport, optimize
+
+__all__ = [
+    "PASS_ORDER",
+    "OptimizationReport",
+    "PassContext",
+    "constprop",
+    "cse",
+    "dce",
+    "inline",
+    "optimize",
+]

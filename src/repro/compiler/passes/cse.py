@@ -1,0 +1,113 @@
+"""Common-subexpression elimination.
+
+Two let bindings with syntactically identical, *pure* right-hand sides
+compute the same value (purity plus single assignment guarantee it), so
+the later one can reuse the earlier one's name.  Availability respects
+lexical scope: an expression bound inside one conditional arm is not
+available in the other.  The canonical key for an expression is its
+unparse — cheap, and exact for a language this small.
+
+Example::
+
+    let a = incr(n)        let a = incr(n)
+        b = incr(n)   =>       b = a
+    in f(a, b)             in f(a, b)
+
+Copy propagation (constprop) then forwards ``b``; dead-code elimination
+removes the leftover binding.
+"""
+
+from __future__ import annotations
+
+from ...lang import ast
+from ...lang.ast import unparse
+from .common import PassContext, expr_is_pure
+
+NAME = "cse"
+
+
+class _CSE:
+    def __init__(self, ctx: PassContext) -> None:
+        self.ctx = ctx
+        self.changed = False
+
+    def function(self, f: ast.FunDef) -> None:
+        self._expr(f.body, {}, set(f.params))
+
+    # ------------------------------------------------------------------
+    def _expr(self, e: ast.Expr, available: dict[str, str], bound: set[str]) -> None:
+        """Walk ``e`` with the table of available expressions.
+
+        ``available`` maps unparse keys to the bound name that already
+        holds the value; child scopes extend a *copy* so availability
+        cannot leak across arms.
+        """
+        if isinstance(e, (ast.Literal, ast.Null, ast.Var)):
+            return
+        if isinstance(e, ast.TupleExpr):
+            for item in e.items:
+                self._expr(item, available, bound)
+            return
+        if isinstance(e, ast.Apply):
+            self._expr(e.callee, available, bound)
+            for a in e.args:
+                self._expr(a, available, bound)
+            return
+        if isinstance(e, ast.If):
+            self._expr(e.cond, available, bound)
+            self._expr(e.then, dict(available), set(bound))
+            self._expr(e.orelse, dict(available), set(bound))
+            return
+        if isinstance(e, ast.Let):
+            inner = dict(available)
+            inner_bound = set(bound)
+            for b in e.bindings:
+                if isinstance(b, ast.SimpleBinding):
+                    self._expr(b.expr, inner, inner_bound)
+                    if not isinstance(b.expr, (ast.Var, ast.Literal, ast.Null)):
+                        if expr_is_pure(b.expr, self.ctx, inner_bound):
+                            key = unparse(b.expr)
+                            existing = inner.get(key)
+                            if existing is not None:
+                                b.expr = ast.Var(
+                                    name=existing,
+                                    line=b.expr.line,
+                                    column=b.expr.column,
+                                )
+                                self.changed = True
+                                self.ctx.bump(f"{NAME}.eliminated")
+                            else:
+                                inner[key] = b.name
+                    inner_bound.add(b.name)
+                elif isinstance(b, ast.TupleBinding):
+                    self._expr(b.expr, inner, inner_bound)
+                    inner_bound.update(b.names)
+                elif isinstance(b, ast.FunBinding):
+                    inner_bound.add(b.func.name)
+                    fn_bound = inner_bound | set(b.func.params)
+                    # Availability flows into the nested function (its
+                    # free variables are visible there), but expressions
+                    # discovered inside must not escape back out.
+                    self._expr(b.func.body, dict(inner), fn_bound)
+            self._expr(e.body, inner, inner_bound)
+            return
+        if isinstance(e, ast.Iterate):  # pre-lowering robustness
+            for lv in e.loopvars:
+                self._expr(lv.init, available, bound)
+            inner_bound = bound | {lv.name for lv in e.loopvars}
+            self._expr(e.cond, dict(available), inner_bound)
+            for lv in e.loopvars:
+                self._expr(lv.update, dict(available), inner_bound)
+            self._expr(e.result, dict(available), inner_bound)
+            return
+        raise TypeError(f"unexpected AST node {type(e).__name__}")
+
+
+def run(program: ast.Program, ctx: PassContext) -> bool:
+    """Run CSE over every function; True when anything was eliminated."""
+    changed = False
+    for f in program.functions:
+        cse = _CSE(ctx)
+        cse.function(f)
+        changed = changed or cse.changed
+    return changed

@@ -1,0 +1,133 @@
+"""Dead-code elimination.
+
+Removes let bindings that are never read and whose evaluation is pure
+(deleting an impure operator application would change behaviour — the
+paper's model allows operators with private effects like logging, and the
+annotation burden is on ``modifies`` only, so we stay conservative).
+
+A binding's liveness is judged by use counts over the whole enclosing
+top-level function — exact, because single assignment makes names unique
+within a function.  Function bindings never execute anything by
+themselves, so an unused function binding is always removable.  Lets that
+lose all their bindings collapse into their bodies.  The pass iterates to
+a fixpoint internally (removing one binding can kill the uses that kept
+another alive).
+"""
+
+from __future__ import annotations
+
+from ...lang import ast
+from .common import PassContext, count_uses, expr_is_pure
+
+NAME = "dce"
+
+
+class _DCE:
+    def __init__(self, ctx: PassContext, function: ast.FunDef) -> None:
+        self.ctx = ctx
+        self.function = function
+        self.changed = False
+
+    def run(self) -> None:
+        while True:
+            before = self.changed
+            self.function.body = self._expr(
+                self.function.body, set(self.function.params)
+            )
+            if self.changed == before:
+                return
+
+    # ------------------------------------------------------------------
+    def _expr(self, e: ast.Expr, bound: set[str]) -> ast.Expr:
+        if isinstance(e, (ast.Literal, ast.Null, ast.Var)):
+            return e
+        if isinstance(e, ast.TupleExpr):
+            e.items = [self._expr(i, bound) for i in e.items]
+            return e
+        if isinstance(e, ast.Apply):
+            e.callee = self._expr(e.callee, bound)
+            e.args = [self._expr(a, bound) for a in e.args]
+            return e
+        if isinstance(e, ast.If):
+            e.cond = self._expr(e.cond, bound)
+            e.then = self._expr(e.then, bound)
+            e.orelse = self._expr(e.orelse, bound)
+            return e
+        if isinstance(e, ast.Let):
+            inner = set(bound)
+            kept: list[ast.Binding] = []
+            for b in e.bindings:
+                removable = False
+                if isinstance(b, ast.SimpleBinding):
+                    if count_uses_excluding_binding(
+                        self.function, b.name, b
+                    ) == 0 and expr_is_pure(b.expr, self.ctx, inner):
+                        removable = True
+                elif isinstance(b, ast.TupleBinding):
+                    if all(
+                        count_uses_excluding_binding(self.function, n, b) == 0
+                        for n in b.names
+                    ) and expr_is_pure(b.expr, self.ctx, inner):
+                        removable = True
+                elif isinstance(b, ast.FunBinding):
+                    external = count_uses(
+                        self.function.body, b.func.name
+                    ) - count_uses(b.func.body, b.func.name)
+                    if external == 0:
+                        removable = True
+                if removable:
+                    self.changed = True
+                    self.ctx.bump(f"{NAME}.removed")
+                    continue
+                if isinstance(b, (ast.SimpleBinding, ast.TupleBinding)):
+                    b.expr = self._expr(b.expr, inner)
+                elif isinstance(b, ast.FunBinding):
+                    fn_bound = inner | {b.func.name} | set(b.func.params)
+                    b.func.body = self._expr(b.func.body, fn_bound)
+                inner.update(b.bound_names())
+                kept.append(b)
+            e.bindings = kept
+            e.body = self._expr(e.body, inner)
+            if not e.bindings:
+                self.changed = True
+                self.ctx.bump(f"{NAME}.lets_collapsed")
+                return e.body
+            return e
+        if isinstance(e, ast.Iterate):  # pre-lowering robustness
+            for lv in e.loopvars:
+                lv.init = self._expr(lv.init, bound)
+            inner = bound | {lv.name for lv in e.loopvars}
+            e.cond = self._expr(e.cond, inner)
+            for lv in e.loopvars:
+                lv.update = self._expr(lv.update, inner)
+            e.result = self._expr(e.result, inner)
+            return e
+        raise TypeError(f"unexpected AST node {type(e).__name__}")
+
+
+def count_uses_excluding_binding(
+    function: ast.FunDef, name: str, binding: ast.Binding
+) -> int:
+    """Reads of ``name`` in the function, excluding the binding's own RHS.
+
+    A binding may not reference itself (single assignment), but its RHS
+    legitimately references *other* names; when counting uses of ``name``
+    we must not count reads inside the very binding being judged — those
+    disappear together with it.
+    """
+    total = count_uses(function.body, name)
+    if isinstance(binding, (ast.SimpleBinding, ast.TupleBinding)):
+        total -= count_uses(binding.expr, name)
+    elif isinstance(binding, ast.FunBinding):
+        total -= count_uses(binding.func.body, name)
+    return total
+
+
+def run(program: ast.Program, ctx: PassContext) -> bool:
+    """Run DCE over every function; True when anything was removed."""
+    changed = False
+    for f in program.functions:
+        dce = _DCE(ctx, f)
+        dce.run()
+        changed = changed or dce.changed
+    return changed

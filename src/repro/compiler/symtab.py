@@ -1,0 +1,296 @@
+"""Environment analysis for the Pythia compiler.
+
+This is the "Env Analysis" pass of Table 1 in the paper.  It walks every
+function, building lexical scopes, and
+
+* enforces **single assignment**: a name may not be rebound while an
+  existing binding for it is visible (params, let bindings, loop variables,
+  and function names all count);
+* resolves every name to one of *parameter*, *local binding*, *loop
+  variable*, *local function*, *top-level function*, or *operator* — and,
+  in strict mode, rejects names that resolve to none of these;
+* checks the arity of calls whose callee is a statically known Delirium
+  function (operator arities are checked by the registry at run time, since
+  operators are external code);
+* records, per function, the ordered free variables and the set of
+  statically known callees — the inputs for recursion detection, closure
+  conversion, and the purity analysis.
+
+Local functions are given qualified names (``outer.inner``); the compiler's
+generated loop functions later follow the same convention (``outer.loop$1``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import (
+    ArityError,
+    SingleAssignmentError,
+    UnboundNameError,
+)
+from ..lang import ast
+
+
+@dataclass
+class FunctionInfo:
+    """What environment analysis learned about one (possibly local) function."""
+
+    qualname: str
+    params: list[str]
+    #: Free variables in first-use order (names bound in an enclosing
+    #: function that this function's body reads).  These become the
+    #: template's captures.
+    free: list[str] = field(default_factory=list)
+    #: Qualified names of Delirium functions this function applies directly.
+    calls: set[str] = field(default_factory=set)
+    #: Names of operators this function applies directly.
+    op_calls: set[str] = field(default_factory=set)
+    #: True when some callee is a computed value (first-class function),
+    #: so the static call graph is incomplete for this function.
+    has_dynamic_calls: bool = False
+    #: Number of AST nodes in the body (the tree 'weight' used by the
+    #: parallel compilation case study and the inliner's size threshold).
+    body_size: int = 0
+
+
+class _Scope:
+    """One lexical scope level: a mapping from names to resolution tags."""
+
+    __slots__ = ("bindings", "parent", "function")
+
+    def __init__(self, parent: "_Scope | None", function: str) -> None:
+        self.bindings: dict[str, tuple[str, str]] = {}
+        self.parent = parent
+        #: Qualified name of the function whose body this scope is part of.
+        self.function = function
+
+    def lookup(self, name: str) -> tuple[str, str, str] | None:
+        """Resolve ``name``; returns ``(kind, detail, owner_function)``."""
+        scope: _Scope | None = self
+        while scope is not None:
+            hit = scope.bindings.get(name)
+            if hit is not None:
+                return hit[0], hit[1], scope.function
+            scope = scope.parent
+        return None
+
+    def bind(self, name: str, kind: str, detail: str, node: ast.Node) -> None:
+        if self.lookup(name) is not None:
+            raise SingleAssignmentError(
+                f"{name!r} is already bound; Delirium is single-assignment",
+                node.line,
+                node.column,
+            )
+        self.bindings[name] = (kind, detail)
+
+
+@dataclass
+class EnvAnalysis:
+    """Result of environment analysis over a whole program."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Map from unqualified top-level names to themselves (convenience).
+    top_level: list[str] = field(default_factory=list)
+
+    def info(self, qualname: str) -> FunctionInfo:
+        return self.functions[qualname]
+
+
+class _Analyzer:
+    def __init__(
+        self,
+        program: ast.Program,
+        known_operators: set[str] | None,
+        strict: bool,
+    ) -> None:
+        self.program = program
+        self.known_operators = known_operators
+        self.strict = strict
+        self.result = EnvAnalysis()
+        self.top_level_arity: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> EnvAnalysis:
+        seen: set[str] = set()
+        for f in self.program.functions:
+            if f.name in seen:
+                raise SingleAssignmentError(
+                    f"function {f.name!r} defined more than once",
+                    f.line,
+                    f.column,
+                )
+            seen.add(f.name)
+            self.top_level_arity[f.name] = len(f.params)
+        self.result.top_level = list(seen)
+        globals_scope = _Scope(None, "")
+        for f in self.program.functions:
+            globals_scope.bindings[f.name] = ("topfun", f.name)
+        for f in self.program.functions:
+            self._function(f, f.name, globals_scope)
+        return self.result
+
+    # ------------------------------------------------------------------
+    def _function(self, f: ast.FunDef, qualname: str, outer: _Scope) -> FunctionInfo:
+        info = FunctionInfo(qualname=qualname, params=list(f.params))
+        info.body_size = f.body.size()
+        self.result.functions[qualname] = info
+        scope = _Scope(outer, qualname)
+        for p in f.params:
+            scope.bind(p, "param", p, f)
+        self._expr(f.body, scope, info)
+        return info
+
+    def _note_free(self, name: str, owner: str, info: FunctionInfo) -> None:
+        """Record a read of ``name`` bound in function ``owner``."""
+        if owner != info.qualname and owner != "" and name not in info.free:
+            info.free.append(name)
+
+    def _resolve_use(
+        self, node: ast.Var, scope: _Scope, info: FunctionInfo
+    ) -> tuple[str, str]:
+        hit = scope.lookup(node.name)
+        if hit is not None:
+            kind, detail, owner = hit
+            self._note_free(node.name, owner, info)
+            return kind, detail
+        if self.known_operators is not None and node.name in self.known_operators:
+            return "operator", node.name
+        if self.known_operators is None:
+            # Without a registry we assume external operator; the runtime
+            # reports UnknownOperatorError if it is not.
+            return "operator", node.name
+        if self.strict:
+            raise UnboundNameError(
+                f"{node.name!r} is not bound, not a function, and not a "
+                "registered operator",
+                node.line,
+                node.column,
+            )
+        return "operator", node.name
+
+    # ------------------------------------------------------------------
+    def _expr(self, e: ast.Expr, scope: _Scope, info: FunctionInfo) -> None:
+        if isinstance(e, (ast.Literal, ast.Null)):
+            return
+        if isinstance(e, ast.Var):
+            self._resolve_use(e, scope, info)
+            return
+        if isinstance(e, ast.TupleExpr):
+            for item in e.items:
+                self._expr(item, scope, info)
+            return
+        if isinstance(e, ast.Apply):
+            self._apply(e, scope, info)
+            return
+        if isinstance(e, ast.If):
+            self._expr(e.cond, scope, info)
+            self._expr(e.then, scope, info)
+            self._expr(e.orelse, scope, info)
+            return
+        if isinstance(e, ast.Let):
+            self._let(e, scope, info)
+            return
+        if isinstance(e, ast.Iterate):
+            self._iterate(e, scope, info)
+            return
+        raise TypeError(f"unexpected AST node {type(e).__name__}")
+
+    def _apply(self, e: ast.Apply, scope: _Scope, info: FunctionInfo) -> None:
+        if isinstance(e.callee, ast.Var):
+            kind, detail = self._resolve_use(e.callee, scope, info)
+            if kind == "topfun":
+                info.calls.add(detail)
+                want = self.top_level_arity[detail]
+                if len(e.args) != want:
+                    raise ArityError(
+                        f"{detail!r} takes {want} argument(s), got {len(e.args)}",
+                        e.line,
+                        e.column,
+                    )
+            elif kind == "localfun":
+                info.calls.add(detail)
+                local = self.result.functions.get(detail)
+                if local is not None and len(e.args) != len(local.params):
+                    raise ArityError(
+                        f"{detail!r} takes {len(local.params)} argument(s), "
+                        f"got {len(e.args)}",
+                        e.line,
+                        e.column,
+                    )
+            elif kind == "operator":
+                info.op_calls.add(detail)
+            else:
+                # Calling through a variable: a first-class function value.
+                info.has_dynamic_calls = True
+        else:
+            self._expr(e.callee, scope, info)
+            info.has_dynamic_calls = True
+        for a in e.args:
+            self._expr(a, scope, info)
+
+    def _let(self, e: ast.Let, scope: _Scope, info: FunctionInfo) -> None:
+        inner = _Scope(scope, info.qualname)
+        for b in e.bindings:
+            if isinstance(b, ast.SimpleBinding):
+                self._expr(b.expr, inner, info)
+                inner.bind(b.name, "local", b.name, b)
+            elif isinstance(b, ast.TupleBinding):
+                self._expr(b.expr, inner, info)
+                for n in b.names:
+                    inner.bind(n, "local", n, b)
+            elif isinstance(b, ast.FunBinding):
+                qual = f"{info.qualname}.{b.func.name}"
+                # Bind the name first so the local function can recurse.
+                inner.bind(b.func.name, "localfun", qual, b)
+                sub = self._function(b.func, qual, inner)
+                # Free variables of the local function that are not bound in
+                # *this* function propagate outward as our own free vars.
+                for name in sub.free:
+                    hit = inner.lookup(name)
+                    if hit is not None:
+                        _, _, owner = hit
+                        self._note_free(name, owner, info)
+            else:  # pragma: no cover - parser produces only the above
+                raise TypeError(f"unexpected binding {type(b).__name__}")
+        self._expr(e.body, inner, info)
+
+    def _iterate(self, e: ast.Iterate, scope: _Scope, info: FunctionInfo) -> None:
+        # Init expressions see only the enclosing scope.
+        for lv in e.loopvars:
+            self._expr(lv.init, scope, info)
+        inner = _Scope(scope, info.qualname)
+        for lv in e.loopvars:
+            inner.bind(lv.name, "local", lv.name, lv)
+        self._expr(e.cond, inner, info)
+        for lv in e.loopvars:
+            self._expr(lv.update, inner, info)
+        self._expr(e.result, inner, info)
+
+
+def analyze(
+    program: ast.Program,
+    known_operators: set[str] | None = None,
+    strict: bool = True,
+) -> EnvAnalysis:
+    """Run environment analysis over ``program``.
+
+    Parameters
+    ----------
+    program:
+        The parsed (and macro-expanded) program.  Iterate constructs may be
+        present (analysis happens before lowering) or absent (it is safe to
+        re-run afterwards, which the driver does to refresh the call graph).
+    known_operators:
+        Names of registered operators.  When given along with
+        ``strict=True``, any unresolvable name raises
+        :class:`~repro.errors.UnboundNameError`.  When ``None``, unknown
+        names are assumed to be operators and left for the runtime to check.
+    strict:
+        Enable unbound-name errors (requires ``known_operators``).
+
+    Raises
+    ------
+    SingleAssignmentError, UnboundNameError, ArityError
+    """
+    return _Analyzer(program, known_operators, strict).run()

@@ -1,0 +1,111 @@
+"""Exception hierarchy for the Delirium reproduction.
+
+Every failure surfaced by the language front end, the Pythia compiler, the
+coordination-graph IR, the runtime, or the machine simulator derives from
+:class:`DeliriumError`, so callers can catch one type at the API boundary.
+The subtypes mirror the stages of the system:
+
+* :class:`LexError` / :class:`ParseError` / :class:`PreprocessorError` —
+  front-end failures, carrying source positions.
+* :class:`CompileError` (and its refinements :class:`UnboundNameError`,
+  :class:`SingleAssignmentError`, :class:`ArityError`) — semantic analysis
+  and lowering failures.
+* :class:`GraphError` — ill-formed coordination graphs (these indicate bugs
+  in the compiler or hand-built graphs, not user programs).
+* :class:`RuntimeFailure` (and :class:`OperatorError`,
+  :class:`UnknownOperatorError`) — failures while executing a graph.
+* :class:`MachineError` — misconfigured machine models or simulator misuse.
+"""
+
+from __future__ import annotations
+
+
+class DeliriumError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class SourceError(DeliriumError):
+    """An error attributable to a position in Delirium source text.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based source position, when known. ``0`` means "unknown".
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(SourceError):
+    """The scanner met a character sequence that is not a Delirium token."""
+
+
+class ParseError(SourceError):
+    """The token stream does not match the Delirium grammar."""
+
+
+class PreprocessorError(SourceError):
+    """Bad symbolic-constant definitions or substitution cycles."""
+
+
+class CompileError(SourceError):
+    """Semantic error discovered by the Pythia compiler."""
+
+
+class UnboundNameError(CompileError):
+    """A variable or function name is used but never bound."""
+
+
+class SingleAssignmentError(CompileError):
+    """A name is bound more than once in the same scope.
+
+    Delirium is a single-assignment language (section 3 of the paper); the
+    compiler rejects any rebinding rather than silently shadowing.
+    """
+
+
+class ArityError(CompileError):
+    """A function or operator is applied to the wrong number of arguments."""
+
+
+class GraphError(DeliriumError):
+    """A coordination graph violates a structural invariant."""
+
+
+class RuntimeFailure(DeliriumError):
+    """An error occurred while the runtime executed a coordination graph."""
+
+
+class OperatorError(RuntimeFailure):
+    """A registered operator raised an exception while executing.
+
+    The original exception is preserved as ``__cause__`` and the operator
+    name is recorded so node-timing reports can point at the culprit.
+    """
+
+    def __init__(self, operator: str, cause: BaseException) -> None:
+        self.operator = operator
+        super().__init__(f"operator {operator!r} failed: {cause!r}")
+        self.__cause__ = cause
+
+
+class UnknownOperatorError(RuntimeFailure):
+    """A graph names an operator that is not in the registry."""
+
+    def __init__(self, operator: str) -> None:
+        self.operator = operator
+        super().__init__(
+            f"unknown operator {operator!r}: not registered and not a "
+            "Delirium function in the compiled program"
+        )
+
+
+class MachineError(DeliriumError):
+    """Invalid machine-model parameters or simulator state."""

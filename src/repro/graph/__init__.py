@@ -1,0 +1,16 @@
+"""Coordination-graph IR and tools."""
+
+from .ir import EXPANDING_KINDS, GraphProgram, Node, NodeKind, Port, Template
+
+__all__ = [
+    "EXPANDING_KINDS",
+    "GraphProgram",
+    "Node",
+    "NodeKind",
+    "Port",
+    "Template",
+]
+
+from .serialize import dumps, load, loads, save
+
+__all__ += ["dumps", "load", "loads", "save"]

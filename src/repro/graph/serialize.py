@@ -1,0 +1,162 @@
+"""Serialization of compiled coordination graphs.
+
+Templates are static — "the templates do not change at runtime" (section
+7) — which makes them trivially serializable.  A compiled program can be
+saved as JSON and reloaded later (or shipped to another process), skipping
+the compiler entirely; only the operator registry (Python code) must be
+present at load time, exactly as the original system needed the compiled
+C operators linked in.
+
+Constant values inside templates are restricted to JSON-representable
+atoms plus ``NULL`` and the compiler's self-capture placeholder; that is
+all the compiler ever emits (operators, not constants, carry application
+data).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import GraphError
+from ..runtime.values import NULL, _SELF
+from .ir import GraphProgram, Node, NodeKind, Port, Template
+
+#: Format version; bump on breaking changes.
+FORMAT_VERSION = 1
+
+_NULL_MARKER = {"$delirium": "null"}
+_SELF_MARKER = {"$delirium": "self"}
+
+
+def _encode_value(value: Any) -> Any:
+    if value is NULL:
+        return _NULL_MARKER
+    if value is _SELF:
+        return _SELF_MARKER
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    raise GraphError(
+        f"cannot serialize constant of type {type(value).__name__}; "
+        "templates may only hold atomic constants"
+    )
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        kind = value.get("$delirium")
+        if kind == "null":
+            return NULL
+        if kind == "self":
+            return _SELF
+        raise GraphError(f"unknown constant marker {value!r}")
+    return value
+
+
+def _encode_node(node: Node) -> dict:
+    out: dict[str, Any] = {
+        "kind": node.kind.value,
+        "inputs": [[p.node, p.out] for p in node.inputs],
+    }
+    if node.n_outputs != 1:
+        out["n_outputs"] = node.n_outputs
+    if node.kind is NodeKind.CONST:
+        out["value"] = _encode_value(node.value)
+    if node.name:
+        out["name"] = node.name
+    if node.template:
+        out["template"] = node.template
+    if node.then_template:
+        out["then_template"] = node.then_template
+        out["else_template"] = node.else_template
+        out["n_then_captures"] = node.n_then_captures
+    if node.recursive:
+        out["recursive"] = True
+    if node.tail:
+        out["tail"] = True
+    if node.label:
+        out["label"] = node.label
+    return out
+
+
+def _decode_node(data: dict) -> Node:
+    node = Node(
+        kind=NodeKind(data["kind"]),
+        inputs=[Port(int(n), int(o)) for n, o in data.get("inputs", [])],
+        n_outputs=int(data.get("n_outputs", 1)),
+        name=data.get("name", ""),
+        template=data.get("template", ""),
+        then_template=data.get("then_template", ""),
+        else_template=data.get("else_template", ""),
+        n_then_captures=int(data.get("n_then_captures", 0)),
+        recursive=bool(data.get("recursive", False)),
+        tail=bool(data.get("tail", False)),
+        label=data.get("label", ""),
+    )
+    if node.kind is NodeKind.CONST:
+        node.value = _decode_value(data.get("value"))
+    return node
+
+
+def program_to_dict(program: GraphProgram) -> dict:
+    """A JSON-representable dict for a whole compiled program."""
+    return {
+        "format": FORMAT_VERSION,
+        "entry": program.entry,
+        "templates": {
+            name: {
+                "params": t.params,
+                "captures": t.captures,
+                "result": [t.result.node, t.result.out] if t.result else None,
+                "source_function": t.source_function,
+                "nodes": [_encode_node(n) for n in t.nodes],
+            }
+            for name, t in program.templates.items()
+        },
+    }
+
+
+def program_from_dict(data: dict) -> GraphProgram:
+    """Rebuild (and re-finalize) a program from :func:`program_to_dict`."""
+    version = data.get("format")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graph format {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    program = GraphProgram(entry=data["entry"])
+    for name, tdata in data["templates"].items():
+        template = Template(
+            name=name,
+            params=list(tdata["params"]),
+            captures=list(tdata["captures"]),
+            source_function=tdata.get("source_function", ""),
+        )
+        template.nodes = [_decode_node(nd) for nd in tdata["nodes"]]
+        result = tdata.get("result")
+        if result is not None:
+            template.result = Port(int(result[0]), int(result[1]))
+        program.add(template.finalize())
+    return program
+
+
+def dumps(program: GraphProgram, indent: int | None = None) -> str:
+    """Serialize a compiled program to JSON text."""
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def loads(text: str) -> GraphProgram:
+    """Load a compiled program from JSON text."""
+    return program_from_dict(json.loads(text))
+
+
+def save(program: GraphProgram, path: str) -> None:
+    """Write a compiled program to a ``.dlc`` file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps(program))
+
+
+def load(path: str) -> GraphProgram:
+    """Read a compiled program from a ``.dlc`` file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return loads(fh.read())

@@ -1,0 +1,168 @@
+"""Structural validation of coordination graphs.
+
+The compiler is trusted to emit well-formed templates (``Template.finalize``
+already checks wiring), but hand-built graphs, corrupted pickles, and — most
+importantly — compiler bugs caught by the test suite deserve a precise
+diagnosis.  :func:`validate_program` checks the whole-program invariants:
+
+* every template referenced by a ``CLOSURE``/``IF`` node exists and its
+  capture arity matches the referencing node;
+* templates are acyclic (data flows forward only — cycles would deadlock
+  the firing rule);
+* placeholders are exactly the leading nodes and never fire on their own;
+* ``IF`` capture splits are consistent; ``UNTUPLE`` output counts are
+  positive; every non-placeholder node is reachable... every node's value
+  is *used* somewhere or is the result (an unused node is legal — DCE
+  exists because they occur — so that last one is reported as a statistic,
+  not an error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import GraphError
+from .ir import GraphProgram, NodeKind, Template
+
+
+@dataclass
+class ValidationReport:
+    """What validation found (errors raise; oddities are recorded)."""
+
+    templates_checked: int = 0
+    #: (template, node_id) pairs whose outputs are never consumed and are
+    #: not the template result — dead nodes the optimizer left behind.
+    dead_nodes: list[tuple[str, int]] = field(default_factory=list)
+
+
+def _check_acyclic(template: Template) -> None:
+    """Data edges must flow from lower topological layers only.
+
+    Because builders append nodes in evaluation order, inputs normally
+    reference earlier nodes; but the invariant worth checking is the
+    semantic one — no cycles — so run a proper Kahn pass.
+    """
+    n = len(template.nodes)
+    indegree = [len(node.inputs) for node in template.nodes]
+    ready = [i for i, d in enumerate(indegree) if d == 0]
+    seen = 0
+    while ready:
+        node_id = ready.pop()
+        seen += 1
+        for out_consumers in template.consumers[node_id]:
+            for dest, _ in out_consumers:
+                indegree[dest] -= 1
+                if indegree[dest] == 0:
+                    ready.append(dest)
+    if seen != n:
+        raise GraphError(
+            f"template {template.name!r} contains a data-dependency cycle"
+        )
+
+
+def _check_placeholders(template: Template) -> None:
+    n_ph = template.n_placeholders()
+    for i, node in enumerate(template.nodes):
+        is_leading = i < n_ph
+        is_placeholder = node.kind in (NodeKind.PARAM, NodeKind.CAPTURE)
+        if is_leading != is_placeholder:
+            raise GraphError(
+                f"template {template.name!r}: node {i} "
+                f"({node.kind.value}) violates the placeholder layout "
+                f"(the first {n_ph} nodes must be the placeholders)"
+            )
+        if is_placeholder and node.inputs:
+            raise GraphError(
+                f"template {template.name!r}: placeholder {i} has inputs"
+            )
+
+
+def _check_references(
+    template: Template, program: GraphProgram
+) -> None:
+    for i, node in enumerate(template.nodes):
+        if node.kind is NodeKind.CLOSURE:
+            target = program.templates.get(node.template)
+            if target is None:
+                raise GraphError(
+                    f"template {template.name!r}: closure node {i} "
+                    f"references missing template {node.template!r}"
+                )
+            if len(node.inputs) != len(target.captures):
+                raise GraphError(
+                    f"template {template.name!r}: closure node {i} supplies "
+                    f"{len(node.inputs)} capture(s); {target.name!r} "
+                    f"declares {len(target.captures)}"
+                )
+        elif node.kind is NodeKind.IF:
+            for attr in ("then_template", "else_template"):
+                name = getattr(node, attr)
+                target = program.templates.get(name)
+                if target is None:
+                    raise GraphError(
+                        f"template {template.name!r}: if node {i} references "
+                        f"missing arm template {name!r}"
+                    )
+                if target.params:
+                    raise GraphError(
+                        f"arm template {name!r} must not declare parameters"
+                    )
+            then_t = program.templates[node.then_template]
+            else_t = program.templates[node.else_template]
+            want = 1 + len(then_t.captures) + len(else_t.captures)
+            if len(node.inputs) != want:
+                raise GraphError(
+                    f"template {template.name!r}: if node {i} has "
+                    f"{len(node.inputs)} input(s); expected {want} "
+                    "(condition + both arms' captures)"
+                )
+            if node.n_then_captures != len(then_t.captures):
+                raise GraphError(
+                    f"template {template.name!r}: if node {i} capture split "
+                    "disagrees with the then-arm template"
+                )
+        elif node.kind is NodeKind.UNTUPLE:
+            if node.n_outputs < 1:
+                raise GraphError(
+                    f"template {template.name!r}: untuple node {i} has "
+                    f"{node.n_outputs} outputs"
+                )
+
+
+def _find_dead_nodes(template: Template, report: ValidationReport) -> None:
+    assert template.result is not None
+    for node_id, node in enumerate(template.nodes):
+        if node.kind in (NodeKind.PARAM, NodeKind.CAPTURE):
+            continue
+        used = any(template.consumers[node_id][o] for o in range(node.n_outputs))
+        is_result = template.result.node == node_id
+        if not used and not is_result:
+            report.dead_nodes.append((template.name, node_id))
+
+
+def validate_template(template: Template, program: GraphProgram) -> None:
+    """Check one template; raises :class:`GraphError` on violations."""
+    if not template.consumers:
+        raise GraphError(
+            f"template {template.name!r} was not finalized (call finalize())"
+        )
+    _check_placeholders(template)
+    _check_acyclic(template)
+    _check_references(template, program)
+
+
+def validate_program(program: GraphProgram) -> ValidationReport:
+    """Validate every template plus whole-program invariants."""
+    if program.entry not in program.templates:
+        raise GraphError(f"entry template {program.entry!r} is missing")
+    report = ValidationReport()
+    for template in program.templates.values():
+        validate_template(template, program)
+        _find_dead_nodes(template, report)
+        report.templates_checked += 1
+    entry = program.entry_template()
+    if entry.captures:
+        raise GraphError(
+            f"entry template {entry.name!r} must not have captures"
+        )
+    return report

@@ -1,0 +1,21 @@
+"""Delirium language front end: tokens, lexer, AST, parser, preprocessor."""
+
+from . import ast
+from .lexer import Lexer, tokenize
+from .parser import Parser, parse_expression, parse_program
+from .preprocessor import extract_defines, preprocess
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = [
+    "ast",
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_program",
+    "extract_defines",
+    "preprocess",
+    "KEYWORDS",
+    "Token",
+    "TokenKind",
+]

@@ -1,0 +1,187 @@
+"""Hand-written scanner for Delirium source text.
+
+The scanner is a single forward pass with one character of lookahead.  It
+produces a list of :class:`~repro.lang.tokens.Token` ending in an ``EOF``
+token.  Comments run from ``--`` or ``#`` to end of line (the paper shows no
+comment syntax; both forms are accepted so examples can be annotated).
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import KEYWORDS, Token, TokenKind
+
+_PUNCT: dict[str, TokenKind] = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "<": TokenKind.LANGLE,
+    ">": TokenKind.RANGLE,
+    ",": TokenKind.COMMA,
+    "=": TokenKind.EQUALS,
+}
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_char(ch: str) -> bool:
+    # ``$`` is accepted inside identifiers so compiler-generated names
+    # (``loop$1``, ``if$2.then``) survive an unparse/re-parse round trip;
+    # user programs conventionally never contain it.
+    return ch.isalnum() or ch in "_$"
+
+
+class Lexer:
+    """Tokenizes one source string.
+
+    Use :func:`tokenize` for the common case; the class exists so tests can
+    poke at intermediate state and so the parallel-compilation case study
+    can lex independent chunks with correct line offsets.
+
+    Parameters
+    ----------
+    source:
+        Delirium source text.
+    first_line:
+        Line number of the first line, used when lexing a chunk that was cut
+        out of a larger file (parallel compilation, section 6 of the paper).
+    """
+
+    def __init__(self, source: str, first_line: int = 1) -> None:
+        self.source = source
+        self.pos = 0
+        self.line = first_line
+        self.column = 1
+
+    # ------------------------------------------------------------------
+    def _peek(self) -> str:
+        if self.pos < len(self.source):
+            return self.source[self.pos]
+        return "\0"
+
+    def _peek2(self) -> str:
+        if self.pos + 1 < len(self.source):
+            return self.source[self.pos + 1]
+        return "\0"
+
+    def _advance(self) -> str:
+        ch = self.source[self.pos]
+        self.pos += 1
+        if ch == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return ch
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "#" or (ch == "-" and self._peek2() == "-"):
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    # ------------------------------------------------------------------
+    def _number(self) -> Token:
+        line, col = self.line, self.column
+        start = self.pos
+        if self._peek() == "-":
+            # Negative literals exist so constant-folded ASTs can be
+            # unparsed and re-parsed; Delirium has no infix operators, so
+            # a '-' directly before a digit is unambiguous.
+            self._advance()
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek2().isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in "eE" and (
+            self._peek2().isdigit()
+            or (self._peek2() in "+-" and self.pos + 2 < len(self.source))
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            if not self._peek().isdigit():
+                raise LexError("malformed exponent in numeric literal", line, col)
+            while self._peek().isdigit():
+                self._advance()
+        text = self.source[start : self.pos]
+        if is_float:
+            return Token(TokenKind.FLOAT, text, float(text), line, col)
+        return Token(TokenKind.INT, text, int(text), line, col)
+
+    def _string(self) -> Token:
+        line, col = self.line, self.column
+        quote = self._advance()
+        chars: list[str] = []
+        while True:
+            if self.pos >= len(self.source):
+                raise LexError("unterminated string literal", line, col)
+            ch = self._advance()
+            if ch == quote:
+                break
+            if ch == "\\":
+                if self.pos >= len(self.source):
+                    raise LexError("unterminated string escape", line, col)
+                esc = self._advance()
+                chars.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(esc, esc))
+            else:
+                chars.append(ch)
+        text = self.source[col - 1 :]  # informational only
+        return Token(TokenKind.STRING, "".join(chars), "".join(chars), line, col)
+
+    def _ident(self) -> Token:
+        line, col = self.line, self.column
+        start = self.pos
+        while _is_ident_char(self._peek()):
+            self._advance()
+        text = self.source[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, None, line, col)
+
+    # ------------------------------------------------------------------
+    def tokens(self) -> list[Token]:
+        """Scan the whole source and return the token list (with EOF)."""
+        out: list[Token] = []
+        while True:
+            self._skip_trivia()
+            if self.pos >= len(self.source):
+                out.append(Token(TokenKind.EOF, "", None, self.line, self.column))
+                return out
+            ch = self._peek()
+            if ch.isdigit() or (ch == "-" and self._peek2().isdigit()):
+                out.append(self._number())
+            elif ch in "\"'":
+                out.append(self._string())
+            elif _is_ident_start(ch):
+                out.append(self._ident())
+            elif ch in _PUNCT:
+                line, col = self.line, self.column
+                self._advance()
+                out.append(Token(_PUNCT[ch], ch, None, line, col))
+            else:
+                raise LexError(f"unexpected character {ch!r}", self.line, self.column)
+
+
+def tokenize(source: str, first_line: int = 1) -> list[Token]:
+    """Tokenize ``source`` and return the token list ending in EOF.
+
+    Raises
+    ------
+    LexError
+        If the source contains characters outside the Delirium lexicon.
+    """
+    return Lexer(source, first_line=first_line).tokens()

@@ -1,0 +1,272 @@
+"""Recursive-descent parser for Delirium.
+
+Grammar (whitespace-insensitive; ``--``/``#`` comments to end of line)::
+
+    program   := fundef*
+    fundef    := IDENT '(' [IDENT {',' IDENT}] ')' expr
+    expr      := let | if | iterate | application
+    let       := 'let' binding+ 'in' expr
+    binding   := IDENT '=' expr
+               | '<' IDENT {',' IDENT} '>' '=' expr
+               | fundef                      -- local function definition
+    if        := 'if' expr 'then' expr 'else' expr
+    iterate   := 'iterate' '{' loopvar+ '}' 'while' expr [','] 'result' expr
+    loopvar   := IDENT '=' expr ',' expr [',']
+    application := primary { '(' [expr {',' expr}] ')' }
+    primary   := INT | FLOAT | STRING | 'NULL' | IDENT
+               | '(' expr ')'
+               | '<' expr {',' expr} '>'     -- multiple-value construction
+
+Application is greedy: ``f(a)(b)`` applies the result of ``f(a)`` to ``b``
+(functions are first class).  There are no infix operators — comparisons
+and arithmetic are ordinary operators such as ``is_equal`` and ``incr``,
+exactly as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from . import ast
+from .lexer import tokenize
+from .tokens import Token, TokenKind
+
+
+class Parser:
+    """Parses a token stream into AST nodes."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        i = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def _at(self, kind: TokenKind, offset: int = 0) -> bool:
+        return self._peek(offset).kind is kind
+
+    def _advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind is not TokenKind.EOF:
+            self.pos += 1
+        return tok
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        tok = self._peek()
+        if tok.kind is not kind:
+            want = what or kind.value
+            raise ParseError(
+                f"expected {want}, found {tok.kind.value!r} ({tok.text!r})",
+                tok.line,
+                tok.column,
+            )
+        return self._advance()
+
+    # -- top level -------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        """Parse a whole program: one or more function definitions."""
+        functions: list[ast.FunDef] = []
+        first = self._peek()
+        while not self._at(TokenKind.EOF):
+            functions.append(self._fundef())
+        if not functions:
+            raise ParseError("empty program", first.line, first.column)
+        return ast.Program(functions=functions, line=first.line, column=first.column)
+
+    def _fundef(self) -> ast.FunDef:
+        name_tok = self._expect(TokenKind.IDENT, "function name")
+        self._expect(TokenKind.LPAREN)
+        params: list[str] = []
+        if not self._at(TokenKind.RPAREN):
+            params.append(self._expect(TokenKind.IDENT, "parameter name").text)
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                params.append(self._expect(TokenKind.IDENT, "parameter name").text)
+        self._expect(TokenKind.RPAREN)
+        body = self.parse_expr()
+        return ast.FunDef(
+            name=name_tok.text,
+            params=params,
+            body=body,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
+
+    # -- expressions -----------------------------------------------------
+    def parse_expr(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind is TokenKind.LET:
+            return self._let()
+        if tok.kind is TokenKind.IF:
+            return self._if()
+        if tok.kind is TokenKind.ITERATE:
+            return self._iterate()
+        return self._application()
+
+    def _let(self) -> ast.Expr:
+        let_tok = self._expect(TokenKind.LET)
+        bindings: list[ast.Binding] = [self._binding()]
+        while not self._at(TokenKind.IN):
+            if self._at(TokenKind.EOF):
+                raise ParseError(
+                    "unterminated let: expected 'in'", let_tok.line, let_tok.column
+                )
+            bindings.append(self._binding())
+        self._expect(TokenKind.IN)
+        body = self.parse_expr()
+        return ast.Let(
+            bindings=bindings, body=body, line=let_tok.line, column=let_tok.column
+        )
+
+    def _binding(self) -> ast.Binding:
+        tok = self._peek()
+        if tok.kind is TokenKind.LANGLE:
+            self._advance()
+            names = [self._expect(TokenKind.IDENT, "name in tuple binding").text]
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                names.append(self._expect(TokenKind.IDENT, "name in tuple binding").text)
+            self._expect(TokenKind.RANGLE)
+            self._expect(TokenKind.EQUALS)
+            expr = self.parse_expr()
+            return ast.TupleBinding(
+                names=names, expr=expr, line=tok.line, column=tok.column
+            )
+        if tok.kind is TokenKind.IDENT:
+            if self._at(TokenKind.EQUALS, offset=1):
+                name = self._advance().text
+                self._expect(TokenKind.EQUALS)
+                expr = self.parse_expr()
+                return ast.SimpleBinding(
+                    name=name, expr=expr, line=tok.line, column=tok.column
+                )
+            if self._at(TokenKind.LPAREN, offset=1):
+                func = self._fundef()
+                return ast.FunBinding(func=func, line=tok.line, column=tok.column)
+        raise ParseError(
+            f"expected a binding, found {tok.kind.value!r}", tok.line, tok.column
+        )
+
+    def _if(self) -> ast.Expr:
+        if_tok = self._expect(TokenKind.IF)
+        cond = self.parse_expr()
+        self._expect(TokenKind.THEN)
+        then = self.parse_expr()
+        self._expect(TokenKind.ELSE)
+        orelse = self.parse_expr()
+        return ast.If(
+            cond=cond, then=then, orelse=orelse, line=if_tok.line, column=if_tok.column
+        )
+
+    def _iterate(self) -> ast.Expr:
+        it_tok = self._expect(TokenKind.ITERATE)
+        self._expect(TokenKind.LBRACE)
+        loopvars: list[ast.LoopVar] = [self._loopvar()]
+        while not self._at(TokenKind.RBRACE):
+            if self._at(TokenKind.EOF):
+                raise ParseError(
+                    "unterminated iterate: expected '}'", it_tok.line, it_tok.column
+                )
+            loopvars.append(self._loopvar())
+        self._expect(TokenKind.RBRACE)
+        self._expect(TokenKind.WHILE)
+        cond = self.parse_expr()
+        if self._at(TokenKind.COMMA):
+            self._advance()
+        self._expect(TokenKind.RESULT)
+        result = self.parse_expr()
+        return ast.Iterate(
+            loopvars=loopvars,
+            cond=cond,
+            result=result,
+            line=it_tok.line,
+            column=it_tok.column,
+        )
+
+    def _loopvar(self) -> ast.LoopVar:
+        name_tok = self._expect(TokenKind.IDENT, "loop variable name")
+        self._expect(TokenKind.EQUALS)
+        init = self.parse_expr()
+        self._expect(TokenKind.COMMA, "',' between init and update expressions")
+        update = self.parse_expr()
+        # Optional trailing comma, as in the paper's retina listing.
+        if self._at(TokenKind.COMMA) and not self._at(TokenKind.RBRACE, offset=1):
+            # Only consume if the comma is truly trailing (next token starts a
+            # new loop variable); a comma directly before '}' is also eaten.
+            if self._at(TokenKind.IDENT, offset=1) and self._at(
+                TokenKind.EQUALS, offset=2
+            ):
+                self._advance()
+        elif self._at(TokenKind.COMMA) and self._at(TokenKind.RBRACE, offset=1):
+            self._advance()
+        return ast.LoopVar(
+            name=name_tok.text,
+            init=init,
+            update=update,
+            line=name_tok.line,
+            column=name_tok.column,
+        )
+
+    def _application(self) -> ast.Expr:
+        expr = self._primary()
+        while self._at(TokenKind.LPAREN):
+            lp = self._advance()
+            args: list[ast.Expr] = []
+            if not self._at(TokenKind.RPAREN):
+                args.append(self.parse_expr())
+                while self._at(TokenKind.COMMA):
+                    self._advance()
+                    args.append(self.parse_expr())
+            self._expect(TokenKind.RPAREN)
+            expr = ast.Apply(callee=expr, args=args, line=lp.line, column=lp.column)
+        return expr
+
+    def _primary(self) -> ast.Expr:
+        tok = self._peek()
+        if tok.kind in (TokenKind.INT, TokenKind.FLOAT, TokenKind.STRING):
+            self._advance()
+            return ast.Literal(value=tok.value, line=tok.line, column=tok.column)
+        if tok.kind is TokenKind.NULL:
+            self._advance()
+            return ast.Null(line=tok.line, column=tok.column)
+        if tok.kind is TokenKind.IDENT:
+            self._advance()
+            return ast.Var(name=tok.text, line=tok.line, column=tok.column)
+        if tok.kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self.parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        if tok.kind is TokenKind.LANGLE:
+            self._advance()
+            items = [self.parse_expr()]
+            while self._at(TokenKind.COMMA):
+                self._advance()
+                items.append(self.parse_expr())
+            self._expect(TokenKind.RANGLE)
+            return ast.TupleExpr(items=items, line=tok.line, column=tok.column)
+        raise ParseError(
+            f"expected an expression, found {tok.kind.value!r} ({tok.text!r})",
+            tok.line,
+            tok.column,
+        )
+
+
+def parse_program(source: str, first_line: int = 1) -> ast.Program:
+    """Tokenize and parse a whole Delirium program."""
+    parser = Parser(tokenize(source, first_line=first_line))
+    program = parser.parse_program()
+    return program
+
+
+def parse_expression(source: str) -> ast.Expr:
+    """Tokenize and parse a single expression (testing/REPL convenience)."""
+    parser = Parser(tokenize(source))
+    expr = parser.parse_expr()
+    tok = parser._peek()
+    if tok.kind is not TokenKind.EOF:
+        raise ParseError(
+            f"trailing input after expression: {tok.text!r}", tok.line, tok.column
+        )
+    return expr

@@ -1,0 +1,68 @@
+"""The coordination-structure prelude (the section 9.2 extension).
+
+Section 9.2 of the paper admits a limitation of the base language: "the
+number of pieces into which a data structure is divided is chosen
+explicitly by the Delirium programmer.  This is an awkward way to describe
+high degrees of parallelism and cannot take into account the load of the
+system.  We have addressed this problem by generalizing the language with
+a notation that encompasses more complex coordination [22]."
+
+That generalization (Lucco & Sharp, *Parallel Programming With
+Coordination Structures*) never shipped with this paper, so we reproduce
+its effect the way the base language itself suggests: a small prelude of
+**first-class, recursive Delirium functions** whose divide-and-conquer
+structure exposes parallelism whose width is a run-time *value*, not
+source text.  Because any two bindings without a data dependency run in
+parallel, each split level's halves execute concurrently, and the runtime
+(not the program text) decides how many processors that occupies:
+
+``par_index_map(f, lo, hi)``
+    Apply ``f`` to every integer in ``[lo, hi)``; results as a list in
+    index order.
+
+``par_reduce(combine, leaf, lo, hi)``
+    Balanced parallel reduction: ``leaf(i)`` at each index, ``combine``
+    over a balanced binary tree.  The association tree is a function of
+    ``lo``/``hi`` only — *not* of the schedule — so floating-point results
+    stay deterministic (contrast the Table 2 baselines).
+
+``par_split(f, pieces, n)``
+    The dynamic generalization of the paper's hard-wired four-way
+    split/bite/merge: apply ``f`` to each of ``n`` pieces of a package.
+
+Compile with ``compile_source(src, prelude=True)`` to make these
+available; they are ordinary Delirium, so they cost nothing unless used.
+"""
+
+#: Parameter and helper names inside the prelude carry a ``$`` so they can
+#: never collide with user programs: Delirium's single-assignment rule
+#: makes every top-level function name reserved program-wide, and users
+#: legitimately define functions called ``f`` or ``n``.
+PRELUDE_SOURCE = """
+-- The coordination-structure prelude (section 9.2 extension).
+
+par_index_map(p$f, p$lo, p$hi)
+  if is_greater_equal(p$lo, p$hi)
+  then nil()
+  else if is_equal(sub(p$hi, p$lo), 1)
+       then list1(p$f(p$lo))
+       else let p$mid = idiv(add(p$lo, p$hi), 2)
+                p$left = par_index_map(p$f, p$lo, p$mid)
+                p$right = par_index_map(p$f, p$mid, p$hi)
+            in append2(p$left, p$right)
+
+par_reduce(p$combine, p$leaf, p$lo, p$hi)
+  if is_equal(sub(p$hi, p$lo), 1)
+  then p$leaf(p$lo)
+  else let p$mid = idiv(add(p$lo, p$hi), 2)
+           p$left = par_reduce(p$combine, p$leaf, p$lo, p$mid)
+           p$right = par_reduce(p$combine, p$leaf, p$mid, p$hi)
+       in p$combine(p$left, p$right)
+
+par_split(p$f, p$pieces, p$n)
+  let p$apply_at(p$i) p$f(element(p$pieces, p$i))
+  in par_index_map(p$apply_at, 0, p$n)
+"""
+
+#: Names the prelude defines (collision checking and documentation).
+PRELUDE_FUNCTIONS = ("par_index_map", "par_reduce", "par_split")

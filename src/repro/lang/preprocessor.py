@@ -1,0 +1,100 @@
+"""The Delirium preprocessor.
+
+Section 5 of the paper: "these symbolic constants are replaced with values
+by the pre-processor" (``NUM_ITER``, ``START_SLAB``, ``FINAL_SLAB``).  The
+reproduction supports two equivalent sources of definitions:
+
+* ``#define NAME replacement-text`` directive lines inside the source, and
+* a ``defines`` mapping passed programmatically (the usual route for the
+  case studies, which parameterize one source text over problem sizes).
+
+Substitution is word-boundary aware (``NUM_ITER`` never matches inside
+``NUM_ITERATIONS``), recursive (a replacement may mention other defined
+names), and cycle-checked.  Directive lines are removed; all other line
+numbers are preserved so parser errors still point at the right line.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import PreprocessorError
+
+_DIRECTIVE = re.compile(r"^\s*#define\s+([A-Za-z_]\w*)\s+(.*?)\s*$")
+_WORD = re.compile(r"[A-Za-z_]\w*")
+
+
+def extract_defines(source: str) -> tuple[str, dict[str, str]]:
+    """Split ``#define`` directive lines out of ``source``.
+
+    Returns the source with each directive line replaced by a blank line
+    (preserving line numbering) and the mapping of collected definitions.
+
+    Raises
+    ------
+    PreprocessorError
+        If the same name is defined twice with different replacement text.
+    """
+    defines: dict[str, str] = {}
+    out_lines: list[str] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _DIRECTIVE.match(line)
+        if m is None:
+            out_lines.append(line)
+            continue
+        name, replacement = m.group(1), m.group(2)
+        if name in defines and defines[name] != replacement:
+            raise PreprocessorError(
+                f"symbolic constant {name!r} redefined", lineno, 1
+            )
+        defines[name] = replacement
+        out_lines.append("")
+    return "\n".join(out_lines), defines
+
+
+def _expand_word(
+    name: str, defines: dict[str, str], active: tuple[str, ...]
+) -> str:
+    if name not in defines:
+        return name
+    if name in active:
+        chain = " -> ".join(active + (name,))
+        raise PreprocessorError(f"cyclic symbolic-constant definition: {chain}")
+    replacement = defines[name]
+    return _substitute(replacement, defines, active + (name,))
+
+
+def _substitute(
+    text: str, defines: dict[str, str], active: tuple[str, ...]
+) -> str:
+    return _WORD.sub(lambda m: _expand_word(m.group(0), defines, active), text)
+
+
+def preprocess(source: str, defines: dict[str, object] | None = None) -> str:
+    """Apply the preprocessor to ``source``.
+
+    Parameters
+    ----------
+    source:
+        Delirium source text, possibly containing ``#define`` directives.
+    defines:
+        Extra definitions.  Values may be any object; they are rendered with
+        ``repr`` for ints/floats and inserted verbatim for strings (so a
+        string value can be replacement *syntax*, e.g. an operator name).
+        Programmatic definitions override in-source directives.
+
+    Returns
+    -------
+    str
+        Source text with all symbolic constants substituted and directive
+        lines blanked.
+    """
+    stripped, collected = extract_defines(source)
+    table: dict[str, str] = dict(collected)
+    for name, value in (defines or {}).items():
+        if not _WORD.fullmatch(name):
+            raise PreprocessorError(f"invalid symbolic-constant name {name!r}")
+        table[name] = value if isinstance(value, str) else repr(value)
+    if not table:
+        return stripped
+    return _substitute(stripped, table, ())

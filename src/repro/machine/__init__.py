@@ -1,0 +1,35 @@
+"""Simulated multiprocessor substrate: machine models + discrete-event sim."""
+
+from .memory import MemoryInventory, TrafficAccount, inventory
+from .model import (
+    PRESETS,
+    MachineModel,
+    butterfly,
+    cray_2,
+    cray_ymp,
+    sequent,
+    uniform,
+    workstation,
+)
+from .simulator import SimResult, SimulatedExecutor, speedup_curve
+
+__all__ = [
+    "PRESETS",
+    "MachineModel",
+    "MemoryInventory",
+    "SimResult",
+    "SimulatedExecutor",
+    "TrafficAccount",
+    "butterfly",
+    "cray_2",
+    "cray_ymp",
+    "inventory",
+    "sequent",
+    "speedup_curve",
+    "uniform",
+    "workstation",
+]
+
+from .calibrate import CalibrationReport, measure_costs
+
+__all__ += ["CalibrationReport", "measure_costs"]

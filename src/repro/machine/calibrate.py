@@ -1,0 +1,81 @@
+"""Cost-model calibration from measured operator times.
+
+The paper's environment measured real per-node times on real machines;
+this module closes the loop for the simulator: run a program once on the
+sequential executor with wall-clock node timing, and derive per-operator
+cost overrides (ticks) from the measurements.  Useful when operators have
+no analytic cost hints — the simulated speedup curves then reflect the
+*actual* relative costs of the Python kernels.
+
+Example::
+
+    costs = measure_costs(program.graph, registry, args=(8,))
+    result = SimulatedExecutor(cray_ymp(4), op_cost_overrides=costs).run(
+        program.graph, args=(8,), registry=registry)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graph.ir import GraphProgram
+from ..runtime.executors import SequentialExecutor
+from ..runtime.operators import OperatorRegistry, default_registry
+
+#: Default scale: one second of wall time = this many simulated ticks.
+DEFAULT_TICKS_PER_SECOND = 1e9
+
+
+@dataclass
+class CalibrationReport:
+    """Measured per-operator statistics and the derived cost table."""
+
+    #: operator label -> mean measured ticks per call
+    costs: dict[str, float] = field(default_factory=dict)
+    #: operator label -> number of calls observed
+    calls: dict[str, int] = field(default_factory=dict)
+    #: total wall seconds of the calibration run
+    wall_seconds: float = 0.0
+    ticks_per_second: float = DEFAULT_TICKS_PER_SECOND
+
+    def dominant(self, k: int = 5) -> list[tuple[str, float]]:
+        """The k most expensive operators by total measured time."""
+        totals = {
+            name: self.costs[name] * self.calls[name] for name in self.costs
+        }
+        return sorted(totals.items(), key=lambda kv: -kv[1])[:k]
+
+
+def measure_costs(
+    graph: GraphProgram,
+    registry: OperatorRegistry | None = None,
+    args: tuple[Any, ...] = (),
+    ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
+    min_ticks: float = 1.0,
+) -> CalibrationReport:
+    """Run once with node timing and derive per-operator mean costs.
+
+    The returned report's ``costs`` dict plugs directly into
+    ``SimulatedExecutor(op_cost_overrides=...)``.  Means are used (not
+    per-call values) so the simulation stays deterministic; operators
+    whose cost genuinely varies with arguments should keep analytic
+    hints instead.
+    """
+    registry = registry if registry is not None else default_registry()
+    executor = SequentialExecutor(trace=True)
+    result = executor.run(graph, args=args, registry=registry)
+    assert result.tracer is not None
+    report = CalibrationReport(
+        wall_seconds=result.wall_seconds, ticks_per_second=ticks_per_second
+    )
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for record in result.tracer.op_records():
+        totals[record.label] = totals.get(record.label, 0.0) + record.ticks
+        counts[record.label] = counts.get(record.label, 0) + 1
+    for label, total_seconds in totals.items():
+        mean_ticks = total_seconds / counts[label] * ticks_per_second
+        report.costs[label] = max(mean_ticks, min_ticks)
+        report.calls[label] = counts[label]
+    return report

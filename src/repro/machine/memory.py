@@ -1,0 +1,127 @@
+"""Memory and traffic accounting for the simulated machines.
+
+Supports two of the paper's quantitative claims:
+
+* **Section 7**: "templates represent over 80% of the memory used by the
+  runtime system at a given time", so replicating them per processor cuts
+  bus/network traffic — :class:`MemoryInventory` measures the split and
+  :class:`TrafficAccount` measures the traffic with replication on or off.
+* **Section 9.3**: remote references on NUMA machines dominate; the
+  traffic account separates local from remote bytes so the affinity
+  benchmark can show how placement policy moves the ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..graph.ir import GraphProgram, Template
+
+#: Rough per-object byte charges, matching GraphProgram.memory_bytes.
+NODE_BYTES = 64
+EDGE_BYTES = 16
+SLOT_BYTES = 16
+ACTIVATION_HEADER_BYTES = 64
+
+
+def template_bytes(template: Template) -> int:
+    """Static size of one template."""
+    edges = sum(len(node.inputs) for node in template.nodes)
+    return len(template.nodes) * NODE_BYTES + edges * EDGE_BYTES
+
+
+def activation_bytes(template: Template) -> int:
+    """Size of one activation of ``template`` (buffers + header)."""
+    slots = sum(len(node.inputs) for node in template.nodes)
+    return ACTIVATION_HEADER_BYTES + slots * SLOT_BYTES
+
+
+@dataclass
+class MemoryInventory:
+    """Snapshot of runtime memory: templates vs. activations.
+
+    ``replicated`` scales template memory by the processor count, which is
+    the trade section 7 describes: spend memory on copies, save traffic.
+    """
+
+    template_total: int = 0
+    peak_activation_total: int = 0
+    processors: int = 1
+    replicated: bool = True
+
+    @property
+    def template_bytes_effective(self) -> int:
+        factor = self.processors if self.replicated else 1
+        return self.template_total * factor
+
+    @property
+    def template_fraction(self) -> float:
+        """Fraction of peak runtime memory occupied by templates."""
+        total = self.template_bytes_effective + self.peak_activation_total
+        if total == 0:
+            return 0.0
+        return self.template_bytes_effective / total
+
+    def describe(self) -> str:
+        return (
+            f"templates: {self.template_bytes_effective} B "
+            f"({'replicated x' + str(self.processors) if self.replicated else 'single copy'}), "
+            f"peak activations: {self.peak_activation_total} B, "
+            f"template fraction: {self.template_fraction:.1%}"
+        )
+
+
+def inventory(
+    graph: GraphProgram,
+    peak_live_by_template: dict[str, int],
+    processors: int,
+    replicated: bool = True,
+) -> MemoryInventory:
+    """Build a memory inventory from a run's peak activation counts."""
+    inv = MemoryInventory(processors=processors, replicated=replicated)
+    inv.template_total = sum(
+        template_bytes(t) for t in graph.templates.values()
+    )
+    inv.peak_activation_total = sum(
+        count * activation_bytes(graph.templates[name])
+        for name, count in peak_live_by_template.items()
+        if name in graph.templates
+    )
+    return inv
+
+
+@dataclass
+class TrafficAccount:
+    """Bytes moved across the interconnect during a simulated run."""
+
+    local_bytes: int = 0
+    remote_bytes: int = 0
+    template_fetch_bytes: int = 0
+    #: Ticks tasks spent queued behind a saturated shared bus (only
+    #: accumulates when the machine models finite bus bandwidth).
+    bus_wait_ticks: float = 0.0
+    #: Per-processor byte counters (diagnostics / balance checks).
+    per_processor_remote: dict[int, int] = field(default_factory=dict)
+
+    def charge_data(self, nbytes: int, remote: bool, processor: int) -> None:
+        if remote:
+            self.remote_bytes += nbytes
+            self.per_processor_remote[processor] = (
+                self.per_processor_remote.get(processor, 0) + nbytes
+            )
+        else:
+            self.local_bytes += nbytes
+
+    def charge_template(self, nbytes: int) -> None:
+        self.template_fetch_bytes += nbytes
+
+    @property
+    def interconnect_bytes(self) -> int:
+        """Traffic that crosses the shared bus/network."""
+        return self.remote_bytes + self.template_fetch_bytes
+
+    def describe(self) -> str:
+        return (
+            f"local: {self.local_bytes} B, remote: {self.remote_bytes} B, "
+            f"template fetches: {self.template_fetch_bytes} B"
+        )

@@ -1,0 +1,207 @@
+"""Machine models: parameterized stand-ins for the paper's hardware.
+
+The original environment ran on the Sequent Symmetry, Cray-2, Cray Y-MP,
+and BBN Butterfly T2000.  That hardware is gone; what determines every
+number the paper reports — speedup curves, overhead percentages, load
+balance — is the *dependency structure* of the coordination graph, the
+per-operator costs, the processor count, and (on the Butterfly) the cost
+of remote memory.  :class:`MachineModel` captures exactly those parameters
+and the discrete-event simulator in :mod:`repro.machine.simulator` executes
+coordination graphs against them, deterministically.
+
+All times are in *ticks*, the simulator's abstract clock (the Cray-2 node
+timings in section 5.2 of the paper are also expressed in machine ticks).
+Only ratios between ticks matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import MachineError
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of a simulated shared-memory multiprocessor.
+
+    Attributes
+    ----------
+    name:
+        Preset name (diagnostics).
+    processors:
+        Number of identical processors.
+    dispatch_ticks:
+        Scheduler cost charged per task dispatch — the runtime overhead the
+        paper reports as "generally ... less than three percent" (section
+        1) and under 1% for the retina model (section 7).  Charged on the
+        executing processor, accounted separately so the overhead
+        benchmarks can measure the ratio.
+    node_overhead_ticks:
+        Cost of firing a non-operator engine node (constants, tuple
+        packing, closure creation).
+    activation_ticks:
+        Cost of a call-closure or conditional expansion (allocating and
+        wiring a template activation).
+    default_op_ticks:
+        Cost of an operator whose spec carries no cost hint.
+    numa:
+        Non-uniform memory access (the Butterfly).  When true, reading a
+        data block whose home is another processor costs
+        ``remote_ticks_per_byte`` per byte.
+    remote_ticks_per_byte / local_ticks_per_byte:
+        Memory system costs.  UMA machines still model a shared bus via
+        ``local_ticks_per_byte`` (usually tiny or zero).
+    replicate_templates:
+        Section 7: templates are replicated in the local memory of each
+        processor, cutting bus/network traffic.  When disabled, every
+        expansion fetches its template from processor 0's memory at
+        ``template_fetch_ticks_per_byte`` — the ablation knob for the
+        template-memory experiment.
+    template_fetch_ticks_per_byte:
+        See above.
+    bus_bytes_per_tick:
+        Shared-interconnect bandwidth.  ``0`` (default) models an
+        uncontended interconnect: traffic costs only per-byte latency.
+        When positive, all interconnect traffic (remote/local charged
+        bytes plus template fetches) serializes through one bus; a task
+        whose transfer finds the bus busy waits its turn — so saturating
+        traffic inflates the makespan even when per-byte latency is tiny.
+        This is how "reduces traffic on the Sequent and Cray busses"
+        becomes a measurable makespan effect.
+    """
+
+    name: str
+    processors: int
+    dispatch_ticks: float = 50.0
+    node_overhead_ticks: float = 5.0
+    activation_ticks: float = 25.0
+    default_op_ticks: float = 1000.0
+    numa: bool = False
+    remote_ticks_per_byte: float = 0.0
+    local_ticks_per_byte: float = 0.0
+    replicate_templates: bool = True
+    template_fetch_ticks_per_byte: float = 0.05
+    bus_bytes_per_tick: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.processors < 1:
+            raise MachineError("a machine needs at least one processor")
+        for field_name in (
+            "dispatch_ticks",
+            "node_overhead_ticks",
+            "activation_ticks",
+            "default_op_ticks",
+            "remote_ticks_per_byte",
+            "local_ticks_per_byte",
+            "template_fetch_ticks_per_byte",
+            "bus_bytes_per_tick",
+        ):
+            if getattr(self, field_name) < 0:
+                raise MachineError(f"{field_name} must be non-negative")
+
+    def with_processors(self, p: int) -> "MachineModel":
+        """The same machine scaled to ``p`` processors (speedup sweeps)."""
+        return replace(self, processors=p)
+
+
+def cray_ymp(processors: int = 4) -> MachineModel:
+    """Cray Y-MP: up to 8 fast processors, uniform shared memory.
+
+    The paper's retina results (figure 1) are on a 4-processor Y-MP; its
+    runtime overhead there was below one percent because operator grains
+    are around a million ticks.
+    """
+    return MachineModel(
+        name="cray-ymp",
+        processors=processors,
+        dispatch_ticks=400.0,
+        node_overhead_ticks=40.0,
+        activation_ticks=150.0,
+        default_op_ticks=100_000.0,
+    )
+
+
+def cray_2(processors: int = 4) -> MachineModel:
+    """Cray-2: four processors; the machine of the section 5.2 tick dumps."""
+    return MachineModel(
+        name="cray-2",
+        processors=processors,
+        dispatch_ticks=500.0,
+        node_overhead_ticks=50.0,
+        activation_ticks=200.0,
+        default_op_ticks=100_000.0,
+    )
+
+
+def sequent(processors: int = 3) -> MachineModel:
+    """Sequent Symmetry: a bus-based multi (the compiler case study, n=3).
+
+    Slower processors and a shared bus: per-byte bus cost is visible but
+    small, and dispatch is comparatively cheaper than on the Crays because
+    operator grains are smaller (milliseconds, not megaticks).
+    """
+    return MachineModel(
+        name="sequent",
+        processors=processors,
+        dispatch_ticks=60.0,
+        node_overhead_ticks=6.0,
+        activation_ticks=30.0,
+        default_op_ticks=10_000.0,
+        local_ticks_per_byte=0.0005,
+    )
+
+
+def butterfly(processors: int = 16) -> MachineModel:
+    """BBN Butterfly T2000: NUMA — remote references cost several times
+    local ones, which is why section 9.3 expects affinity scheduling to
+    matter most here."""
+    return MachineModel(
+        name="butterfly",
+        processors=processors,
+        dispatch_ticks=80.0,
+        node_overhead_ticks=8.0,
+        activation_ticks=40.0,
+        default_op_ticks=10_000.0,
+        numa=True,
+        remote_ticks_per_byte=0.02,
+        local_ticks_per_byte=0.002,
+    )
+
+
+def workstation() -> MachineModel:
+    """A single-processor development workstation (the Sun / IRIS 4D /
+    HP 300 of section 4): where Delirium programs get debugged before
+    moving to a parallel machine.  One processor, modest overheads."""
+    return MachineModel(
+        name="workstation",
+        processors=1,
+        dispatch_ticks=30.0,
+        node_overhead_ticks=3.0,
+        activation_ticks=15.0,
+        default_op_ticks=20_000.0,
+    )
+
+
+def uniform(processors: int, op_ticks: float = 1000.0) -> MachineModel:
+    """A featureless UMA machine for unit tests and algebraic properties:
+    zero dispatch and node overhead, so simulated time equals pure
+    schedule length."""
+    return MachineModel(
+        name=f"uniform-{processors}",
+        processors=processors,
+        dispatch_ticks=0.0,
+        node_overhead_ticks=0.0,
+        activation_ticks=0.0,
+        default_op_ticks=op_ticks,
+    )
+
+
+#: Preset lookup for the CLI and benchmarks.
+PRESETS = {
+    "cray-ymp": cray_ymp,
+    "cray-2": cray_2,
+    "sequent": sequent,
+    "butterfly": butterfly,
+    "workstation": workstation,
+}

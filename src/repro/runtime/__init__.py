@@ -1,0 +1,53 @@
+"""The Delirium runtime: values, blocks, operators, engine, executors."""
+
+from .activation import Activation, ActivationPool
+from .blocks import DataBlock, release, retain, unwrap, wrap_payload
+from .engine import EngineStats, ExecutionState, PurityViolationError
+from .executors import RunResult, SequentialExecutor, ThreadedExecutor
+from .operators import (
+    OperatorRegistry,
+    OperatorSpec,
+    builtin_registry,
+    default_registry,
+)
+from .scheduler import (
+    PRIORITY_CALL,
+    PRIORITY_NORMAL,
+    PRIORITY_RECURSIVE_CALL,
+    ReadyQueue,
+    Task,
+)
+from .tracing import NodeTiming, Tracer
+from .values import NULL, Closure, MultiValue, OperatorValue, is_truthy
+
+__all__ = [
+    "Activation",
+    "ActivationPool",
+    "Closure",
+    "DataBlock",
+    "EngineStats",
+    "ExecutionState",
+    "MultiValue",
+    "NULL",
+    "NodeTiming",
+    "OperatorRegistry",
+    "OperatorSpec",
+    "OperatorValue",
+    "PRIORITY_CALL",
+    "PRIORITY_NORMAL",
+    "PRIORITY_RECURSIVE_CALL",
+    "PurityViolationError",
+    "ReadyQueue",
+    "RunResult",
+    "SequentialExecutor",
+    "Task",
+    "ThreadedExecutor",
+    "Tracer",
+    "builtin_registry",
+    "default_registry",
+    "is_truthy",
+    "release",
+    "retain",
+    "unwrap",
+    "wrap_payload",
+]

@@ -1,0 +1,111 @@
+"""Affinity scheduling policies (section 9.3 of the paper).
+
+The basic Delirium model ignores locality; the paper sketches two
+"preliminary approaches ... both based on the notion of affinity":
+
+* **operator affinity** — "once a given operator has executed on a
+  processor, it prefers to run on that processor in the future.  This
+  preference is overridden if the desired processor is busy" — an idle
+  processor never stays idle to honor a preference.
+* **data affinity** — "attaching a processor preference to the header of
+  each data block.  When an operator is scheduled for execution, the run
+  time system takes into account the size and cached locations of its
+  inputs."
+
+Policies choose among the *idle* processors for a ready task; they never
+delay a task (work-conserving), which preserves the simulator's greedy
+list-scheduling guarantees.  Results are unaffected (determinism is the
+model's guarantee); only simulated time and traffic change.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from .blocks import DataBlock
+from .scheduler import Task
+from .values import MultiValue
+
+
+class AffinityPolicy:
+    """Base policy: pick the lowest-numbered idle processor."""
+
+    name = "none"
+
+    def choose(self, task: Task, idle: Iterable[int]) -> int:
+        """Select a processor for ``task`` from the non-empty ``idle`` set."""
+        return min(idle)
+
+    def notify(self, task: Task, processor: int) -> None:
+        """Called when ``task`` is dispatched to ``processor``."""
+
+
+class OperatorAffinity(AffinityPolicy):
+    """Prefer the processor this node label last executed on."""
+
+    name = "operator"
+
+    def __init__(self) -> None:
+        self._last: dict[str, int] = {}
+
+    def choose(self, task: Task, idle: Iterable[int]) -> int:
+        idle_set = set(idle)
+        preferred = self._last.get(task.label())
+        if preferred in idle_set:
+            return preferred
+        return min(idle_set)
+
+    def notify(self, task: Task, processor: int) -> None:
+        self._last[task.label()] = processor
+
+
+def _input_bytes_by_home(task: Task) -> dict[int, int]:
+    """Bytes of the task's input blocks, grouped by home processor."""
+    out: dict[int, int] = {}
+
+    def visit(value: Any) -> None:
+        if isinstance(value, DataBlock):
+            if value.home >= 0:
+                out[value.home] = out.get(value.home, 0) + value.nbytes
+        elif isinstance(value, MultiValue):
+            for item in value.items:
+                visit(item)
+
+    for value in task.activation.slots[task.node_id]:
+        visit(value)
+    return out
+
+
+class DataAffinity(AffinityPolicy):
+    """Prefer the idle processor holding the most input bytes."""
+
+    name = "data"
+
+    def choose(self, task: Task, idle: Iterable[int]) -> int:
+        idle_set = set(idle)
+        by_home = _input_bytes_by_home(task)
+        best = min(idle_set)
+        best_bytes = by_home.get(best, 0)
+        for p in sorted(idle_set):
+            resident = by_home.get(p, 0)
+            if resident > best_bytes:
+                best, best_bytes = p, resident
+        return best
+
+
+def make_policy(spec: "str | AffinityPolicy") -> AffinityPolicy:
+    """Build a policy from a name (``none``/``operator``/``data``) or pass
+    an instance through."""
+    if isinstance(spec, AffinityPolicy):
+        return spec
+    table = {
+        "none": AffinityPolicy,
+        "operator": OperatorAffinity,
+        "data": DataAffinity,
+    }
+    try:
+        return table[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown affinity policy {spec!r}; expected one of {sorted(table)}"
+        ) from None

@@ -1,0 +1,196 @@
+"""Reference-counted data blocks with copy-on-write.
+
+Section 2.1 of the paper: "The Delirium run time system uses this
+information to enforce determinism.  It maintains reference counts in the
+data blocks, copying them when two or more operators need simultaneous
+write access."
+
+The reference count of a block equals the number of *input slots* currently
+holding it (plus one pinned reference per closure capture, a deliberate
+conservatism documented below).  When an operator that declared it
+*modifies* argument ``i`` fires:
+
+* if the block's count is 1, the operator holds the sole reference and may
+  write the payload in place (the fast path the paper's "merging is free"
+  idiom relies on);
+* otherwise the engine copies the block first and hands the operator the
+  private copy — no other consumer can ever observe the write.
+
+Closure captures pin one extra reference for the closure's lifetime, so a
+captured block is always treated as shared.  This is conservative (a copy
+where the 1990 system might have mutated in place) but never wrong, and
+matches the paper's advice that programmers arrange the data flow so large
+structures are not captured and mutated simultaneously.
+
+Blocks also carry a *home* processor and a byte-size estimate: the machine
+simulator charges NUMA remote-access penalties and accounts bus traffic
+from them (sections 7 and 9.3).
+"""
+
+from __future__ import annotations
+
+import copy
+import sys
+from typing import Any
+
+import numpy as np
+
+from .values import Closure, MultiValue, NULL, OperatorValue
+
+#: Types that circulate unwrapped (immutable atomic values).
+IMMUTABLE_TYPES = (int, float, complex, bool, str, bytes, frozenset, type(None))
+
+
+def payload_nbytes(payload: Any) -> int:
+    """Estimated size in bytes of an operator payload.
+
+    NumPy arrays report exactly; containers sum their items shallowly;
+    everything else falls back to ``sys.getsizeof``.  The estimate feeds
+    the simulated machines' traffic accounting, where only relative
+    magnitudes matter.
+    """
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    if isinstance(payload, (list, tuple, set)):
+        return int(
+            sys.getsizeof(payload) + sum(payload_nbytes(i) for i in payload)
+        )
+    if isinstance(payload, dict):
+        return int(
+            sys.getsizeof(payload)
+            + sum(payload_nbytes(v) for v in payload.values())
+        )
+    try:
+        return int(sys.getsizeof(payload))
+    except TypeError:  # pragma: no cover - exotic objects
+        return 64
+
+
+def copy_payload(payload: Any) -> Any:
+    """Copy a payload for copy-on-write.
+
+    NumPy arrays use ``np.copy`` (cheap, contiguous); everything else gets
+    ``copy.deepcopy`` — application objects are opaque to the runtime, so
+    only a deep copy is guaranteed to isolate the writer.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    return copy.deepcopy(payload)
+
+
+class DataBlock:
+    """A shared memory block: payload + reference count + placement.
+
+    Attributes
+    ----------
+    payload:
+        The raw object operators see.
+    rc:
+        Number of live references (input slots + closure pins).
+    home:
+        Processor id that produced the payload (simulated machines), or
+        ``-1`` when unplaced.
+    nbytes:
+        Cached size estimate.
+    """
+
+    __slots__ = ("payload", "rc", "home", "nbytes")
+
+    _COUNTER = 0
+
+    def __init__(self, payload: Any, home: int = -1) -> None:
+        self.payload = payload
+        self.rc = 0
+        self.home = home
+        self.nbytes = payload_nbytes(payload)
+
+    def unique(self) -> bool:
+        """True when this block holds the sole reference (writable)."""
+        return self.rc == 1
+
+    def copy(self, home: int = -1) -> "DataBlock":
+        """Copy-on-write: a fresh block around a copied payload."""
+        return DataBlock(copy_payload(self.payload), home=home)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DataBlock(rc={self.rc}, home={self.home}, "
+            f"nbytes={self.nbytes}, payload={type(self.payload).__name__})"
+        )
+
+
+def wrap_payload(payload: Any, home: int = -1) -> Any:
+    """Wrap an operator result for circulation on graph edges.
+
+    * Immutable atomics, ``NULL``, closures, and operator values pass
+      through unwrapped.
+    * A Python ``tuple`` becomes a :class:`MultiValue` with each element
+      wrapped — this is how operators return multiple values (the paper's
+      ``target_split`` returning four pieces).
+    * Everything else (arrays, lists, dicts, application objects) is
+      wrapped in a fresh :class:`DataBlock`.
+
+    The engine layers block *reuse* on top of this (an operator returning
+    one of its own input payloads keeps that input's block identity, which
+    is what makes the paper's pointer-returning "merge is free" operators
+    free here too); see ``engine.py``.
+    """
+    if payload is NULL or isinstance(
+        payload, (Closure, OperatorValue, MultiValue, DataBlock)
+    ):
+        return payload
+    if isinstance(payload, IMMUTABLE_TYPES):
+        return payload
+    if isinstance(payload, tuple):
+        return MultiValue(tuple(wrap_payload(p, home) for p in payload))
+    if isinstance(payload, (np.integer, np.floating, np.bool_)):
+        # NumPy scalars are immutable; circulate them unwrapped.
+        return payload
+    return DataBlock(payload, home=home)
+
+
+def retain(value: Any, n: int = 1) -> None:
+    """Add ``n`` references to every block reachable through packages."""
+    if n == 0:
+        return
+    if isinstance(value, DataBlock):
+        value.rc += n
+    elif isinstance(value, MultiValue):
+        for item in value.items:
+            retain(item, n)
+
+
+def release(value: Any, n: int = 1) -> None:
+    """Drop ``n`` references from every block reachable through packages."""
+    if n == 0:
+        return
+    if isinstance(value, DataBlock):
+        value.rc -= n
+        assert value.rc >= 0, "data block reference count went negative"
+    elif isinstance(value, MultiValue):
+        for item in value.items:
+            release(item, n)
+
+
+def unwrap(value: Any) -> Any:
+    """Recursively strip runtime wrappers for the public API boundary.
+
+    Blocks yield their payloads; multiple values yield tuples; closures and
+    operator values pass through (they are meaningful results too).
+    """
+    if isinstance(value, DataBlock):
+        return value.payload
+    if isinstance(value, MultiValue):
+        return tuple(unwrap(i) for i in value.items)
+    return value
+
+
+def value_nbytes(value: Any) -> int:
+    """Byte estimate of a value as placed on an edge (for NUMA accounting)."""
+    if isinstance(value, DataBlock):
+        return value.nbytes
+    if isinstance(value, MultiValue):
+        return sum(value_nbytes(i) for i in value.items)
+    if isinstance(value, (Closure, OperatorValue)) or value is NULL:
+        return 16
+    return payload_nbytes(value)

@@ -1,0 +1,524 @@
+"""The coordination-graph interpreter core.
+
+:class:`ExecutionState` implements the *semantics* of template-activation
+execution — node firing rules, reference-counted copy-on-write, call-closure
+expansion, conditional-arm expansion, tail-call continuation inheritance,
+and activation recycling.  It deliberately contains no *policy*: executors
+(sequential, threaded, simulated-machine) own the ready queue, the notion
+of time, and processor placement, and drive the state through two calls:
+
+* :meth:`start` — build the root activation, returning the initially ready
+  tasks;
+* :meth:`fire` — fire one ready task, returning the tasks it made ready.
+
+Any interleaving of ``fire`` calls that respects readiness produces the
+same final result; that is the determinism guarantee of the coordination
+model (section 8 of the paper) and the property the test suite hammers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import GraphError, OperatorError, RuntimeFailure
+from ..graph.ir import GraphProgram, Node, NodeKind
+from .activation import Activation, ActivationPool
+from .blocks import DataBlock, release, retain, unwrap, wrap_payload
+from .operators import OperatorRegistry, OperatorSpec
+from .scheduler import (
+    PRIORITY_CALL,
+    PRIORITY_NORMAL,
+    PRIORITY_RECURSIVE_CALL,
+    Task,
+)
+from .values import NULL, Closure, MultiValue, OperatorValue, is_truthy
+
+_NO_RESULT = object()
+
+#: Hook type: executors may intercept the raw operator call (e.g. to drop a
+#: lock around it, or to time it).  Receives the spec and ready payloads.
+RunOp = Callable[[OperatorSpec, tuple[Any, ...]], Any]
+
+
+class PurityViolationError(RuntimeFailure):
+    """Debug mode caught an operator writing an argument it did not declare."""
+
+
+@dataclass
+class EngineStats:
+    """Counters accumulated during one execution."""
+
+    tasks_fired: int = 0
+    ops_executed: int = 0
+    cow_copies: int = 0
+    in_place_writes: int = 0
+    expansions: int = 0
+    tail_expansions: int = 0
+    activation_stats: dict[str, int] = field(default_factory=dict)
+    #: Copy-on-write copies attributed to the operator that forced them —
+    #: the profiling view a Delirium programmer uses to find the large
+    #: structure that should have been split (section 2.1's advice).
+    copies_by_operator: dict[str, int] = field(default_factory=dict)
+    #: Bytes copied by COW, by operator (same attribution).
+    copy_bytes_by_operator: dict[str, int] = field(default_factory=dict)
+
+
+def _payload_of(value: Any) -> Any:
+    """Convert an edge value to what an operator receives."""
+    if isinstance(value, DataBlock):
+        return value.payload
+    if isinstance(value, MultiValue):
+        return tuple(_payload_of(v) for v in value.items)
+    return value
+
+
+def _fingerprint(payload: Any) -> object:
+    """Cheap content fingerprint for purity checking (debug mode only)."""
+    if isinstance(payload, np.ndarray):
+        return (payload.shape, str(payload.dtype), hash(payload.tobytes()))
+    try:
+        return hash(payload)
+    except TypeError:
+        return hash(repr(payload))
+
+
+class ExecutionState:
+    """Mutable state of one program execution.
+
+    Parameters
+    ----------
+    program:
+        The compiled coordination graphs.
+    registry:
+        Operator registry resolving ``OP`` nodes.
+    check_purity:
+        Debug mode: fingerprint read-only block arguments around every
+        operator call and raise :class:`PurityViolationError` when an
+        operator mutates an argument it did not declare in ``modifies``.
+        Costly; meant for tests and development, like the original
+        system's uniprocessor debugging story.
+    """
+
+    def __init__(
+        self,
+        program: GraphProgram,
+        registry: OperatorRegistry,
+        check_purity: bool = False,
+    ) -> None:
+        self.program = program
+        self.registry = registry
+        self.check_purity = check_purity
+        self.pool = ActivationPool()
+        self.stats = EngineStats()
+        self._final: Any = _NO_RESULT
+        self._task_seq = 0
+        #: Per-activation count of outstanding non-tail children, guarding
+        #: activation recycling (see ``_expand``).
+        self._pending_children: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def start(self, args: tuple[Any, ...] = ()) -> list[Task]:
+        """Create the root activation of the entry template."""
+        template = self.program.entry_template()
+        if template.captures:
+            raise GraphError(
+                f"entry template {template.name!r} has captures; it cannot "
+                "be an entry point"
+            )
+        if len(args) != len(template.params):
+            raise RuntimeFailure(
+                f"entry {template.name!r} takes {len(template.params)} "
+                f"argument(s), got {len(args)}"
+            )
+        root = self.pool.acquire(template)
+        root.continuation = None
+        newly: list[Task] = [
+            self._task(root, nid) for nid in template.initial_ready
+        ]
+        for i, a in enumerate(args):
+            self._deliver_output(root, i, 0, wrap_payload(a), 0, newly)
+        return newly
+
+    def fire(self, task: Task, run_op: RunOp | None = None, home: int = -1) -> list[Task]:
+        """Fire one ready task; return the newly ready tasks."""
+        act = task.activation
+        node_id = task.node_id
+        node: Node = act.template.nodes[node_id]
+        act.fired += 1
+        self.stats.tasks_fired += 1
+        newly: list[Task] = []
+        kind = node.kind
+
+        if kind is NodeKind.CONST:
+            self._deliver_output(act, node_id, 0, node.value, 0, newly)
+        elif kind is NodeKind.OPREF:
+            self._deliver_output(act, node_id, 0, OperatorValue(node.name), 0, newly)
+        elif kind is NodeKind.TUPLE:
+            inputs = act.take_inputs(node_id)
+            mv = MultiValue(tuple(inputs))
+            self._deliver_output(act, node_id, 0, mv, 0, newly)
+            release(mv, 1)  # drop the input slots' shares
+        elif kind is NodeKind.UNTUPLE:
+            value = act.take_inputs(node_id)[0]
+            if not isinstance(value, MultiValue):
+                raise RuntimeFailure(
+                    f"cannot decompose non-package value {value!r} "
+                    f"(node {node.label!r} in {act.template.name!r})"
+                )
+            if len(value) != node.n_outputs:
+                raise RuntimeFailure(
+                    f"package of {len(value)} value(s) decomposed into "
+                    f"{node.n_outputs} name(s) in {act.template.name!r}"
+                )
+            for i, element in enumerate(value.items):
+                self._deliver_output(act, node_id, i, element, 0, newly)
+            release(value, 1)
+        elif kind is NodeKind.CLOSURE:
+            cells = tuple(act.take_inputs(node_id))
+            template = self.program.template(node.template)
+            if len(cells) != len(template.captures):
+                raise GraphError(
+                    f"closure over {template.name!r}: {len(cells)} cell(s) "
+                    f"for {len(template.captures)} capture(s)"
+                )
+            closure = Closure(template, cells).tie_self()
+            # Cells keep the input slots' shares as permanent pins: a
+            # captured block is always treated as shared (conservative,
+            # documented in blocks.py).
+            self._deliver_output(act, node_id, 0, closure, 0, newly)
+        elif kind is NodeKind.OP:
+            inputs = act.take_inputs(node_id)
+            spec = self.registry.get(node.name)
+            result = self._execute_operator(spec, list(inputs), run_op, home)
+            self._deliver_output(act, node_id, 0, result, 0, newly)
+            for v in inputs:
+                release(v, 1)
+        elif kind is NodeKind.CALL:
+            self._fire_call(act, node_id, node, newly, run_op, home)
+        elif kind is NodeKind.IF:
+            self._fire_if(act, node_id, node, newly)
+        else:  # pragma: no cover - placeholders never reach the queue
+            raise GraphError(f"cannot fire node of kind {kind}")
+
+        self._maybe_free(act)
+        return newly
+
+    @property
+    def finished(self) -> bool:
+        return self._final is not _NO_RESULT
+
+    def result(self) -> Any:
+        """The program result, unwrapped for the API boundary."""
+        if self._final is _NO_RESULT:
+            raise RuntimeFailure("program has not produced a result")
+        return unwrap(self._final)
+
+    def snapshot_stats(self) -> EngineStats:
+        self.stats.activation_stats = self.pool.stats()
+        return self.stats
+
+    def stall_report(self, limit: int = 8) -> str:
+        """Describe what is stuck when execution stalls without a result.
+
+        Lists live activations with their unfired nodes and which inputs
+        those nodes still await — the first thing to read when a
+        hand-built graph (or an engine bug) deadlocks.
+        """
+        lines: list[str] = [
+            f"{self.pool.live} live activation(s) at stall:"
+        ]
+        for act in sorted(self.pool.live_set, key=lambda a: a.aid)[:limit]:
+            lines.append(
+                f"  #{act.aid} {act.template.name}: fired "
+                f"{act.fired}/{act.fireable_nodes()}, "
+                f"result_done={act.result_done}"
+            )
+            for node_id, missing in enumerate(act.missing):
+                node = act.template.nodes[node_id]
+                if missing > 0 and node.kind not in (
+                    NodeKind.PARAM,
+                    NodeKind.CAPTURE,
+                ):
+                    lines.append(
+                        f"    node {node_id} ({node.label or node.kind.value})"
+                        f" awaits {missing} input(s)"
+                    )
+        if self.pool.live > limit:
+            lines.append(f"  ... and {self.pool.live - limit} more")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Node semantics
+    # ------------------------------------------------------------------
+    def _task(self, act: Activation, node_id: int) -> Task:
+        node = act.template.nodes[node_id]
+        if node.kind is NodeKind.CALL:
+            priority = PRIORITY_RECURSIVE_CALL if node.recursive else PRIORITY_CALL
+        elif node.kind is NodeKind.IF:
+            priority = PRIORITY_CALL
+        else:
+            priority = PRIORITY_NORMAL
+        self._task_seq += 1
+        return Task(act, node_id, priority, self._task_seq)
+
+    def _deliver_output(
+        self,
+        act: Activation,
+        node_id: int,
+        out: int,
+        value: Any,
+        carried_share: int,
+        newly: list[Task],
+    ) -> None:
+        template = act.template
+        consumers = template.consumers[node_id][out]
+        assert template.result is not None
+        is_result = template.result.node == node_id and template.result.out == out
+        retain(value, len(consumers) + (1 if is_result else 0))
+        if carried_share:
+            release(value, carried_share)
+        for dest, idx in consumers:
+            act.slots[dest][idx] = value
+            act.missing[dest] -= 1
+            if act.missing[dest] == 0:
+                newly.append(self._task(act, dest))
+        if is_result:
+            self._handle_result(act, value, newly)
+
+    def _handle_result(self, act: Activation, value: Any, newly: list[Task]) -> None:
+        act.result_done = True
+        continuation = act.continuation
+        self._maybe_free(act)
+        if continuation is None:
+            self._final = value
+            return
+        parent, parent_node = continuation
+        count = self._pending_children.get(parent.aid, 0) - 1
+        if count > 0:
+            self._pending_children[parent.aid] = count
+        else:
+            self._pending_children.pop(parent.aid, None)
+        self._deliver_output(parent, parent_node, 0, value, 1, newly)
+        # The parent may have been waiting only on this child; re-check.
+        self._maybe_free(parent)
+
+    def _maybe_free(self, act: Activation) -> None:
+        if (
+            act.result_done
+            and act.fired >= act.fireable_nodes()
+            and self._pending_children.get(act.aid, 0) == 0
+        ):
+            act.result_done = False  # guard against double release
+            self.pool.release(act)
+
+    # ------------------------------------------------------------------
+    def _execute_operator(
+        self,
+        spec: OperatorSpec,
+        raw_inputs: list[Any],
+        run_op: RunOp | None,
+        home: int,
+    ) -> Any:
+        if spec.arity is not None and spec.arity != len(raw_inputs):
+            raise RuntimeFailure(
+                f"operator {spec.name!r} takes {spec.arity} argument(s), "
+                f"got {len(raw_inputs)}"
+            )
+        args: list[Any] = []
+        arg_blocks: list[DataBlock | None] = []
+        fingerprints: list[tuple[int, object]] = []
+        for i, v in enumerate(raw_inputs):
+            if isinstance(v, DataBlock):
+                if i in spec.modifies:
+                    if v.unique():
+                        self.stats.in_place_writes += 1
+                        args.append(v.payload)
+                        arg_blocks.append(v)
+                    else:
+                        self.stats.cow_copies += 1
+                        self.stats.copies_by_operator[spec.name] = (
+                            self.stats.copies_by_operator.get(spec.name, 0) + 1
+                        )
+                        self.stats.copy_bytes_by_operator[spec.name] = (
+                            self.stats.copy_bytes_by_operator.get(spec.name, 0)
+                            + v.nbytes
+                        )
+                        fresh = v.copy(home)
+                        args.append(fresh.payload)
+                        arg_blocks.append(fresh)
+                else:
+                    args.append(v.payload)
+                    arg_blocks.append(v)
+                    if self.check_purity:
+                        fingerprints.append((i, _fingerprint(v.payload)))
+            else:
+                if i in spec.modifies and isinstance(v, MultiValue):
+                    raise RuntimeFailure(
+                        f"operator {spec.name!r} declares it modifies "
+                        f"argument {i}, which is a multiple-value package; "
+                        "split the package and pass the parts instead"
+                    )
+                args.append(_payload_of(v))
+                arg_blocks.append(None)
+
+        self.stats.ops_executed += 1
+        arg_tuple = tuple(args)
+        try:
+            if run_op is not None:
+                raw_result = run_op(spec, arg_tuple)
+            else:
+                raw_result = spec.fn(*arg_tuple)
+        except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
+            raise OperatorError(spec.name, exc) from exc
+
+        if self.check_purity:
+            for i, fp in fingerprints:
+                block = raw_inputs[i]
+                assert isinstance(block, DataBlock)
+                if _fingerprint(block.payload) != fp:
+                    raise PurityViolationError(
+                        f"operator {spec.name!r} modified argument {i} "
+                        "without declaring it in modifies=(...)"
+                    )
+        return self._wrap_result(raw_result, arg_blocks, home)
+
+    def _wrap_result(
+        self, raw: Any, arg_blocks: list[DataBlock | None], home: int
+    ) -> Any:
+        if isinstance(raw, tuple):
+            return MultiValue(
+                tuple(self._wrap_result(x, arg_blocks, home) for x in raw)
+            )
+        for block in arg_blocks:
+            if block is not None and block.payload is raw:
+                # The operator returned one of its inputs: keep the block's
+                # identity — this is the paper's "merging is free" idiom.
+                if home >= 0:
+                    block.home = home
+                return block
+        if isinstance(raw, np.ndarray) and raw.base is not None:
+            # A view over an input's buffer would alias it behind the
+            # reference counter's back; copy defensively.  Operators that
+            # want zero-copy splitting should return the whole array or
+            # independent arrays.
+            base: Any = raw
+            while isinstance(base, np.ndarray) and base.base is not None:
+                base = base.base
+            for block in arg_blocks:
+                if block is not None and block.payload is base:
+                    raw = raw.copy()
+                    break
+        return wrap_payload(raw, home)
+
+    # ------------------------------------------------------------------
+    def _fire_call(
+        self,
+        act: Activation,
+        node_id: int,
+        node: Node,
+        newly: list[Task],
+        run_op: RunOp | None,
+        home: int,
+    ) -> None:
+        inputs = act.take_inputs(node_id)
+        callee, call_args = inputs[0], list(inputs[1:])
+        if isinstance(callee, OperatorValue):
+            spec = self.registry.get(callee.name)
+            result = self._execute_operator(spec, call_args, run_op, home)
+            self._deliver_output(act, node_id, 0, result, 0, newly)
+            for v in inputs:
+                release(v, 1)
+            return
+        if isinstance(callee, Closure):
+            self._expand(
+                act,
+                node_id,
+                node,
+                callee.template,
+                params=call_args,
+                param_share=1,
+                captures=list(callee.cells),
+                capture_share=0,
+                newly=newly,
+            )
+            return
+        raise RuntimeFailure(
+            f"call of non-function value {callee!r} "
+            f"(node {node.label!r} in {act.template.name!r})"
+        )
+
+    def _fire_if(
+        self, act: Activation, node_id: int, node: Node, newly: list[Task]
+    ) -> None:
+        inputs = act.take_inputs(node_id)
+        cond = inputs[0]
+        n_then = node.n_then_captures
+        then_values = list(inputs[1 : 1 + n_then])
+        else_values = list(inputs[1 + n_then :])
+        if is_truthy(cond):
+            taken_name, taken = node.then_template, then_values
+            dropped = else_values
+        else:
+            taken_name, taken = node.else_template, else_values
+            dropped = then_values
+        for v in dropped:
+            release(v, 1)
+        release(cond, 1)
+        self._expand(
+            act,
+            node_id,
+            node,
+            self.program.template(taken_name),
+            params=[],
+            param_share=0,
+            captures=taken,
+            capture_share=1,
+            newly=newly,
+        )
+
+    def _expand(
+        self,
+        parent: Activation,
+        node_id: int,
+        node: Node,
+        template: Any,
+        params: list[Any],
+        param_share: int,
+        captures: list[Any],
+        capture_share: int,
+        newly: list[Task],
+    ) -> None:
+        if len(params) != len(template.params):
+            raise RuntimeFailure(
+                f"{template.name!r} takes {len(template.params)} argument(s), "
+                f"got {len(params)}"
+            )
+        if len(captures) != len(template.captures):
+            raise GraphError(
+                f"{template.name!r} expects {len(template.captures)} "
+                f"capture(s), got {len(captures)}"
+            )
+        self.stats.expansions += 1
+        child = self.pool.acquire(template)
+        if node.tail:
+            self.stats.tail_expansions += 1
+            child.continuation = parent.continuation
+            # Delegate: the parent will never see a result of its own.
+            parent.result_done = True
+        else:
+            child.continuation = (parent, node_id)
+            self._pending_children[parent.aid] = (
+                self._pending_children.get(parent.aid, 0) + 1
+            )
+        for nid in template.initial_ready:
+            newly.append(self._task(child, nid))
+        n_params = len(template.params)
+        for i, v in enumerate(params):
+            self._deliver_output(child, i, 0, v, param_share, newly)
+        for j, v in enumerate(captures):
+            self._deliver_output(child, n_params + j, 0, v, capture_share, newly)

@@ -1,0 +1,196 @@
+"""Executors: policies for driving an :class:`ExecutionState`.
+
+* :class:`SequentialExecutor` — one logical processor; the reference
+  executor and the debugging story of the paper ("we generally debug
+  programs on a single-processor workstation").
+* :class:`ThreadedExecutor` — real OS threads sharing the ready queue.
+  Because of the GIL this demonstrates *functional* parity (identical
+  results with true concurrent scheduling), not speedups; performance
+  experiments use the simulated machines in :mod:`repro.machine`.
+
+Both run every ready task to queue exhaustion, so engine statistics are
+identical across executors — another facet of determinism the tests check.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import RuntimeFailure
+from ..graph.ir import GraphProgram
+from .engine import EngineStats, ExecutionState
+from .operators import OperatorRegistry, OperatorSpec, default_registry
+from .scheduler import ReadyQueue
+from .tracing import Tracer
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution."""
+
+    value: Any
+    stats: EngineStats
+    tracer: Tracer | None
+    wall_seconds: float
+
+
+class SequentialExecutor:
+    """Run a coordination graph on one processor.
+
+    Parameters
+    ----------
+    use_priorities:
+        The three-level ready queue (default) vs. plain FIFO (ablation).
+    seed:
+        Randomize pop order within priority classes (determinism tests).
+    check_purity:
+        Enable the engine's undeclared-write detector.
+    trace:
+        Collect per-node wall-clock timings.
+    """
+
+    def __init__(
+        self,
+        use_priorities: bool = True,
+        seed: int | None = None,
+        check_purity: bool = False,
+        trace: bool = False,
+    ) -> None:
+        self.use_priorities = use_priorities
+        self.seed = seed
+        self.check_purity = check_purity
+        self.trace = trace
+
+    def run(
+        self,
+        program: GraphProgram,
+        args: tuple[Any, ...] = (),
+        registry: OperatorRegistry | None = None,
+    ) -> RunResult:
+        registry = registry if registry is not None else default_registry()
+        state = ExecutionState(program, registry, check_purity=self.check_purity)
+        queue = ReadyQueue(self.use_priorities, self.seed)
+        tracer = Tracer() if self.trace else None
+        began = time.perf_counter()
+        queue.push_all(state.start(args))
+        while queue:
+            task = queue.pop()
+            if tracer is not None:
+                node = task.activation.template.nodes[task.node_id]
+                t0 = time.perf_counter()
+                queue.push_all(state.fire(task))
+                tracer.record(
+                    node.label, node.kind.value, time.perf_counter() - t0
+                )
+            else:
+                queue.push_all(state.fire(task))
+        wall = time.perf_counter() - began
+        if not state.finished:
+            raise RuntimeFailure(
+                "execution stalled: ready queue drained without producing a "
+                "result (ill-formed graph?)\n" + state.stall_report()
+            )
+        return RunResult(state.result(), state.snapshot_stats(), tracer, wall)
+
+
+class ThreadedExecutor:
+    """Run a coordination graph on real OS threads.
+
+    The engine's bookkeeping runs under one lock; the lock is dropped
+    around each operator's actual Python call (where NumPy kernels may
+    release the GIL).  Results are identical to the sequential executor —
+    the coordination model guarantees it, and the tests verify it.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        use_priorities: bool = True,
+        check_purity: bool = False,
+        trace: bool = False,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.use_priorities = use_priorities
+        self.check_purity = check_purity
+        self.trace = trace
+
+    def run(
+        self,
+        program: GraphProgram,
+        args: tuple[Any, ...] = (),
+        registry: OperatorRegistry | None = None,
+    ) -> RunResult:
+        registry = registry if registry is not None else default_registry()
+        state = ExecutionState(program, registry, check_purity=self.check_purity)
+        queue = ReadyQueue(self.use_priorities)
+        condition = threading.Condition()
+        active = 0
+        errors: list[BaseException] = []
+        tracer = Tracer() if self.trace else None
+        run_began = time.perf_counter()
+
+        def run_op(spec: OperatorSpec, op_args: tuple[Any, ...]) -> Any:
+            # Drop the engine lock for the duration of the sequential
+            # sub-computation; this is the concurrency the model permits.
+            condition.release()
+            t0 = time.perf_counter()
+            try:
+                return spec.fn(*op_args)
+            finally:
+                elapsed = time.perf_counter() - t0
+                condition.acquire()
+                if tracer is not None:
+                    # Recorded under the lock; the worker's thread index
+                    # stands in for a processor id.
+                    name = threading.current_thread().name
+                    processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
+                    tracer.record(
+                        spec.name, "op", elapsed,
+                        start=t0 - run_began, processor=processor,
+                    )
+
+        def worker() -> None:
+            nonlocal active
+            with condition:
+                while True:
+                    while not queue and active > 0 and not errors:
+                        condition.wait()
+                    if errors or (not queue and active == 0):
+                        condition.notify_all()
+                        return
+                    task = queue.pop()
+                    active += 1
+                    try:
+                        new_tasks = state.fire(task, run_op=run_op)
+                        queue.push_all(new_tasks)
+                    except BaseException as exc:  # noqa: BLE001
+                        errors.append(exc)
+                    finally:
+                        active -= 1
+                        condition.notify_all()
+
+        began = run_began
+        with condition:
+            queue.push_all(state.start(args))
+        threads = [
+            threading.Thread(target=worker, name=f"delirium-worker-{i}")
+            for i in range(self.n_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - began
+        if errors:
+            raise errors[0]
+        if not state.finished:
+            raise RuntimeFailure(
+                "execution stalled: ready queue drained without producing a "
+                "result (ill-formed graph?)\n" + state.stall_report()
+            )
+        return RunResult(state.result(), state.snapshot_stats(), tracer, wall)

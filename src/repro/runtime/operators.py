@@ -1,0 +1,281 @@
+"""Operator registry: embedding sequential code in Delirium.
+
+In the original system, operators were sequential C or Fortran routines
+compiled with existing tools and embedded in the coordination framework.
+Here an operator is any Python callable registered with the runtime.  The
+only coordination-relevant metadata — exactly as in the paper — is which
+arguments the operator may **destructively modify** (``modifies``); the
+runtime uses that declaration plus reference counts to guarantee
+deterministic execution.
+
+Optional metadata powers the rest of the environment:
+
+``pure``
+    No side effects and output determined by inputs.  Licenses
+    common-subexpression and dead-code elimination in the compiler.
+``foldable``
+    Pure *and* safe to execute at compile time on literal arguments
+    (constant propagation).
+``cost``
+    Simulated execution cost in ticks: a number, or a callable receiving
+    the raw argument payloads.  Defaults let the machine models charge a
+    small constant; the case studies install analytic costs so simulated
+    speedup curves depend only on the dependency structure.
+``arity``
+    Expected argument count, checked at graph execution time.
+"""
+
+from __future__ import annotations
+
+import functools
+import operator as _pyop
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..errors import DeliriumError, UnknownOperatorError
+from .values import NULL, MultiValue
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Metadata for one registered operator."""
+
+    name: str
+    fn: Callable[..., Any]
+    modifies: frozenset[int] = frozenset()
+    pure: bool = False
+    foldable: bool = False
+    cost: float | Callable[..., float] | None = None
+    arity: int | None = None
+    doc: str = ""
+
+    def cost_ticks(self, args: tuple[Any, ...]) -> float | None:
+        """Evaluate the cost hint for a concrete argument tuple."""
+        if self.cost is None:
+            return None
+        if callable(self.cost):
+            return float(self.cost(*args))
+        return float(self.cost)
+
+
+class OperatorRegistry:
+    """A named collection of operators.
+
+    Registries compose: apps build theirs from :func:`builtin_registry`
+    plus their own kernels.  Iteration order is insertion order, which
+    keeps compiled artifacts deterministic.
+    """
+
+    def __init__(self, specs: Iterable[OperatorSpec] = ()) -> None:
+        self._specs: dict[str, OperatorSpec] = {}
+        for spec in specs:
+            self.add(spec)
+
+    # ------------------------------------------------------------------
+    def add(self, spec: OperatorSpec) -> OperatorSpec:
+        if spec.name in self._specs:
+            raise DeliriumError(f"operator {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def register(
+        self,
+        name: str | None = None,
+        *,
+        modifies: Iterable[int] = (),
+        pure: bool = False,
+        foldable: bool = False,
+        cost: float | Callable[..., float] | None = None,
+        arity: int | None = None,
+    ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        """Decorator: register the wrapped callable as an operator.
+
+        Example::
+
+            reg = OperatorRegistry()
+
+            @reg.register(modifies=(0,), cost=lambda b, q, l: 50.0)
+            def add_queen(board, queen, location):
+                board[queen - 1] = location
+                return board
+        """
+
+        def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+            op_name = name or fn.__name__
+            self.add(
+                OperatorSpec(
+                    name=op_name,
+                    fn=fn,
+                    modifies=frozenset(modifies),
+                    pure=pure,
+                    foldable=foldable or (pure and foldable),
+                    cost=cost,
+                    arity=arity,
+                    doc=(fn.__doc__ or "").strip(),
+                )
+            )
+            return fn
+
+        return decorate
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> OperatorSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise UnknownOperatorError(name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[OperatorSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def names(self) -> set[str]:
+        return set(self._specs)
+
+    def pure_names(self) -> set[str]:
+        return {s.name for s in self._specs.values() if s.pure}
+
+    def merged_with(self, other: "OperatorRegistry") -> "OperatorRegistry":
+        """A new registry containing both sides (``other`` wins clashes)."""
+        merged = OperatorRegistry()
+        merged._specs.update(self._specs)
+        merged._specs.update(other._specs)
+        return merged
+
+
+# ---------------------------------------------------------------------------
+# Built-in operators
+# ---------------------------------------------------------------------------
+
+
+def _pure(reg: OperatorRegistry, name: str, fn: Callable[..., Any], arity: int) -> None:
+    reg.add(
+        OperatorSpec(
+            name=name,
+            fn=fn,
+            pure=True,
+            foldable=True,
+            cost=1.0,
+            arity=arity,
+            doc=(fn.__doc__ or "").strip(),
+        )
+    )
+
+
+def _is_null(x: Any) -> int:
+    """1 when the argument is NULL, else 0."""
+    return 1 if x is NULL else 0
+
+
+def _merge_variadic(*items: Any) -> Any:
+    """Collect results, dropping NULLs, into a flat list.
+
+    This mirrors the paper's eight-queens ``merge``: failed tries return
+    NULL and successful subtrees return solutions or solution lists.
+    """
+    out: list[Any] = []
+    for item in items:
+        if item is NULL:
+            continue
+        if isinstance(item, list):
+            out.extend(item)
+        else:
+            out.append(item)
+    return out
+
+
+@functools.lru_cache(maxsize=1)
+def builtin_registry() -> OperatorRegistry:
+    """The standard operators every program may assume.
+
+    All are pure and foldable, tiny-cost scalar helpers — the Delirium
+    analogue of the host language's expression syntax (the language itself
+    has no infix operators; the paper's examples use ``incr``,
+    ``is_equal``, ``is_not_equal``).  The returned registry is cached and
+    must be treated as read-only; compose with :meth:`merged_with`.
+    """
+    reg = OperatorRegistry()
+    _pure(reg, "incr", lambda x: x + 1, 1)
+    _pure(reg, "decr", lambda x: x - 1, 1)
+    _pure(reg, "add", _pyop.add, 2)
+    _pure(reg, "sub", _pyop.sub, 2)
+    _pure(reg, "mul", _pyop.mul, 2)
+    _pure(reg, "div", lambda a, b: a / b, 2)
+    _pure(reg, "idiv", lambda a, b: a // b, 2)
+    _pure(reg, "mod", lambda a, b: a % b, 2)
+    _pure(reg, "neg", lambda a: -a, 1)
+    _pure(reg, "min2", min, 2)
+    _pure(reg, "max2", max, 2)
+    _pure(reg, "is_equal", lambda a, b: 1 if a == b else 0, 2)
+    _pure(reg, "is_not_equal", lambda a, b: 1 if a != b else 0, 2)
+    _pure(reg, "is_less", lambda a, b: 1 if a < b else 0, 2)
+    _pure(reg, "is_less_equal", lambda a, b: 1 if a <= b else 0, 2)
+    _pure(reg, "is_greater", lambda a, b: 1 if a > b else 0, 2)
+    _pure(reg, "is_greater_equal", lambda a, b: 1 if a >= b else 0, 2)
+    _pure(reg, "not", lambda a: 0 if a else 1, 1)
+    _pure(reg, "and", lambda a, b: 1 if (a and b) else 0, 2)
+    _pure(reg, "or", lambda a, b: 1 if (a or b) else 0, 2)
+    _pure(reg, "is_null", _is_null, 1)
+    _pure(reg, "identity", lambda x: x, 1)
+    reg.add(
+        OperatorSpec(
+            name="merge",
+            fn=_merge_variadic,
+            pure=True,
+            foldable=False,  # variadic; keep it out of the constant folder
+            cost=1.0,
+            arity=None,
+            doc=_merge_variadic.__doc__ or "",
+        )
+    )
+    # --- list and package helpers for the coordination-structure prelude
+    # (the section 9.2 extension: dynamic-width parallelism).  ``element``
+    # copies mutable payloads defensively: pulling an interior mutable
+    # object out of a package would otherwise alias it behind the
+    # reference counter's back.  Zero-copy decomposition is what the
+    # ``<a, b, c> = pkg`` binding form is for.
+    import copy as _copy
+
+    def _element(pkg: Any, i: int) -> Any:
+        value = pkg[i]
+        if isinstance(value, IMMUTABLE_PRELUDE_TYPES) or value is NULL:
+            return value
+        return _copy.deepcopy(value)
+
+    _pure(reg, "pkg_len", lambda pkg: len(pkg), 1)
+    reg.add(
+        OperatorSpec(
+            name="element",
+            fn=_element,
+            pure=True,
+            foldable=False,
+            cost=2.0,
+            arity=2,
+            doc=(_element.__doc__ or "package element access (copying)"),
+        )
+    )
+    _pure(reg, "nil", lambda: [], 0)
+    _pure(reg, "list1", lambda x: [x], 1)
+    _pure(reg, "append2", lambda a, b: list(a) + list(b), 2)
+    return reg
+
+
+#: Types ``element`` may return without copying.
+IMMUTABLE_PRELUDE_TYPES = (int, float, complex, bool, str, bytes, frozenset)
+
+
+def default_registry() -> OperatorRegistry:
+    """A fresh, extensible registry pre-populated with the builtins."""
+    return OperatorRegistry().merged_with(builtin_registry())
+
+
+def unwrap_multivalue(value: Any) -> Any:
+    """Convert a MultiValue to a tuple for operator consumption."""
+    if isinstance(value, MultiValue):
+        return tuple(unwrap_multivalue(v) for v in value.items)
+    return value

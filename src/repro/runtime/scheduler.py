@@ -1,0 +1,96 @@
+"""The ready queue with the paper's three-level priority scheme.
+
+Section 7: "The ready queue has three levels of priority.  In decreasing
+order of priority, they are: normal operators, non-recursive call-closure
+operators, and recursive call-closure operators.  The priority scheme
+reduces the number of template activations required to evaluate a Delirium
+program, by making activations available for re-use as early as possible."
+
+Normal node firings drain existing activations toward completion before any
+new subgraph is expanded; recursive expansions — the ones that can multiply
+without bound in programs like parallel backtracking — go last.  The effect
+is a bounded-frontier, depth-biased exploration instead of a breadth-first
+explosion, and it is ablatable (``use_priorities=False`` degrades to a
+single FIFO) so the claim can be measured (``benchmarks/
+bench_priority_ablation.py``).
+
+Determinism note: the *results* of a Delirium program never depend on pop
+order (that is the coordination model's guarantee, which the property tests
+exercise by randomizing pop order with ``seed``); only resource usage does.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Priority classes.
+PRIORITY_NORMAL = 0
+PRIORITY_CALL = 1
+PRIORITY_RECURSIVE_CALL = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A ready node firing: (activation, node) plus its priority class."""
+
+    activation: Any  # Activation; typed loosely to avoid an import cycle
+    node_id: int
+    priority: int
+    seq: int
+
+    def label(self) -> str:
+        return self.activation.template.nodes[self.node_id].label
+
+
+class ReadyQueue:
+    """Three-level priority queue of :class:`Task`.
+
+    Parameters
+    ----------
+    use_priorities:
+        When ``False`` all tasks share one FIFO — the ablation mode.
+    seed:
+        When given, pops within the selected priority class pick a random
+        queued task (seeded, reproducible).  Used by the determinism
+        property tests; production executors leave it ``None`` for FIFO
+        order within each class.
+    """
+
+    def __init__(self, use_priorities: bool = True, seed: int | None = None) -> None:
+        self.use_priorities = use_priorities
+        self._rng = random.Random(seed) if seed is not None else None
+        self._queues: list[deque[Task]] = [deque(), deque(), deque()]
+        self._size = 0
+
+    def push(self, task: Task) -> None:
+        level = task.priority if self.use_priorities else 0
+        self._queues[level].append(task)
+        self._size += 1
+
+    def push_all(self, tasks: list[Task]) -> None:
+        for t in tasks:
+            self.push(t)
+
+    def pop(self) -> Task:
+        if self._size == 0:
+            raise IndexError("pop from empty ready queue")
+        for q in self._queues:
+            if q:
+                self._size -= 1
+                if self._rng is None or len(q) == 1:
+                    return q.popleft()
+                i = self._rng.randrange(len(q))
+                q.rotate(-i)
+                task = q.popleft()
+                q.rotate(i)
+                return task
+        raise AssertionError("size/queue mismatch")  # pragma: no cover
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0

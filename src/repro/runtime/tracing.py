@@ -1,0 +1,69 @@
+"""Execution tracing: node timings and event logs.
+
+The paper's programming environment prints "the amount of time each of the
+nodes in the graph took to execute" — the tool that exposed the retina
+model's ``post_up`` bottleneck (section 5.2) and the compiler's unbalanced
+tree division (section 6.3).  :class:`Tracer` collects per-node records in
+whatever time unit the executor uses (wall seconds for the real executors,
+ticks for the simulated machines); :mod:`repro.tools.timing_report`
+formats them in the paper's ``call of X took N`` style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class NodeTiming:
+    """One node execution record."""
+
+    label: str          #: node label (operator name for OP nodes)
+    kind: str           #: node kind value ("op", "call", ...)
+    ticks: float        #: duration in the executor's time unit
+    start: float = 0.0  #: start time (simulated executors only)
+    processor: int = 0  #: executing processor (simulated executors only)
+
+
+@dataclass
+class Tracer:
+    """Accumulates node timings during one run."""
+
+    records: list[NodeTiming] = field(default_factory=list)
+
+    def record(
+        self,
+        label: str,
+        kind: str,
+        ticks: float,
+        start: float = 0.0,
+        processor: int = 0,
+    ) -> None:
+        self.records.append(NodeTiming(label, kind, ticks, start, processor))
+
+    # ------------------------------------------------------------------
+    def op_records(self) -> list[NodeTiming]:
+        """Only operator executions (what the paper's dumps show)."""
+        return [r for r in self.records if r.kind == "op"]
+
+    def totals_by_label(self) -> dict[str, float]:
+        """Total time per label, insertion-ordered."""
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0.0) + r.ticks
+        return out
+
+    def count_by_label(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for r in self.records:
+            out[r.label] = out.get(r.label, 0) + 1
+        return out
+
+    def max_by_label(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for r in self.records:
+            out[r.label] = max(out.get(r.label, 0.0), r.ticks)
+        return out
+
+    def total_ticks(self) -> float:
+        return sum(r.ticks for r in self.records)

@@ -1,0 +1,22 @@
+"""Environment tools: timing reports, timelines, and the delirium CLI."""
+
+from .timeline import gantt, utilization_per_processor
+from .timing_report import (
+    LoadBalanceSummary,
+    load_balance_summary,
+    node_timing_report,
+    pass_table,
+)
+
+__all__ = [
+    "LoadBalanceSummary",
+    "gantt",
+    "load_balance_summary",
+    "node_timing_report",
+    "pass_table",
+    "utilization_per_processor",
+]
+
+from .compare_runs import RunComparison, compare
+
+__all__ += ["RunComparison", "compare"]

@@ -1,0 +1,222 @@
+"""``delirium`` command line interface.
+
+Subcommands mirror the workflow of the paper's programming environment:
+
+* ``compile FILE`` — compile a ``.dlm`` source, print template dumps and
+  per-pass times;
+* ``run FILE [--arg N ...]`` — compile and execute (sequentially or on a
+  simulated machine), printing the result;
+* ``viz FILE`` — emit the coordination framework (ASCII layers or DOT);
+* ``profile FILE`` — run with node timings on a simulated machine and
+  print the paper-style ``call of X took N`` report plus the load-balance
+  summary.
+
+Programs compiled here have access to the builtin operators only; the case
+studies ship their own drivers (``python -m repro.apps.retina`` etc.)
+because their operators are Python code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast as python_ast
+import sys
+
+from ..compiler import compile_file
+from ..graph.validate import validate_program
+from ..graph.viz import ascii_framework, to_dot
+from ..machine import PRESETS, SimulatedExecutor
+from ..runtime import SequentialExecutor
+from .timeline import gantt
+from .timing_report import load_balance_summary, node_timing_report
+
+
+def _parse_value(text: str) -> object:
+    """Parse a CLI argument: int/float/string literal."""
+    try:
+        return python_ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("file", help="Delirium source file")
+    parser.add_argument(
+        "--define",
+        "-D",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="symbolic constant for the preprocessor",
+    )
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="disable the optimization passes",
+    )
+
+
+def _defines(pairs: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --define {pair!r}; expected NAME=VALUE")
+        name, value = pair.split("=", 1)
+        out[name] = _parse_value(value)
+    return out
+
+
+class _LoadedGraph:
+    """Adapter giving a loaded ``.dlc`` graph the CompiledProgram shape."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.registry = None  # builtins; supplied by the executor default
+        self.pass_seconds: dict[str, float] = {}
+
+
+def _compile(args: argparse.Namespace):
+    if args.file.endswith(".dlc"):
+        from ..graph.serialize import load
+
+        return _LoadedGraph(load(args.file))
+    passes = () if args.no_optimize else ("inline", "constprop", "cse", "dce")
+    return compile_file(
+        args.file, defines=_defines(args.define), optimize_passes=passes
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="delirium",
+        description="The Delirium coordination-language environment "
+        "(reproduction of Lucco & Sharp, SC 1990).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile and dump templates")
+    _add_common(p_compile)
+    p_compile.add_argument(
+        "--emit",
+        metavar="FILE.dlc",
+        help="write the compiled coordination graphs as JSON",
+    )
+
+    p_validate = sub.add_parser(
+        "validate", help="structurally validate a program or .dlc file"
+    )
+    _add_common(p_validate)
+
+    p_run = sub.add_parser("run", help="compile and execute")
+    _add_common(p_run)
+    p_run.add_argument(
+        "--arg", action="append", default=[], help="argument to main()"
+    )
+    p_run.add_argument(
+        "--machine",
+        choices=sorted(PRESETS),
+        help="execute on a simulated machine instead of directly",
+    )
+    p_run.add_argument("--processors", "-p", type=int, default=None)
+
+    p_viz = sub.add_parser("viz", help="render the coordination framework")
+    _add_common(p_viz)
+    p_viz.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+
+    sub.add_parser("repl", help="interactive read-eval-print loop")
+
+    p_profile = sub.add_parser("profile", help="node timings on a machine")
+    _add_common(p_profile)
+    p_profile.add_argument(
+        "--machine", choices=sorted(PRESETS), default="cray-2"
+    )
+    p_profile.add_argument("--processors", "-p", type=int, default=None)
+    p_profile.add_argument(
+        "--arg", action="append", default=[], help="argument to main()"
+    )
+
+    ns = parser.parse_args(argv)
+
+    if ns.command == "repl":
+        from .repl import Repl
+
+        return Repl().run()
+
+    compiled = _compile(ns)
+
+    if ns.command == "compile":
+        report = validate_program(compiled.graph)
+        for template in compiled.graph.templates.values():
+            print(template.describe())
+            print()
+        print(f"{report.templates_checked} template(s); "
+              f"{compiled.graph.total_nodes()} node(s)")
+        for name, seconds in compiled.pass_seconds.items():
+            print(f"  {name:<18} {seconds * 1000:8.2f} ms")
+        if getattr(compiled, "optimization", None) is not None:
+            print(compiled.optimization.describe())
+        if ns.emit:
+            from ..graph.serialize import save
+
+            save(compiled.graph, ns.emit)
+            print(f"wrote {ns.emit}")
+        return 0
+
+    if ns.command == "validate":
+        from ..errors import GraphError
+
+        try:
+            report = validate_program(compiled.graph)
+        except GraphError as exc:
+            print(f"INVALID: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: {report.templates_checked} template(s), "
+            f"{len(report.dead_nodes)} dead node(s)"
+        )
+        return 0
+
+    if ns.command == "viz":
+        print(to_dot(compiled.graph) if ns.dot else ascii_framework(compiled.graph))
+        return 0
+
+    run_args = tuple(_parse_value(a) for a in ns.arg)
+    if ns.command == "run":
+        if ns.machine:
+            machine = PRESETS[ns.machine]()
+            if ns.processors:
+                machine = machine.with_processors(ns.processors)
+            result = SimulatedExecutor(machine).run(
+                compiled.graph, args=run_args, registry=compiled.registry
+            )
+            print(result.value)
+            print(f"# {result.describe()}", file=sys.stderr)
+        else:
+            result = SequentialExecutor().run(
+                compiled.graph, args=run_args, registry=compiled.registry
+            )
+            print(result.value)
+        return 0
+
+    if ns.command == "profile":
+        machine = PRESETS[ns.machine]()
+        if ns.processors:
+            machine = machine.with_processors(ns.processors)
+        executor = SimulatedExecutor(machine, trace=True)
+        result = executor.run(
+            compiled.graph, args=run_args, registry=compiled.registry
+        )
+        assert result.tracer is not None
+        print(node_timing_report(result.tracer))
+        print()
+        print(load_balance_summary(result.tracer).describe())
+        print()
+        print(gantt(result.tracer, machine.processors))
+        print(f"# {result.describe()}", file=sys.stderr)
+        return 0
+
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

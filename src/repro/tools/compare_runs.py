@@ -1,0 +1,115 @@
+"""Compare two simulated runs: the before/after view of a tuning step.
+
+The paper's case studies are narratives of *differential* measurements —
+v1 vs v2 of the retina, priorities on vs off, replication on vs off.
+:func:`compare` packages that workflow: feed it two
+:class:`~repro.machine.simulator.SimResult` objects (same program, any
+two configurations) and it reports the speedup, per-operator time deltas
+(from traces, when present), traffic deltas, and activation deltas — the
+table a programmer reads after every change, like sections 5.2/6.3 did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.simulator import SimResult
+
+
+@dataclass
+class RunComparison:
+    """The delta report between a baseline and a candidate run."""
+
+    baseline_ticks: float
+    candidate_ticks: float
+    #: operator label -> (baseline total ticks, candidate total ticks)
+    per_operator: dict[str, tuple[float, float]] = field(default_factory=dict)
+    traffic_delta: dict[str, float] = field(default_factory=dict)
+    activation_delta: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.candidate_ticks <= 0:
+            return float("inf")
+        return self.baseline_ticks / self.candidate_ticks
+
+    def regressions(self) -> list[str]:
+        """Operator labels whose total time grew in the candidate."""
+        return [
+            label
+            for label, (before, after) in self.per_operator.items()
+            if after > before * 1.001
+        ]
+
+    def describe(self, top: int = 8) -> str:
+        lines = [
+            f"makespan: {self.baseline_ticks:.0f} -> "
+            f"{self.candidate_ticks:.0f} ticks "
+            f"(speedup {self.speedup:.2f}x)"
+        ]
+        if self.per_operator:
+            lines.append(f"{'operator':<20}{'baseline':>12}{'candidate':>12}{'delta':>10}")
+            ranked = sorted(
+                self.per_operator.items(),
+                key=lambda kv: -(kv[1][0] + kv[1][1]),
+            )[:top]
+            for label, (before, after) in ranked:
+                lines.append(
+                    f"{label:<20}{before:>12.0f}{after:>12.0f}"
+                    f"{after - before:>+10.0f}"
+                )
+        for key, delta in self.traffic_delta.items():
+            if delta:
+                lines.append(f"traffic {key}: {delta:+.0f} bytes")
+        for key, delta in self.activation_delta.items():
+            if delta:
+                lines.append(f"activations {key}: {delta:+d}")
+        return "\n".join(lines)
+
+
+def compare(baseline: SimResult, candidate: SimResult) -> RunComparison:
+    """Build the delta report; raises if the runs computed different values
+    (comparing runs of different programs is always a mistake)."""
+    same = baseline.value == candidate.value
+    try:
+        same = bool(same)
+    except Exception:  # numpy arrays etc.
+        import numpy as np
+
+        same = bool(np.array_equal(baseline.value, candidate.value))
+    if not same:
+        raise ValueError(
+            "runs computed different results; comparison would be "
+            "meaningless (different programs or arguments?)"
+        )
+    out = RunComparison(
+        baseline_ticks=baseline.ticks, candidate_ticks=candidate.ticks
+    )
+    if baseline.tracer is not None and candidate.tracer is not None:
+        before = baseline.tracer.totals_by_label()
+        after = candidate.tracer.totals_by_label()
+        for label in sorted(set(before) | set(after)):
+            out.per_operator[label] = (
+                before.get(label, 0.0),
+                after.get(label, 0.0),
+            )
+    out.traffic_delta = {
+        "remote": float(
+            candidate.traffic.remote_bytes - baseline.traffic.remote_bytes
+        ),
+        "template_fetch": float(
+            candidate.traffic.template_fetch_bytes
+            - baseline.traffic.template_fetch_bytes
+        ),
+    }
+    out.activation_delta = {
+        "peak_live": (
+            candidate.stats.activation_stats.get("peak_live", 0)
+            - baseline.stats.activation_stats.get("peak_live", 0)
+        ),
+        "created": (
+            candidate.stats.activation_stats.get("created", 0)
+            - baseline.stats.activation_stats.get("created", 0)
+        ),
+    }
+    return out

@@ -1,0 +1,137 @@
+"""An interactive Delirium read-eval-print loop.
+
+The paper's workflow starts on "a single-processor workstation like the
+Sun"; the REPL is the smallest version of that: type an expression, it is
+wrapped into ``main()``, compiled against the builtins (plus the prelude)
+and any functions you've defined, and executed sequentially.
+
+Commands::
+
+    <expr>           evaluate an expression, e.g.  add(2, mul(3, 4))
+    :def <fundef>    define a function for the session, e.g.
+                     :def square(x) mul(x, x)
+    :list            show session definitions
+    :graph <expr>    show the coordination framework instead of running
+    :quit            leave
+
+Multi-line input: end a line with ``\\`` to continue.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TextIO
+
+from ..compiler import compile_source
+from ..errors import DeliriumError
+from ..graph.viz import ascii_framework
+from ..runtime import SequentialExecutor, default_registry
+
+
+class Repl:
+    """One REPL session (I/O injected for testability)."""
+
+    def __init__(
+        self,
+        stdin: TextIO | None = None,
+        stdout: TextIO | None = None,
+        use_prelude: bool = True,
+    ) -> None:
+        self.stdin = stdin or sys.stdin
+        self.stdout = stdout or sys.stdout
+        self.use_prelude = use_prelude
+        self.definitions: list[str] = []
+        self.registry = default_registry()
+
+    # ------------------------------------------------------------------
+    def _print(self, text: str) -> None:
+        print(text, file=self.stdout)
+
+    def _read_logical_line(self) -> str | None:
+        parts: list[str] = []
+        prompt = "delirium> " if not parts else "........> "
+        while True:
+            self._prompt("delirium> " if not parts else "........> ")
+            line = self.stdin.readline()
+            if not line:
+                return None if not parts else " ".join(parts)
+            line = line.rstrip("\n")
+            if line.endswith("\\"):
+                parts.append(line[:-1])
+                continue
+            parts.append(line)
+            return " ".join(parts)
+
+    def _prompt(self, text: str) -> None:
+        if self.stdin is sys.stdin and sys.stdin.isatty():  # pragma: no cover
+            print(text, end="", file=self.stdout, flush=True)
+
+    def _program_source(self, expr: str) -> str:
+        body = "\n\n".join(self.definitions)
+        return f"{body}\n\nmain() {expr}\n"
+
+    def _compile(self, expr: str):
+        return compile_source(
+            self._program_source(expr),
+            registry=self.registry,
+            prelude=self.use_prelude,
+        )
+
+    # ------------------------------------------------------------------
+    def handle(self, line: str) -> bool:
+        """Process one logical line; False means quit."""
+        line = line.strip()
+        if not line:
+            return True
+        if line in (":quit", ":q", ":exit"):
+            return False
+        try:
+            if line.startswith(":def "):
+                candidate = line[len(":def ") :].strip()
+                # Validate before accepting: compile a probe program.
+                probe = self.definitions + [candidate]
+                compile_source(
+                    "\n\n".join(probe) + "\n\nmain() 0\n",
+                    registry=self.registry,
+                    prelude=self.use_prelude,
+                )
+                self.definitions.append(candidate)
+                self._print(f"defined: {candidate.split('(', 1)[0]}")
+                return True
+            if line == ":list":
+                if not self.definitions:
+                    self._print("(no session definitions)")
+                for d in self.definitions:
+                    self._print(d)
+                return True
+            if line.startswith(":graph "):
+                compiled = self._compile(line[len(":graph ") :])
+                self._print(ascii_framework(compiled.graph, entry_only=True))
+                return True
+            if line.startswith(":"):
+                self._print(f"unknown command {line.split()[0]!r}")
+                return True
+            compiled = self._compile(line)
+            result = SequentialExecutor().run(
+                compiled.graph, registry=self.registry
+            )
+            self._print(repr(result.value))
+        except DeliriumError as exc:
+            self._print(f"error: {exc}")
+        return True
+
+    def run(self) -> int:
+        self._print(
+            "Delirium REPL — :def to define functions, :graph <expr> to "
+            "inspect, :quit to leave."
+        )
+        while True:
+            line = self._read_logical_line()
+            if line is None:
+                return 0
+            if not self.handle(line):
+                return 0
+
+
+def main() -> int:  # pragma: no cover - thin wrapper
+    return Repl().run()

@@ -1,0 +1,139 @@
+"""Node-timing reports in the paper's format.
+
+Section 5.2 shows the tool's output on the Cray-2::
+
+    call of convol_split took 10013
+    call of convol_bite took 1059919
+    call of convol_bite took 1135594
+    ...
+
+and the narrative that found the ``post_up`` bottleneck: "Roughly half of
+its invocations executed in negligible time while half took as long as all
+the convolutions combined."  :func:`node_timing_report` renders a
+:class:`~repro.runtime.tracing.Tracer` the same way;
+:func:`load_balance_summary` computes the imbalance diagnosis the authors
+did by eye.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..runtime.tracing import Tracer
+
+
+def node_timing_report(
+    tracer: Tracer,
+    include: set[str] | None = None,
+    ops_only: bool = True,
+    unit: str = "ticks",
+) -> str:
+    """The paper's ``call of X took N`` dump.
+
+    Parameters
+    ----------
+    tracer:
+        Timings from a traced run.
+    include:
+        Restrict to these labels (``None`` = all).
+    ops_only:
+        Show only operator executions (the engine nodes are noise).
+    unit:
+        Annotation only; ticks for simulated runs, seconds for real ones.
+    """
+    records = tracer.op_records() if ops_only else tracer.records
+    lines = []
+    for r in records:
+        if include is not None and r.label not in include:
+            continue
+        shown = int(round(r.ticks)) if unit == "ticks" else r.ticks
+        lines.append(f"call of {r.label} took {shown}")
+    return "\n".join(lines)
+
+
+@dataclass
+class LoadBalanceSummary:
+    """Imbalance diagnosis over one traced run."""
+
+    #: label -> (count, total, mean, max)
+    per_label: dict[str, tuple[int, float, float, float]]
+    #: The label with the largest single execution.
+    bottleneck: str
+    bottleneck_max: float
+    #: Largest single execution / mean of everything else — >> 1 means one
+    #: node serializes the computation (the paper's post_up at ~4M ticks
+    #: vs. ~1M-tick convolutions).
+    imbalance_ratio: float
+
+    def describe(self) -> str:
+        lines = [
+            f"{'label':<20} {'n':>5} {'total':>14} {'mean':>12} {'max':>12}"
+        ]
+        for label, (n, total, mean, peak) in sorted(
+            self.per_label.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(
+                f"{label:<20} {n:>5} {total:>14.0f} {mean:>12.0f} {peak:>12.0f}"
+            )
+        lines.append(
+            f"bottleneck: {self.bottleneck} (max {self.bottleneck_max:.0f}, "
+            f"imbalance ratio {self.imbalance_ratio:.2f})"
+        )
+        return "\n".join(lines)
+
+
+def load_balance_summary(
+    tracer: Tracer, include: set[str] | None = None
+) -> LoadBalanceSummary:
+    """Aggregate a trace into the per-label table and imbalance ratio."""
+    per_label: dict[str, tuple[int, float, float, float]] = {}
+    grouped: dict[str, list[float]] = {}
+    for r in tracer.op_records():
+        if include is not None and r.label not in include:
+            continue
+        grouped.setdefault(r.label, []).append(r.ticks)
+    for label, ticks in grouped.items():
+        per_label[label] = (
+            len(ticks),
+            sum(ticks),
+            sum(ticks) / len(ticks),
+            max(ticks),
+        )
+    if not per_label:
+        return LoadBalanceSummary({}, "", 0.0, 0.0)
+    bottleneck, (_, _, _, peak) = max(
+        per_label.items(), key=lambda kv: kv[1][3]
+    )
+    others = [
+        t for label, ts in grouped.items() if label != bottleneck for t in ts
+    ]
+    mean_others = sum(others) / len(others) if others else peak
+    ratio = peak / mean_others if mean_others > 0 else float("inf")
+    return LoadBalanceSummary(per_label, bottleneck, peak, ratio)
+
+
+def pass_table(
+    sequential: dict[str, float],
+    parallel: dict[str, float],
+    n_processors: int,
+    unit: str = "ticks",
+) -> str:
+    """Render Table 1 ("Time Per Compiler Pass") from two timing dicts."""
+    width = max(len(k) for k in sequential) + 2
+    lines = [
+        f"Time Per Compiler Pass (in {unit})",
+        f"{'Pass':<{width}} {'Sequential':>12} {f'Parallel (n={n_processors})':>16}",
+    ]
+    total_seq = total_par = 0.0
+    for name, seq in sequential.items():
+        par = parallel.get(name, float("nan"))
+        total_seq += seq
+        total_par += par
+        lines.append(f"{name:<{width}} {seq:>12.0f} {par:>16.0f}")
+    lines.append(f"{'Totals':<{width}} {total_seq:>12.0f} {total_par:>16.0f}")
+    lines.append(
+        f"overall speedup: {total_seq / total_par:.2f}"
+        if total_par
+        else "overall speedup: n/a"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""The circuit-simulator application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.circuit import (
+    AND,
+    NOT,
+    OR,
+    XOR,
+    Circuit,
+    compile_circuit_sim,
+    eval_gates,
+    evaluate_sequential,
+    random_circuit,
+)
+from repro.machine import SimulatedExecutor, butterfly, sequent
+from repro.runtime import SequentialExecutor, ThreadedExecutor
+
+
+def tiny_circuit() -> Circuit:
+    """Hand-built: in0, in1 -> AND, XOR -> OR; outputs the OR and the AND."""
+    return Circuit(
+        gate_type=np.array([0, 0, AND, XOR, OR], dtype=np.int8),
+        in0=np.array([-1, -1, 0, 0, 2], dtype=np.int32),
+        in1=np.array([-1, -1, 1, 1, 3], dtype=np.int32),
+        level=np.array([0, 0, 1, 1, 2], dtype=np.int32),
+        outputs=np.array([4, 2], dtype=np.int32),
+        input_values=np.array([1, 0], dtype=np.uint8),
+    )
+
+
+class TestNetlist:
+    def test_hand_circuit_truth(self):
+        # in0=1, in1=0: AND=0, XOR=1, OR(0,1)=1
+        assert tuple(evaluate_sequential(tiny_circuit())) == (1, 0)
+
+    @pytest.mark.parametrize(
+        "kind,a,b,expected",
+        [(AND, 1, 1, 1), (AND, 1, 0, 0), (OR, 0, 0, 0), (OR, 0, 1, 1),
+         (XOR, 1, 1, 0), (XOR, 1, 0, 1), (NOT, 1, 0, 0), (NOT, 0, 0, 1)],
+    )
+    def test_gate_semantics(self, kind, a, b, expected):
+        circuit = Circuit(
+            gate_type=np.array([0, 0, kind], dtype=np.int8),
+            in0=np.array([-1, -1, 0], dtype=np.int32),
+            in1=np.array([-1, -1, 1 if kind != NOT else -1], dtype=np.int32),
+            level=np.array([0, 0, 1], dtype=np.int32),
+            outputs=np.array([2], dtype=np.int32),
+            input_values=np.array([a, b], dtype=np.uint8),
+        )
+        assert evaluate_sequential(circuit)[0] == expected
+
+    def test_random_circuit_is_levelized(self):
+        c = random_circuit(n_inputs=8, n_gates=100, seed=2)
+        for g in range(8, c.n_gates):
+            assert c.level[g] > c.level[c.in0[g]]
+            if c.in1[g] >= 0:
+                assert c.level[g] > c.level[c.in1[g]]
+
+    def test_random_circuit_deterministic(self):
+        a = random_circuit(seed=9)
+        b = random_circuit(seed=9)
+        assert np.array_equal(a.gate_type, b.gate_type)
+        assert np.array_equal(a.input_values, b.input_values)
+
+    def test_eval_gates_is_pure(self):
+        c = tiny_circuit()
+        values = np.array([1, 0, 0, 0, 0], dtype=np.uint8)
+        before = values.copy()
+        eval_gates(c, np.array([2, 3]), values)
+        assert np.array_equal(values, before)
+
+    def test_describe(self):
+        assert "gates" in random_circuit(seed=1).describe()
+
+
+class TestDeliriumCircuit:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        circuit = random_circuit(n_inputs=16, n_gates=250, seed=4)
+        compiled = compile_circuit_sim(circuit)
+        expected = tuple(int(v) for v in evaluate_sequential(circuit))
+        return circuit, compiled, expected
+
+    def test_matches_oracle(self, setup):
+        _, compiled, expected = setup
+        result = SequentialExecutor().run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.value == expected
+
+    def test_threaded_matches(self, setup):
+        _, compiled, expected = setup
+        result = ThreadedExecutor(4).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.value == expected
+
+    def test_simulated_machines_match(self, setup):
+        _, compiled, expected = setup
+        for machine in (sequent(3), butterfly(4)):
+            result = SimulatedExecutor(machine).run(
+                compiled.graph, registry=compiled.registry
+            )
+            assert result.value == expected
+
+    def test_level_merge_runs_in_place(self, setup):
+        # By merge time the value array has a single reference, so the
+        # declared modification never copies: the paper's "merging is
+        # free" pointer idiom.
+        _, compiled, _ = setup
+        result = SequentialExecutor().run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.stats.in_place_writes > 0
+
+    def test_scales_with_level_width(self, setup):
+        circuit, compiled, _ = setup
+        t1 = SimulatedExecutor(sequent(1)).run(
+            compiled.graph, registry=compiled.registry
+        ).ticks
+        t4 = SimulatedExecutor(sequent(4)).run(
+            compiled.graph, registry=compiled.registry
+        ).ticks
+        assert t1 / t4 > 1.5  # level-parallel, limited by narrow levels

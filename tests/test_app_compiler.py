@@ -1,0 +1,102 @@
+"""The parallel-compilation case study (section 6, Table 1)."""
+
+import pytest
+
+from repro.apps.compiler_app import (
+    TABLE1_TARGETS,
+    compile_parallel_compiler,
+    generate_workload,
+    run_table1,
+    split_source_chunks,
+)
+from repro.lang import parse_program
+from repro.runtime import SequentialExecutor
+
+
+class TestWorkload:
+    def test_workload_parses(self):
+        source = generate_workload(n_functions=20)
+        program = parse_program(source)
+        assert len(program.functions) == 20
+
+    def test_workload_is_deterministic(self):
+        assert generate_workload(seed=5) == generate_workload(seed=5)
+        assert generate_workload(seed=5) != generate_workload(seed=6)
+
+    def test_workload_sizes_are_skewed(self):
+        program = parse_program(generate_workload(n_functions=30))
+        sizes = sorted((f.body.size() for f in program.functions), reverse=True)
+        assert sizes[0] > 4 * sizes[len(sizes) // 2]
+
+
+class TestChunking:
+    def test_chunks_reassemble_to_source(self):
+        source = generate_workload(n_functions=12)
+        chunks = split_source_chunks(source)
+        assert "".join(chunks) == source
+        assert len(chunks) == 12
+
+    def test_each_chunk_parses_alone(self):
+        for chunk in split_source_chunks(generate_workload(n_functions=8)):
+            parse_program(chunk)
+
+    def test_unchunkable_source_is_one_chunk(self):
+        assert split_source_chunks("   -- just a comment") == [
+            "   -- just a comment"
+        ]
+
+
+class TestParallelCompilation:
+    @pytest.fixture(scope="class")
+    def run(self):
+        source = generate_workload(n_functions=16, seed=7)
+        compiled = compile_parallel_compiler(source)
+        result = SequentialExecutor().run(
+            compiled.graph, args=(source,), registry=compiled.registry
+        )
+        return source, result
+
+    def test_produces_templates(self, run):
+        _, result = run
+        assert result.value["templates"] >= 16
+        assert result.value["nodes"] > 100
+
+    def test_deterministic(self, run):
+        source, result = run
+        compiled = compile_parallel_compiler(source)
+        again = SequentialExecutor(seed=99).run(
+            compiled.graph, args=(source,), registry=compiled.registry
+        )
+        assert again.value == result.value
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_table1(n_functions=48, seed=1990)
+
+    def test_lexing_is_sequential(self, table):
+        assert table.parallel["Lexing"] == pytest.approx(
+            table.sequential["Lexing"], rel=0.01
+        )
+
+    def test_sequential_column_matches_paper_calibration(self, table):
+        # Calibration anchors each pass near Table 1's sequential numbers
+        # (ticks = paper msec x 1000); splits/merges add a small epsilon.
+        for name, target in TABLE1_TARGETS.items():
+            assert table.sequential[name] == pytest.approx(target, rel=0.15)
+
+    def test_per_pass_speedups_in_paper_range(self, table):
+        speedups = table.per_pass_speedup()
+        for name, s in speedups.items():
+            if name == "Lexing":
+                continue
+            # Paper: "The speedup per pass ranges between two and three."
+            assert 2.0 <= s <= 3.0, (name, s)
+
+    def test_overall_speedup_near_paper(self, table):
+        # Paper: roughly 2.2 with three processors.
+        assert table.overall_speedup == pytest.approx(2.2, abs=0.35)
+
+    def test_parallel_compile_output_identical(self, table):
+        assert table.artifact["templates"] > 0  # asserted equal inside

@@ -1,0 +1,104 @@
+"""The Monte-Carlo application: determinism of parallel random streams."""
+
+import math
+
+import pytest
+
+from repro.apps.montecarlo import (
+    OptionSpec,
+    batch_rng,
+    compile_option,
+    compile_pi,
+    option_sequential,
+    pi_estimate,
+    pi_sequential,
+)
+from repro.machine import SimulatedExecutor, butterfly, uniform
+from repro.runtime import SequentialExecutor, ThreadedExecutor
+
+SEED = 2026
+BATCHES = 12
+BATCH_SIZE = 1500
+
+
+class TestModel:
+    def test_batch_rng_is_counter_based(self):
+        a = batch_rng(SEED, 3).random(4)
+        b = batch_rng(SEED, 3).random(4)
+        c = batch_rng(SEED, 4).random(4)
+        assert (a == b).all()
+        assert not (a == c).all()
+
+    def test_pi_estimate_formula(self):
+        assert pi_estimate(785, 1000) == pytest.approx(3.14)
+        assert pi_estimate(0, 0) == 0.0
+
+    def test_pi_converges(self):
+        estimate = pi_sequential(SEED, 64, 4096)
+        assert abs(estimate - math.pi) < 0.03
+
+    def test_option_converges_to_black_scholes(self):
+        spec = OptionSpec()
+        estimate = option_sequential(spec, SEED, 128, 4096)
+        assert estimate == pytest.approx(spec.closed_form(), rel=0.02)
+
+    def test_closed_form_sanity(self):
+        # Deep in the money, the call is worth ~ S - K e^{-rT}.
+        spec = OptionSpec(spot=1000.0, strike=10.0)
+        expected = 1000.0 - 10.0 * math.exp(-spec.rate * spec.maturity)
+        assert spec.closed_form() == pytest.approx(expected, rel=1e-6)
+
+
+class TestDeliriumMonteCarlo:
+    @pytest.fixture(scope="class")
+    def pi_program(self):
+        return compile_pi(seed=SEED, batch_size=BATCH_SIZE)
+
+    def test_matches_oracle_exactly(self, pi_program):
+        value = SequentialExecutor().run(
+            pi_program.graph, args=(BATCHES,), registry=pi_program.registry
+        ).value
+        assert value == pi_sequential(SEED, BATCHES, BATCH_SIZE)
+
+    def test_option_matches_oracle_exactly(self):
+        program = compile_option(seed=SEED, batch_size=BATCH_SIZE)
+        value = SequentialExecutor().run(
+            program.graph, args=(BATCHES,), registry=program.registry
+        ).value
+        assert value == option_sequential(
+            OptionSpec(), SEED, BATCHES, BATCH_SIZE
+        )
+
+    def test_bit_identical_across_all_executors(self, pi_program):
+        reference = SequentialExecutor().run(
+            pi_program.graph, args=(BATCHES,), registry=pi_program.registry
+        ).value
+        others = [
+            SequentialExecutor(seed=7),
+            SequentialExecutor(use_priorities=False),
+            ThreadedExecutor(4),
+            SimulatedExecutor(uniform(5)),
+            SimulatedExecutor(butterfly(3), affinity="data"),
+        ]
+        for executor in others:
+            value = executor.run(
+                pi_program.graph, args=(BATCHES,), registry=pi_program.registry
+            ).value
+            assert value == reference
+
+    def test_batch_count_is_dynamic(self, pi_program):
+        # Same program text, different widths — the section 9.2 point.
+        for n in (1, 4, 9):
+            value = SequentialExecutor().run(
+                pi_program.graph, args=(n,), registry=pi_program.registry
+            ).value
+            assert value == pi_sequential(SEED, n, BATCH_SIZE)
+
+    def test_scales_on_the_simulator(self, pi_program):
+        t1 = SimulatedExecutor(uniform(1)).run(
+            pi_program.graph, args=(BATCHES,), registry=pi_program.registry
+        ).ticks
+        t6 = SimulatedExecutor(uniform(6)).run(
+            pi_program.graph, args=(BATCHES,), registry=pi_program.registry
+        ).ticks
+        assert t1 / t6 == pytest.approx(6.0, rel=0.1)

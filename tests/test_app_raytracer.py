@@ -1,0 +1,82 @@
+"""The ray-tracer application."""
+
+import numpy as np
+import pytest
+
+from repro.apps.raytracer import (
+    band_bounds,
+    build_scene,
+    compile_raytracer,
+    render_animation_sequential,
+    render_rows,
+    render_sequential,
+)
+from repro.machine import SimulatedExecutor, sequent, speedup_curve
+from repro.runtime import SequentialExecutor, ThreadedExecutor
+
+
+class TestRenderer:
+    def test_image_shape_and_range(self):
+        scene = build_scene(width=32, height=24)
+        image = render_sequential(scene)
+        assert image.shape == (24, 32, 3)
+        assert (image >= 0).all() and (image <= 1.0).all()
+
+    def test_scene_is_seeded(self):
+        a = build_scene(seed=3)
+        b = build_scene(seed=3)
+        assert [s.center for s in a.spheres] == [s.center for s in b.spheres]
+
+    def test_spheres_actually_rendered(self):
+        scene = build_scene(width=48, height=32)
+        image = render_sequential(scene)
+        assert image.max() > scene.background * 2
+
+    def test_band_bounds_partition(self):
+        bounds = [band_bounds(37, 4, b) for b in range(4)]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 37
+        assert all(a[1] == b[0] for a, b in zip(bounds, bounds[1:]))
+
+    def test_bands_equal_full_render(self):
+        scene = build_scene(width=40, height=28)
+        full = render_sequential(scene)
+        parts = [
+            render_rows(scene, *band_bounds(28, 4, b)) for b in range(4)
+        ]
+        assert np.array_equal(np.concatenate(parts, axis=0), full)
+
+    def test_frames_differ(self):
+        a = render_sequential(build_scene(width=32, height=24, frame=0))
+        b = render_sequential(build_scene(width=32, height=24, frame=1))
+        assert not np.array_equal(a, b)  # the light moved
+
+
+class TestDeliriumRaytracer:
+    @pytest.fixture(scope="class")
+    def compiled(self):
+        return compile_raytracer(width=40, height=24, n_frames=2)
+
+    def test_matches_oracle(self, compiled):
+        result = SequentialExecutor().run(
+            compiled.graph, registry=compiled.registry
+        )
+        oracle = render_animation_sequential(width=40, height=24, n_frames=2)
+        assert np.array_equal(result.value, oracle)
+
+    def test_threaded_matches(self, compiled):
+        seq = SequentialExecutor().run(compiled.graph, registry=compiled.registry)
+        par = ThreadedExecutor(4).run(compiled.graph, registry=compiled.registry)
+        assert np.array_equal(seq.value, par.value)
+
+    def test_scanline_fork_join_scales(self, compiled):
+        curve = speedup_curve(
+            compiled.graph, sequent(1), [1, 2, 4], registry=compiled.registry
+        )
+        assert curve[2] > 1.8
+        assert curve[4] > 3.4
+
+    def test_purity_checked_run(self, compiled):
+        result = SequentialExecutor(check_purity=True).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.value.shape == (24, 40, 3)

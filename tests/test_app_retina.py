@@ -1,0 +1,201 @@
+"""The retina case study (section 5): model, programs, figure/dump shapes."""
+
+import numpy as np
+import pytest
+
+from repro.apps.retina import (
+    RetinaConfig,
+    compile_retina,
+    make_registry,
+    run_sequential,
+)
+from repro.apps.retina import model
+from repro.machine import SimulatedExecutor, cray_2, cray_ymp, speedup_curve
+from repro.runtime import SequentialExecutor
+from repro.tools import load_balance_summary
+
+SMALL = RetinaConfig(height=32, width=32, num_iter=2)
+
+
+class TestModel:
+    def test_initial_state_is_seeded(self):
+        a = model.initial_state(SMALL)
+        b = model.initial_state(SMALL)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_band_rows_cover_frame(self):
+        rows = [SMALL.band_rows(b) for b in range(SMALL.n_bands)]
+        assert rows[0][0] == 0
+        assert rows[-1][1] == SMALL.height
+        for (_, r1), (r0, _) in zip(rows, rows[1:]):
+            assert r1 == r0
+
+    def test_band_convolution_equals_full_frame(self):
+        state = model.initial_state(SMALL)
+        chunks = model.split_targets(state, SMALL)
+        for c in chunks:
+            model.advance_targets(c, SMALL)
+        state = model.combine_chunks(chunks, SMALL)
+        kernel = model.slab_kernels(SMALL)[0]
+        from scipy.signal import convolve2d
+
+        full = convolve2d(state.frame, kernel, mode="same", boundary="fill")
+        bands = model.split_bands(state, SMALL)
+        for band in bands:
+            model.convolve_band(band, kernel)
+        assembled = model.assemble_frame(bands, SMALL)
+        assert np.array_equal(assembled, full)
+
+    def test_targets_stay_in_bounds(self):
+        state = model.initial_state(SMALL)
+        chunks = model.split_targets(state, SMALL)
+        for _ in range(50):
+            for c in chunks:
+                model.advance_targets(c, SMALL)
+        for c in chunks:
+            assert (c.targets[:, 0] >= 0).all()
+            assert (c.targets[:, 0] <= SMALL.width).all()
+            assert (c.targets[:, 1] >= 0).all()
+            assert (c.targets[:, 1] <= SMALL.height).all()
+
+    def test_update_slabs_are_odd(self):
+        assert not model.is_update_slab(0)
+        assert model.is_update_slab(1)
+        assert not model.is_update_slab(2)
+        assert model.is_update_slab(3)
+
+    def test_split_targets_partitions_all(self):
+        state = model.initial_state(SMALL)
+        chunks = model.split_targets(state, SMALL)
+        total = sum(len(c.targets) for c in chunks)
+        assert total == SMALL.n_targets
+
+
+class TestEquivalence:
+    """v1, v2, and the sequential oracle must agree bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return run_sequential(SMALL).signature()
+
+    @pytest.mark.parametrize("version", [1, 2])
+    def test_version_matches_oracle(self, version, oracle):
+        compiled = compile_retina(version, SMALL)
+        result = SequentialExecutor().run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.value.signature() == oracle
+
+    def test_v2_deterministic_across_schedules(self, oracle):
+        compiled = compile_retina(2, SMALL)
+        for seed in (3, 4):
+            result = SequentialExecutor(seed=seed).run(
+                compiled.graph, registry=compiled.registry
+            )
+            assert result.value.signature() == oracle
+
+    def test_simulated_machines_same_result(self, oracle):
+        compiled = compile_retina(2, SMALL)
+        for p in (1, 4):
+            sim = SimulatedExecutor(cray_ymp(p)).run(
+                compiled.graph, registry=compiled.registry
+            )
+            assert sim.value.signature() == oracle
+
+    def test_purity_checker_clean(self, oracle):
+        compiled = compile_retina(2, SMALL)
+        result = SequentialExecutor(check_purity=True).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.value.signature() == oracle
+
+    def test_energy_history_length(self):
+        state = run_sequential(SMALL)
+        # one energy measurement per odd slab per iteration
+        odd_slabs = sum(
+            1 for s in range(SMALL.start_slab, SMALL.final_slab)
+            if model.is_update_slab(s)
+        )
+        assert len(state.energy_history) == odd_slabs * SMALL.num_iter
+
+
+class TestFigure1Shape:
+    """Speedups: ~1, ~2, ~2 (plateau), >3 on four processors; v1 <= ~2."""
+
+    @pytest.fixture(scope="class")
+    def curve(self):
+        compiled = compile_retina(2)
+        return speedup_curve(
+            compiled.graph,
+            cray_ymp(),
+            [1, 2, 3, 4],
+            registry=compiled.registry,
+        )
+
+    def test_two_processors_near_double(self, curve):
+        assert curve[2] == pytest.approx(1.95, abs=0.15)
+
+    def test_three_processor_plateau(self, curve):
+        assert curve[3] == pytest.approx(curve[2], abs=0.25)
+
+    def test_four_processors_above_three(self, curve):
+        assert 3.0 < curve[4] < 4.0
+
+    def test_v1_capped_near_two(self):
+        compiled = compile_retina(1)
+        curve = speedup_curve(
+            compiled.graph, cray_ymp(), [1, 4], registry=compiled.registry
+        )
+        assert curve[4] == pytest.approx(2.0, abs=0.25)
+
+
+class TestSection52Dumps:
+    def test_v1_bottleneck_is_post_up(self):
+        compiled = compile_retina(1)
+        result = SimulatedExecutor(cray_2(4), trace=True).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.tracer is not None
+        summary = load_balance_summary(
+            result.tracer, include={"convol_bite", "post_up"}
+        )
+        assert summary.bottleneck == "post_up"
+        # post_up's expensive half costs about as much as all four
+        # convolutions combined (paper: 4,070,365 vs ~1.06M each).
+        assert 3.0 < summary.imbalance_ratio < 5.0
+
+    def test_v2_is_balanced(self):
+        compiled = compile_retina(2)
+        result = SimulatedExecutor(cray_2(4), trace=True).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.tracer is not None
+        summary = load_balance_summary(
+            result.tracer, include={"convol_bite", "update_bite", "done_up"}
+        )
+        # max single node ~1.2M vs ~1M means: no node serializes the slab.
+        assert summary.imbalance_ratio < 2.0
+
+    def test_overhead_below_one_percent(self):
+        # Section 7: "less than one percent ... of the retina model".
+        compiled = compile_retina(2)
+        result = SimulatedExecutor(cray_ymp(4)).run(
+            compiled.graph, registry=compiled.registry
+        )
+        assert result.overhead_fraction() < 0.01
+
+
+class TestRegistryShape:
+    def test_all_paper_operators_present(self):
+        reg = make_registry(SMALL)
+        for name in (
+            "set_up", "target_split", "target_bite", "pre_update",
+            "convol_split", "convol_bite", "post_up",
+            "update_split", "update_bite", "done_up",
+        ):
+            assert name in reg
+
+    def test_bites_declare_modification(self):
+        reg = make_registry(SMALL)
+        for name in ("target_bite", "convol_bite", "update_bite"):
+            assert 0 in reg.get(name).modifies

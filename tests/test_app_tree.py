@@ -1,0 +1,228 @@
+"""The parallel tree-walk framework (section 6.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.tree import (
+    clip,
+    imbalance,
+    inherited,
+    inherited_partitioned,
+    pack,
+    partition,
+    subtree_weight,
+    synthesized,
+    synthesized_partitioned,
+    top_down,
+    top_down_partitioned,
+)
+
+
+class TNode:
+    """A tiny mutable tree for walk tests."""
+
+    def __init__(self, value=0, kids=()):
+        self.value = value
+        self.kids = list(kids)
+
+    def children(self):
+        return iter(self.kids)
+
+
+def chain(n: int) -> TNode:
+    node = TNode(n)
+    for v in range(n - 1, 0, -1):
+        node = TNode(v, [node])
+    return node
+
+
+def bushy(depth: int, fanout: int = 3, counter=None) -> TNode:
+    counter = counter if counter is not None else [0]
+    counter[0] += 1
+    node = TNode(counter[0])
+    if depth > 0:
+        node.kids = [bushy(depth - 1, fanout, counter) for _ in range(fanout)]
+    return node
+
+
+def all_values(root: TNode) -> list[int]:
+    out = [root.value]
+    for c in root.children():
+        out.extend(all_values(c))
+    return out
+
+
+class TestWeightsAndClipping:
+    def test_subtree_weight(self):
+        assert subtree_weight(bushy(2, 2)) == 7
+
+    def test_clip_single_processor_takes_whole_tree(self):
+        root = bushy(3)
+        clipping = clip(root, 1)
+        assert len(clipping.pieces) == 1
+        assert clipping.pieces[0][0] is root
+        assert clipping.crown == []
+
+    def test_clip_pieces_cover_all_nodes(self):
+        root = bushy(4)
+        clipping = clip(root, 4)
+        covered = sum(w for _, w in clipping.pieces) + len(clipping.crown)
+        assert covered == subtree_weight(root)
+
+    def test_clip_respects_one_third_floor(self):
+        root = bushy(4)
+        total = subtree_weight(root)
+        desired = total / 4
+        for piece, w in clip(root, 4).pieces:
+            # No piece was split further once below the desired weight.
+            assert w <= desired or not list(piece.children())
+
+    def test_pack_balances(self):
+        pieces = [(TNode(i), w) for i, w in enumerate([9, 7, 5, 4, 3, 2, 1, 1])]
+        sets = pack(pieces, 3)
+        loads = [sum(w for n in s for p, w in pieces if p is n) for s in sets]
+        assert max(loads) - min(loads) <= 4
+
+    def test_imbalance_metric(self):
+        root = bushy(4)
+        _, sets = partition(root, 3)
+        assert 1.0 <= imbalance(sets) < 2.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            clip(bushy(1), 0)
+        with pytest.raises(ValueError):
+            pack([], 0)
+
+
+class TestWalks:
+    def test_top_down_visits_parents_first(self):
+        order = []
+        root = bushy(2, 2)
+        top_down(root, lambda n: order.append(n.value))
+        assert order[0] == root.value
+        assert sorted(order) == sorted(all_values(root))
+
+    def test_inherited_accumulates_depth(self):
+        depths = {}
+
+        def inherit(node, depth):
+            depths[id(node)] = depth
+            return depth + 1
+
+        root = bushy(2, 2)
+        inherited(root, inherit, 0)
+        assert depths[id(root)] == 0
+        assert max(depths.values()) == 2
+
+    def test_synthesized_folds_bottom_up(self):
+        root = bushy(2, 2)
+        total = synthesized(root, lambda n, vs: n.value + sum(vs))
+        assert total == sum(all_values(root))
+
+
+class TestPartitionedWalksMatchSequential:
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4])
+    def test_top_down(self, n_procs):
+        a, b = bushy(4), bushy(4)
+        top_down(a, lambda n: setattr(n, "value", n.value * 2))
+        top_down_partitioned(b, lambda n: setattr(n, "value", n.value * 2), n_procs)
+        assert all_values(a) == all_values(b)
+
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4])
+    def test_inherited(self, n_procs):
+        def make_inherit(store):
+            def inherit(node, ctx):
+                store[node.value] = ctx
+                return ctx + node.value
+            return inherit
+
+        a, b = bushy(4), bushy(4)
+        sa, sb = {}, {}
+        inherited(a, make_inherit(sa), 100)
+        inherited_partitioned(b, make_inherit(sb), 100, n_procs)
+        assert sa == sb
+
+    @pytest.mark.parametrize("n_procs", [1, 2, 3, 4])
+    def test_synthesized(self, n_procs):
+        fold = lambda n, vs: n.value + sum(vs)  # noqa: E731
+        a, b = bushy(4), bushy(4)
+        assert synthesized(a, fold) == synthesized_partitioned(b, fold, n_procs)
+
+    def test_chain_tree(self):
+        # Degenerate deep chains must still partition correctly.
+        fold = lambda n, vs: n.value + sum(vs)  # noqa: E731
+        assert synthesized(chain(50), fold) == synthesized_partitioned(
+            chain(50), fold, 3
+        )
+
+
+class TestPartitionProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 4), st.integers(1, 3), st.integers(1, 6))
+    def test_partitioned_synthesized_equals_sequential(
+        self, depth, fanout, n_procs
+    ):
+        fold = lambda n, vs: n.value * 3 + sum(vs)  # noqa: E731
+        a = bushy(depth, fanout)
+        b = bushy(depth, fanout)
+        assert synthesized(a, fold) == synthesized_partitioned(b, fold, n_procs)
+
+
+class TestDeliriumCoordinatedWalks:
+    """The walks driven by the Delirium framework itself (section 6.4's
+    'parallel tree-walking primitives')."""
+
+    def test_top_down_through_delirium(self):
+        from repro.apps.tree import run_top_down
+
+        a, b = bushy(4), bushy(4)
+        top_down(a, lambda n: setattr(n, "value", n.value * 2))
+        result_tree = run_top_down(
+            b, lambda n: setattr(n, "value", n.value * 2)
+        )
+        assert all_values(result_tree) == all_values(a)
+
+    def test_inherited_through_delirium(self):
+        from repro.apps.tree import run_inherited
+
+        depths_seq: dict[int, int] = {}
+        depths_par: dict[int, int] = {}
+
+        def make_inherit(store):
+            def inherit(node, depth):
+                store[node.value] = depth
+                return depth + 1
+
+            return inherit
+
+        a, b = bushy(3), bushy(3)
+        inherited(a, make_inherit(depths_seq), 0)
+        run_inherited(b, make_inherit(depths_par), 0)
+        assert depths_seq == depths_par
+
+    def test_synthesized_through_delirium(self):
+        from repro.apps.tree import run_synthesized
+
+        fold = lambda n, vs: n.value + sum(vs)  # noqa: E731
+        a, b = bushy(4), bushy(4)
+        assert run_synthesized(b, fold) == synthesized(a, fold)
+
+    def test_walks_scale_on_simulated_machine(self):
+        from repro.apps.tree import (
+            compile_tree_walk,
+            make_synthesized_registry,
+        )
+        from repro.machine import SimulatedExecutor, uniform
+
+        fold = lambda n, vs: n.value + sum(vs)  # noqa: E731
+        tree = bushy(6, 3)
+        registry = make_synthesized_registry(tree, fold)
+        program = compile_tree_walk(registry)
+        t1 = SimulatedExecutor(uniform(1)).run(
+            program.graph, registry=registry
+        ).ticks
+        t4 = SimulatedExecutor(uniform(4)).run(
+            program.graph, registry=registry
+        ).ticks
+        assert t1 / t4 > 2.0  # clipping balance bounds this below 4

@@ -1,0 +1,112 @@
+"""Unparse round-trips and AST utilities, including hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import ast, parse_expression, parse_program
+from repro.lang.ast import unparse
+
+
+class TestWalkAndSize:
+    def test_size_counts_nodes(self):
+        e = parse_expression("f(a, g(b))")
+        # Apply(f)(Var a, Apply(g)(Var b)) -> Apply, Var f, Var a, Apply,
+        # Var g, Var b = 6
+        assert e.size() == 6
+
+    def test_walk_is_preorder(self):
+        e = parse_expression("f(a)")
+        kinds = [type(n).__name__ for n in e.walk()]
+        assert kinds == ["Apply", "Var", "Var"]
+
+    def test_children_of_let(self):
+        e = parse_expression("let x = 1 in x")
+        child_types = [type(c).__name__ for c in e.children()]
+        assert child_types == ["SimpleBinding", "Var"]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "main() 1",
+            "main() f(1, 2.5, \"s\")",
+            "main() NULL",
+            "main() <a, b, c>",
+            "main() let x = f() in x",
+            "main() let <a, b> = split(s) in join(a, b)",
+            "main() let sq(x) mul(x, x) in sq(3)",
+            "main() if c(1) then 1 else 2",
+            "main(n) iterate { i = 0, incr(i) } while is_less(i, n), result i",
+            "main() f(g)(h)",
+            "main(a, b, c) h(a, b, c)\nh(x, y, z) add(x, add(y, z))",
+        ],
+    )
+    def test_parse_unparse_parse_fixpoint(self, source):
+        p1 = parse_program(source)
+        p2 = parse_program(unparse(p1))
+        assert p1 == p2
+
+    def test_string_escaping_round_trips(self):
+        p1 = parse_program('main() f("a\\"b\\\\c")')
+        p2 = parse_program(unparse(p1))
+        assert p1 == p2
+
+    def test_unparse_unknown_node_raises(self):
+        class Weird(ast.Node):
+            pass
+
+        with pytest.raises(TypeError):
+            unparse(Weird())
+
+
+# ---------------------------------------------------------------------------
+# Property: random expression trees survive unparse -> parse.
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "foo", "bar_1", "scene"])
+
+
+def _exprs(depth: int) -> st.SearchStrategy[ast.Expr]:
+    leaf = st.one_of(
+        st.integers(-100, 100).map(lambda v: ast.Literal(value=v)),
+        st.just(ast.Null()),
+        _names.map(lambda n: ast.Var(name=n)),
+    )
+    if depth <= 0:
+        return leaf
+
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(
+            lambda callee, args: ast.Apply(
+                callee=ast.Var(name=callee), args=args
+            ),
+            _names,
+            st.lists(sub, min_size=0, max_size=3),
+        ),
+        st.builds(
+            lambda c, t, e: ast.If(cond=c, then=t, orelse=e), sub, sub, sub
+        ),
+        st.builds(lambda items: ast.TupleExpr(items=items),
+                  st.lists(sub, min_size=1, max_size=3)),
+        st.builds(
+            lambda name, rhs, body: ast.Let(
+                bindings=[ast.SimpleBinding(name=name, expr=rhs)], body=body
+            ),
+            _names,
+            sub,
+            sub,
+        ),
+    )
+
+
+class TestUnparseProperty:
+    @settings(max_examples=150, deadline=None)
+    @given(_exprs(3))
+    def test_random_expression_round_trips(self, expr):
+        program = ast.Program(
+            functions=[ast.FunDef(name="main", params=[], body=expr)]
+        )
+        assert parse_program(unparse(program)) == program

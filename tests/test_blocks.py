@@ -1,0 +1,154 @@
+"""Data blocks: reference counting, copy-on-write, wrapping."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.blocks import (
+    DataBlock,
+    copy_payload,
+    payload_nbytes,
+    release,
+    retain,
+    unwrap,
+    value_nbytes,
+    wrap_payload,
+)
+from repro.runtime.values import NULL, MultiValue, OperatorValue
+
+
+class TestDataBlock:
+    def test_fresh_block_has_zero_refs(self):
+        assert DataBlock([1, 2]).rc == 0
+
+    def test_unique_iff_rc_one(self):
+        block = DataBlock([1])
+        block.rc = 1
+        assert block.unique()
+        block.rc = 2
+        assert not block.unique()
+
+    def test_copy_isolates_list_payload(self):
+        block = DataBlock([1, [2]])
+        clone = block.copy()
+        clone.payload[1].append(3)
+        assert block.payload == [1, [2]]
+
+    def test_copy_isolates_numpy_payload(self):
+        block = DataBlock(np.zeros(4))
+        clone = block.copy()
+        clone.payload[0] = 9.0
+        assert block.payload[0] == 0.0
+
+    def test_copy_starts_unreferenced(self):
+        block = DataBlock([1])
+        block.rc = 5
+        assert block.copy().rc == 0
+
+    def test_nbytes_numpy_exact(self):
+        assert DataBlock(np.zeros(10, dtype=np.float64)).nbytes == 80
+
+
+class TestRetainRelease:
+    def test_retain_release_block(self):
+        block = DataBlock([1])
+        retain(block, 3)
+        assert block.rc == 3
+        release(block, 2)
+        assert block.rc == 1
+
+    def test_retain_recurses_into_multivalue(self):
+        a, b = DataBlock([1]), DataBlock([2])
+        mv = MultiValue((a, 5, b))
+        retain(mv, 2)
+        assert a.rc == 2 and b.rc == 2
+
+    def test_nested_multivalue(self):
+        a = DataBlock([1])
+        mv = MultiValue((MultiValue((a,)),))
+        retain(mv)
+        assert a.rc == 1
+
+    def test_retain_zero_is_noop(self):
+        block = DataBlock([1])
+        retain(block, 0)
+        assert block.rc == 0
+
+    def test_negative_rc_asserts(self):
+        block = DataBlock([1])
+        with pytest.raises(AssertionError):
+            release(block, 1)
+
+    def test_scalars_ignored(self):
+        retain(42, 3)
+        release("s", 0)
+        retain(NULL, 2)  # must not raise
+
+
+class TestWrapPayload:
+    def test_immutable_atoms_pass_through(self):
+        for value in (1, 2.5, "s", b"b", True, None):
+            assert wrap_payload(value) is value
+
+    def test_numpy_scalar_passes_through(self):
+        v = np.float64(1.5)
+        assert wrap_payload(v) is v
+
+    def test_mutable_payloads_wrapped(self):
+        for payload in ([1], {"a": 1}, np.zeros(3), bytearray(b"x")):
+            wrapped = wrap_payload(payload)
+            assert isinstance(wrapped, DataBlock)
+            assert wrapped.payload is payload
+
+    def test_tuple_becomes_multivalue(self):
+        wrapped = wrap_payload((1, [2], "x"))
+        assert isinstance(wrapped, MultiValue)
+        assert wrapped.items[0] == 1
+        assert isinstance(wrapped.items[1], DataBlock)
+
+    def test_existing_wrappers_pass_through(self):
+        block = DataBlock([1])
+        assert wrap_payload(block) is block
+        mv = MultiValue((1,))
+        assert wrap_payload(mv) is mv
+        op = OperatorValue("f")
+        assert wrap_payload(op) is op
+        assert wrap_payload(NULL) is NULL
+
+    def test_home_recorded(self):
+        assert wrap_payload([1], home=3).home == 3
+
+
+class TestUnwrap:
+    def test_block_unwraps_to_payload(self):
+        payload = [1, 2]
+        assert unwrap(DataBlock(payload)) is payload
+
+    def test_multivalue_unwraps_to_tuple(self):
+        mv = MultiValue((DataBlock([1]), 5))
+        assert unwrap(mv) == ([1], 5)
+
+    def test_atoms_unchanged(self):
+        assert unwrap(7) == 7
+        assert unwrap(NULL) is NULL
+
+
+class TestSizes:
+    def test_payload_nbytes_containers(self):
+        assert payload_nbytes([np.zeros(10)]) > 80
+
+    def test_value_nbytes_multivalue_sums(self):
+        mv = MultiValue((DataBlock(np.zeros(10)), DataBlock(np.zeros(5))))
+        assert value_nbytes(mv) == 120
+
+    def test_value_nbytes_closure_is_small(self):
+        assert value_nbytes(OperatorValue("x")) == 16
+
+    def test_copy_payload_deepcopies_objects(self):
+        class Thing:
+            def __init__(self):
+                self.data = [1]
+
+        thing = Thing()
+        clone = copy_payload(thing)
+        clone.data.append(2)
+        assert thing.data == [1]

@@ -1,0 +1,109 @@
+"""Shared-bus contention modeling (the Sequent/Cray bus of section 7)."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import compile_source, default_registry
+from repro.machine import MachineModel, SimulatedExecutor
+
+
+def bus_machine(p: int, bandwidth: float) -> MachineModel:
+    return MachineModel(
+        name="busy-bus",
+        processors=p,
+        dispatch_ticks=0.0,
+        node_overhead_ticks=0.0,
+        activation_ticks=0.0,
+        default_op_ticks=1000.0,
+        local_ticks_per_byte=0.001,  # traffic is charged -> moves on the bus
+        bus_bytes_per_tick=bandwidth,
+    )
+
+
+def _traffic_program(n_consumers: int = 4):
+    """One 80 KB block read by n consumers in parallel."""
+    reg = default_registry()
+
+    @reg.register(name="big", cost=10.0)
+    def big():
+        return np.zeros(10_000)  # 80 KB
+
+    @reg.register(name="chew", pure=True, cost=100.0)
+    def chew(a, k):
+        return float(a[k])
+
+    bindings = "\n      ".join(
+        f"c{i} = chew(blk, {i})" for i in range(n_consumers)
+    )
+    acc = "c0"
+    for i in range(1, n_consumers):
+        acc = f"add({acc}, c{i})"
+    src = f"main()\n  let blk = big()\n      {bindings}\n  in {acc}"
+    return compile_source(src, registry=reg), reg
+
+
+class TestBusContention:
+    def test_zero_bandwidth_means_uncontended(self):
+        compiled, reg = _traffic_program()
+        result = SimulatedExecutor(bus_machine(4, 0.0)).run(
+            compiled.graph, registry=reg
+        )
+        assert result.traffic.bus_wait_ticks == 0.0
+
+    def test_saturated_bus_serializes_readers(self):
+        compiled, reg = _traffic_program()
+        fat = SimulatedExecutor(bus_machine(4, 1e9)).run(
+            compiled.graph, registry=reg
+        )
+        thin = SimulatedExecutor(bus_machine(4, 100.0)).run(
+            compiled.graph, registry=reg
+        )
+        assert fat.value == thin.value
+        assert thin.traffic.bus_wait_ticks > 0
+        # Four concurrent 80 KB reads over a 100 B/tick bus: transfers
+        # alone take 800 ticks each, queueing behind one another.
+        assert thin.ticks > fat.ticks + 2 * 800
+
+    def test_single_processor_never_queues(self):
+        compiled, reg = _traffic_program()
+        result = SimulatedExecutor(bus_machine(1, 100.0)).run(
+            compiled.graph, registry=reg
+        )
+        # One processor issues transfers one at a time; transfers always
+        # find the bus free (no overlap possible).
+        assert result.traffic.bus_wait_ticks == 0.0
+
+    def test_results_unchanged_by_bandwidth(self):
+        compiled, reg = _traffic_program()
+        values = {
+            SimulatedExecutor(bus_machine(3, bw)).run(
+                compiled.graph, registry=reg
+            ).value
+            for bw in (0.0, 10.0, 1e6)
+        }
+        assert len(values) == 1
+
+    def test_negative_bandwidth_rejected(self):
+        from repro.errors import MachineError
+
+        with pytest.raises(MachineError):
+            MachineModel(name="x", processors=1, bus_bytes_per_tick=-1.0)
+
+    def test_template_fetches_compete_for_the_bus(self):
+        # Replication off + narrow bus: expansions queue on template
+        # fetches, compounding the section 7 effect.
+        from tests.conftest import FIB_SRC
+
+        compiled = compile_source(FIB_SRC)
+        base = dataclasses.replace(
+            bus_machine(4, 50.0), replicate_templates=False,
+            template_fetch_ticks_per_byte=0.01,
+        )
+        no_bus = dataclasses.replace(base, bus_bytes_per_tick=0.0)
+        contended = SimulatedExecutor(base).run(compiled.graph, args=(10,))
+        free = SimulatedExecutor(no_bus).run(compiled.graph, args=(10,))
+        assert contended.value == free.value == 55
+        assert contended.traffic.bus_wait_ticks > 0
+        assert contended.ticks > free.ticks

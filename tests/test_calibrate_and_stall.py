@@ -1,0 +1,118 @@
+"""Measured-cost calibration and stall diagnostics."""
+
+import time
+
+import pytest
+
+from repro import compile_source, default_registry
+from repro.errors import RuntimeFailure
+from repro.graph.ir import GraphProgram, Node, NodeKind, Port, Template
+from repro.machine import SimulatedExecutor, measure_costs, uniform
+from repro.runtime import SequentialExecutor
+
+
+class TestCalibration:
+    @staticmethod
+    def _program():
+        reg = default_registry()
+
+        @reg.register(name="slow")
+        def slow(x):
+            time.sleep(0.003)
+            return x + 1
+
+        @reg.register(name="fast")
+        def fast(x):
+            return x * 2
+
+        compiled = compile_source(
+            """
+            main(n)
+              let a = slow(n)
+                  b = slow(incr(n))
+                  c = fast(n)
+              in add(add(a, b), c)
+            """,
+            registry=reg,
+        )
+        return compiled, reg
+
+    def test_measures_all_operators(self):
+        compiled, reg = self._program()
+        report = measure_costs(compiled.graph, reg, args=(1,))
+        assert {"slow", "fast", "incr", "add"} <= set(report.costs)
+        assert report.calls["slow"] == 2
+        assert report.wall_seconds > 0
+
+    def test_relative_costs_reflect_reality(self):
+        compiled, reg = self._program()
+        report = measure_costs(compiled.graph, reg, args=(1,))
+        assert report.costs["slow"] > 10 * report.costs["fast"]
+
+    def test_dominant_ranking(self):
+        compiled, reg = self._program()
+        report = measure_costs(compiled.graph, reg, args=(1,))
+        assert report.dominant(1)[0][0] == "slow"
+
+    def test_feeds_the_simulator(self):
+        compiled, reg = self._program()
+        report = measure_costs(compiled.graph, reg, args=(1,))
+        result = SimulatedExecutor(
+            uniform(2), op_cost_overrides=report.costs
+        ).run(compiled.graph, args=(1,), registry=reg)
+        # The two slow calls are independent: with measured costs and two
+        # processors they overlap, so the makespan is well under the sum.
+        total = sum(
+            report.costs[label] * count
+            for label, count in report.calls.items()
+        )
+        assert result.ticks < 0.8 * total
+
+    def test_min_ticks_floor(self):
+        compiled, reg = self._program()
+        report = measure_costs(
+            compiled.graph, reg, args=(1,), ticks_per_second=1e-9
+        )
+        assert all(v >= 1.0 for v in report.costs.values())
+
+
+class TestStallDiagnostics:
+    @staticmethod
+    def _stuck_program() -> GraphProgram:
+        """A hand-built ill-formed graph: a node awaits an input no one
+        produces (its source port belongs to a node that never fires
+        because of a manufactured cross-dependency)."""
+        t = Template(name="main")
+        # node 0 and 1 wait on each other -> neither ever fires.
+        t.nodes.append(Node(kind=NodeKind.OP, name="incr", inputs=[Port(1)]))
+        t.nodes.append(Node(kind=NodeKind.OP, name="incr", inputs=[Port(0)]))
+        t.result = Port(0, 0)
+        t.finalize()
+        g = GraphProgram()
+        g.add(t)
+        return g
+
+    def test_stall_raises_with_report(self):
+        graph = self._stuck_program()
+        with pytest.raises(RuntimeFailure) as excinfo:
+            SequentialExecutor().run(graph)
+        message = str(excinfo.value)
+        assert "stalled" in message
+        assert "live activation" in message
+        assert "awaits" in message
+
+    def test_validator_would_have_caught_it(self):
+        from repro.errors import GraphError
+        from repro.graph.validate import validate_program
+
+        with pytest.raises(GraphError, match="cycle"):
+            validate_program(self._stuck_program())
+
+    def test_stall_report_limits_output(self):
+        from repro.runtime.engine import ExecutionState
+        from repro.runtime import default_registry
+
+        state = ExecutionState(self._stuck_program(), default_registry())
+        state.start(())
+        report = state.stall_report(limit=0)
+        assert "live activation" in report

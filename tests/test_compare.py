@@ -1,0 +1,133 @@
+"""The Table 2 baseline coordination models: Linda and locks."""
+
+import pytest
+
+from repro.compare import (
+    SharedMemory,
+    TupleSpace,
+    TupleSpaceDeadlock,
+    lock_based_sum,
+    replicated_worker_sum,
+    run_lock_program,
+    run_workers,
+)
+
+
+class TestTupleSpace:
+    def _space(self, seed=0):
+        import random
+
+        return TupleSpace(random.Random(seed))
+
+    def test_out_and_exact_in(self):
+        space = self._space()
+        space.out("job", 1)
+        assert space.try_in("job", 1) == ("job", 1)
+        assert space.try_in("job", 1) is None  # removed
+
+    def test_wildcard_matching(self):
+        space = self._space()
+        space.out("part", 3.5)
+        assert space.try_in("part", None) == ("part", 3.5)
+
+    def test_rd_does_not_remove(self):
+        space = self._space()
+        space.out("x", 1)
+        assert space.try_rd("x", None) == ("x", 1)
+        assert space.count("x", None) == 1
+
+    def test_length_mismatch_never_matches(self):
+        space = self._space()
+        space.out("a", 1, 2)
+        assert space.try_in("a", None) is None
+
+    def test_random_selection_is_seeded(self):
+        def pick(seed):
+            space = self._space(seed)
+            for i in range(10):
+                space.out("t", i)
+            return space.try_in("t", None)
+
+        assert pick(1) == pick(1)
+        picks = {pick(s) for s in range(10)}
+        assert len(picks) > 1  # genuinely associative-random
+
+
+class TestLindaWorkers:
+    def test_simple_producer_consumer(self):
+        consumed: list[int] = []
+
+        def make_workers(space):
+            def producer():
+                for i in range(5):
+                    space.out("item", i)
+                    yield None
+
+            def consumer():
+                for _ in range(5):
+                    t = yield ("in", ("item", None))
+                    assert t is not None
+                    consumed.append(t[1])
+
+            return [producer(), consumer()]
+
+        space = run_workers(make_workers, seed=0)
+        assert space.count("item", None) == 0
+        assert sorted(consumed) == [0, 1, 2, 3, 4]
+
+    def test_deadlock_detected(self):
+        def make_workers(space):
+            def blocked():
+                yield ("in", ("never", None))
+
+            return [blocked()]
+
+        with pytest.raises(TupleSpaceDeadlock):
+            run_workers(make_workers, seed=0)
+
+    def test_replicated_worker_sum_correct(self):
+        items = [float(i) for i in range(20)]
+        assert replicated_worker_sum(items, seed=0) == pytest.approx(
+            sum(items)
+        )
+
+    def test_replicated_worker_sum_order_sensitive(self):
+        items = [0.1 * (10 ** (i % 6)) for i in range(40)]
+        results = {replicated_worker_sum(items, seed=s) for s in range(10)}
+        assert len(results) > 1
+
+
+class TestLockModel:
+    def test_shared_memory_cells(self):
+        memory = SharedMemory()
+        memory.write("k", 41)
+        assert memory.read("k") == 41
+        assert memory.read("missing", "d") == "d"
+        assert memory.accesses == 3
+
+    def test_tasks_all_execute(self):
+        counter = {"n": 0}
+
+        def task(memory):
+            counter["n"] += 1
+
+        run_lock_program([task] * 10, n_workers=3, seed=1)
+        assert counter["n"] == 10
+
+    def test_lock_stats_accumulate(self):
+        _, stats = run_lock_program(
+            [lambda m: None] * 20, n_workers=4, seed=2
+        )
+        assert stats.acquisitions == 20
+        assert stats.contentions >= 0
+
+    def test_lock_sum_correct_but_order_sensitive(self):
+        items = [0.1 * (10 ** (i % 6)) for i in range(40)]
+        values = {lock_based_sum(items, seed=s) for s in range(10)}
+        assert len(values) > 1
+        for v in values:
+            assert v == pytest.approx(sum(items), rel=1e-9)
+
+    def test_seeded_reproducibility(self):
+        items = [0.1 * i for i in range(30)]
+        assert lock_based_sum(items, seed=4) == lock_based_sum(items, seed=4)

@@ -1,0 +1,94 @@
+"""The before/after run-comparison tool."""
+
+import pytest
+
+from repro import compile_source
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.machine import SimulatedExecutor, cray_2, uniform
+from repro.tools import compare
+
+
+def _runs(trace=True):
+    compiled = compile_source(
+        "main(n) add(work_a(n), work_b(n))",
+        registry=_registry(),
+    )
+    slow = SimulatedExecutor(uniform(1), trace=trace).run(
+        compiled.graph, args=(1,), registry=compiled.registry
+    )
+    fast = SimulatedExecutor(uniform(2), trace=trace).run(
+        compiled.graph, args=(1,), registry=compiled.registry
+    )
+    return slow, fast
+
+
+def _registry():
+    from repro.runtime import default_registry
+
+    reg = default_registry()
+    reg.register(name="work_a", pure=True, cost=1000.0)(lambda n: n + 1)
+    reg.register(name="work_b", pure=True, cost=1000.0)(lambda n: n + 2)
+    return reg
+
+
+class TestCompare:
+    def test_speedup_computed(self):
+        slow, fast = _runs()
+        report = compare(slow, fast)
+        assert report.speedup == pytest.approx(2.0, rel=0.1)
+
+    def test_per_operator_totals(self):
+        slow, fast = _runs()
+        report = compare(slow, fast)
+        assert report.per_operator["work_a"][0] == pytest.approx(1000.0)
+        assert report.per_operator["work_a"][1] == pytest.approx(1000.0)
+
+    def test_describe_renders(self):
+        slow, fast = _runs()
+        text = compare(slow, fast).describe()
+        assert "speedup" in text
+        assert "work_a" in text
+
+    def test_without_traces(self):
+        slow, fast = _runs(trace=False)
+        report = compare(slow, fast)
+        assert report.per_operator == {}
+        assert report.speedup > 1.5
+
+    def test_different_values_rejected(self):
+        compiled_a = compile_source("main() 1")
+        compiled_b = compile_source("main() 2")
+        a = SimulatedExecutor(uniform(1)).run(compiled_a.graph)
+        b = SimulatedExecutor(uniform(1)).run(compiled_b.graph)
+        with pytest.raises(ValueError):
+            compare(a, b)
+
+    def test_regressions_listed(self):
+        slow, fast = _runs()
+        # Symmetric runs: swapping roles makes nothing a regression in
+        # one direction but per-operator times are equal, so none listed.
+        assert compare(slow, fast).regressions() == []
+
+    def test_retina_v1_vs_v2_story(self):
+        config = RetinaConfig(num_iter=1)
+        v1 = compile_retina(1, config)
+        v2 = compile_retina(2, config)
+        r1 = SimulatedExecutor(cray_2(4), trace=True).run(
+            v1.graph, registry=v1.registry
+        )
+        r2 = SimulatedExecutor(cray_2(4), trace=True).run(
+            v2.graph, registry=v2.registry
+        )
+
+        class _Sig:
+            def __init__(self, run):
+                self.value = run.value.signature()
+                self.ticks = run.ticks
+                self.tracer = run.tracer
+                self.traffic = run.traffic
+                self.stats = run.stats
+
+        report = compare(_Sig(r1), _Sig(r2))
+        assert report.speedup > 1.4  # the section 5.2 tuning win
+        before, after = report.per_operator["post_up"]
+        assert before > 0 and after == 0  # post_up replaced by update_bite

@@ -1,0 +1,195 @@
+"""Graph generation: template structure for known programs."""
+
+import pytest
+
+from repro import compile_source
+from repro.graph.ir import NodeKind
+
+from tests.conftest import FACTORIAL_SRC, FIB_SRC
+
+
+def nodes_of_kind(template, kind):
+    return [n for n in template.nodes if n.kind is kind]
+
+
+class TestFlatTemplates:
+    def test_fork_join_shape(self):
+        from tests.conftest import FORK_JOIN_SRC, fork_join_registry
+
+        compiled = compile_source(FORK_JOIN_SRC, registry=fork_join_registry())
+        main = compiled.graph.template("main")
+        ops = [n.name for n in nodes_of_kind(main, NodeKind.OP)]
+        assert ops.count("convolve") == 4
+        assert "init_fn" in ops and "term_fn" in ops
+        # No expansions at all: a single flat template.
+        assert not nodes_of_kind(main, NodeKind.CALL)
+        assert not nodes_of_kind(main, NodeKind.IF)
+
+    def test_const_deduplication(self):
+        compiled = compile_source(
+            "main(n) add(add(n, 7), add(n, 7))", optimize_passes=()
+        )
+        consts = nodes_of_kind(compiled.graph.template("main"), NodeKind.CONST)
+        assert len(consts) == 1  # the two 7s share one node
+
+    def test_param_nodes_lead(self):
+        compiled = compile_source("main(a, b) add(a, b)")
+        main = compiled.graph.template("main")
+        assert main.nodes[0].kind is NodeKind.PARAM
+        assert main.nodes[1].kind is NodeKind.PARAM
+        assert main.params == ["a", "b"]
+
+
+class TestConditionalArms:
+    def test_if_produces_two_arm_templates(self):
+        compiled = compile_source("main(n) if n then incr(n) else decr(n)")
+        names = set(compiled.graph.templates)
+        assert any(".then" in n for n in names)
+        assert any(".else" in n for n in names)
+
+    def test_arm_captures_free_values(self):
+        compiled = compile_source("main(n) if n then incr(n) else 0")
+        then = next(
+            t for name, t in compiled.graph.templates.items()
+            if name.endswith(".then")
+        )
+        assert then.captures == ["n"]
+        assert then.params == []
+
+    def test_if_node_capture_split(self):
+        compiled = compile_source(
+            "main(a, b) if is_less(a, b) then incr(a) else decr(b)"
+        )
+        main = compiled.graph.template("main")
+        if_node = nodes_of_kind(main, NodeKind.IF)[0]
+        assert if_node.n_then_captures == 1
+        # cond + then captures (a) + else captures (b)
+        assert len(if_node.inputs) == 3
+
+    def test_result_if_is_tail(self):
+        compiled = compile_source("main(n) if n then 1 else 2")
+        main = compiled.graph.template("main")
+        if_node = nodes_of_kind(main, NodeKind.IF)[0]
+        assert if_node.tail
+
+
+class TestCallsAndRecursion:
+    def test_recursive_call_marked(self):
+        compiled = compile_source(FIB_SRC)
+        recursive_calls = [
+            n
+            for t in compiled.graph.templates.values()
+            for n in nodes_of_kind(t, NodeKind.CALL)
+            if n.recursive
+        ]
+        assert len(recursive_calls) == 2  # fib(n-1), fib(n-2)
+
+    def test_nonrecursive_call_unmarked(self):
+        compiled = compile_source(
+            "main(n) helper(n)\nhelper(x) incr(x)", optimize_passes=()
+        )
+        main = compiled.graph.template("main")
+        call = nodes_of_kind(main, NodeKind.CALL)[0]
+        assert not call.recursive
+        assert call.tail  # the call's output is main's result
+
+    def test_lowered_loop_call_is_tail_and_recursive(self):
+        compiled = compile_source(FACTORIAL_SRC, optimize_passes=())
+        loop_templates = [
+            t for name, t in compiled.graph.templates.items() if "loop$" in name
+        ]
+        assert loop_templates
+        # Inside the loop's then-arm, the self-call is recursive + tail.
+        arm = next(
+            t for name, t in compiled.graph.templates.items()
+            if "loop$" in name and name.endswith(".then")
+        )
+        call = nodes_of_kind(arm, NodeKind.CALL)[0]
+        assert call.recursive and call.tail
+
+    def test_self_capture_uses_placeholder(self):
+        from repro.runtime.values import _SELF
+
+        compiled = compile_source(FACTORIAL_SRC, optimize_passes=())
+        main = compiled.graph.template("main")
+        self_consts = [
+            n
+            for n in nodes_of_kind(main, NodeKind.CONST)
+            if n.value is _SELF
+        ]
+        assert len(self_consts) == 1  # the loop closure captures itself
+
+
+class TestClosuresAndOperatorRefs:
+    def test_local_function_becomes_closure_node(self):
+        compiled = compile_source(
+            "main(n) let h(x) add(x, n) in h(1)", optimize_passes=()
+        )
+        main = compiled.graph.template("main")
+        closure = nodes_of_kind(main, NodeKind.CLOSURE)[0]
+        assert closure.template == "main.h"
+        assert len(closure.inputs) == 1  # captures n
+        h = compiled.graph.template("main.h")
+        assert h.captures == ["n"]
+
+    def test_operator_as_value_becomes_opref(self):
+        compiled = compile_source(
+            "main(n) apply_fn(incr, n)\napply_fn(f, x) f(x)",
+            optimize_passes=(),
+        )
+        main = compiled.graph.template("main")
+        oprefs = nodes_of_kind(main, NodeKind.OPREF)
+        assert [n.name for n in oprefs] == ["incr"]
+
+    def test_top_level_function_reference_is_closure(self):
+        compiled = compile_source(
+            "main(n) apply_fn(helper, n)\napply_fn(f, x) f(x)\n"
+            "helper(x) incr(x)",
+            optimize_passes=(),
+        )
+        main = compiled.graph.template("main")
+        closures = nodes_of_kind(main, NodeKind.CLOSURE)
+        # Both the direct callee (apply_fn) and the passed-by-value
+        # function (helper) materialize as closure nodes.
+        assert {n.template for n in closures} == {"apply_fn", "helper"}
+        assert all(n.inputs == [] for n in closures)  # nothing captured
+
+
+class TestTuples:
+    def test_tuple_and_untuple_nodes(self):
+        compiled = compile_source(
+            "main(a, b) let <x, y> = <a, b> in add(x, y)", optimize_passes=()
+        )
+        main = compiled.graph.template("main")
+        assert nodes_of_kind(main, NodeKind.TUPLE)
+        untuple = nodes_of_kind(main, NodeKind.UNTUPLE)[0]
+        assert untuple.n_outputs == 2
+
+
+class TestPruning:
+    def test_unreachable_templates_pruned(self):
+        compiled = compile_source(
+            "main(n) incr(n)\ndead_helper(x) decr(x)"
+        )
+        assert "dead_helper" not in compiled.graph.templates
+
+    def test_reachable_through_closure_value_kept(self):
+        compiled = compile_source(
+            "main(n) apply_fn(helper, n)\napply_fn(f, x) f(x)\n"
+            "helper(x) incr(x)",
+            optimize_passes=(),
+        )
+        assert "helper" in compiled.graph.templates
+
+    def test_prune_counts(self):
+        from repro.compiler import analyze, analyze_program, generate_graphs, lower_program
+        from repro.lang import parse_program
+        from repro.runtime import default_registry
+
+        program = lower_program(
+            parse_program("main() 1\nunused_a(x) x\nunused_b(x) x")
+        )
+        env = analyze(program)
+        graph = generate_graphs(program, env, analyze_program(env))
+        assert graph.prune_unreachable() == 2
+        assert set(graph.templates) == {"main"}

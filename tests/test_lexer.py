@@ -1,0 +1,162 @@
+"""Unit tests for the Delirium scanner."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang import Token, TokenKind, tokenize
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str) -> list[str]:
+    return [t.text for t in tokenize(source)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_source_is_just_eof(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_integer_literal(self):
+        tok = tokenize("42")[0]
+        assert tok.kind is TokenKind.INT
+        assert tok.value == 42
+
+    def test_float_literal(self):
+        tok = tokenize("3.25")[0]
+        assert tok.kind is TokenKind.FLOAT
+        assert tok.value == 3.25
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+        assert tokenize("2.5e-2")[0].value == 0.025
+        assert tokenize("7E+1")[0].value == 70.0
+
+    def test_string_literal_double_quotes(self):
+        tok = tokenize('"hello world"')[0]
+        assert tok.kind is TokenKind.STRING
+        assert tok.value == "hello world"
+
+    def test_string_literal_single_quotes(self):
+        assert tokenize("'abc'")[0].value == "abc"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\tc\\d\"e"')[0].value == 'a\nb\tc\\d"e'
+
+    def test_identifier(self):
+        tok = tokenize("convol_bite")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "convol_bite"
+
+    def test_identifier_with_dollar_inside(self):
+        # Compiler-generated names survive re-lexing.
+        tok = tokenize("loop$1")[0]
+        assert tok.kind is TokenKind.IDENT
+        assert tok.text == "loop$1"
+
+    def test_do_is_not_a_keyword(self):
+        # The paper's retina listing binds a variable named `do`.
+        tok = tokenize("do")[0]
+        assert tok.kind is TokenKind.IDENT
+
+
+class TestKeywords:
+    @pytest.mark.parametrize(
+        "word,kind",
+        [
+            ("let", TokenKind.LET),
+            ("in", TokenKind.IN),
+            ("if", TokenKind.IF),
+            ("then", TokenKind.THEN),
+            ("else", TokenKind.ELSE),
+            ("iterate", TokenKind.ITERATE),
+            ("while", TokenKind.WHILE),
+            ("result", TokenKind.RESULT),
+            ("NULL", TokenKind.NULL),
+        ],
+    )
+    def test_keyword(self, word, kind):
+        assert tokenize(word)[0].kind is kind
+
+    def test_null_is_case_sensitive(self):
+        assert tokenize("null")[0].kind is TokenKind.IDENT
+        assert tokenize("Null")[0].kind is TokenKind.IDENT
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("letter")[0].kind is TokenKind.IDENT
+        assert tokenize("iterate_fast")[0].kind is TokenKind.IDENT
+
+
+class TestPunctuation:
+    def test_all_punctuation(self):
+        assert kinds("( ) { } < > , =")[:-1] == [
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LANGLE,
+            TokenKind.RANGLE,
+            TokenKind.COMMA,
+            TokenKind.EQUALS,
+        ]
+
+    def test_tuple_binding_tokens(self):
+        assert texts("<a,b,c,d>=target_split(scene)") == [
+            "<", "a", ",", "b", ",", "c", ",", "d", ">", "=",
+            "target_split", "(", "scene", ")",
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_hash_comment(self):
+        assert kinds("a # comment here\nb") == [
+            TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF
+        ]
+
+    def test_dash_dash_comment(self):
+        assert kinds("a -- comment\nb") == [
+            TokenKind.IDENT, TokenKind.IDENT, TokenKind.EOF
+        ]
+
+    def test_whitespace_insensitive(self):
+        assert texts("f(a,b)") == texts("f (\n  a ,\tb\n)")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("ab\n  cd")
+        assert (toks[0].line, toks[0].column) == (1, 1)
+        assert (toks[1].line, toks[1].column) == (2, 3)
+
+    def test_first_line_offset_for_chunked_lexing(self):
+        toks = tokenize("x", first_line=42)
+        assert toks[0].line == 42
+
+
+class TestLexErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"never closed')
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexError) as excinfo:
+            tokenize("ok\n  %")
+        assert excinfo.value.line == 2
+
+    def test_malformed_exponent(self):
+        with pytest.raises(LexError):
+            tokenize("1e+")
+
+
+class TestTokenRepr:
+    def test_token_is_frozen(self):
+        tok = Token(TokenKind.INT, "1", 1, 1, 1)
+        with pytest.raises(AttributeError):
+            tok.text = "2"  # type: ignore[misc]

@@ -1,0 +1,137 @@
+"""Iterate lowering: structure and semantics of the tail-recursive form."""
+
+from repro.compiler import compile_source, lower_program
+from repro.lang import ast, parse_program
+
+
+class TestLoweringStructure:
+    def test_iterate_becomes_local_function(self):
+        program = lower_program(
+            parse_program(
+                "main(n) iterate { i = 0, incr(i) } while is_less(i, n), result i"
+            )
+        )
+        body = program.function("main").body
+        assert isinstance(body, ast.Let)
+        assert isinstance(body.bindings[0], ast.FunBinding)
+        loop = body.bindings[0].func
+        assert loop.params == ["i"]
+        assert isinstance(loop.body, ast.If)
+        # then-arm is the recursive call with the update expressions
+        assert isinstance(loop.body.then, ast.Apply)
+        assert loop.body.then.callee.name == loop.name
+        # the let body is the initial call with the init expressions
+        assert isinstance(body.body, ast.Apply)
+        assert body.body.args[0].value == 0
+
+    def test_multiple_loopvars_become_params_in_order(self):
+        program = lower_program(
+            parse_program(
+                """
+                main(n)
+                  iterate { i = 1, incr(i)  acc = 1, mul(acc, i) }
+                  while is_less_equal(i, n), result acc
+                """
+            )
+        )
+        loop = program.function("main").body.bindings[0].func
+        assert loop.params == ["i", "acc"]
+
+    def test_nested_iterates_get_distinct_names(self):
+        program = lower_program(
+            parse_program(
+                """
+                main(n)
+                  iterate {
+                    i = 0, incr(i)
+                    s = 0, add(s, iterate { j = 0, incr(j) }
+                               while is_less(j, i), result j)
+                  }
+                  while is_less(i, n), result s
+                """
+            )
+        )
+        names = {
+            node.func.name
+            for node in program.walk()
+            if isinstance(node, ast.FunBinding)
+        }
+        assert len(names) == 2
+
+    def test_idempotent_on_iterate_free_programs(self):
+        source = "main() add(1, 2)"
+        p1 = parse_program(source)
+        p2 = lower_program(parse_program(source))
+        assert p1 == p2
+
+    def test_fresh_names_avoid_user_names(self):
+        program = lower_program(
+            parse_program(
+                """
+                main(loop$1)
+                  iterate { i = 0, incr(i) }
+                  while is_less(i, loop$1), result i
+                """
+            )
+        )
+        loop_names = [
+            node.func.name
+            for node in program.walk()
+            if isinstance(node, ast.FunBinding)
+        ]
+        assert loop_names and loop_names[0] != "loop$1"
+
+
+class TestLoweringSemantics:
+    def test_while_do_zero_iterations(self):
+        # cond false immediately: result uses the init values.
+        compiled = compile_source(
+            "main() iterate { i = 5, incr(i) } while is_less(i, 0), result i"
+        )
+        assert compiled.run().value == 5
+
+    def test_counts_updates_correctly(self):
+        compiled = compile_source(
+            "main(n) iterate { i = 0, incr(i) } while is_less(i, n), result i"
+        )
+        assert compiled.run(args=(7,)).value == 7
+
+    def test_simultaneous_update_semantics(self):
+        # swap-style updates must read the *previous* round's values:
+        # (a, b) <- (b, a) forever alternates, never collapses.
+        compiled = compile_source(
+            """
+            main(n)
+              iterate {
+                k = 0, incr(k)
+                a = 1, b
+                b = 2, a
+              }
+              while is_less(k, n),
+              result <a, b>
+            """
+        )
+        assert compiled.run(args=(1,)).value == (2, 1)
+        assert compiled.run(args=(2,)).value == (1, 2)
+
+    def test_loop_uses_enclosing_parameters(self):
+        compiled = compile_source(
+            """
+            main(n, step)
+              iterate { total = 0, add(total, step)
+                        k = 0, incr(k) }
+              while is_less(k, n),
+              result total
+            """
+        )
+        assert compiled.run(args=(4, 10)).value == 40
+
+    def test_constant_activation_space(self):
+        # A 500-iteration loop must not accumulate live activations.
+        compiled = compile_source(
+            "main(n) iterate { i = 0, incr(i) } while is_less(i, n), result i"
+        )
+        result = compiled.run(args=(500,))
+        assert result.value == 500
+        assert result.stats.activation_stats["peak_live"] <= 3
+        assert result.stats.activation_stats["created"] <= 6

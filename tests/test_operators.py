@@ -1,0 +1,127 @@
+"""Operator registry and builtin operators."""
+
+import pytest
+
+from repro.errors import DeliriumError, UnknownOperatorError
+from repro.runtime import (
+    NULL,
+    OperatorRegistry,
+    OperatorSpec,
+    builtin_registry,
+    default_registry,
+)
+
+
+class TestRegistry:
+    def test_register_decorator(self):
+        reg = OperatorRegistry()
+
+        @reg.register(modifies=(0,), cost=5.0)
+        def poke(x):
+            x.append(1)
+            return x
+
+        spec = reg.get("poke")
+        assert spec.modifies == frozenset({0})
+        assert spec.cost_ticks(([1],)) == 5.0
+
+    def test_register_with_explicit_name(self):
+        reg = OperatorRegistry()
+        reg.register(name="other")(lambda x: x)
+        assert "other" in reg
+
+    def test_duplicate_registration_rejected(self):
+        reg = OperatorRegistry()
+        reg.register(name="f")(lambda: 1)
+        with pytest.raises(DeliriumError):
+            reg.register(name="f")(lambda: 2)
+
+    def test_unknown_operator_error(self):
+        with pytest.raises(UnknownOperatorError):
+            OperatorRegistry().get("ghost")
+
+    def test_callable_cost(self):
+        spec = OperatorSpec(name="s", fn=lambda a: a, cost=lambda a: len(a) * 2.0)
+        assert spec.cost_ticks(("abc",)) == 6.0
+
+    def test_no_cost_hint(self):
+        spec = OperatorSpec(name="s", fn=lambda: 0)
+        assert spec.cost_ticks(()) is None
+
+    def test_merged_with(self):
+        a = OperatorRegistry()
+        a.register(name="x", pure=True)(lambda: 1)
+        b = OperatorRegistry()
+        b.register(name="y")(lambda: 2)
+        merged = a.merged_with(b)
+        assert merged.names() == {"x", "y"}
+        assert merged.pure_names() == {"x"}
+
+    def test_merged_with_other_wins(self):
+        a = OperatorRegistry()
+        a.register(name="x")(lambda: 1)
+        b = OperatorRegistry()
+        b.register(name="x")(lambda: 2)
+        assert a.merged_with(b).get("x").fn() == 2
+
+    def test_iteration_order_is_insertion(self):
+        reg = OperatorRegistry()
+        for name in ("c", "a", "b"):
+            reg.register(name=name)(lambda: 0)
+        assert [s.name for s in reg] == ["c", "a", "b"]
+
+
+class TestBuiltins:
+    @pytest.mark.parametrize(
+        "name,args,expected",
+        [
+            ("incr", (4,), 5),
+            ("decr", (4,), 3),
+            ("add", (2, 3), 5),
+            ("sub", (2, 3), -1),
+            ("mul", (2, 3), 6),
+            ("div", (7, 2), 3.5),
+            ("idiv", (7, 2), 3),
+            ("mod", (7, 2), 1),
+            ("neg", (3,), -3),
+            ("min2", (2, 3), 2),
+            ("max2", (2, 3), 3),
+            ("is_equal", (2, 2), 1),
+            ("is_equal", (2, 3), 0),
+            ("is_not_equal", (2, 3), 1),
+            ("is_less", (2, 3), 1),
+            ("is_less_equal", (3, 3), 1),
+            ("is_greater", (3, 2), 1),
+            ("is_greater_equal", (2, 3), 0),
+            ("not", (0,), 1),
+            ("and", (1, 0), 0),
+            ("or", (0, 2), 1),
+            ("identity", ("x",), "x"),
+        ],
+    )
+    def test_builtin(self, name, args, expected):
+        assert builtin_registry().get(name).fn(*args) == expected
+
+    def test_is_null(self):
+        fn = builtin_registry().get("is_null").fn
+        assert fn(NULL) == 1
+        assert fn(0) == 0
+
+    def test_merge_drops_nulls_and_flattens_lists(self):
+        fn = builtin_registry().get("merge").fn
+        assert fn(NULL, 1, [2, 3], NULL, 4) == [1, 2, 3, 4]
+
+    def test_builtins_are_pure(self):
+        reg = builtin_registry()
+        assert "incr" in reg.pure_names()
+        assert "merge" in reg.pure_names()
+
+    def test_default_registry_is_extensible_copy(self):
+        reg = default_registry()
+        reg.register(name="custom")(lambda: 1)
+        assert "custom" not in builtin_registry()
+        assert "custom" in reg
+
+    def test_arities_recorded(self):
+        assert builtin_registry().get("add").arity == 2
+        assert builtin_registry().get("merge").arity is None

@@ -1,0 +1,122 @@
+"""Deep multiple-value packages and remaining parser corners."""
+
+import pytest
+
+from repro import compile_source
+from repro.errors import ParseError
+from repro.lang import parse_expression, parse_program
+from repro.runtime import SequentialExecutor, default_registry
+
+
+class TestNestedPackages:
+    def test_package_of_packages(self):
+        src = """
+        main()
+          let <ab, cd> = <<1, 2>, <3, 4>>
+              <a, b> = ab
+              <c, d> = cd
+          in add(add(a, b), add(c, d))
+        """
+        assert compile_source(src).run().value == 10
+
+    def test_operator_returning_nested_tuples(self):
+        reg = default_registry()
+        reg.register(name="nest")(lambda: ((1, 2), (3, (4, 5))))
+        src = """
+        main()
+          let <left, right> = nest()
+              <a, b> = left
+              <c, de> = right
+              <d, e> = de
+          in add(add(a, b), add(c, add(d, e)))
+        """
+        assert compile_source(src, registry=reg).run().value == 15
+
+    def test_package_with_blocks_inside(self):
+        reg = default_registry()
+        reg.register(name="mk_pair")(lambda: ([1, 2], [3, 4]))
+        reg.register(name="head", pure=True)(lambda l: l[0])
+        reg.register(name="bump", modifies=(0,))(
+            lambda l: (l.__setitem__(0, 99), l)[1]
+        )
+        src = """
+        main()
+          let <x, y> = mk_pair()
+              xb = bump(x)
+          in <head(xb), head(y)>
+        """
+        assert compile_source(src, registry=reg).run().value == (99, 3)
+
+    def test_package_aliasing_same_block_twice(self):
+        # The same block appears twice in one package; a writer through
+        # one slot must not be visible through the other.
+        reg = default_registry()
+        reg.register(name="mk")(lambda: [7])
+        reg.register(name="pair_of", pure=True)(lambda l: None)  # unused
+        reg.register(name="bump", modifies=(0,))(
+            lambda l: (l.__setitem__(0, l[0] + 1), l)[1]
+        )
+        reg.register(name="head", pure=True)(lambda l: l[0])
+        src = """
+        main()
+          let blk = mk()
+              <a, b> = <blk, blk>
+              ab = bump(a)
+          in <head(ab), head(b)>
+        """
+        assert compile_source(src, registry=reg).run().value == (8, 7)
+
+    def test_package_as_function_result(self):
+        src = """
+        main(n) let <lo, hi> = bounds(n) in sub(hi, lo)
+        bounds(n) <n, mul(n, 3)>
+        """
+        assert compile_source(src).run(args=(5,)).value == 10
+
+    def test_package_passed_whole_to_function(self):
+        src = """
+        main(n)
+          let pkg = <n, incr(n)>
+          in spread(pkg)
+        spread(p) let <a, b> = p in add(a, b)
+        """
+        assert compile_source(src).run(args=(4,)).value == 9
+
+
+class TestParserCorners:
+    def test_trailing_comma_in_loopvar_before_brace(self):
+        e = parse_expression(
+            "iterate { i = 0, incr(i), } while is_less(i, 2), result i"
+        )
+        assert len(e.loopvars) == 1
+
+    def test_expression_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("add(1, 2) extra")
+
+    def test_angle_package_single_element(self):
+        e = parse_expression("<x>")
+        assert len(e.items) == 1
+
+    def test_one_element_package_runtime(self):
+        src = "main(n) let <only> = <incr(n)> in only"
+        assert compile_source(src).run(args=(1,)).value == 2
+
+    def test_nested_parens(self):
+        assert compile_source("main() ((add((1), (2))))").run().value == 3
+
+    def test_keyword_like_prefixes_as_arguments(self):
+        # names beginning with keywords must parse as identifiers
+        src = "main(inner, thenv) add(inner, thenv)"
+        assert compile_source(src).run(args=(1, 2)).value == 3
+
+
+class TestMergeSemantics:
+    def test_merge_empty_inputs(self):
+        assert compile_source("main() merge(NULL, NULL)").run().value == []
+
+    def test_merge_mixed(self):
+        reg = default_registry()
+        reg.register(name="some_list")(lambda: [10, 20])
+        src = "main() merge(1, NULL, some_list(), 2)"
+        assert compile_source(src, registry=reg).run().value == [1, 10, 20, 2]

@@ -1,0 +1,277 @@
+"""Unit tests for the Delirium parser, including the paper's listings."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast, parse_expression, parse_program
+
+
+class TestPrimaries:
+    def test_int(self):
+        assert parse_expression("5") == ast.Literal(value=5)
+
+    def test_float(self):
+        assert parse_expression("2.5") == ast.Literal(value=2.5)
+
+    def test_string(self):
+        assert parse_expression('"hi"') == ast.Literal(value="hi")
+
+    def test_null(self):
+        assert isinstance(parse_expression("NULL"), ast.Null)
+
+    def test_var(self):
+        assert parse_expression("board") == ast.Var(name="board")
+
+    def test_parenthesized(self):
+        assert parse_expression("(x)") == ast.Var(name="x")
+
+    def test_tuple_expression(self):
+        e = parse_expression("<a, 1, f(b)>")
+        assert isinstance(e, ast.TupleExpr)
+        assert len(e.items) == 3
+
+
+class TestApplication:
+    def test_simple_call(self):
+        e = parse_expression("f(a, b)")
+        assert isinstance(e, ast.Apply)
+        assert e.callee == ast.Var(name="f")
+        assert len(e.args) == 2
+
+    def test_nullary_call(self):
+        e = parse_expression("init_fn()")
+        assert isinstance(e, ast.Apply)
+        assert e.args == []
+
+    def test_nested_call(self):
+        e = parse_expression("show(do_it(board, 1))")
+        assert isinstance(e, ast.Apply)
+        inner = e.args[0]
+        assert isinstance(inner, ast.Apply)
+
+    def test_curried_application(self):
+        # First-class functions: the result of f(a) is applied to b.
+        e = parse_expression("f(a)(b)")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.callee, ast.Apply)
+
+    def test_parenthesized_callee(self):
+        e = parse_expression("(pick(f, g))(x)")
+        assert isinstance(e, ast.Apply)
+        assert isinstance(e.callee, ast.Apply)
+
+
+class TestLet:
+    def test_simple_binding(self):
+        e = parse_expression("let x = f() in x")
+        assert isinstance(e, ast.Let)
+        assert isinstance(e.bindings[0], ast.SimpleBinding)
+        assert e.bindings[0].name == "x"
+
+    def test_multiple_bindings(self):
+        e = parse_expression("let a = f() b = g(a) in add(a, b)")
+        assert isinstance(e, ast.Let)
+        assert [b.bound_names() for b in e.bindings] == [["a"], ["b"]]
+
+    def test_tuple_binding(self):
+        e = parse_expression("let <a, b, c, d> = split(s) in merge(a, b, c, d)")
+        binding = e.bindings[0]
+        assert isinstance(binding, ast.TupleBinding)
+        assert binding.names == ["a", "b", "c", "d"]
+
+    def test_local_function_binding(self):
+        e = parse_expression("let square(x) mul(x, x) in square(4)")
+        binding = e.bindings[0]
+        assert isinstance(binding, ast.FunBinding)
+        assert binding.func.name == "square"
+        assert binding.func.params == ["x"]
+
+    def test_unterminated_let(self):
+        with pytest.raises(ParseError):
+            parse_expression("let x = 1")
+
+
+class TestIf:
+    def test_if_then_else(self):
+        e = parse_expression("if is_valid(b) then b else NULL")
+        assert isinstance(e, ast.If)
+        assert isinstance(e.orelse, ast.Null)
+
+    def test_nested_if(self):
+        e = parse_expression(
+            "if a then if b then 1 else 2 else 3"
+        )
+        assert isinstance(e.then, ast.If)
+
+    def test_missing_else_is_error(self):
+        with pytest.raises(ParseError):
+            parse_expression("if a then 1")
+
+
+class TestIterate:
+    def test_single_loopvar(self):
+        e = parse_expression(
+            "iterate { i = 0, incr(i) } while is_less(i, 10), result i"
+        )
+        assert isinstance(e, ast.Iterate)
+        assert len(e.loopvars) == 1
+        assert e.loopvars[0].name == "i"
+
+    def test_multiple_loopvars(self):
+        e = parse_expression(
+            """
+            iterate
+            {
+              i = 1, incr(i)
+              acc = 1, mul(acc, i)
+            }
+            while is_less_equal(i, n),
+            result acc
+            """
+        )
+        assert [lv.name for lv in e.loopvars] == ["i", "acc"]
+
+    def test_comma_before_result_is_optional(self):
+        a = parse_expression(
+            "iterate { i = 0, incr(i) } while c(i), result i"
+        )
+        b = parse_expression(
+            "iterate { i = 0, incr(i) } while c(i) result i"
+        )
+        assert a == b
+
+    def test_let_as_update_expression(self):
+        # The retina main loop: the update of `scene` is a whole let.
+        e = parse_expression(
+            """
+            iterate
+            {
+              t = 0, incr(t)
+              scene = set_up(),
+                let <a, b> = split(scene)
+                    ao = bite(a)
+                    bo = bite(b)
+                in join(ao, bo)
+            }
+            while is_not_equal(t, 4),
+            result scene
+            """
+        )
+        assert isinstance(e.loopvars[1].update, ast.Let)
+
+    def test_unterminated_iterate(self):
+        with pytest.raises(ParseError):
+            parse_expression("iterate { i = 0, incr(i) while c result i")
+
+
+class TestProgram:
+    def test_multiple_functions(self):
+        p = parse_program("main() f(1)\nf(x) incr(x)")
+        assert p.function_names() == ["main", "f"]
+        assert p.function("f").params == ["x"]
+
+    def test_missing_function_raises_keyerror(self):
+        p = parse_program("main() 1")
+        with pytest.raises(KeyError):
+            p.function("nope")
+
+    def test_empty_program_is_error(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_trailing_garbage_is_error(self):
+        with pytest.raises(ParseError):
+            parse_program("main() 1 )")
+
+
+class TestPaperListings:
+    def test_eight_queens_listing(self):
+        p = parse_program(
+            """
+            main()
+              let board = empty_board()
+              in show_solutions(do_it(board,1))
+            do_it(board,queen)
+              let h1 = try(board,queen,1)
+                  h2 = try(board,queen,2)
+                  h3 = try(board,queen,3)
+                  h4 = try(board,queen,4)
+                  h5 = try(board,queen,5)
+                  h6 = try(board,queen,6)
+                  h7 = try(board,queen,7)
+                  h8 = try(board,queen,8)
+              in merge(h1,h2,h3,h4,h5,h6,h7,h8)
+            try(board, queen, location)
+              let new_board = add_queen(board,queen,location)
+              in if is_valid(new_board)
+                  then if is_equal(queen,8)
+                        then new_board
+                        else do_it(new_board,incr(queen))
+                  else NULL
+            """
+        )
+        assert p.function_names() == ["main", "do_it", "try"]
+        assert len(p.function("do_it").body.bindings) == 8
+
+    def test_retina_v1_listing(self):
+        p = parse_program(
+            """
+            main()
+              iterate
+              {
+                timestep=0,incr(timestep)
+                scene=set_up(),
+                  let
+                    <a,b,c,d>=target_split(scene)
+                    ao=target_bite(a)
+                    bo=target_bite(b)
+                    co=target_bite(c)
+                    do=target_bite(d)
+                  in do_convol(ao,bo,co,do)
+             }
+              while is_not_equal(timestep, 4),
+              result scene
+            do_convol(c1,c2,c3,c4)
+              iterate
+              {
+                slab=0,incr(slab)
+                convolve_data=pre_update(c1,c2,c3,c4),
+                    let
+                      <a,b,c,d>=convol_split(convolve_data)
+                      ao=convol_bite(a,slab)
+                      bo=convol_bite(b,slab)
+                      co=convol_bite(c,slab)
+                      do=convol_bite(d,slab)
+                    in post_up(slab,ao,bo,co,do)
+              } while is_not_equal(slab,4),
+                result convolve_data
+            """
+        )
+        assert p.function_names() == ["main", "do_convol"]
+        main_body = p.function("main").body
+        assert isinstance(main_body, ast.Iterate)
+        assert [lv.name for lv in main_body.loopvars] == ["timestep", "scene"]
+
+    def test_fork_join_listing(self):
+        p = parse_program(
+            """
+            main()
+              let
+                 a_start=init_fn()
+                 a=convolve(a_start,0)
+                 b=convolve(a_start,1)
+                 c=convolve(a_start,2)
+                 d=convolve(a_start,3)
+              in term_fn(a,b,c,d)
+            """
+        )
+        body = p.function("main").body
+        assert isinstance(body, ast.Let)
+        assert len(body.bindings) == 5
+
+
+class TestPositionsInErrors:
+    def test_parse_error_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("main()\n  let = 3 in x")
+        assert excinfo.value.line == 2

@@ -1,0 +1,159 @@
+"""The coordination-structure prelude (section 9.2 extension)."""
+
+import pytest
+
+from repro import compile_source, default_registry
+from repro.errors import SingleAssignmentError
+from repro.lang.prelude import PRELUDE_FUNCTIONS, PRELUDE_SOURCE
+from repro.machine import SimulatedExecutor, uniform
+from repro.runtime import SequentialExecutor
+
+
+class TestPreludeBasics:
+    def test_prelude_parses_standalone(self):
+        from repro.lang import parse_program
+
+        program = parse_program(PRELUDE_SOURCE + "\nmain() 1")
+        for name in PRELUDE_FUNCTIONS:
+            assert name in program.function_names()
+
+    def test_prelude_off_by_default(self):
+        from repro.errors import UnboundNameError
+
+        with pytest.raises(UnboundNameError):
+            compile_source("main() par_index_map(incr, 0, 3)")
+
+    def test_name_collision_is_loud(self):
+        with pytest.raises(SingleAssignmentError):
+            compile_source(
+                "main() 1\npar_reduce(a, b, c, d) 1", prelude=True
+            )
+
+
+class TestParIndexMap:
+    def test_maps_range(self):
+        compiled = compile_source(
+            "main(n) par_index_map(incr, 0, n)", prelude=True
+        )
+        assert compiled.run(args=(5,)).value == [1, 2, 3, 4, 5]
+
+    def test_empty_range(self):
+        compiled = compile_source(
+            "main() par_index_map(incr, 3, 3)", prelude=True
+        )
+        assert compiled.run().value == []
+
+    def test_offset_range(self):
+        compiled = compile_source(
+            "main() par_index_map(incr, 10, 13)", prelude=True
+        )
+        assert compiled.run().value == [11, 12, 13]
+
+    def test_with_local_closure(self):
+        compiled = compile_source(
+            """
+            main(k)
+              let scaled(i) mul(i, k)
+              in par_index_map(scaled, 1, 5)
+            """,
+            prelude=True,
+        )
+        assert compiled.run(args=(10,)).value == [10, 20, 30, 40]
+
+    def test_results_in_index_order_regardless_of_schedule(self):
+        compiled = compile_source(
+            "main(n) par_index_map(incr, 0, n)", prelude=True
+        )
+        for seed in (1, 2, 3):
+            value = SequentialExecutor(seed=seed).run(
+                compiled.graph, args=(8,)
+            ).value
+            assert value == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+class TestParReduce:
+    def test_sum_of_squares(self):
+        reg = default_registry()
+        reg.register(name="sq", pure=True, cost=50.0)(lambda i: i * i)
+        compiled = compile_source(
+            "main(n) par_reduce(add, sq, 0, n)", registry=reg, prelude=True
+        )
+        assert compiled.run(args=(10,)).value == 285
+
+    def test_association_is_schedule_independent(self):
+        # Balanced-tree association depends only on [lo, hi): float
+        # results must be bit-identical under any schedule.
+        reg = default_registry()
+        items = [0.1 * (10 ** (i % 6)) for i in range(16)]
+        reg.register(name="leaf", pure=True)(lambda i: items[i])
+        compiled = compile_source(
+            "main() par_reduce(add, leaf, 0, 16)", registry=reg, prelude=True
+        )
+        values = {
+            SequentialExecutor(seed=s).run(
+                compiled.graph, registry=reg
+            ).value
+            for s in range(6)
+        }
+        assert len(values) == 1
+
+    def test_single_leaf(self):
+        compiled = compile_source(
+            "main() par_reduce(add, incr, 7, 8)", prelude=True
+        )
+        assert compiled.run().value == 8
+
+
+class TestParSplit:
+    def test_applies_to_each_piece(self):
+        reg = default_registry()
+        reg.register(name="mk", pure=True)(lambda: (1, 2, 3, 4))
+        reg.register(name="dbl", pure=True)(lambda x: x * 2)
+        compiled = compile_source(
+            "main() par_split(dbl, mk(), 4)", registry=reg, prelude=True
+        )
+        assert compiled.run().value == [2, 4, 6, 8]
+
+    def test_mutable_elements_are_isolated(self):
+        # ``element`` copies mutable payloads: writes through one piece
+        # must not reach the package.
+        reg = default_registry()
+        reg.register(name="mk", pure=True)(lambda: ([0], [0]))
+        reg.register(name="poke", modifies=(0,))(
+            lambda lst: (lst.__setitem__(0, 9), lst)[1]
+        )
+        reg.register(name="peek", pure=True)(lambda pkg: pkg[0][0])
+        compiled = compile_source(
+            """
+            main()
+              let pkg = mk()
+                  poked = par_split(poke, pkg, 2)
+              in <poked, peek(pkg)>
+            """,
+            registry=reg,
+            prelude=True,
+        )
+        poked, original_first = compiled.run().value
+        assert original_first == 0
+        assert poked == [[9], [9]]  # par_* results are lists
+
+
+class TestDynamicWidthScaling:
+    """The point of the extension: width is a value, so speedup follows
+    the machine, not the source text (contrast the hard-wired 4-way)."""
+
+    def test_scales_past_four(self):
+        reg = default_registry()
+        reg.register(name="work", pure=True, cost=100_000.0)(lambda i: i)
+        compiled = compile_source(
+            "main(n) par_reduce(add, work, 0, n)", registry=reg, prelude=True
+        )
+        t = {
+            p: SimulatedExecutor(uniform(p)).run(
+                compiled.graph, args=(16,), registry=reg
+            ).ticks
+            for p in (1, 4, 8, 16)
+        }
+        assert t[1] / t[4] == pytest.approx(4.0, rel=0.05)
+        assert t[1] / t[8] == pytest.approx(8.0, rel=0.05)
+        assert t[1] / t[16] == pytest.approx(16.0, rel=0.1)

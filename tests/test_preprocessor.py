@@ -1,0 +1,88 @@
+"""Unit tests for the preprocessor (symbolic constants)."""
+
+import pytest
+
+from repro.errors import PreprocessorError
+from repro.lang import extract_defines, parse_program, preprocess
+
+
+class TestDirectives:
+    def test_define_directive(self):
+        out = preprocess("#define NUM_ITER 4\nf(NUM_ITER)")
+        assert "f(4)" in out
+
+    def test_directive_lines_are_blanked_not_removed(self):
+        src = "#define A 1\n#define B 2\nmain() add(A, B)"
+        out = preprocess(src)
+        assert out.count("\n") == src.count("\n")  # line numbers preserved
+
+    def test_extract_defines(self):
+        stripped, defines = extract_defines("#define X 10\nbody X")
+        assert defines == {"X": "10"}
+        assert "define" not in stripped
+
+    def test_duplicate_identical_define_is_ok(self):
+        out = preprocess("#define A 1\n#define A 1\nA")
+        assert "1" in out
+
+    def test_conflicting_redefinition_is_error(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define A 1\n#define A 2\nA")
+
+
+class TestProgrammaticDefines:
+    def test_int_value(self):
+        assert "f(7)" in preprocess("f(NUM_ITER)", {"NUM_ITER": 7})
+
+    def test_float_value(self):
+        assert "f(2.5)" in preprocess("f(RATE)", {"RATE": 2.5})
+
+    def test_string_value_is_raw_syntax(self):
+        # A string define is replacement syntax, so it can name an operator.
+        out = preprocess("BITE(x)", {"BITE": "convol_bite"})
+        assert out == "convol_bite(x)"
+
+    def test_programmatic_overrides_directive(self):
+        out = preprocess("#define N 1\nf(N)", {"N": 99})
+        assert "f(99)" in out
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("x", {"not a name": 1})
+
+
+class TestSubstitutionSemantics:
+    def test_word_boundaries_respected(self):
+        out = preprocess("NUM_ITERATIONS NUM_ITER", {"NUM_ITER": 4})
+        assert out == "NUM_ITERATIONS 4"
+
+    def test_recursive_expansion(self):
+        out = preprocess("X", {"X": "Y", "Y": 5})
+        assert out == "5"
+
+    def test_cycle_detected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("A", {"A": "B", "B": "A"})
+
+    def test_self_cycle_detected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("A", {"A": "A"})
+
+    def test_no_defines_is_identity_modulo_directives(self):
+        assert preprocess("main() f(1)") == "main() f(1)"
+
+
+class TestIntegrationWithParser:
+    def test_retina_style_constants(self):
+        src = """
+        main()
+          iterate
+          {
+            t = START, incr(t)
+          }
+          while is_not_equal(t, STOP),
+          result t
+        """
+        program = parse_program(preprocess(src, {"START": 0, "STOP": 10}))
+        loop = program.function("main").body
+        assert loop.loopvars[0].init.value == 0

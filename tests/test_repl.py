@@ -1,0 +1,91 @@
+"""The interactive REPL."""
+
+import io
+import subprocess
+import sys
+
+from repro.tools.repl import Repl
+
+
+def run_session(*lines: str) -> str:
+    stdin = io.StringIO("\n".join(lines) + "\n")
+    stdout = io.StringIO()
+    Repl(stdin=stdin, stdout=stdout).run()
+    return stdout.getvalue()
+
+
+class TestRepl:
+    def test_evaluates_expression(self):
+        out = run_session("add(2, mul(3, 4))", ":quit")
+        assert "14" in out
+
+    def test_def_then_use(self):
+        out = run_session(
+            ":def square(x) mul(x, x)",
+            "square(9)",
+            ":quit",
+        )
+        assert "defined: square" in out
+        assert "81" in out
+
+    def test_definitions_compose(self):
+        out = run_session(
+            ":def double(x) add(x, x)",
+            ":def quad(x) double(double(x))",
+            "quad(3)",
+            ":quit",
+        )
+        assert "12" in out
+
+    def test_list_definitions(self):
+        out = run_session(":def f(x) x", ":list", ":quit")
+        assert "f(x) x" in out
+
+    def test_list_empty(self):
+        out = run_session(":list", ":quit")
+        assert "no session definitions" in out
+
+    def test_bad_definition_rejected_and_not_kept(self):
+        out = run_session(
+            ":def broken(x) unknown_op(x)",
+            ":list",
+            ":quit",
+        )
+        assert "error:" in out
+        assert "(no session definitions)" in out
+
+    def test_error_reported_session_continues(self):
+        out = run_session("mystery(1)", "add(1, 1)", ":quit")
+        assert "error:" in out
+        assert "2" in out
+
+    def test_graph_command(self):
+        out = run_session(":graph add(1, 2)", ":quit")
+        assert "=== main" in out
+
+    def test_prelude_available(self):
+        out = run_session("par_index_map(incr, 0, 4)", ":quit")
+        assert "[1, 2, 3, 4]" in out
+
+    def test_unknown_command(self):
+        out = run_session(":frobnicate", ":quit")
+        assert "unknown command" in out
+
+    def test_continuation_lines(self):
+        out = run_session("add(1, \\", "2)", ":quit")
+        assert "3" in out
+
+    def test_eof_terminates(self):
+        out = run_session("incr(0)")
+        assert "1" in out
+
+    def test_cli_subcommand(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.tools.cli", "repl"],
+            input="add(20, 22)\n:quit\n",
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "42" in proc.stdout

@@ -1,0 +1,92 @@
+"""Timing reports and the load-balance summary."""
+
+from repro.runtime.tracing import Tracer
+from repro.tools import (
+    load_balance_summary,
+    node_timing_report,
+    pass_table,
+)
+
+
+def make_tracer() -> Tracer:
+    t = Tracer()
+    t.record("convol_split", "op", 10_013)
+    t.record("convol_bite", "op", 1_059_919)
+    t.record("convol_bite", "op", 1_135_594)
+    t.record("convol_bite", "op", 1_060_799)
+    t.record("convol_bite", "op", 1_062_540)
+    t.record("incr", "op", 3_073)
+    t.record("post_up", "op", 45_672)
+    t.record("post_up", "op", 4_070_365)
+    t.record("call:do_convol", "call", 200)
+    return t
+
+
+class TestNodeTimingReport:
+    def test_paper_format(self):
+        report = node_timing_report(make_tracer())
+        lines = report.splitlines()
+        assert lines[0] == "call of convol_split took 10013"
+        assert "call of convol_bite took 1059919" in lines
+
+    def test_ops_only_filters_engine_nodes(self):
+        report = node_timing_report(make_tracer())
+        assert "do_convol" not in report
+
+    def test_include_filter(self):
+        report = node_timing_report(make_tracer(), include={"post_up"})
+        assert report.count("call of") == 2
+
+    def test_all_records_mode(self):
+        report = node_timing_report(make_tracer(), ops_only=False)
+        assert "call:do_convol" in report
+
+
+class TestTracerAggregation:
+    def test_totals_by_label(self):
+        totals = make_tracer().totals_by_label()
+        assert totals["post_up"] == 45_672 + 4_070_365
+
+    def test_count_by_label(self):
+        assert make_tracer().count_by_label()["convol_bite"] == 4
+
+    def test_max_by_label(self):
+        assert make_tracer().max_by_label()["post_up"] == 4_070_365
+
+    def test_total_ticks(self):
+        assert make_tracer().total_ticks() > 7_000_000
+
+
+class TestLoadBalanceSummary:
+    def test_finds_the_paper_bottleneck(self):
+        summary = load_balance_summary(
+            make_tracer(), include={"convol_bite", "post_up"}
+        )
+        assert summary.bottleneck == "post_up"
+        assert summary.bottleneck_max == 4_070_365
+        # The paper's diagnosis: one call as long as all convolutions
+        # combined => imbalance far above 1.
+        assert summary.imbalance_ratio > 3.0
+
+    def test_describe_renders_table(self):
+        text = load_balance_summary(make_tracer()).describe()
+        assert "bottleneck" in text
+        assert "convol_bite" in text
+
+    def test_empty_trace(self):
+        summary = load_balance_summary(Tracer())
+        assert summary.bottleneck == ""
+
+
+class TestPassTable:
+    def test_renders_totals_and_speedup(self):
+        text = pass_table(
+            {"Lexing": 91, "Parsing": 200},
+            {"Lexing": 91, "Parsing": 78},
+            n_processors=3,
+            unit="msec",
+        )
+        assert "Time Per Compiler Pass (in msec)" in text
+        assert "Totals" in text
+        assert "291" in text and "169" in text
+        assert "1.72" in text  # 291/169
