@@ -69,6 +69,13 @@ from .machine import (
     speedup_curve,
     uniform,
 )
+from .obs import (
+    ChromeTraceCollector,
+    EventBus,
+    MetricsRegistry,
+    attach_metrics,
+    observe_blocks,
+)
 from .runtime import (
     NULL,
     OperatorRegistry,
@@ -85,14 +92,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArityError",
+    "ChromeTraceCollector",
     "CompileError",
     "CompiledProgram",
     "DeliriumError",
+    "EventBus",
     "GraphError",
     "GraphProgram",
     "LexError",
     "MachineError",
     "MachineModel",
+    "MetricsRegistry",
     "NULL",
     "PRELUDE_SOURCE",
     "OperatorError",
@@ -111,6 +121,7 @@ __all__ = [
     "UnboundNameError",
     "UnknownOperatorError",
     "ascii_framework",
+    "attach_metrics",
     "builtin_registry",
     "butterfly",
     "compile_file",
@@ -123,6 +134,7 @@ __all__ = [
     "load_graph",
     "save_graph",
     "node_timing_report",
+    "observe_blocks",
     "pass_table",
     "run_source",
     "sequent",

@@ -26,9 +26,11 @@ from typing import Any
 
 from ..errors import MachineError, RuntimeFailure
 from ..graph.ir import GraphProgram, Node, NodeKind
+from ..obs.events import EventBus, TaskFired
 from ..runtime.affinity import AffinityPolicy, make_policy
 from ..runtime.blocks import DataBlock
 from ..runtime.engine import EngineStats, ExecutionState
+from ..runtime.executors import resolve_bus
 from ..runtime.operators import OperatorRegistry, default_registry
 from ..runtime.scheduler import ReadyQueue, Task
 from ..runtime.tracing import Tracer
@@ -100,6 +102,12 @@ class SimulatedExecutor:
         As in :class:`~repro.runtime.executors.SequentialExecutor`;
         tracing records per-node tick timings (the paper's node-timing
         tool).
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`.  Events are
+        stamped in simulated ticks; each task dispatch emits a
+        :class:`~repro.obs.events.TaskFired` span carrying its processor,
+        which the Chrome trace exporter renders as one Perfetto track per
+        simulated processor.
     """
 
     def __init__(
@@ -111,6 +119,7 @@ class SimulatedExecutor:
         seed: int | None = None,
         check_purity: bool = False,
         trace: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
         self.machine = machine
         self.affinity_spec = affinity
@@ -119,6 +128,7 @@ class SimulatedExecutor:
         self.seed = seed
         self.check_purity = check_purity
         self.trace = trace
+        self.bus = bus
 
     # ------------------------------------------------------------------
     def _op_cost(self, name: str, spec: Any, args: tuple[Any, ...]) -> float:
@@ -212,10 +222,14 @@ class SimulatedExecutor:
     ) -> SimResult:
         registry = registry if registry is not None else default_registry()
         machine = self.machine
-        state = ExecutionState(program, registry, check_purity=self.check_purity)
-        ready = ReadyQueue(self.use_priorities, self.seed)
+        bus, tracer = resolve_bus(self.bus, self.trace)
+        if bus is not None:
+            bus.set_time(0.0)
+        state = ExecutionState(
+            program, registry, check_purity=self.check_purity, bus=bus
+        )
+        ready = ReadyQueue(self.use_priorities, self.seed, bus=bus)
         policy = make_policy(self.affinity_spec)
-        tracer = Tracer() if self.trace else None
         traffic = TrafficAccount()
 
         n_procs = machine.processors
@@ -266,10 +280,22 @@ class SimulatedExecutor:
                 dispatch_total += machine.dispatch_ticks
                 compute_total += compute
                 busy_ticks[processor] += duration
-                if tracer is not None:
-                    node = task.activation.template.nodes[task.node_id]
-                    tracer.record(
-                        node.label, node.kind.value, duration, now, processor
+                if bus is not None:
+                    act = task.activation
+                    node = act.template.nodes[task.node_id]
+                    bus.emit(
+                        TaskFired(
+                            now,
+                            node.label,
+                            node.kind.value,
+                            task.priority,
+                            act.template.name,
+                            act.aid,
+                            task.node_id,
+                            task.seq,
+                            duration,
+                            processor,
+                        )
                     )
                 event_seq += 1
                 heapq.heappush(
@@ -280,6 +306,8 @@ class SimulatedExecutor:
         while events:
             finish, _, processor, task = heapq.heappop(events)
             now = finish
+            if bus is not None:
+                bus.set_time(now)
             ready.push_all(state.fire(task, home=processor))
             idle.add(processor)
             dispatch()

@@ -1,0 +1,93 @@
+"""Runtime observability: event bus, metrics registry, trace export.
+
+The inspectability layer the paper's environment hinted at (per-node
+timing dumps, section 5.2/6.3) generalized into three composable pieces:
+
+* :mod:`repro.obs.events` — typed lifecycle events on an
+  :class:`EventBus` that every runtime layer publishes through an
+  optional hook (near-zero cost with no subscribers);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms / series fed
+  by the standard subscriber (:func:`attach_metrics`);
+* :mod:`repro.obs.chrome_trace` — Chrome trace-event JSON export,
+  loadable in Perfetto, one track per (simulated) processor.
+
+Typical use::
+
+    from repro.obs import ChromeTraceCollector, EventBus, attach_metrics
+
+    bus = EventBus()
+    metrics = attach_metrics(bus)
+    collector = ChromeTraceCollector()
+    collector.attach(bus)
+    result = SimulatedExecutor(cray_2(4), bus=bus).run(program)
+    collector.write("run.trace.json")
+    print(metrics.summary_table())
+
+See ``docs/OBSERVABILITY.md`` for the full event taxonomy.
+"""
+
+from .chrome_trace import (
+    TICK_SCALE,
+    WALL_SCALE,
+    ChromeTraceCollector,
+    validate_trace,
+)
+from .events import (
+    ALL_EVENTS,
+    ActivationAllocated,
+    ActivationRecycled,
+    BlockReleased,
+    BlockRetained,
+    CowCopy,
+    Event,
+    EventBus,
+    EventLog,
+    Expansion,
+    OpFinished,
+    OpStarted,
+    QueueDepthSample,
+    TailExpansion,
+    TaskEnqueued,
+    TaskFired,
+    observe_blocks,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    attach_metrics,
+)
+
+__all__ = [
+    "ALL_EVENTS",
+    "ActivationAllocated",
+    "ActivationRecycled",
+    "BlockReleased",
+    "BlockRetained",
+    "ChromeTraceCollector",
+    "Counter",
+    "CowCopy",
+    "DEFAULT_BUCKETS",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "Expansion",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "OpFinished",
+    "OpStarted",
+    "QueueDepthSample",
+    "Series",
+    "TICK_SCALE",
+    "TailExpansion",
+    "TaskEnqueued",
+    "TaskFired",
+    "WALL_SCALE",
+    "attach_metrics",
+    "observe_blocks",
+    "validate_trace",
+]

@@ -1,0 +1,249 @@
+"""Chrome trace-event JSON export (loadable in Perfetto / chrome://tracing).
+
+The paper's environment answered "where did the time go?" with text dumps;
+modern trace viewers answer it visually.  :class:`ChromeTraceCollector`
+subscribes to the event bus and renders the run in the Trace Event Format
+(the JSON dialect both ``chrome://tracing`` and https://ui.perfetto.dev
+load):
+
+* each :class:`~repro.obs.events.TaskFired` span becomes a ``B``/``E``
+  duration pair on the track of its processor — one Perfetto track per
+  simulated processor (or worker thread), so the retina's three-idle-
+  processors-while-``post_up``-grinds picture is one glance;
+* ready-queue depth samples become ``C`` counter events (plotted as an
+  area chart above the tracks);
+* copy-on-write copies become instant events (``i``) on their track.
+
+Timestamps: the Trace Event Format wants microseconds.  Real executors
+record wall seconds (``time_scale=1e6``); the simulator records ticks,
+which export 1:1 (``time_scale=1.0``) so the viewer's "µs" read as ticks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+from .events import (
+    CowCopy,
+    Event,
+    EventBus,
+    QueueDepthSample,
+    TaskFired,
+)
+
+#: Scale for wall-second timestamps (seconds -> microseconds).
+WALL_SCALE = 1e6
+#: Scale for simulated ticks (exported 1:1 as "microseconds").
+TICK_SCALE = 1.0
+
+
+class ChromeTraceCollector:
+    """Accumulate bus events and serialize them as a Chrome trace.
+
+    Parameters
+    ----------
+    time_scale:
+        Multiplier from the executor's time unit to exported ``ts``
+        microseconds: :data:`WALL_SCALE` for real executors,
+        :data:`TICK_SCALE` for simulated ticks.
+    process_name:
+        Shown as the process label in the viewer.
+    """
+
+    def __init__(
+        self,
+        time_scale: float = WALL_SCALE,
+        process_name: str = "delirium",
+    ) -> None:
+        self.time_scale = time_scale
+        self.process_name = process_name
+        self.spans: list[TaskFired] = []
+        self.counter_samples: list[QueueDepthSample] = []
+        self.instants: list[CowCopy] = []
+
+    # -- collection ----------------------------------------------------
+    def attach(self, bus: EventBus) -> Callable[[], None]:
+        """Subscribe to ``bus``; returns the unsubscribe callable."""
+        return bus.subscribe(
+            self._on_event, events=(TaskFired, QueueDepthSample, CowCopy)
+        )
+
+    def _on_event(self, event: Event) -> None:
+        if isinstance(event, TaskFired):
+            self.spans.append(event)
+        elif isinstance(event, QueueDepthSample):
+            self.counter_samples.append(event)
+        elif isinstance(event, CowCopy):
+            self.instants.append(event)
+
+    @classmethod
+    def from_tracer(
+        cls, tracer: Any, time_scale: float = TICK_SCALE, **kwargs: Any
+    ) -> "ChromeTraceCollector":
+        """Build a collector from an already-recorded Tracer's records."""
+        self = cls(time_scale=time_scale, **kwargs)
+        for i, r in enumerate(tracer.records):
+            self.spans.append(
+                TaskFired(
+                    ts=r.start,
+                    label=r.label,
+                    kind=r.kind,
+                    priority=0,
+                    template="",
+                    aid=-1,
+                    node_id=-1,
+                    seq=i,
+                    duration=r.ticks,
+                    processor=r.processor,
+                )
+            )
+        return self
+
+    # -- export --------------------------------------------------------
+    def trace_events(self) -> list[dict[str, Any]]:
+        """The ``traceEvents`` array, per-track ``B``/``E`` well nested.
+
+        Spans within one track are emitted in start order as an adjacent
+        ``B`` then ``E`` pair; the coordination model runs one task per
+        processor at a time, so tracks never need nested or overlapping
+        spans and the ``B``/``E`` sequence is monotonic by construction.
+        """
+        scale = self.time_scale
+        pid = 0
+        events: list[dict[str, Any]] = [
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "ts": 0,
+                "args": {"name": self.process_name},
+            }
+        ]
+        by_track: dict[int, list[TaskFired]] = {}
+        for span in self.spans:
+            by_track.setdefault(span.processor, []).append(span)
+        for tid in sorted(by_track):
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": f"processor {tid}"},
+                }
+            )
+            for span in sorted(by_track[tid], key=lambda s: (s.ts, s.seq)):
+                start = span.ts * scale
+                end = (span.ts + span.duration) * scale
+                common = {
+                    "pid": pid,
+                    "tid": tid,
+                    "name": span.label,
+                    "cat": span.kind,
+                }
+                events.append(
+                    {
+                        "ph": "B",
+                        "ts": start,
+                        "args": {
+                            "template": span.template,
+                            "activation": span.aid,
+                            "priority": span.priority,
+                        },
+                        **common,
+                    }
+                )
+                events.append({"ph": "E", "ts": end, **common})
+        for sample in self.counter_samples:
+            events.append(
+                {
+                    "ph": "C",
+                    "name": "ready_queue",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": sample.ts * scale,
+                    "args": {
+                        f"p{level}": depth
+                        for level, depth in enumerate(sample.depths)
+                    },
+                }
+            )
+        for copy_event in self.instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "name": f"cow:{copy_event.operator}",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": copy_event.ts * scale,
+                    "args": {"bytes": copy_event.nbytes},
+                }
+            )
+        return events
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "producer": "repro.obs.chrome_trace",
+                "time_scale": self.time_scale,
+            },
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def write(self, path: str, indent: int | None = None) -> None:
+        """Write the trace JSON; open the file at ui.perfetto.dev."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=indent))
+
+
+def validate_trace(trace: dict[str, Any]) -> list[str]:
+    """Schema check used by tests and by consumers of foreign traces.
+
+    Returns a list of problems (empty = valid): every event must carry
+    ``ph``/``ts``/``pid``/``tid``/``name``, and each track's ``B``/``E``
+    sequence must be balanced with monotonically nondecreasing ``ts``.
+    """
+    problems: list[str] = []
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    tracks: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    for i, ev in enumerate(events):
+        for key in ("ph", "ts", "pid", "tid", "name"):
+            if key not in ev:
+                problems.append(f"event {i} missing key {key!r}")
+        if ev.get("ph") in ("B", "E"):
+            tracks.setdefault((ev.get("pid"), ev.get("tid")), []).append(ev)
+    for (pid, tid), track in tracks.items():
+        depth = 0
+        last_ts = float("-inf")
+        for ev in track:
+            if ev["ts"] < last_ts:
+                problems.append(
+                    f"track pid={pid} tid={tid}: ts went backwards at "
+                    f"{ev['name']!r} ({ev['ts']} < {last_ts})"
+                )
+            last_ts = ev["ts"]
+            if ev["ph"] == "B":
+                depth += 1
+            else:
+                depth -= 1
+                if depth < 0:
+                    problems.append(
+                        f"track pid={pid} tid={tid}: E without matching B "
+                        f"at {ev['name']!r}"
+                    )
+                    depth = 0
+        if depth != 0:
+            problems.append(
+                f"track pid={pid} tid={tid}: {depth} unclosed B event(s)"
+            )
+    return problems

@@ -1,0 +1,314 @@
+"""Typed runtime lifecycle events and the :class:`EventBus`.
+
+The paper's programming environment was built around *visibility*: per-node
+timing dumps exposed the retina model's ``post_up`` bottleneck (section
+5.2) and the compiler's unbalanced tree division (section 6.3).  This
+module generalizes that one tool into an event stream over the whole
+coordination layer: every interesting runtime transition — a task becoming
+ready, a node firing, an operator running, an activation being allocated
+or recycled, a copy-on-write copy, a template expansion — is a typed event
+published on a bus that any number of subscribers can observe.
+
+Design constraints, in order:
+
+1. **Near-zero overhead when nobody is listening.**  Emit sites in the
+   engine, executors, scheduler, and activation pool hold a bus reference
+   only when the bus has at least one subscriber at run start; the
+   no-subscriber hot path is a single ``is not None`` check.  A guard test
+   (``tests/test_obs_overhead.py``) enforces this stays true.
+2. **Events carry data, not behavior.**  Every event is a frozen slotted
+   dataclass; subscribers aggregate (metrics), record (tracer), or export
+   (Chrome trace) — the runtime never depends on what they do.
+3. **The executor owns time.**  Events are stamped from the bus clock,
+   which the executor configures: wall seconds since run start for the
+   real executors, simulated ticks for the machine simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """Base class: every event carries a timestamp in the executor's unit."""
+
+    ts: float
+
+
+# ----------------------------------------------------------------------
+# Task lifecycle
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TaskEnqueued(Event):
+    """A node's inputs all arrived; it entered the ready queue."""
+
+    label: str
+    kind: str
+    priority: int
+    template: str
+    aid: int
+    node_id: int
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFired(Event):
+    """One node firing, as a completed span (``ts`` = start time).
+
+    Emitted by the *executor* (which owns the notion of time and of
+    processor placement), not the engine.  ``duration`` is in the
+    executor's unit; ``processor`` is the simulated processor or worker
+    thread index (0 for the sequential executor).
+    """
+
+    label: str
+    kind: str
+    priority: int
+    template: str
+    aid: int
+    node_id: int
+    seq: int
+    duration: float
+    processor: int
+
+
+# ----------------------------------------------------------------------
+# Operator execution (engine-side truth, matches EngineStats.ops_executed)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class OpStarted(Event):
+    """The engine is about to invoke an operator function."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class OpFinished(Event):
+    """The operator function returned.  ``duration`` is bus-clock delta
+    (wall seconds on real executors; 0 on the simulator, where operator
+    *cost* is modeled separately and reported via :class:`TaskFired`)."""
+
+    name: str
+    duration: float
+
+
+# ----------------------------------------------------------------------
+# Activation pool
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class ActivationAllocated(Event):
+    """An activation was acquired (fresh or recycled) from the pool."""
+
+    template: str
+    aid: int
+    reused: bool
+    live: int
+
+
+@dataclass(frozen=True, slots=True)
+class ActivationRecycled(Event):
+    """An activation finished and returned to its template's free list."""
+
+    template: str
+    aid: int
+    live: int
+
+
+# ----------------------------------------------------------------------
+# Data blocks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class BlockRetained(Event):
+    """``n`` references added to a data block (``rc`` = count after)."""
+
+    nbytes: int
+    n: int
+    rc: int
+
+
+@dataclass(frozen=True, slots=True)
+class BlockReleased(Event):
+    """``n`` references dropped from a data block (``rc`` = count after)."""
+
+    nbytes: int
+    n: int
+    rc: int
+
+
+@dataclass(frozen=True, slots=True)
+class CowCopy(Event):
+    """A copy-on-write copy, attributed to the operator that forced it."""
+
+    operator: str
+    nbytes: int
+
+
+# ----------------------------------------------------------------------
+# Template expansion
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class Expansion(Event):
+    """A CALL/IF node expanded a template into a child activation."""
+
+    template: str
+    aid: int
+
+
+@dataclass(frozen=True, slots=True)
+class TailExpansion(Expansion):
+    """An expansion in tail position: the child inherited the parent's
+    continuation (subscribing to :class:`Expansion` receives these too)."""
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class QueueDepthSample(Event):
+    """Ready-queue depth per priority class, sampled at a push or pop."""
+
+    depths: tuple[int, int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.depths)
+
+
+#: Every concrete event type, for subscribers that want the full stream.
+ALL_EVENTS: tuple[type, ...] = (
+    TaskEnqueued,
+    TaskFired,
+    OpStarted,
+    OpFinished,
+    ActivationAllocated,
+    ActivationRecycled,
+    BlockRetained,
+    BlockReleased,
+    CowCopy,
+    Expansion,
+    TailExpansion,
+    QueueDepthSample,
+)
+
+
+Subscriber = Callable[[Event], None]
+
+
+class EventBus:
+    """Synchronous publish/subscribe hub for runtime events.
+
+    Subscribers run inline at the emit site (under the engine lock on the
+    threaded executor), so they must be fast and must not re-enter the
+    runtime.  Subscribe *before* the run starts: executors snapshot
+    ``active`` once, and a bus with no subscribers costs the run nothing
+    beyond an attribute check per emit site.
+    """
+
+    __slots__ = ("_subs", "_clock", "_time")
+
+    def __init__(self) -> None:
+        self._subs: list[tuple[tuple[type, ...] | None, Subscriber]] = []
+        self._clock: Callable[[], float] | None = None
+        self._time = 0.0
+
+    # -- time ----------------------------------------------------------
+    def now(self) -> float:
+        """Current time in the executor's unit."""
+        clock = self._clock
+        return clock() if clock is not None else self._time
+
+    def set_clock(self, clock: Callable[[], float] | None) -> None:
+        """Install a live clock (real executors: wall seconds since start)."""
+        self._clock = clock
+
+    def set_time(self, t: float) -> None:
+        """Advance manual time (the simulator sets this to ``now`` ticks)."""
+        self._clock = None
+        self._time = t
+
+    # -- subscription --------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subs)
+
+    def subscribe(
+        self,
+        fn: Subscriber,
+        events: Iterable[type] | None = None,
+    ) -> Callable[[], None]:
+        """Attach ``fn``; restrict to ``events`` types (subclasses match).
+
+        Returns an unsubscribe callable.
+        """
+        entry = (tuple(events) if events is not None else None, fn)
+        self._subs.append(entry)
+
+        def unsubscribe() -> None:
+            try:
+                self._subs.remove(entry)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- emission ------------------------------------------------------
+    def emit(self, event: Event) -> None:
+        for types, fn in self._subs:
+            if types is None or isinstance(event, types):
+                fn(event)
+
+
+class EventLog:
+    """The simplest subscriber: record every event in emission order.
+
+    Used by tests (causal-consistency checks) and ad-hoc debugging; the
+    production subscribers are :mod:`repro.obs.metrics` and
+    :mod:`repro.obs.chrome_trace`.
+    """
+
+    def __init__(self) -> None:
+        self.events: list[Event] = []
+
+    def attach(self, bus: EventBus) -> Callable[[], None]:
+        return bus.subscribe(self.events.append)
+
+    def of_type(self, *types: type) -> list[Event]:
+        return [e for e in self.events if isinstance(e, types)]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def observe_blocks(bus: EventBus) -> "Any":
+    """Context manager: route data-block retain/release through ``bus``.
+
+    Block reference traffic is the one event source hooked module-wide
+    (``repro.runtime.blocks`` has no per-run state to hang a bus on), so
+    it is opt-in and scoped::
+
+        with observe_blocks(bus):
+            executor.run(...)
+    """
+    from contextlib import contextmanager
+
+    from ..runtime import blocks as _blocks
+
+    @contextmanager
+    def _ctx():
+        def hook(kind: str, block: Any, n: int) -> None:
+            if kind == "retain":
+                bus.emit(BlockRetained(bus.now(), block.nbytes, n, block.rc))
+            else:
+                bus.emit(BlockReleased(bus.now(), block.nbytes, n, block.rc))
+
+        previous = _blocks.get_block_hook()
+        _blocks.set_block_hook(hook)
+        try:
+            yield bus
+        finally:
+            _blocks.set_block_hook(previous)
+
+    return _ctx()

@@ -1,0 +1,307 @@
+"""Metrics registry: counters, gauges, histograms, and time series.
+
+The standard subscriber (:func:`attach_metrics`) turns the event stream
+into the quantities every scaling PR must report against:
+
+* counters — ``tasks_fired``, ``ops_executed``, ``cow_copies``,
+  ``cow_bytes`` (attributed by operator), ``expansions`` /
+  ``tail_expansions``, activation and block-reference traffic; these
+  mirror :class:`~repro.runtime.engine.EngineStats` exactly, which the
+  test suite asserts;
+* gauges — live activations (with high-water mark), per-priority ready-
+  queue depth (high-water);
+* histograms — op latency by label, in the executor's time unit (wall
+  seconds or ticks): the §5.2 bottleneck view as a distribution;
+* series — per-priority ready-queue depth over time, decimated to a
+  bounded sample count so long runs stay cheap.
+
+Everything is plain data: :meth:`MetricsRegistry.snapshot` returns a
+JSON-serializable dict (``delirium profile --json`` / ``trace --json``),
+and :meth:`MetricsRegistry.summary_table` renders the human view.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable
+
+from .events import (
+    ActivationAllocated,
+    ActivationRecycled,
+    BlockReleased,
+    BlockRetained,
+    CowCopy,
+    Event,
+    EventBus,
+    Expansion,
+    OpStarted,
+    QueueDepthSample,
+    TailExpansion,
+    TaskEnqueued,
+    TaskFired,
+)
+
+#: Default histogram bucket upper bounds: wide log-spaced coverage that
+#: works for both wall seconds (sub-microsecond on up) and ticks.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+    1.0, 10.0, 100.0, 1e3, 1e4, 1e5, 1e6, 1e7,
+)
+
+
+class Counter:
+    """Monotonic counter with optional per-label attribution."""
+
+    __slots__ = ("name", "value", "by_label")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.by_label: dict[str, float] = {}
+
+    def inc(self, amount: float = 1.0, label: str | None = None) -> None:
+        self.value += amount
+        if label is not None:
+            self.by_label[label] = self.by_label.get(label, 0.0) + amount
+
+    def snapshot(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"value": self.value}
+        if self.by_label:
+            out["by_label"] = dict(self.by_label)
+        return out
+
+
+class Gauge:
+    """Point-in-time value with a high-water mark."""
+
+    __slots__ = ("name", "value", "high")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.high = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.high:
+            self.high = value
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"value": self.value, "high": self.high}
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds; one overflow bucket)."""
+
+    __slots__ = ("name", "bounds", "counts", "count", "sum", "max")
+
+    def __init__(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value > self.max:
+            self.max = value
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.sum,
+            "max": self.max,
+        }
+
+
+class Series:
+    """Bounded time series: decimates by doubling stride when full.
+
+    Keeps at most ``max_samples`` points; when the buffer fills, every
+    other retained point is dropped and the sampling stride doubles, so
+    arbitrarily long runs keep a uniform (if coarser) picture.
+    """
+
+    __slots__ = ("name", "max_samples", "samples", "_stride", "_skip")
+
+    def __init__(self, name: str, max_samples: int = 1024) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be >= 2")
+        self.name = name
+        self.max_samples = max_samples
+        self.samples: list[tuple[float, float]] = []
+        self._stride = 1
+        self._skip = 0
+
+    def append(self, ts: float, value: float) -> None:
+        self._skip += 1
+        if self._skip < self._stride:
+            return
+        self._skip = 0
+        self.samples.append((ts, value))
+        if len(self.samples) >= self.max_samples:
+            del self.samples[::2]
+            self._stride *= 2
+
+    def snapshot(self) -> list[list[float]]:
+        return [[ts, v] for ts, v in self.samples]
+
+
+class MetricsRegistry:
+    """Named collection of counters, gauges, histograms, and series."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.series: dict[str, Series] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    def time_series(self, name: str, max_samples: int = 1024) -> Series:
+        s = self.series.get(name)
+        if s is None:
+            s = self.series[name] = Series(name, max_samples)
+        return s
+
+    # -- output --------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serializable dump of every metric."""
+        return {
+            "counters": {n: c.snapshot() for n, c in self.counters.items()},
+            "gauges": {n: g.snapshot() for n, g in self.gauges.items()},
+            "histograms": {
+                n: h.snapshot() for n, h in self.histograms.items()
+            },
+            "series": {n: s.snapshot() for n, s in self.series.items()},
+        }
+
+    def summary_table(self, unit: str = "") -> str:
+        """Human-readable summary of the registry."""
+        lines: list[str] = []
+        if self.counters:
+            lines.append(f"{'counter':<28} {'value':>14}")
+            for name in sorted(self.counters):
+                c = self.counters[name]
+                lines.append(f"{name:<28} {c.value:>14.0f}")
+                for label, v in sorted(
+                    c.by_label.items(), key=lambda kv: -kv[1]
+                ):
+                    tag = f"  {name}{{{label}}}"
+                    lines.append(f"{tag:<28} {v:>14.0f}")
+        if self.gauges:
+            lines.append("")
+            lines.append(f"{'gauge':<28} {'value':>14} {'high':>14}")
+            for name in sorted(self.gauges):
+                g = self.gauges[name]
+                lines.append(f"{name:<28} {g.value:>14.0f} {g.high:>14.0f}")
+        if self.histograms:
+            lines.append("")
+            suffix = f" ({unit})" if unit else ""
+            lines.append(
+                f"{'histogram' + suffix:<28} {'n':>8} {'mean':>14} {'max':>14}"
+            )
+            for name in sorted(
+                self.histograms, key=lambda n: -self.histograms[n].sum
+            ):
+                h = self.histograms[name]
+                lines.append(
+                    f"{name:<28} {h.count:>8} {h.mean():>14.6g} {h.max:>14.6g}"
+                )
+        return "\n".join(lines)
+
+
+def attach_metrics(
+    bus: EventBus, registry: MetricsRegistry | None = None
+) -> MetricsRegistry:
+    """Subscribe the standard metrics pipeline to ``bus``.
+
+    Returns the registry (created if not supplied) that the run will fill.
+    """
+    reg = registry if registry is not None else MetricsRegistry()
+
+    tasks_enqueued = reg.counter("tasks_enqueued")
+    tasks_fired = reg.counter("tasks_fired")
+    ops_executed = reg.counter("ops_executed")
+    cow_copies = reg.counter("cow_copies")
+    cow_bytes = reg.counter("cow_bytes")
+    expansions = reg.counter("expansions")
+    tail_expansions = reg.counter("tail_expansions")
+    act_allocated = reg.counter("activations_allocated")
+    act_reused = reg.counter("activations_reused")
+    block_retains = reg.counter("block_retains")
+    block_releases = reg.counter("block_releases")
+    act_live = reg.gauge("activations_live")
+
+    def on_event(e: Event) -> None:
+        if isinstance(e, TaskFired):
+            tasks_fired.inc()
+            if e.kind == "op":
+                reg.histogram(f"op_ticks/{e.label}").observe(e.duration)
+        elif isinstance(e, TaskEnqueued):
+            tasks_enqueued.inc()
+        elif isinstance(e, OpStarted):
+            ops_executed.inc(label=e.name)
+        elif isinstance(e, QueueDepthSample):
+            for level, depth in enumerate(e.depths):
+                reg.gauge(f"queue_depth/p{level}").set(depth)
+                reg.time_series(f"queue_depth/p{level}").append(e.ts, depth)
+        elif isinstance(e, CowCopy):
+            cow_copies.inc(label=e.operator)
+            cow_bytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, TailExpansion):
+            expansions.inc()
+            tail_expansions.inc()
+        elif isinstance(e, Expansion):
+            expansions.inc()
+        elif isinstance(e, ActivationAllocated):
+            act_allocated.inc(label=e.template)
+            if e.reused:
+                act_reused.inc()
+            act_live.set(e.live)
+        elif isinstance(e, ActivationRecycled):
+            act_live.set(e.live)
+        elif isinstance(e, BlockRetained):
+            block_retains.inc(e.n)
+        elif isinstance(e, BlockReleased):
+            block_releases.inc(e.n)
+
+    bus.subscribe(on_event)
+    return reg
+
+
+#: Backwards-compatible alias: a subscriber is just ``attach_metrics``.
+MetricsSubscriber = Callable[[EventBus], MetricsRegistry]

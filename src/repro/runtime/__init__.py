@@ -1,7 +1,15 @@
 """The Delirium runtime: values, blocks, operators, engine, executors."""
 
 from .activation import Activation, ActivationPool
-from .blocks import DataBlock, release, retain, unwrap, wrap_payload
+from .blocks import (
+    DataBlock,
+    get_block_hook,
+    release,
+    retain,
+    set_block_hook,
+    unwrap,
+    wrap_payload,
+)
 from .engine import EngineStats, ExecutionState, PurityViolationError
 from .executors import RunResult, SequentialExecutor, ThreadedExecutor
 from .operators import (
@@ -45,8 +53,10 @@ __all__ = [
     "Tracer",
     "builtin_registry",
     "default_registry",
+    "get_block_hook",
     "is_truthy",
     "release",
+    "set_block_hook",
     "retain",
     "unwrap",
     "wrap_payload",

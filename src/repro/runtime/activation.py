@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from ..graph.ir import NodeKind, Template
+from ..obs.events import ActivationAllocated, ActivationRecycled, EventBus
 
 #: Sentinel marking an input slot that has not received its value yet.
 _EMPTY = object()
@@ -109,7 +110,8 @@ class ActivationPool:
     benchmark reports created/reused counts and the peak number live.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, bus: EventBus | None = None) -> None:
+        self._bus = bus if (bus is not None and bus.active) else None
         self._free: dict[str, list[Activation]] = {}
         self.created = 0
         self.reused = 0
@@ -128,9 +130,11 @@ class ActivationPool:
             act = free_list.pop()
             act.reset(self._serial)
             self.reused += 1
+            reused = True
         else:
             act = Activation(template, self._serial)
             self.created += 1
+            reused = False
         self.live += 1
         self.peak_live = max(self.peak_live, self.live)
         name = template.name
@@ -139,6 +143,11 @@ class ActivationPool:
         if live > self.peak_by_template.get(name, 0):
             self.peak_by_template[name] = live
         self.live_set.add(act)
+        bus = self._bus
+        if bus is not None:
+            bus.emit(
+                ActivationAllocated(bus.now(), name, act.aid, reused, self.live)
+            )
         return act
 
     def release(self, act: Activation) -> None:
@@ -146,6 +155,13 @@ class ActivationPool:
         self.live_by_template[act.template.name] -= 1
         self.live_set.discard(act)
         self._free.setdefault(act.template.name, []).append(act)
+        bus = self._bus
+        if bus is not None:
+            bus.emit(
+                ActivationRecycled(
+                    bus.now(), act.template.name, act.aid, self.live
+                )
+            )
 
     def stats(self) -> dict[str, int]:
         return {

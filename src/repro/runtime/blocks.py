@@ -40,6 +40,25 @@ from .values import Closure, MultiValue, NULL, OperatorValue
 #: Types that circulate unwrapped (immutable atomic values).
 IMMUTABLE_TYPES = (int, float, complex, bool, str, bytes, frozenset, type(None))
 
+#: Optional module-wide observer of reference-count traffic, called as
+#: ``hook(kind, block, n)`` with kind ``"retain"`` or ``"release"`` after
+#: the count update.  Retain/release are module functions with no per-run
+#: state, so the hook is global; install it scoped via
+#: :func:`repro.obs.events.observe_blocks`.  ``None`` (the default) keeps
+#: the hot path at one global load + identity check.
+_BLOCK_HOOK = None
+
+
+def set_block_hook(hook) -> None:
+    """Install (or clear, with ``None``) the block reference-count hook."""
+    global _BLOCK_HOOK
+    _BLOCK_HOOK = hook
+
+
+def get_block_hook():
+    """The currently installed hook (for save/restore nesting)."""
+    return _BLOCK_HOOK
+
 
 def payload_nbytes(payload: Any) -> int:
     """Estimated size in bytes of an operator payload.
@@ -155,6 +174,8 @@ def retain(value: Any, n: int = 1) -> None:
         return
     if isinstance(value, DataBlock):
         value.rc += n
+        if _BLOCK_HOOK is not None:
+            _BLOCK_HOOK("retain", value, n)
     elif isinstance(value, MultiValue):
         for item in value.items:
             retain(item, n)
@@ -167,6 +188,8 @@ def release(value: Any, n: int = 1) -> None:
     if isinstance(value, DataBlock):
         value.rc -= n
         assert value.rc >= 0, "data block reference count went negative"
+        if _BLOCK_HOOK is not None:
+            _BLOCK_HOOK("release", value, n)
     elif isinstance(value, MultiValue):
         for item in value.items:
             release(item, n)

@@ -25,6 +25,15 @@ import numpy as np
 
 from ..errors import GraphError, OperatorError, RuntimeFailure
 from ..graph.ir import GraphProgram, Node, NodeKind
+from ..obs.events import (
+    CowCopy,
+    EventBus,
+    Expansion,
+    OpFinished,
+    OpStarted,
+    TailExpansion,
+    TaskEnqueued,
+)
 from .activation import Activation, ActivationPool
 from .blocks import DataBlock, release, retain, unwrap, wrap_payload
 from .operators import OperatorRegistry, OperatorSpec
@@ -100,6 +109,10 @@ class ExecutionState:
         operator mutates an argument it did not declare in ``modifies``.
         Costly; meant for tests and development, like the original
         system's uniprocessor debugging story.
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`.  Kept only when it
+        has subscribers at construction time, so an idle bus costs the
+        hot path a single ``is not None`` check per emit site.
     """
 
     def __init__(
@@ -107,11 +120,13 @@ class ExecutionState:
         program: GraphProgram,
         registry: OperatorRegistry,
         check_purity: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
         self.program = program
         self.registry = registry
         self.check_purity = check_purity
-        self.pool = ActivationPool()
+        self.bus = bus if (bus is not None and bus.active) else None
+        self.pool = ActivationPool(bus=self.bus)
         self.stats = EngineStats()
         self._final: Any = _NO_RESULT
         self._task_seq = 0
@@ -264,6 +279,20 @@ class ExecutionState:
         else:
             priority = PRIORITY_NORMAL
         self._task_seq += 1
+        bus = self.bus
+        if bus is not None:
+            bus.emit(
+                TaskEnqueued(
+                    bus.now(),
+                    node.label,
+                    node.kind.value,
+                    priority,
+                    act.template.name,
+                    act.aid,
+                    node_id,
+                    self._task_seq,
+                )
+            )
         return Task(act, node_id, priority, self._task_seq)
 
     def _deliver_output(
@@ -348,6 +377,10 @@ class ExecutionState:
                             self.stats.copy_bytes_by_operator.get(spec.name, 0)
                             + v.nbytes
                         )
+                        if self.bus is not None:
+                            self.bus.emit(
+                                CowCopy(self.bus.now(), spec.name, v.nbytes)
+                            )
                         fresh = v.copy(home)
                         args.append(fresh.payload)
                         arg_blocks.append(fresh)
@@ -368,6 +401,10 @@ class ExecutionState:
 
         self.stats.ops_executed += 1
         arg_tuple = tuple(args)
+        bus = self.bus
+        if bus is not None:
+            op_began = bus.now()
+            bus.emit(OpStarted(op_began, spec.name))
         try:
             if run_op is not None:
                 raw_result = run_op(spec, arg_tuple)
@@ -375,6 +412,9 @@ class ExecutionState:
                 raw_result = spec.fn(*arg_tuple)
         except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
             raise OperatorError(spec.name, exc) from exc
+        if bus is not None:
+            op_ended = bus.now()
+            bus.emit(OpFinished(op_ended, spec.name, op_ended - op_began))
 
         if self.check_purity:
             for i, fp in fingerprints:
@@ -505,12 +545,17 @@ class ExecutionState:
             )
         self.stats.expansions += 1
         child = self.pool.acquire(template)
+        bus = self.bus
         if node.tail:
             self.stats.tail_expansions += 1
+            if bus is not None:
+                bus.emit(TailExpansion(bus.now(), template.name, child.aid))
             child.continuation = parent.continuation
             # Delegate: the parent will never see a result of its own.
             parent.result_done = True
         else:
+            if bus is not None:
+                bus.emit(Expansion(bus.now(), template.name, child.aid))
             child.continuation = (parent, node_id)
             self._pending_children[parent.aid] = (
                 self._pending_children.get(parent.aid, 0) + 1

@@ -21,10 +21,31 @@ from typing import Any
 
 from ..errors import RuntimeFailure
 from ..graph.ir import GraphProgram
+from ..obs.events import EventBus, TaskFired
 from .engine import EngineStats, ExecutionState
 from .operators import OperatorRegistry, OperatorSpec, default_registry
 from .scheduler import ReadyQueue
 from .tracing import Tracer
+
+
+def resolve_bus(
+    bus: EventBus | None, trace: bool
+) -> tuple[EventBus | None, Tracer | None]:
+    """Shared executor preamble: tracer-as-subscriber plus fast-path check.
+
+    ``trace=True`` guarantees a bus (creating a private one if none was
+    supplied) and attaches a :class:`Tracer` to it; a bus that still has
+    no subscribers is then dropped entirely so the run pays nothing for
+    instrumentation nobody is watching.
+    """
+    tracer: Tracer | None = None
+    if trace:
+        bus = bus if bus is not None else EventBus()
+        tracer = Tracer()
+        tracer.attach(bus)
+    if bus is not None and not bus.active:
+        bus = None
+    return bus, tracer
 
 
 @dataclass
@@ -50,6 +71,12 @@ class SequentialExecutor:
         Enable the engine's undeclared-write detector.
     trace:
         Collect per-node wall-clock timings.
+    bus:
+        Optional :class:`~repro.obs.events.EventBus`.  When it has
+        subscribers, the executor stamps its clock (wall seconds since
+        run start), emits one :class:`~repro.obs.events.TaskFired` span
+        per node firing, and threads it through the engine, scheduler,
+        and activation pool.
     """
 
     def __init__(
@@ -58,11 +85,13 @@ class SequentialExecutor:
         seed: int | None = None,
         check_purity: bool = False,
         trace: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
         self.check_purity = check_purity
         self.trace = trace
+        self.bus = bus
 
     def run(
         self,
@@ -71,19 +100,37 @@ class SequentialExecutor:
         registry: OperatorRegistry | None = None,
     ) -> RunResult:
         registry = registry if registry is not None else default_registry()
-        state = ExecutionState(program, registry, check_purity=self.check_purity)
-        queue = ReadyQueue(self.use_priorities, self.seed)
-        tracer = Tracer() if self.trace else None
+        bus, tracer = resolve_bus(self.bus, self.trace)
+        state = ExecutionState(
+            program, registry, check_purity=self.check_purity, bus=bus
+        )
+        queue = ReadyQueue(self.use_priorities, self.seed, bus=bus)
         began = time.perf_counter()
+        if bus is not None:
+            bus.set_clock(lambda: time.perf_counter() - began)
         queue.push_all(state.start(args))
         while queue:
             task = queue.pop()
-            if tracer is not None:
-                node = task.activation.template.nodes[task.node_id]
-                t0 = time.perf_counter()
+            if bus is not None:
+                act = task.activation
+                node = act.template.nodes[task.node_id]
+                template_name, aid = act.template.name, act.aid
+                t0 = time.perf_counter() - began
                 queue.push_all(state.fire(task))
-                tracer.record(
-                    node.label, node.kind.value, time.perf_counter() - t0
+                t1 = time.perf_counter() - began
+                bus.emit(
+                    TaskFired(
+                        t0,
+                        node.label,
+                        node.kind.value,
+                        task.priority,
+                        template_name,
+                        aid,
+                        task.node_id,
+                        task.seq,
+                        t1 - t0,
+                        0,
+                    )
                 )
             else:
                 queue.push_all(state.fire(task))
@@ -111,6 +158,7 @@ class ThreadedExecutor:
         use_priorities: bool = True,
         check_purity: bool = False,
         trace: bool = False,
+        bus: EventBus | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -118,6 +166,7 @@ class ThreadedExecutor:
         self.use_priorities = use_priorities
         self.check_purity = check_purity
         self.trace = trace
+        self.bus = bus
 
     def run(
         self,
@@ -126,13 +175,17 @@ class ThreadedExecutor:
         registry: OperatorRegistry | None = None,
     ) -> RunResult:
         registry = registry if registry is not None else default_registry()
-        state = ExecutionState(program, registry, check_purity=self.check_purity)
-        queue = ReadyQueue(self.use_priorities)
+        bus, tracer = resolve_bus(self.bus, self.trace)
+        state = ExecutionState(
+            program, registry, check_purity=self.check_purity, bus=bus
+        )
+        queue = ReadyQueue(self.use_priorities, bus=bus)
         condition = threading.Condition()
         active = 0
         errors: list[BaseException] = []
-        tracer = Tracer() if self.trace else None
         run_began = time.perf_counter()
+        if bus is not None:
+            bus.set_clock(lambda: time.perf_counter() - run_began)
 
         def run_op(spec: OperatorSpec, op_args: tuple[Any, ...]) -> Any:
             # Drop the engine lock for the duration of the sequential
@@ -144,14 +197,26 @@ class ThreadedExecutor:
             finally:
                 elapsed = time.perf_counter() - t0
                 condition.acquire()
-                if tracer is not None:
-                    # Recorded under the lock; the worker's thread index
-                    # stands in for a processor id.
+                if bus is not None:
+                    # Emitted under the lock; the worker's thread index
+                    # stands in for a processor id.  Only operator calls
+                    # get spans here — engine bookkeeping is serialized
+                    # under the lock and is not attributable to a worker.
                     name = threading.current_thread().name
                     processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
-                    tracer.record(
-                        spec.name, "op", elapsed,
-                        start=t0 - run_began, processor=processor,
+                    bus.emit(
+                        TaskFired(
+                            t0 - run_began,
+                            spec.name,
+                            "op",
+                            0,
+                            "",
+                            -1,
+                            -1,
+                            -1,
+                            elapsed,
+                            processor,
+                        )
                     )
 
         def worker() -> None:

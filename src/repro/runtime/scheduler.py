@@ -26,6 +26,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.events import EventBus, QueueDepthSample
+
 #: Priority classes.
 PRIORITY_NORMAL = 0
 PRIORITY_CALL = 1
@@ -57,18 +59,35 @@ class ReadyQueue:
         queued task (seeded, reproducible).  Used by the determinism
         property tests; production executors leave it ``None`` for FIFO
         order within each class.
+    bus:
+        Optional event bus; when it has subscribers the queue emits a
+        :class:`~repro.obs.events.QueueDepthSample` after every push and
+        pop — the depth-over-time telemetry scaling PRs are judged by.
     """
 
-    def __init__(self, use_priorities: bool = True, seed: int | None = None) -> None:
+    def __init__(
+        self,
+        use_priorities: bool = True,
+        seed: int | None = None,
+        bus: EventBus | None = None,
+    ) -> None:
         self.use_priorities = use_priorities
         self._rng = random.Random(seed) if seed is not None else None
         self._queues: list[deque[Task]] = [deque(), deque(), deque()]
         self._size = 0
+        self._bus = bus if (bus is not None and bus.active) else None
+
+    def _sample_depth(self) -> None:
+        bus = self._bus
+        q0, q1, q2 = self._queues
+        bus.emit(QueueDepthSample(bus.now(), (len(q0), len(q1), len(q2))))
 
     def push(self, task: Task) -> None:
         level = task.priority if self.use_priorities else 0
         self._queues[level].append(task)
         self._size += 1
+        if self._bus is not None:
+            self._sample_depth()
 
     def push_all(self, tasks: list[Task]) -> None:
         for t in tasks:
@@ -81,11 +100,14 @@ class ReadyQueue:
             if q:
                 self._size -= 1
                 if self._rng is None or len(q) == 1:
-                    return q.popleft()
-                i = self._rng.randrange(len(q))
-                q.rotate(-i)
-                task = q.popleft()
-                q.rotate(i)
+                    task = q.popleft()
+                else:
+                    i = self._rng.randrange(len(q))
+                    q.rotate(-i)
+                    task = q.popleft()
+                    q.rotate(i)
+                if self._bus is not None:
+                    self._sample_depth()
                 return task
         raise AssertionError("size/queue mismatch")  # pragma: no cover
 

@@ -7,11 +7,23 @@ tree division (section 6.3).  :class:`Tracer` collects per-node records in
 whatever time unit the executor uses (wall seconds for the real executors,
 ticks for the simulated machines); :mod:`repro.tools.timing_report`
 formats them in the paper's ``call of X took N`` style.
+
+Since the observability subsystem landed, the tracer is a thin subscriber
+on the runtime event bus: executors emit one
+:class:`~repro.obs.events.TaskFired` span per node firing, and
+:meth:`Tracer.attach` turns each into a :class:`NodeTiming` record.  The
+direct :meth:`Tracer.record` API remains for tools that build traces by
+hand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from ..obs.events import EventBus, TaskFired
+
+_A = TypeVar("_A")
 
 
 @dataclass(frozen=True, slots=True)
@@ -41,29 +53,52 @@ class Tracer:
     ) -> None:
         self.records.append(NodeTiming(label, kind, ticks, start, processor))
 
+    def attach(self, bus: EventBus) -> Callable[[], None]:
+        """Subscribe to ``bus``: record every task-firing span.
+
+        Returns the unsubscribe callable.
+        """
+
+        def on_fired(event: TaskFired) -> None:
+            self.records.append(
+                NodeTiming(
+                    event.label,
+                    event.kind,
+                    event.duration,
+                    event.ts,
+                    event.processor,
+                )
+            )
+
+        return bus.subscribe(on_fired, events=(TaskFired,))
+
     # ------------------------------------------------------------------
     def op_records(self) -> list[NodeTiming]:
         """Only operator executions (what the paper's dumps show)."""
         return [r for r in self.records if r.kind == "op"]
 
+    def aggregate_by_label(
+        self, combine: Callable[[_A, float], _A], initial: _A
+    ) -> dict[str, _A]:
+        """Fold each record's duration into a per-label accumulator.
+
+        The one grouped-aggregation primitive behind the ``*_by_label``
+        views; insertion-ordered by first appearance of each label.
+        """
+        out: dict[str, _A] = {}
+        for r in self.records:
+            out[r.label] = combine(out.get(r.label, initial), r.ticks)
+        return out
+
     def totals_by_label(self) -> dict[str, float]:
         """Total time per label, insertion-ordered."""
-        out: dict[str, float] = {}
-        for r in self.records:
-            out[r.label] = out.get(r.label, 0.0) + r.ticks
-        return out
+        return self.aggregate_by_label(lambda acc, t: acc + t, 0.0)
 
     def count_by_label(self) -> dict[str, int]:
-        out: dict[str, int] = {}
-        for r in self.records:
-            out[r.label] = out.get(r.label, 0) + 1
-        return out
+        return self.aggregate_by_label(lambda acc, _t: acc + 1, 0)
 
     def max_by_label(self) -> dict[str, float]:
-        out: dict[str, float] = {}
-        for r in self.records:
-            out[r.label] = max(out.get(r.label, 0.0), r.ticks)
-        return out
+        return self.aggregate_by_label(max, 0.0)
 
     def total_ticks(self) -> float:
         return sum(r.ticks for r in self.records)

@@ -9,7 +9,10 @@ Subcommands mirror the workflow of the paper's programming environment:
 * ``viz FILE`` — emit the coordination framework (ASCII layers or DOT);
 * ``profile FILE`` — run with node timings on a simulated machine and
   print the paper-style ``call of X took N`` report plus the load-balance
-  summary.
+  summary (``--json`` for the metrics-registry snapshot instead);
+* ``trace FILE`` — run with full observability (event bus + metrics +
+  trace collection), write a Chrome/Perfetto trace file, and print the
+  metrics summary.
 
 Programs compiled here have access to the builtin operators only; the case
 studies ship their own drivers (``python -m repro.apps.retina`` etc.)
@@ -26,6 +29,14 @@ from ..compiler import compile_file
 from ..graph.validate import validate_program
 from ..graph.viz import ascii_framework, to_dot
 from ..machine import PRESETS, SimulatedExecutor
+from ..obs import (
+    TICK_SCALE,
+    WALL_SCALE,
+    ChromeTraceCollector,
+    EventBus,
+    attach_metrics,
+    observe_blocks,
+)
 from ..runtime import SequentialExecutor
 from .timeline import gantt
 from .timing_report import load_balance_summary, node_timing_report
@@ -134,6 +145,40 @@ def main(argv: list[str] | None = None) -> int:
     p_profile.add_argument(
         "--arg", action="append", default=[], help="argument to main()"
     )
+    p_profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics-registry snapshot as JSON instead of the "
+        "human-readable reports",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run with full observability; write a Perfetto/Chrome trace",
+    )
+    _add_common(p_trace)
+    p_trace.add_argument(
+        "--arg", action="append", default=[], help="argument to main()"
+    )
+    p_trace.add_argument(
+        "--machine",
+        choices=sorted(PRESETS),
+        help="trace a simulated machine (ticks) instead of the real "
+        "sequential executor (wall time)",
+    )
+    p_trace.add_argument("--processors", "-p", type=int, default=None)
+    p_trace.add_argument(
+        "--output",
+        "-o",
+        metavar="FILE.trace.json",
+        help="trace file path (default: <source>.trace.json)",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the metrics-registry snapshot as JSON instead of the "
+        "summary table",
+    )
 
     ns = parser.parse_args(argv)
 
@@ -199,13 +244,21 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if ns.command == "profile":
+        import json as json_mod
+
         machine = PRESETS[ns.machine]()
         if ns.processors:
             machine = machine.with_processors(ns.processors)
-        executor = SimulatedExecutor(machine, trace=True)
+        bus = EventBus() if ns.json else None
+        metrics = attach_metrics(bus) if bus is not None else None
+        executor = SimulatedExecutor(machine, trace=True, bus=bus)
         result = executor.run(
             compiled.graph, args=run_args, registry=compiled.registry
         )
+        if metrics is not None:
+            print(json_mod.dumps(metrics.snapshot(), indent=2))
+            print(f"# {result.describe()}", file=sys.stderr)
+            return 0
         assert result.tracer is not None
         print(node_timing_report(result.tracer))
         print()
@@ -213,6 +266,54 @@ def main(argv: list[str] | None = None) -> int:
         print()
         print(gantt(result.tracer, machine.processors))
         print(f"# {result.describe()}", file=sys.stderr)
+        return 0
+
+    if ns.command == "trace":
+        import json as json_mod
+        import os
+
+        bus = EventBus()
+        metrics = attach_metrics(bus)
+        simulated = ns.machine is not None
+        collector = ChromeTraceCollector(
+            time_scale=TICK_SCALE if simulated else WALL_SCALE,
+            process_name=f"delirium:{os.path.basename(ns.file)}",
+        )
+        collector.attach(bus)
+        if simulated:
+            machine = PRESETS[ns.machine]()
+            if ns.processors:
+                machine = machine.with_processors(ns.processors)
+            executor = SimulatedExecutor(machine, trace=True, bus=bus)
+        else:
+            executor = SequentialExecutor(trace=True, bus=bus)
+        with observe_blocks(bus):
+            result = executor.run(
+                compiled.graph, args=run_args, registry=compiled.registry
+            )
+        out = ns.output
+        if not out:
+            base, _ = os.path.splitext(ns.file)
+            out = base + ".trace.json"
+        collector.write(out)
+        unit = "ticks" if simulated else "seconds"
+        if ns.json:
+            print(json_mod.dumps(metrics.snapshot(), indent=2))
+        else:
+            assert result.tracer is not None
+            print(node_timing_report(result.tracer, unit=unit))
+            print()
+            print(load_balance_summary(result.tracer).describe())
+            print()
+            print(metrics.summary_table(unit=unit))
+        print(f"result: {result.value}", file=sys.stderr)
+        if simulated:
+            print(f"# {result.describe()}", file=sys.stderr)
+        print(
+            f"wrote {out} — open at https://ui.perfetto.dev or "
+            "chrome://tracing",
+            file=sys.stderr,
+        )
         return 0
 
     raise AssertionError("unreachable")  # pragma: no cover

@@ -66,6 +66,13 @@ class LoadBalanceSummary:
     imbalance_ratio: float
 
     def describe(self) -> str:
+        # Tick totals are large integers; wall-clock totals are fractions
+        # of a second and would all round to 0 in integer columns.
+        whole = all(
+            total >= 1 or total == 0
+            for (_, total, _, _) in self.per_label.values()
+        )
+        fmt = ".0f" if whole else ".6f"
         lines = [
             f"{'label':<20} {'n':>5} {'total':>14} {'mean':>12} {'max':>12}"
         ]
@@ -73,10 +80,11 @@ class LoadBalanceSummary:
             self.per_label.items(), key=lambda kv: -kv[1][1]
         ):
             lines.append(
-                f"{label:<20} {n:>5} {total:>14.0f} {mean:>12.0f} {peak:>12.0f}"
+                f"{label:<20} {n:>5} {total:>14{fmt}} "
+                f"{mean:>12{fmt}} {peak:>12{fmt}}"
             )
         lines.append(
-            f"bottleneck: {self.bottleneck} (max {self.bottleneck_max:.0f}, "
+            f"bottleneck: {self.bottleneck} (max {self.bottleneck_max:{fmt}}, "
             f"imbalance ratio {self.imbalance_ratio:.2f})"
         )
         return "\n".join(lines)

@@ -1,0 +1,97 @@
+"""Guard: the event bus must cost (almost) nothing when nobody listens.
+
+The observability layer's contract is that a run constructed with no bus —
+or with a bus that has zero subscribers — executes the same hot path as an
+uninstrumented build.  Structurally, every instrumented component drops an
+inactive bus to ``None`` at construction/run time, so the per-task cost is
+a single ``is not None`` check.  This file asserts both the structural
+property and the measured wall-time consequence on the overhead
+benchmark's workload (``bench_overhead.py``: the retina model on a
+simulated 4-processor Cray Y-MP).
+"""
+
+import gc
+import time
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.machine import SimulatedExecutor, cray_ymp
+from repro.obs import EventBus
+from repro.runtime import ExecutionState
+
+# Interleaved min-of-batches comparison: robust to machine noise without
+# needing many seconds of samples.  The workload runs in ~15 ms, so
+# 2 configs x BATCHES x RUNS ~= 3 s total.
+RUNS_PER_BATCH = 6
+BATCHES = 7
+# ISSUE bound is 5%; timing jitter on shared CI boxes can exceed the real
+# (near-zero) overhead, so compare best-of-batches, which squeezes most
+# scheduler noise out of both sides before taking the ratio.
+MAX_OVERHEAD = 1.05
+
+
+def _batch_seconds(run, n=RUNS_PER_BATCH):
+    t0 = time.perf_counter()
+    for _ in range(n):
+        run()
+    return time.perf_counter() - t0
+
+
+def test_inactive_bus_is_dropped_at_construction():
+    compiled = compile_retina(1, RetinaConfig())
+    es = ExecutionState(
+        compiled.graph, compiled.registry, bus=EventBus()
+    )
+    assert es.bus is None  # no subscribers -> no bus on the hot path
+
+
+def test_zero_subscriber_results_identical():
+    compiled = compile_retina(1, RetinaConfig())
+    bare = SimulatedExecutor(cray_ymp(4)).run(
+        compiled.graph, registry=compiled.registry
+    )
+    idle = SimulatedExecutor(cray_ymp(4), bus=EventBus()).run(
+        compiled.graph, registry=compiled.registry
+    )
+    assert bare.ticks == idle.ticks
+    assert bare.stats.ops_executed == idle.stats.ops_executed
+    assert bare.stats.cow_copies == idle.stats.cow_copies
+
+
+def test_zero_subscriber_overhead_under_five_percent():
+    compiled = compile_retina(2, RetinaConfig())
+
+    def run_bare():
+        SimulatedExecutor(cray_ymp(4)).run(
+            compiled.graph, registry=compiled.registry
+        )
+
+    def run_idle_bus():
+        SimulatedExecutor(cray_ymp(4), bus=EventBus()).run(
+            compiled.graph, registry=compiled.registry
+        )
+
+    # Warm-up: imports, code objects, allocator pools.
+    run_bare()
+    run_idle_bus()
+
+    bare_batches = []
+    idle_batches = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(BATCHES):
+            bare_batches.append(_batch_seconds(run_bare))
+            idle_batches.append(_batch_seconds(run_idle_bus))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    bare = min(bare_batches)
+    idle = min(idle_batches)
+    ratio = idle / bare
+    assert ratio < MAX_OVERHEAD, (
+        f"zero-subscriber event bus cost {(ratio - 1):.1%} wall time "
+        f"(bare {bare * 1000:.1f} ms vs idle-bus {idle * 1000:.1f} ms "
+        f"per {RUNS_PER_BATCH}-run batch); budget is "
+        f"{MAX_OVERHEAD - 1:.0%}"
+    )
