@@ -18,8 +18,6 @@ Measured here on a batch of tasks with highly irregular sizes:
   see Table 2).
 """
 
-import pytest
-
 from repro import compile_source, default_registry
 from repro.machine import SimulatedExecutor, uniform
 

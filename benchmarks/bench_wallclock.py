@@ -1,0 +1,118 @@
+"""Real wall-clock speedup: retina on the ProcessExecutor.
+
+Every other benchmark in this directory reproduces the paper's *simulated*
+evaluation; this one is the first real entry in the perf trajectory.  It
+runs the retina model (v2, the balanced decomposition of section 5.2) at a
+production-ish size on the actual machine, sequential versus the
+ProcessExecutor at 1/2/4 workers, asserting bit-identical results and —
+on hosts with at least 4 CPUs — a >= 2x speedup at 4 workers, the
+real-hardware analogue of Figure 1's simulated curve.
+
+Results always go to ``BENCH_wallclock.json`` next to the repository root
+(the committed perf record, with host CPU count so entries from different
+machines stay interpretable), and additionally to ``--bench-json FILE``
+when given.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.runtime import ProcessExecutor, SequentialExecutor
+
+#: >= the 128x128 floor from the acceptance criteria; kernel and
+#: iteration count sized so operator compute dominates dispatch overhead.
+CONFIG = RetinaConfig(height=256, width=256, kernel_size=13, num_iter=4)
+WORKER_COUNTS = (1, 2, 4)
+REPEATS = 2
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wallclock.json"
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_retina(2, CONFIG)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = None
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best, value
+
+
+def test_wallclock_speedup(compiled, report, bench_json):
+    graph, registry = compiled.graph, compiled.registry
+    seq_seconds, seq_result = _best_of(
+        lambda: SequentialExecutor().run(graph, registry=registry)
+    )
+    reference = seq_result.value.signature()
+
+    rows = [
+        f"retina v2 {CONFIG.height}x{CONFIG.width}, "
+        f"kernel {CONFIG.kernel_size}, {CONFIG.num_iter} iteration(s); "
+        f"host cpus: {os.cpu_count()}",
+        "",
+        f"{'executor':<22} {'seconds':>9} {'speedup':>9}",
+        f"{'sequential':<22} {seq_seconds:>9.3f} {1.0:>9.2f}",
+    ]
+    entry = {
+        "workload": {
+            "app": "retina-v2",
+            "height": CONFIG.height,
+            "width": CONFIG.width,
+            "kernel_size": CONFIG.kernel_size,
+            "num_iter": CONFIG.num_iter,
+        },
+        "cpu_count": os.cpu_count(),
+        "repeats": REPEATS,
+        "sequential_seconds": seq_seconds,
+        "process": {},
+    }
+    for workers in WORKER_COUNTS:
+        seconds, result = _best_of(
+            lambda w=workers: ProcessExecutor(w).run(graph, registry=registry)
+        )
+        assert result.value.signature() == reference, (
+            f"ProcessExecutor({workers}) diverged from sequential"
+        )
+        speedup = seq_seconds / seconds
+        entry["process"][str(workers)] = {
+            "seconds": seconds,
+            "speedup": speedup,
+        }
+        rows.append(
+            f"{f'process workers={workers}':<22} {seconds:>9.3f} "
+            f"{speedup:>9.2f}"
+        )
+
+    RESULT_PATH.write_text(
+        json.dumps({"retina_wallclock": entry}, indent=2, sort_keys=True)
+        + "\n",
+        encoding="utf-8",
+    )
+    bench_json("retina_wallclock", entry)
+    rows.append("")
+    rows.append(f"wrote {RESULT_PATH.name} (bit-identical across executors)")
+    report("Wall-clock — retina on the ProcessExecutor", "\n".join(rows))
+
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        pytest.skip(
+            f"host has {cpus} CPU(s); >= 2x-at-4-workers assertion needs "
+            ">= 4 (results still recorded)"
+        )
+    assert entry["process"]["4"]["speedup"] >= 2.0, (
+        "expected >= 2x wall-clock speedup with 4 workers on a >= 4-CPU "
+        f"host, got {entry['process']['4']['speedup']:.2f}x"
+    )

@@ -80,6 +80,8 @@ from .runtime import (
     NULL,
     OperatorRegistry,
     OperatorSpec,
+    ProcessExecutor,
+    RegistryRef,
     RunResult,
     SequentialExecutor,
     ThreadedExecutor,
@@ -112,6 +114,8 @@ __all__ = [
     "PreprocessorError",
     "RunResult",
     "RuntimeFailure",
+    "ProcessExecutor",
+    "RegistryRef",
     "SequentialExecutor",
     "SimResult",
     "SimulatedExecutor",

@@ -9,7 +9,7 @@ Delirium coordination exploits by splitting each level's gates four ways.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -23,7 +23,7 @@ determinism story of the paper, testable as an equality.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 import numpy as np
 from scipy.signal import convolve2d

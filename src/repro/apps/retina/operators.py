@@ -13,8 +13,6 @@ The registry serves both program versions; v1 uses ``post_up`` and v2 uses
 
 from __future__ import annotations
 
-import numpy as np
-
 from ...runtime.operators import OperatorRegistry, default_registry
 from . import model
 from .model import Band, RetinaConfig, RetinaState, TargetChunk

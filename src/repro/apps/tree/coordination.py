@@ -24,7 +24,7 @@ achieves.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from ...compiler import CompiledProgram, compile_source
 from ...runtime.operators import OperatorRegistry, default_registry

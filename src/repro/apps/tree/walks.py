@@ -22,7 +22,7 @@ used to stitch partitioned results back together.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 from .partition import partition
 

@@ -46,7 +46,10 @@ from .events import (
     OpFinished,
     OpStarted,
     QueueDepthSample,
+    ResultReceived,
+    ShmBlockCreated,
     TailExpansion,
+    TaskDispatched,
     TaskEnqueued,
     TaskFired,
     observe_blocks,
@@ -81,9 +84,12 @@ __all__ = [
     "OpFinished",
     "OpStarted",
     "QueueDepthSample",
+    "ResultReceived",
     "Series",
+    "ShmBlockCreated",
     "TICK_SCALE",
     "TailExpansion",
+    "TaskDispatched",
     "TaskEnqueued",
     "TaskFired",
     "WALL_SCALE",

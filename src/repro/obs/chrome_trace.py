@@ -29,6 +29,9 @@ from .events import (
     Event,
     EventBus,
     QueueDepthSample,
+    ResultReceived,
+    ShmBlockCreated,
+    TaskDispatched,
     TaskFired,
 )
 
@@ -49,24 +52,42 @@ class ChromeTraceCollector:
         :data:`TICK_SCALE` for simulated ticks.
     process_name:
         Shown as the process label in the viewer.
+    track_names:
+        Optional ``{tid: label}`` overrides for track names.  The
+        :class:`~repro.runtime.executors.ProcessExecutor` convention is
+        track 0 = master, track ``n`` = worker ``n - 1``; pass e.g.
+        ``{0: "master", 1: "worker 0", ...}`` to label them that way.
     """
 
     def __init__(
         self,
         time_scale: float = WALL_SCALE,
         process_name: str = "delirium",
+        track_names: dict[int, str] | None = None,
     ) -> None:
         self.time_scale = time_scale
         self.process_name = process_name
+        self.track_names = dict(track_names or {})
         self.spans: list[TaskFired] = []
         self.counter_samples: list[QueueDepthSample] = []
         self.instants: list[CowCopy] = []
+        self.dispatches: list[TaskDispatched] = []
+        self.receipts: list[ResultReceived] = []
+        self.shm_blocks: list[ShmBlockCreated] = []
 
     # -- collection ----------------------------------------------------
     def attach(self, bus: EventBus) -> Callable[[], None]:
         """Subscribe to ``bus``; returns the unsubscribe callable."""
         return bus.subscribe(
-            self._on_event, events=(TaskFired, QueueDepthSample, CowCopy)
+            self._on_event,
+            events=(
+                TaskFired,
+                QueueDepthSample,
+                CowCopy,
+                TaskDispatched,
+                ResultReceived,
+                ShmBlockCreated,
+            ),
         )
 
     def _on_event(self, event: Event) -> None:
@@ -76,6 +97,12 @@ class ChromeTraceCollector:
             self.counter_samples.append(event)
         elif isinstance(event, CowCopy):
             self.instants.append(event)
+        elif isinstance(event, TaskDispatched):
+            self.dispatches.append(event)
+        elif isinstance(event, ResultReceived):
+            self.receipts.append(event)
+        elif isinstance(event, ShmBlockCreated):
+            self.shm_blocks.append(event)
 
     @classmethod
     def from_tracer(
@@ -132,7 +159,9 @@ class ChromeTraceCollector:
                     "pid": pid,
                     "tid": tid,
                     "ts": 0,
-                    "args": {"name": f"processor {tid}"},
+                    "args": {
+                        "name": self.track_names.get(tid, f"processor {tid}")
+                    },
                 }
             )
             for span in sorted(by_track[tid], key=lambda s: (s.ts, s.seq)):
@@ -181,6 +210,51 @@ class ChromeTraceCollector:
                     "tid": 0,
                     "ts": copy_event.ts * scale,
                     "args": {"bytes": copy_event.nbytes},
+                }
+            )
+        for disp in self.dispatches:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"dispatch:{disp.operator}",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": disp.ts * scale,
+                    "args": {
+                        "call_id": disp.call_id,
+                        "bytes": disp.nbytes,
+                        "via_shm": disp.via_shm,
+                    },
+                }
+            )
+        for recv in self.receipts:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": f"result:{recv.operator}",
+                    "pid": pid,
+                    "tid": recv.worker + 1,
+                    "ts": recv.ts * scale,
+                    "args": {
+                        "call_id": recv.call_id,
+                        "bytes": recv.nbytes,
+                        "worker_seconds": recv.duration,
+                        "via_shm": recv.via_shm,
+                    },
+                }
+            )
+        for shm in self.shm_blocks:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "p",
+                    "name": "shm_block",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": shm.ts * scale,
+                    "args": {"name": shm.name, "bytes": shm.nbytes},
                 }
             )
         return events

@@ -163,6 +163,49 @@ class TailExpansion(Expansion):
 
 
 # ----------------------------------------------------------------------
+# Process-worker dispatch (ProcessExecutor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class TaskDispatched(Event):
+    """An operator body was serialized and staged for a worker process.
+
+    ``nbytes`` counts the serialized argument payloads (pickle bytes plus
+    any shared-memory segment bytes); ``via_shm`` is true when at least
+    one argument traveled through a shared-memory block.
+    """
+
+    operator: str
+    call_id: int
+    nbytes: int
+    via_shm: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ResultReceived(Event):
+    """A worker returned an operator result to the master.
+
+    ``worker`` is the worker index (Perfetto track ``worker+1``; the
+    master is track 0), ``duration`` the worker-side wall seconds spent in
+    the operator function, ``nbytes`` the serialized result size.
+    """
+
+    operator: str
+    call_id: int
+    worker: int
+    duration: float
+    nbytes: int
+    via_shm: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ShmBlockCreated(Event):
+    """A shared-memory block was created to carry a large NumPy payload."""
+
+    name: str
+    nbytes: int
+
+
+# ----------------------------------------------------------------------
 # Scheduler
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
@@ -189,6 +232,9 @@ ALL_EVENTS: tuple[type, ...] = (
     CowCopy,
     Expansion,
     TailExpansion,
+    TaskDispatched,
+    ResultReceived,
+    ShmBlockCreated,
     QueueDepthSample,
 )
 

@@ -36,7 +36,10 @@ from .events import (
     Expansion,
     OpStarted,
     QueueDepthSample,
+    ResultReceived,
+    ShmBlockCreated,
     TailExpansion,
+    TaskDispatched,
     TaskEnqueued,
     TaskFired,
 )
@@ -264,6 +267,11 @@ def attach_metrics(
     act_reused = reg.counter("activations_reused")
     block_retains = reg.counter("block_retains")
     block_releases = reg.counter("block_releases")
+    ops_dispatched = reg.counter("ops_dispatched")
+    dispatch_nbytes = reg.counter("dispatch_nbytes")
+    result_nbytes = reg.counter("result_nbytes")
+    shm_blocks = reg.counter("shm_blocks_created")
+    shm_nbytes = reg.counter("shm_nbytes")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -298,6 +306,15 @@ def attach_metrics(
             block_retains.inc(e.n)
         elif isinstance(e, BlockReleased):
             block_releases.inc(e.n)
+        elif isinstance(e, TaskDispatched):
+            ops_dispatched.inc(label=e.operator)
+            dispatch_nbytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, ResultReceived):
+            result_nbytes.inc(e.nbytes, label=e.operator)
+            reg.histogram(f"worker_seconds/{e.operator}").observe(e.duration)
+        elif isinstance(e, ShmBlockCreated):
+            shm_blocks.inc()
+            shm_nbytes.inc(e.nbytes)
 
     bus.subscribe(on_event)
     return reg

@@ -10,8 +10,19 @@ from .blocks import (
     unwrap,
     wrap_payload,
 )
-from .engine import EngineStats, ExecutionState, PurityViolationError
-from .executors import RunResult, SequentialExecutor, ThreadedExecutor
+from .engine import (
+    EngineStats,
+    ExecutionState,
+    FireOutcome,
+    PendingOp,
+    PurityViolationError,
+)
+from .executors import (
+    ProcessExecutor,
+    RunResult,
+    SequentialExecutor,
+    ThreadedExecutor,
+)
 from .operators import (
     OperatorRegistry,
     OperatorSpec,
@@ -27,14 +38,17 @@ from .scheduler import (
 )
 from .tracing import NodeTiming, Tracer
 from .values import NULL, Closure, MultiValue, OperatorValue, is_truthy
+from .workers import DispatchPolicy, RegistryRef, WorkerPool
 
 __all__ = [
     "Activation",
     "ActivationPool",
     "Closure",
     "DataBlock",
+    "DispatchPolicy",
     "EngineStats",
     "ExecutionState",
+    "FireOutcome",
     "MultiValue",
     "NULL",
     "NodeTiming",
@@ -44,13 +58,17 @@ __all__ = [
     "PRIORITY_CALL",
     "PRIORITY_NORMAL",
     "PRIORITY_RECURSIVE_CALL",
+    "PendingOp",
+    "ProcessExecutor",
     "PurityViolationError",
     "ReadyQueue",
+    "RegistryRef",
     "RunResult",
     "SequentialExecutor",
     "Task",
     "ThreadedExecutor",
     "Tracer",
+    "WorkerPool",
     "builtin_registry",
     "default_registry",
     "get_block_hook",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..graph.ir import NodeKind, Template
+from ..graph.ir import Template
 from ..obs.events import ActivationAllocated, ActivationRecycled, EventBus
 
 #: Sentinel marking an input slot that has not received its value yet.

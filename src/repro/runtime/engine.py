@@ -11,6 +11,16 @@ of time, and processor placement, and drive the state through two calls:
   tasks;
 * :meth:`fire` — fire one ready task, returning the tasks it made ready.
 
+For executors that overlap operator bodies (threads, worker processes),
+``fire`` splits into a :meth:`begin_fire` / :meth:`complete_fire` pair:
+``begin_fire`` resolves the operator spec, takes the node's inputs, and
+makes the copy-on-write decisions, returning a :class:`PendingOp`;
+the executor runs (or ships) the actual computation however it likes and
+then calls ``complete_fire`` with the raw result to commit it, release
+the input references, and collect the newly ready tasks.  All engine
+bookkeeping stays in the calling thread; only the opaque sequential
+computation happens elsewhere.
+
 Any interleaving of ``fire`` calls that respects readiness produces the
 same final result; that is the determinism guarantee of the coordination
 model (section 8 of the paper) and the property the test suite hammers.
@@ -43,13 +53,67 @@ from .scheduler import (
     PRIORITY_RECURSIVE_CALL,
     Task,
 )
-from .values import NULL, Closure, MultiValue, OperatorValue, is_truthy
+from .values import Closure, MultiValue, OperatorValue, is_truthy
 
 _NO_RESULT = object()
 
 #: Hook type: executors may intercept the raw operator call (e.g. to drop a
 #: lock around it, or to time it).  Receives the spec and ready payloads.
 RunOp = Callable[[OperatorSpec, tuple[Any, ...]], Any]
+
+#: Hook type: decide whether an operator body should run *remotely* (in a
+#: worker process) rather than in this interpreter.  Receives the spec and
+#: the raw argument payloads *before* any copy-on-write copies are made.
+Classify = Callable[[OperatorSpec, tuple[Any, ...]], bool]
+
+
+@dataclass
+class PendingOp:
+    """An operator firing suspended at the compute boundary.
+
+    Produced by :meth:`ExecutionState.begin_fire`; every copy-on-write
+    decision has already been made and recorded.  The executor runs
+    ``spec.fn(*args)`` (locally or in a worker) and passes the raw result
+    to :meth:`ExecutionState.complete_fire`.
+
+    ``remote=True`` means the executor declared (via ``classify``) that
+    the body will run in another process: the engine then *skips the
+    physical copy-on-write copy* — serialization across the process
+    boundary already isolates the worker's writes — while still counting
+    the COW decision in the stats, so decision counters stay comparable
+    across executors.
+    """
+
+    activation: Any
+    node_id: int
+    spec: OperatorSpec
+    #: Payloads to call the operator with (post-COW unless ``remote``).
+    args: tuple[Any, ...]
+    #: Blocks aligned with ``args`` for result identity reuse (empty when
+    #: ``remote`` — a worker result can never alias master memory).
+    arg_blocks: list[DataBlock | None]
+    #: The operator-argument edge values (for the purity check).
+    op_inputs: list[Any]
+    #: Every edge value to release on completion (includes the callee for
+    #: CALL-of-operator firings).
+    all_inputs: list[Any]
+    fingerprints: list[tuple[int, object]]
+    home: int
+    remote: bool
+    op_began: float | None = None
+
+
+@dataclass
+class FireOutcome:
+    """Result of :meth:`ExecutionState.begin_fire`.
+
+    ``pending`` is ``None`` when the node completed entirely inside
+    ``begin_fire`` (constants, packages, expansions...); otherwise the
+    firing is suspended and must be finished with ``complete_fire``.
+    """
+
+    newly: list[Task]
+    pending: PendingOp | None = None
 
 
 class PurityViolationError(RuntimeFailure):
@@ -133,6 +197,11 @@ class ExecutionState:
         #: Per-activation count of outstanding non-tail children, guarding
         #: activation recycling (see ``_expand``).
         self._pending_children: dict[int, int] = {}
+        #: Per-activation count of operator firings begun but not yet
+        #: completed (see ``begin_fire``); an activation with an in-flight
+        #: operator must never be recycled, even when all its nodes have
+        #: "fired" and its result has been delegated to a tail call.
+        self._pending_ops: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Public interface
@@ -160,7 +229,40 @@ class ExecutionState:
         return newly
 
     def fire(self, task: Task, run_op: RunOp | None = None, home: int = -1) -> list[Task]:
-        """Fire one ready task; return the newly ready tasks."""
+        """Fire one ready task to completion; return the newly ready tasks.
+
+        Convenience wrapper over :meth:`begin_fire` / :meth:`complete_fire`
+        that runs any operator body inline (optionally through ``run_op``).
+        """
+        outcome = self.begin_fire(task, home=home)
+        pending = outcome.pending
+        if pending is None:
+            return outcome.newly
+        spec = pending.spec
+        try:
+            if run_op is not None:
+                raw_result = run_op(spec, pending.args)
+            else:
+                raw_result = spec.fn(*pending.args)
+        except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
+            raise OperatorError(spec.name, exc) from exc
+        newly = outcome.newly
+        newly.extend(self.complete_fire(pending, raw_result))
+        return newly
+
+    def begin_fire(
+        self, task: Task, home: int = -1, classify: Classify | None = None
+    ) -> FireOutcome:
+        """Fire one ready task up to (but not through) any operator body.
+
+        Non-operator nodes complete entirely here.  ``OP`` nodes (and
+        ``CALL`` nodes whose callee is an operator value) stop at the
+        compute boundary and come back as a :class:`PendingOp`; the
+        executor must finish them with :meth:`complete_fire`.  ``classify``
+        (see :data:`Classify`) marks a pending operator as *remote*, which
+        suppresses the physical copy-on-write copy (the process boundary
+        does the isolating).
+        """
         act = task.activation
         node_id = task.node_id
         node: Node = act.template.nodes[node_id]
@@ -209,17 +311,56 @@ class ExecutionState:
         elif kind is NodeKind.OP:
             inputs = act.take_inputs(node_id)
             spec = self.registry.get(node.name)
-            result = self._execute_operator(spec, list(inputs), run_op, home)
-            self._deliver_output(act, node_id, 0, result, 0, newly)
-            for v in inputs:
-                release(v, 1)
+            pending = self._begin_operator(
+                act, node_id, spec, list(inputs), list(inputs), home, classify
+            )
+            return FireOutcome(newly, pending)
         elif kind is NodeKind.CALL:
-            self._fire_call(act, node_id, node, newly, run_op, home)
+            pending = self._fire_call(act, node_id, node, newly, home, classify)
+            if pending is not None:
+                return FireOutcome(newly, pending)
         elif kind is NodeKind.IF:
             self._fire_if(act, node_id, node, newly)
         else:  # pragma: no cover - placeholders never reach the queue
             raise GraphError(f"cannot fire node of kind {kind}")
 
+        self._maybe_free(act)
+        return FireOutcome(newly)
+
+    def complete_fire(self, pending: PendingOp, raw_result: Any) -> list[Task]:
+        """Commit a suspended operator firing; return the newly ready tasks.
+
+        ``raw_result`` is whatever the operator function returned (in this
+        process or another).  Exactly one ``complete_fire`` must follow
+        every pending ``begin_fire``; an abandoned pending op leaves its
+        activation pinned, which the stall report will point at.
+        """
+        act = pending.activation
+        spec = pending.spec
+        bus = self.bus
+        if bus is not None:
+            op_ended = bus.now()
+            began = pending.op_began if pending.op_began is not None else op_ended
+            bus.emit(OpFinished(op_ended, spec.name, op_ended - began))
+        if self.check_purity and not pending.remote:
+            for i, fp in pending.fingerprints:
+                block = pending.op_inputs[i]
+                assert isinstance(block, DataBlock)
+                if _fingerprint(block.payload) != fp:
+                    raise PurityViolationError(
+                        f"operator {spec.name!r} modified argument {i} "
+                        "without declaring it in modifies=(...)"
+                    )
+        result = self._wrap_result(raw_result, pending.arg_blocks, pending.home)
+        newly: list[Task] = []
+        self._deliver_output(act, pending.node_id, 0, result, 0, newly)
+        for v in pending.all_inputs:
+            release(v, 1)
+        count = self._pending_ops.get(act.aid, 0) - 1
+        if count > 0:
+            self._pending_ops[act.aid] = count
+        else:
+            self._pending_ops.pop(act.aid, None)
         self._maybe_free(act)
         return newly
 
@@ -244,8 +385,12 @@ class ExecutionState:
         those nodes still await — the first thing to read when a
         hand-built graph (or an engine bug) deadlocks.
         """
+        in_flight = sum(self._pending_ops.values())
         lines: list[str] = [
-            f"{self.pool.live} live activation(s) at stall:"
+            f"{self.pool.live} live activation(s) at stall"
+            + (f" ({in_flight} operator firing(s) never completed)"
+               if in_flight else "")
+            + ":"
         ]
         for act in sorted(self.pool.live_set, key=lambda a: a.aid)[:limit]:
             lines.append(
@@ -341,27 +486,36 @@ class ExecutionState:
             act.result_done
             and act.fired >= act.fireable_nodes()
             and self._pending_children.get(act.aid, 0) == 0
+            and self._pending_ops.get(act.aid, 0) == 0
         ):
             act.result_done = False  # guard against double release
             self.pool.release(act)
 
     # ------------------------------------------------------------------
-    def _execute_operator(
+    def _begin_operator(
         self,
+        act: Activation,
+        node_id: int,
         spec: OperatorSpec,
-        raw_inputs: list[Any],
-        run_op: RunOp | None,
+        op_inputs: list[Any],
+        all_inputs: list[Any],
         home: int,
-    ) -> Any:
-        if spec.arity is not None and spec.arity != len(raw_inputs):
+        classify: Classify | None,
+    ) -> PendingOp:
+        if spec.arity is not None and spec.arity != len(op_inputs):
             raise RuntimeFailure(
                 f"operator {spec.name!r} takes {spec.arity} argument(s), "
-                f"got {len(raw_inputs)}"
+                f"got {len(op_inputs)}"
+            )
+        remote = False
+        if classify is not None:
+            remote = classify(
+                spec, tuple(_payload_of(v) for v in op_inputs)
             )
         args: list[Any] = []
         arg_blocks: list[DataBlock | None] = []
         fingerprints: list[tuple[int, object]] = []
-        for i, v in enumerate(raw_inputs):
+        for i, v in enumerate(op_inputs):
             if isinstance(v, DataBlock):
                 if i in spec.modifies:
                     if v.unique():
@@ -381,13 +535,20 @@ class ExecutionState:
                             self.bus.emit(
                                 CowCopy(self.bus.now(), spec.name, v.nbytes)
                             )
-                        fresh = v.copy(home)
-                        args.append(fresh.payload)
-                        arg_blocks.append(fresh)
+                        if remote:
+                            # Serialization to the worker is the copy; the
+                            # decision is still counted above so COW stats
+                            # stay comparable across executors.
+                            args.append(v.payload)
+                            arg_blocks.append(v)
+                        else:
+                            fresh = v.copy(home)
+                            args.append(fresh.payload)
+                            arg_blocks.append(fresh)
                 else:
                     args.append(v.payload)
                     arg_blocks.append(v)
-                    if self.check_purity:
+                    if self.check_purity and not remote:
                         fingerprints.append((i, _fingerprint(v.payload)))
             else:
                 if i in spec.modifies and isinstance(v, MultiValue):
@@ -400,32 +561,25 @@ class ExecutionState:
                 arg_blocks.append(None)
 
         self.stats.ops_executed += 1
-        arg_tuple = tuple(args)
+        self._pending_ops[act.aid] = self._pending_ops.get(act.aid, 0) + 1
+        op_began: float | None = None
         bus = self.bus
         if bus is not None:
             op_began = bus.now()
             bus.emit(OpStarted(op_began, spec.name))
-        try:
-            if run_op is not None:
-                raw_result = run_op(spec, arg_tuple)
-            else:
-                raw_result = spec.fn(*arg_tuple)
-        except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
-            raise OperatorError(spec.name, exc) from exc
-        if bus is not None:
-            op_ended = bus.now()
-            bus.emit(OpFinished(op_ended, spec.name, op_ended - op_began))
-
-        if self.check_purity:
-            for i, fp in fingerprints:
-                block = raw_inputs[i]
-                assert isinstance(block, DataBlock)
-                if _fingerprint(block.payload) != fp:
-                    raise PurityViolationError(
-                        f"operator {spec.name!r} modified argument {i} "
-                        "without declaring it in modifies=(...)"
-                    )
-        return self._wrap_result(raw_result, arg_blocks, home)
+        return PendingOp(
+            activation=act,
+            node_id=node_id,
+            spec=spec,
+            args=tuple(args),
+            arg_blocks=[] if remote else arg_blocks,
+            op_inputs=op_inputs,
+            all_inputs=all_inputs,
+            fingerprints=fingerprints,
+            home=home,
+            remote=remote,
+            op_began=op_began,
+        )
 
     def _wrap_result(
         self, raw: Any, arg_blocks: list[DataBlock | None], home: int
@@ -462,18 +616,16 @@ class ExecutionState:
         node_id: int,
         node: Node,
         newly: list[Task],
-        run_op: RunOp | None,
         home: int,
-    ) -> None:
+        classify: Classify | None,
+    ) -> PendingOp | None:
         inputs = act.take_inputs(node_id)
         callee, call_args = inputs[0], list(inputs[1:])
         if isinstance(callee, OperatorValue):
             spec = self.registry.get(callee.name)
-            result = self._execute_operator(spec, call_args, run_op, home)
-            self._deliver_output(act, node_id, 0, result, 0, newly)
-            for v in inputs:
-                release(v, 1)
-            return
+            return self._begin_operator(
+                act, node_id, spec, call_args, list(inputs), home, classify
+            )
         if isinstance(callee, Closure):
             self._expand(
                 act,
@@ -486,7 +638,7 @@ class ExecutionState:
                 capture_share=0,
                 newly=newly,
             )
-            return
+            return None
         raise RuntimeFailure(
             f"call of non-function value {callee!r} "
             f"(node {node.label!r} in {act.template.name!r})"

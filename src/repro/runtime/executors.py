@@ -4,12 +4,19 @@
   executor and the debugging story of the paper ("we generally debug
   programs on a single-processor workstation").
 * :class:`ThreadedExecutor` — real OS threads sharing the ready queue.
-  Because of the GIL this demonstrates *functional* parity (identical
-  results with true concurrent scheduling), not speedups; performance
-  experiments use the simulated machines in :mod:`repro.machine`.
+  Engine bookkeeping is serialized under one lock; operator bodies run
+  outside it, so threads overlap wherever a kernel releases the GIL.
+  Pure-Python operators still serialize on the GIL itself — use
+  :class:`ProcessExecutor` for those.
+* :class:`ProcessExecutor` — deterministic firing semantics in the
+  master, operator *computation* on a persistent pool of worker
+  processes: true multi-core execution of the coordination graph, with
+  large NumPy payloads traveling through shared memory and cheap glue
+  operators kept in-process (see :mod:`repro.runtime.workers`).
 
-Both run every ready task to queue exhaustion, so engine statistics are
-identical across executors — another facet of determinism the tests check.
+All run every ready task to queue exhaustion and produce identical
+results — the coordination model's determinism guarantee, which the
+property tests hammer across all executors.
 """
 
 from __future__ import annotations
@@ -19,13 +26,29 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from ..errors import RuntimeFailure
+from ..errors import OperatorError, RuntimeFailure
 from ..graph.ir import GraphProgram
-from ..obs.events import EventBus, TaskFired
-from .engine import EngineStats, ExecutionState
-from .operators import OperatorRegistry, OperatorSpec, default_registry
+from ..obs.events import (
+    EventBus,
+    ResultReceived,
+    ShmBlockCreated,
+    TaskDispatched,
+    TaskFired,
+)
+from .engine import EngineStats, ExecutionState, PendingOp
+from .operators import OperatorRegistry, default_registry
 from .scheduler import ReadyQueue
 from .tracing import Tracer
+from .workers import (
+    SHM_THRESHOLD_DEFAULT,
+    DispatchPolicy,
+    EncodedValue,
+    RegistryRef,
+    WorkerPool,
+    _decode_exception,
+    decode_value,
+    encode_value,
+)
 
 
 def resolve_bus(
@@ -146,10 +169,15 @@ class SequentialExecutor:
 class ThreadedExecutor:
     """Run a coordination graph on real OS threads.
 
-    The engine's bookkeeping runs under one lock; the lock is dropped
-    around each operator's actual Python call (where NumPy kernels may
-    release the GIL).  Results are identical to the sequential executor —
-    the coordination model guarantees it, and the tests verify it.
+    Built on the engine's ``begin_fire`` / ``complete_fire`` split: a
+    worker pops a task and runs the engine bookkeeping under the shared
+    condition lock, but any operator body surfaces as a
+    :class:`~repro.runtime.engine.PendingOp` and executes with the lock
+    *released* — NumPy/SciPy kernels that drop the GIL then genuinely
+    overlap across threads, while the commit (result delivery, reference
+    releases) reacquires the lock.  Results are identical to the
+    sequential executor — the coordination model guarantees it, and the
+    tests verify it.
     """
 
     def __init__(
@@ -187,37 +215,46 @@ class ThreadedExecutor:
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - run_began)
 
-        def run_op(spec: OperatorSpec, op_args: tuple[Any, ...]) -> Any:
+        def run_pending(pending: PendingOp) -> None:
             # Drop the engine lock for the duration of the sequential
             # sub-computation; this is the concurrency the model permits.
+            spec = pending.spec
+            error: BaseException | None = None
+            raw: Any = None
             condition.release()
             t0 = time.perf_counter()
             try:
-                return spec.fn(*op_args)
+                raw = spec.fn(*pending.args)
+            except Exception as exc:  # noqa: BLE001 - wrapped, re-raised
+                error = OperatorError(spec.name, exc)
+                error.__cause__ = exc
             finally:
                 elapsed = time.perf_counter() - t0
                 condition.acquire()
-                if bus is not None:
-                    # Emitted under the lock; the worker's thread index
-                    # stands in for a processor id.  Only operator calls
-                    # get spans here — engine bookkeeping is serialized
-                    # under the lock and is not attributable to a worker.
-                    name = threading.current_thread().name
-                    processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
-                    bus.emit(
-                        TaskFired(
-                            t0 - run_began,
-                            spec.name,
-                            "op",
-                            0,
-                            "",
-                            -1,
-                            -1,
-                            -1,
-                            elapsed,
-                            processor,
-                        )
+            if bus is not None:
+                # Emitted under the lock; the worker's thread index
+                # stands in for a processor id.  Only operator calls
+                # get spans here — engine bookkeeping is serialized
+                # under the lock and is not attributable to a worker.
+                name = threading.current_thread().name
+                processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
+                bus.emit(
+                    TaskFired(
+                        t0 - run_began,
+                        spec.name,
+                        "op",
+                        0,
+                        "",
+                        -1,
+                        -1,
+                        -1,
+                        elapsed,
+                        processor,
                     )
+                )
+            if error is not None:
+                raise error
+            queue.push_all(state.complete_fire(pending, raw))
 
         def worker() -> None:
             nonlocal active
@@ -231,8 +268,10 @@ class ThreadedExecutor:
                     task = queue.pop()
                     active += 1
                     try:
-                        new_tasks = state.fire(task, run_op=run_op)
-                        queue.push_all(new_tasks)
+                        outcome = state.begin_fire(task)
+                        queue.push_all(outcome.newly)
+                        if outcome.pending is not None:
+                            run_pending(outcome.pending)
                     except BaseException as exc:  # noqa: BLE001
                         errors.append(exc)
                     finally:
@@ -253,6 +292,227 @@ class ThreadedExecutor:
         wall = time.perf_counter() - began
         if errors:
             raise errors[0]
+        if not state.finished:
+            raise RuntimeFailure(
+                "execution stalled: ready queue drained without producing a "
+                "result (ill-formed graph?)\n" + state.stall_report()
+            )
+        return RunResult(state.result(), state.snapshot_stats(), tracer, wall)
+
+
+class ProcessExecutor:
+    """Run a coordination graph with operator bodies on worker processes.
+
+    The master keeps the entire coordination semantics — ready queue,
+    firing order, copy-on-write decisions, result commits — and ships
+    only the opaque operator computations to a persistent
+    :class:`~repro.runtime.workers.WorkerPool`, so results are
+    bit-identical to :class:`SequentialExecutor` while heavy kernels use
+    real cores with no GIL in the way.
+
+    Dispatch policy (see :class:`~repro.runtime.workers.DispatchPolicy`):
+    an operator crosses the process boundary only when its cost hint
+    clears ``cost_threshold`` ticks (falling back to a payload-size test
+    when it has no usable hint), so scalar glue never pays IPC.  Ready
+    dispatches are staged and sent in batches of up to ``batch_size``
+    calls — but never so coarse that a worker sits idle while another
+    holds the whole frontier.  Argument and result payloads whose NumPy
+    buffers reach ``shm_threshold`` bytes travel via POSIX shared memory
+    (:class:`~repro.obs.events.ShmBlockCreated` on the bus); the rest
+    ride the pickle stream.
+
+    Parameters mirror :class:`SequentialExecutor` plus:
+
+    n_workers:
+        Worker process count.
+    batch_size:
+        Maximum operator calls per IPC message.
+    cost_threshold / shm_threshold / pinned_local:
+        Dispatch and transport tuning (see above).
+    registry_ref:
+        :class:`~repro.runtime.workers.RegistryRef` naming an importable
+        registry factory — required only on platforms without ``fork``,
+        where workers cannot inherit the master's registry.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        batch_size: int = 4,
+        cost_threshold: float = 250_000.0,
+        shm_threshold: int = SHM_THRESHOLD_DEFAULT,
+        use_priorities: bool = True,
+        seed: int | None = None,
+        check_purity: bool = False,
+        trace: bool = False,
+        bus: EventBus | None = None,
+        registry_ref: RegistryRef | None = None,
+        pinned_local: tuple[str, ...] = (),
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.n_workers = n_workers
+        self.batch_size = batch_size
+        self.policy = DispatchPolicy(
+            cost_threshold=cost_threshold,
+            nbytes_threshold=shm_threshold,
+            pinned_local=frozenset(pinned_local),
+        )
+        self.shm_threshold = shm_threshold
+        self.use_priorities = use_priorities
+        self.seed = seed
+        self.check_purity = check_purity
+        self.trace = trace
+        self.bus = bus
+        self.registry_ref = registry_ref
+
+    def run(
+        self,
+        program: GraphProgram,
+        args: tuple[Any, ...] = (),
+        registry: OperatorRegistry | None = None,
+    ) -> RunResult:
+        registry = registry if registry is not None else default_registry()
+        bus, tracer = resolve_bus(self.bus, self.trace)
+        state = ExecutionState(
+            program, registry, check_purity=self.check_purity, bus=bus
+        )
+        queue = ReadyQueue(self.use_priorities, self.seed, bus=bus)
+        began = time.perf_counter()
+        if bus is not None:
+            bus.set_clock(lambda: time.perf_counter() - began)
+        classify = self.policy.should_dispatch
+        in_flight: dict[int, PendingOp] = {}
+        staged: list[tuple[int, str, list[EncodedValue]]] = []
+        call_seq = 0
+
+        with WorkerPool(
+            self.n_workers,
+            registry=registry,
+            registry_ref=self.registry_ref,
+            shm_threshold=self.shm_threshold,
+        ) as pool:
+
+            def flush() -> None:
+                """Send staged calls, splitting so every worker gets work."""
+                if not staged:
+                    return
+                chunk = max(
+                    1,
+                    min(
+                        self.batch_size,
+                        -(-len(staged) // self.n_workers),
+                    ),
+                )
+                for i in range(0, len(staged), chunk):
+                    pool.submit(staged[i : i + chunk])
+                staged.clear()
+
+            def dispatch(pending: PendingOp) -> None:
+                nonlocal call_seq
+                call_seq += 1
+                enc_args = [
+                    encode_value(a, self.shm_threshold) for a in pending.args
+                ]
+                if bus is not None:
+                    now = bus.now()
+                    for enc in enc_args:
+                        if enc.shm_name is not None:
+                            bus.emit(
+                                ShmBlockCreated(now, enc.shm_name, enc.shm_nbytes)
+                            )
+                    bus.emit(
+                        TaskDispatched(
+                            now,
+                            pending.spec.name,
+                            call_seq,
+                            sum(e.nbytes for e in enc_args),
+                            any(e.via_shm for e in enc_args),
+                        )
+                    )
+                in_flight[call_seq] = pending
+                staged.append((call_seq, pending.spec.name, enc_args))
+                if len(staged) >= self.batch_size * self.n_workers:
+                    flush()
+
+            def run_inline(pending: PendingOp) -> None:
+                spec = pending.spec
+                t0 = time.perf_counter()
+                try:
+                    raw = spec.fn(*pending.args)
+                except Exception as exc:  # noqa: BLE001 - wrapped
+                    raise OperatorError(spec.name, exc) from exc
+                t1 = time.perf_counter()
+                queue.push_all(state.complete_fire(pending, raw))
+                if bus is not None:
+                    bus.emit(
+                        TaskFired(
+                            t0 - began, spec.name, "op", 0, "", -1, -1, -1,
+                            t1 - t0, 0,
+                        )
+                    )
+
+            def absorb_results(block: bool) -> bool:
+                """Commit one result message; return whether one arrived."""
+                if not in_flight or (not block):
+                    return False
+                worker_id, results = pool.recv()
+                for call_id, ok, payload, t0_raw, duration in results:
+                    pending = in_flight.pop(call_id)
+                    spec = pending.spec
+                    if not ok:
+                        exc = _decode_exception(payload)
+                        raise OperatorError(spec.name, exc) from exc
+                    raw = decode_value(payload)
+                    if bus is not None:
+                        now = bus.now()
+                        bus.emit(
+                            ResultReceived(
+                                now,
+                                spec.name,
+                                call_id,
+                                worker_id,
+                                duration,
+                                payload.nbytes,
+                                payload.via_shm,
+                            )
+                        )
+                        bus.emit(
+                            TaskFired(
+                                max(0.0, t0_raw - began),
+                                spec.name,
+                                "op",
+                                0,
+                                "",
+                                -1,
+                                -1,
+                                -1,
+                                duration,
+                                worker_id + 1,
+                            )
+                        )
+                    queue.push_all(state.complete_fire(pending, raw))
+                return True
+
+            queue.push_all(state.start(args))
+            while queue or in_flight:
+                while queue:
+                    task = queue.pop()
+                    outcome = state.begin_fire(task, classify=classify)
+                    queue.push_all(outcome.newly)
+                    pending = outcome.pending
+                    if pending is None:
+                        continue
+                    if pending.remote:
+                        dispatch(pending)
+                    else:
+                        run_inline(pending)
+                flush()
+                absorb_results(block=bool(in_flight))
+
+        wall = time.perf_counter() - began
         if not state.finished:
             raise RuntimeFailure(
                 "execution stalled: ready queue drained without producing a "

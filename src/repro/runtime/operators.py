@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import functools
 import operator as _pyop
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator
 
 from ..errors import DeliriumError, UnknownOperatorError
@@ -56,6 +56,18 @@ class OperatorSpec:
         if callable(self.cost):
             return float(self.cost(*args))
         return float(self.cost)
+
+    def try_cost_ticks(self, args: tuple[Any, ...]) -> float | None:
+        """Like :meth:`cost_ticks`, but ``None`` when the hint fails.
+
+        Dispatch heuristics (is this operator worth shipping to a worker
+        process?) probe costs on payloads the hint callable may not have
+        been written for; a broken hint must never abort the run.
+        """
+        try:
+            return self.cost_ticks(args)
+        except Exception:  # noqa: BLE001 - hints are advisory only
+            return None
 
 
 class OperatorRegistry:

@@ -1,0 +1,399 @@
+"""Worker-process infrastructure for :class:`ProcessExecutor`.
+
+The paper's runtime ran operator bodies on real Y-MP processors while the
+coordination semantics stayed centralized; this module is the Python
+analogue.  Three pieces:
+
+* **Payload transport** (:func:`encode_value` / :func:`decode_value`) —
+  pickle protocol 5 with out-of-band buffers: any contiguous NumPy buffer
+  at or above ``shm_threshold`` bytes is lifted out of the pickle stream
+  into one POSIX shared-memory segment (``multiprocessing.shared_memory``),
+  so convolution-sized blocks never cross the process pipe.  Everything
+  else — small arrays, scalars, application objects — rides the pickle
+  bytes unchanged.  The *consumer* of a segment copies it into private
+  memory and unlinks it, so a worker-side destructive write can never be
+  observed by the master (copy-on-write isolation holds across the
+  process boundary by construction, and the tests prove it).
+
+* **Registry rehydration** (:class:`RegistryRef`) — operator functions are
+  never pickled.  Under the default ``fork`` start method workers inherit
+  the master's registry (closures and all); on spawn-only platforms a
+  ``RegistryRef`` names an importable factory (``module:attr`` plus
+  arguments) that each worker calls once to rebuild its registry, exactly
+  as the original system re-linked the compiled C operators into every
+  process.
+
+* **The pool** (:class:`WorkerPool`) — persistent worker processes fed
+  *batches* of operator calls over one shared task queue (so a free
+  worker always grabs the next batch — automatic load balance) and one
+  shared result queue.  Batching amortizes the per-message IPC cost for
+  fine-grained operators; the executor decides batch boundaries.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pickle
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing import get_all_start_methods, get_context
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+from ..errors import RuntimeFailure
+from .operators import OperatorRegistry, default_registry
+
+#: NumPy buffers at or above this many bytes travel via shared memory.
+SHM_THRESHOLD_DEFAULT = 64 * 1024
+
+#: Shared-memory segment offsets are aligned to this many bytes.
+_ALIGN = 64
+
+#: Registry handed to forked workers (set by :class:`WorkerPool` around
+#: process start; children capture it in their copied address space).
+_FORK_REGISTRY: OperatorRegistry | None = None
+
+
+class RemoteOperatorFailure(RuntimeFailure):
+    """An operator raised in a worker and the exception did not pickle.
+
+    Carries the worker-side traceback text instead.
+    """
+
+
+def pick_context():
+    """The multiprocessing context: ``fork`` where available, else spawn.
+
+    Fork is strongly preferred — workers inherit the full operator
+    registry (including closure-captured configuration, as in the retina
+    case study) with no import-path ceremony.
+    """
+    method = "fork" if "fork" in get_all_start_methods() else "spawn"
+    return get_context(method)
+
+
+@dataclass(frozen=True)
+class RegistryRef:
+    """An importable recipe for rebuilding an operator registry.
+
+    ``module``/``attr`` name either an :class:`OperatorRegistry` instance
+    or a factory callable; ``args``/``kwargs`` (which must pickle) are
+    passed to the factory.  Example::
+
+        RegistryRef("repro.apps.retina", "make_registry", (config,))
+    """
+
+    module: str
+    attr: str
+    args: tuple[Any, ...] = ()
+    kwargs: tuple[tuple[str, Any], ...] = ()
+
+    def load(self) -> OperatorRegistry:
+        obj: Any = importlib.import_module(self.module)
+        for part in self.attr.split("."):
+            obj = getattr(obj, part)
+        if isinstance(obj, OperatorRegistry):
+            return obj
+        registry = obj(*self.args, **dict(self.kwargs))
+        if not isinstance(registry, OperatorRegistry):
+            raise RuntimeFailure(
+                f"registry ref {self.module}:{self.attr} produced "
+                f"{type(registry).__name__}, not an OperatorRegistry"
+            )
+        return registry
+
+
+# ---------------------------------------------------------------------------
+# Payload transport
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EncodedValue:
+    """One payload serialized for the process boundary.
+
+    ``data`` is the pickle stream; when ``shm_name`` is set, the large
+    buffers live in that shared-memory segment at ``segments`` (offset,
+    nbytes) positions, in pickle buffer order.  ``shm_nbytes`` is the
+    segment size (0 for pure-pickle payloads).
+    """
+
+    data: bytes
+    shm_name: str | None = None
+    segments: tuple[tuple[int, int], ...] = ()
+    shm_nbytes: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data) + self.shm_nbytes
+
+    @property
+    def via_shm(self) -> bool:
+        return self.shm_name is not None
+
+
+def encode_value(obj: Any, shm_threshold: int = SHM_THRESHOLD_DEFAULT) -> EncodedValue:
+    """Serialize ``obj`` for the other side of a process boundary.
+
+    Contiguous pickle-5 buffers (NumPy array data, wherever it sits in the
+    object graph — inside a dataclass, a list, a dict) of at least
+    ``shm_threshold`` bytes are placed in one fresh shared-memory segment;
+    the segment is closed (not unlinked) before returning, so it survives
+    until the consumer unlinks it in :func:`decode_value`.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+
+    def callback(pb: pickle.PickleBuffer) -> bool:
+        try:
+            raw = pb.raw()
+        except BufferError:  # non-contiguous; let pickle copy it in-band
+            return True
+        if raw.nbytes < shm_threshold:
+            return True
+        buffers.append(pb)
+        return False
+
+    data = pickle.dumps(obj, protocol=5, buffer_callback=callback)
+    if not buffers:
+        return EncodedValue(data)
+    segments: list[tuple[int, int]] = []
+    total = 0
+    for pb in buffers:
+        n = pb.raw().nbytes
+        segments.append((total, n))
+        total += -(-n // _ALIGN) * _ALIGN
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        for (offset, n), pb in zip(segments, buffers):
+            shm.buf[offset : offset + n] = pb.raw().cast("B")
+            pb.release()
+        return EncodedValue(data, shm.name, tuple(segments), total)
+    finally:
+        shm.close()
+        # Segment lifetime is managed explicitly: the consumer unlinks in
+        # decode_value (its attach/unlink pair self-balances in its own
+        # resource tracker).  Withdraw the creator-side registration so
+        # the tracker does not later "clean up" a segment the consumer
+        # already removed (Python < 3.13 has no track=False).
+        resource_tracker.unregister(shm._name, "shared_memory")
+
+
+def decode_value(enc: EncodedValue, unlink: bool = True) -> Any:
+    """Rebuild a payload from :func:`encode_value`'s wire form.
+
+    The shared-memory segment (if any) is copied into a **private**
+    writable buffer before unpickling, then closed and (by default)
+    unlinked — the consumer owns segment teardown.  Arrays in the result
+    are therefore writable and fully isolated from the producer: an
+    in-place write on this side is invisible on the other, which is what
+    lets the engine skip physical COW copies for remote operator calls.
+    """
+    if enc.shm_name is None:
+        return pickle.loads(enc.data)
+    shm = shared_memory.SharedMemory(name=enc.shm_name)
+    try:
+        private = bytearray(shm.buf)
+    finally:
+        shm.close()
+        if unlink:
+            shm.unlink()
+    view = memoryview(private)
+    buffers = [view[offset : offset + n] for offset, n in enc.segments]
+    return pickle.loads(enc.data, buffers=buffers)
+
+
+def discard_encoded(enc: EncodedValue) -> None:
+    """Free an encoded payload that will never be decoded (error paths)."""
+    if enc.shm_name is None:
+        return
+    try:
+        shm = shared_memory.SharedMemory(name=enc.shm_name)
+    except FileNotFoundError:  # consumer got there first
+        return
+    shm.close()
+    shm.unlink()
+
+
+# ---------------------------------------------------------------------------
+# The worker loop
+# ---------------------------------------------------------------------------
+
+
+def _encode_exception(exc: BaseException) -> tuple[str, Any, str]:
+    tb = traceback.format_exc()
+    try:
+        data = pickle.dumps(exc)
+        pickle.loads(data)
+        return ("pickle", data, tb)
+    except Exception:  # noqa: BLE001 - exotic exceptions fall back to text
+        return ("text", f"{type(exc).__name__}: {exc}", tb)
+
+
+def _decode_exception(enc: tuple[str, Any, str]) -> BaseException:
+    kind, payload, tb = enc
+    if kind == "pickle":
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001
+            pass
+    return RemoteOperatorFailure(f"{payload}\n--- worker traceback ---\n{tb}")
+
+
+def worker_main(
+    worker_id: int,
+    task_queue: Any,
+    result_queue: Any,
+    registry_ref: RegistryRef | None,
+    shm_threshold: int,
+) -> None:
+    """Body of one worker process: batches in, batches out, until None.
+
+    Each result is ``(call_id, ok, EncodedValue-or-error, t0, duration)``
+    with ``t0`` a raw ``time.perf_counter`` stamp (CLOCK_MONOTONIC is
+    process-shared, so the master can place worker spans on its own
+    timeline).
+    """
+    if registry_ref is not None:
+        registry = registry_ref.load()
+    elif _FORK_REGISTRY is not None:
+        registry = _FORK_REGISTRY
+    else:
+        registry = default_registry()
+    while True:
+        batch = task_queue.get()
+        if batch is None:
+            return
+        results = []
+        for call_id, op_name, enc_args in batch:
+            t0 = time.perf_counter()
+            try:
+                spec = registry.get(op_name)
+                args = tuple(decode_value(e) for e in enc_args)
+                raw = spec.fn(*args)
+                payload = encode_value(raw, shm_threshold)
+                ok = True
+            except BaseException as exc:  # noqa: BLE001 - shipped to master
+                payload = _encode_exception(exc)
+                ok = False
+            results.append(
+                (call_id, ok, payload, t0, time.perf_counter() - t0)
+            )
+        result_queue.put((worker_id, results))
+
+
+class WorkerPool:
+    """A persistent pool of operator-executing processes.
+
+    One shared task queue feeds all workers (a free worker takes the next
+    batch); one shared result queue carries completions back.  Use as a
+    context manager — exit sends one shutdown sentinel per worker and
+    joins them, escalating to ``terminate`` for stragglers.
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        registry: OperatorRegistry | None = None,
+        registry_ref: RegistryRef | None = None,
+        shm_threshold: int = SHM_THRESHOLD_DEFAULT,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.registry_ref = registry_ref
+        self.shm_threshold = shm_threshold
+        ctx = pick_context()
+        if (
+            ctx.get_start_method() != "fork"
+            and registry_ref is None
+            and registry is not None
+            and registry.names() - default_registry().names()
+        ):
+            raise RuntimeFailure(
+                "this platform cannot fork, so workers cannot inherit the "
+                "operator registry; pass ProcessExecutor(registry_ref="
+                "RegistryRef(module, attr, ...)) naming an importable "
+                "registry factory"
+            )
+        self._tasks = ctx.SimpleQueue()
+        self._results = ctx.SimpleQueue()
+        global _FORK_REGISTRY
+        _FORK_REGISTRY = registry
+        try:
+            self.processes = [
+                ctx.Process(
+                    target=worker_main,
+                    args=(
+                        i,
+                        self._tasks,
+                        self._results,
+                        registry_ref,
+                        shm_threshold,
+                    ),
+                    daemon=True,
+                    name=f"delirium-proc-{i}",
+                )
+                for i in range(n_workers)
+            ]
+            for p in self.processes:
+                p.start()
+        finally:
+            _FORK_REGISTRY = None
+
+    def submit(self, batch: list[tuple[int, str, list[EncodedValue]]]) -> None:
+        self._tasks.put(batch)
+
+    def recv(self) -> tuple[int, list[tuple]]:
+        """Block for the next ``(worker_id, results)`` message."""
+        return self._results.get()
+
+    def close(self) -> None:
+        for _ in self.processes:
+            self._tasks.put(None)
+        deadline = time.monotonic() + 5.0
+        for p in self.processes:
+            p.join(timeout=max(0.0, deadline - time.monotonic()))
+        for p in self.processes:
+            if p.is_alive():
+                p.terminate()
+                p.join(timeout=1.0)
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+@dataclass
+class DispatchPolicy:
+    """When does an operator body cross the process boundary?
+
+    An operator is dispatched when its cost hint (ticks) meets
+    ``cost_threshold``; operators without a usable hint fall back to a
+    payload-size test (``nbytes_threshold`` over the summed argument
+    sizes) — big data usually means big compute, and cheap glue on small
+    scalars must never pay IPC.  Set ``cost_threshold=0.0`` to dispatch
+    every operator (the determinism test harness does).
+    """
+
+    cost_threshold: float = 250_000.0
+    nbytes_threshold: int = SHM_THRESHOLD_DEFAULT
+    #: Operator names always kept in-process (glue the master can run
+    #: faster than it can serialize).
+    pinned_local: frozenset[str] = field(default_factory=frozenset)
+
+    def should_dispatch(self, spec: Any, payloads: tuple[Any, ...]) -> bool:
+        if spec.name in self.pinned_local:
+            return False
+        cost = spec.try_cost_ticks(payloads)
+        if cost is not None:
+            return cost >= self.cost_threshold
+        from .blocks import payload_nbytes
+
+        return (
+            sum(payload_nbytes(p) for p in payloads) >= self.nbytes_threshold
+        )

@@ -1,0 +1,94 @@
+"""Compile cache for the ``delirium`` CLI.
+
+Templates are static, so a compiled coordination graph is a pure function
+of (source text, preprocessor defines, optimization passes).  The CLI
+hashes that triple — plus the serialization format version, so stale
+artifacts from older builds can never be misread — and keeps the
+serialized graph JSON under the cache directory.  A later ``delirium
+run``/``compile`` of unchanged source skips the compiler entirely, the
+same shortcut the paper's environment got from shipping compiled
+frameworks to the runtime.
+
+The cache directory is ``$DELIRIUM_CACHE_DIR`` when set, otherwise
+``~/.cache/delirium``.  Entries are content-addressed, so no invalidation
+is ever needed: editing the source (or changing ``-D``/``--no-optimize``)
+simply computes a different key.  ``--no-cache`` bypasses both read and
+write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+
+from ..graph.ir import GraphProgram
+from ..graph.serialize import FORMAT_VERSION, dumps, loads
+
+
+def cache_dir() -> str:
+    """The cache directory (not created until a graph is stored)."""
+    override = os.environ.get("DELIRIUM_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "delirium")
+
+
+def cache_key(
+    source: str,
+    defines: dict[str, object] | None = None,
+    passes: tuple[str, ...] | None = None,
+) -> str:
+    """Content hash of everything that determines the compiled graph."""
+    payload = json.dumps(
+        {
+            "format": FORMAT_VERSION,
+            "source": source,
+            "defines": sorted(
+                (k, repr(v)) for k, v in (defines or {}).items()
+            ),
+            "passes": list(passes or ()),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _entry_path(key: str) -> str:
+    return os.path.join(cache_dir(), f"{key}.dlc")
+
+
+def load_cached(key: str) -> GraphProgram | None:
+    """The cached graph for ``key``, or None on miss or unreadable entry."""
+    path = _entry_path(key)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return loads(fh.read())
+    except Exception:  # noqa: BLE001
+        # A missing, corrupt, or foreign-format entry is equivalent to a
+        # miss; the store below rewrites it atomically.
+        return None
+
+
+def store_cached(key: str, program: GraphProgram) -> str:
+    """Serialize ``program`` under ``key``; returns the entry path.
+
+    The write is atomic (temp file + rename) so a concurrent reader never
+    sees a truncated entry.
+    """
+    directory = cache_dir()
+    os.makedirs(directory, exist_ok=True)
+    path = _entry_path(key)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(dumps(program))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path

@@ -37,7 +37,7 @@ from ..obs import (
     attach_metrics,
     observe_blocks,
 )
-from ..runtime import SequentialExecutor
+from ..runtime import ProcessExecutor, SequentialExecutor, ThreadedExecutor
 from .timeline import gantt
 from .timing_report import load_balance_summary, node_timing_report
 
@@ -65,6 +65,41 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the optimization passes",
     )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the compile cache (~/.cache/delirium or "
+        "$DELIRIUM_CACHE_DIR)",
+    )
+
+
+def _add_executor(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=("sequential", "threaded", "process"),
+        default="sequential",
+        help="how to execute: in-process sequentially (default), on OS "
+        "threads, or with operator bodies on worker processes",
+    )
+    parser.add_argument(
+        "--workers",
+        "-w",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker count for --executor threaded/process (default 4)",
+    )
+
+
+def _make_executor(
+    ns: argparse.Namespace, trace: bool = False, bus=None
+):
+    """Build the real (non-simulated) executor the flags ask for."""
+    if ns.executor == "threaded":
+        return ThreadedExecutor(ns.workers, trace=trace, bus=bus)
+    if ns.executor == "process":
+        return ProcessExecutor(ns.workers, trace=trace, bus=bus)
+    return SequentialExecutor(trace=trace, bus=bus)
 
 
 def _defines(pairs: list[str]) -> dict[str, object]:
@@ -80,10 +115,11 @@ def _defines(pairs: list[str]) -> dict[str, object]:
 class _LoadedGraph:
     """Adapter giving a loaded ``.dlc`` graph the CompiledProgram shape."""
 
-    def __init__(self, graph) -> None:
+    def __init__(self, graph, cached: bool = False) -> None:
         self.graph = graph
         self.registry = None  # builtins; supplied by the executor default
         self.pass_seconds: dict[str, float] = {}
+        self.cached = cached
 
 
 def _compile(args: argparse.Namespace):
@@ -92,9 +128,28 @@ def _compile(args: argparse.Namespace):
 
         return _LoadedGraph(load(args.file))
     passes = () if args.no_optimize else ("inline", "constprop", "cse", "dce")
-    return compile_file(
-        args.file, defines=_defines(args.define), optimize_passes=passes
+    defines = _defines(args.define)
+    key = None
+    if not args.no_cache:
+        from .cache import cache_key, load_cached
+
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            raise SystemExit(f"cannot read {args.file}: {exc}") from exc
+        key = cache_key(source, defines, passes)
+        graph = load_cached(key)
+        if graph is not None:
+            return _LoadedGraph(graph, cached=True)
+    compiled = compile_file(
+        args.file, defines=defines, optimize_passes=passes
     )
+    if key is not None:
+        from .cache import store_cached
+
+        store_cached(key, compiled.graph)
+    return compiled
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -120,6 +175,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_run = sub.add_parser("run", help="compile and execute")
     _add_common(p_run)
+    _add_executor(p_run)
     p_run.add_argument(
         "--arg", action="append", default=[], help="argument to main()"
     )
@@ -138,8 +194,13 @@ def main(argv: list[str] | None = None) -> int:
 
     p_profile = sub.add_parser("profile", help="node timings on a machine")
     _add_common(p_profile)
+    _add_executor(p_profile)
     p_profile.add_argument(
-        "--machine", choices=sorted(PRESETS), default="cray-2"
+        "--machine",
+        choices=sorted(PRESETS),
+        default=None,
+        help="profile on a simulated machine (default cray-2 unless "
+        "--executor is given)",
     )
     p_profile.add_argument("--processors", "-p", type=int, default=None)
     p_profile.add_argument(
@@ -157,6 +218,7 @@ def main(argv: list[str] | None = None) -> int:
         help="run with full observability; write a Perfetto/Chrome trace",
     )
     _add_common(p_trace)
+    _add_executor(p_trace)
     p_trace.add_argument(
         "--arg", action="append", default=[], help="argument to main()"
     )
@@ -196,6 +258,8 @@ def main(argv: list[str] | None = None) -> int:
             print()
         print(f"{report.templates_checked} template(s); "
               f"{compiled.graph.total_nodes()} node(s)")
+        if getattr(compiled, "cached", False):
+            print("  (compile cache hit; --no-cache to recompile)")
         for name, seconds in compiled.pass_seconds.items():
             print(f"  {name:<18} {seconds * 1000:8.2f} ms")
         if getattr(compiled, "optimization", None) is not None:
@@ -237,7 +301,7 @@ def main(argv: list[str] | None = None) -> int:
             print(result.value)
             print(f"# {result.describe()}", file=sys.stderr)
         else:
-            result = SequentialExecutor().run(
+            result = _make_executor(ns).run(
                 compiled.graph, args=run_args, registry=compiled.registry
             )
             print(result.value)
@@ -246,26 +310,36 @@ def main(argv: list[str] | None = None) -> int:
     if ns.command == "profile":
         import json as json_mod
 
-        machine = PRESETS[ns.machine]()
-        if ns.processors:
-            machine = machine.with_processors(ns.processors)
         bus = EventBus() if ns.json else None
         metrics = attach_metrics(bus) if bus is not None else None
-        executor = SimulatedExecutor(machine, trace=True, bus=bus)
+        simulated = ns.machine is not None or ns.executor == "sequential"
+        if simulated:
+            machine = PRESETS[ns.machine or "cray-2"]()
+            if ns.processors:
+                machine = machine.with_processors(ns.processors)
+            executor = SimulatedExecutor(machine, trace=True, bus=bus)
+            tracks = machine.processors
+            unit = "ticks"
+        else:
+            executor = _make_executor(ns, trace=True, bus=bus)
+            tracks = 0
+            unit = "seconds"
         result = executor.run(
             compiled.graph, args=run_args, registry=compiled.registry
         )
         if metrics is not None:
             print(json_mod.dumps(metrics.snapshot(), indent=2))
-            print(f"# {result.describe()}", file=sys.stderr)
+            if simulated:
+                print(f"# {result.describe()}", file=sys.stderr)
             return 0
         assert result.tracer is not None
-        print(node_timing_report(result.tracer))
+        print(node_timing_report(result.tracer, unit=unit))
         print()
         print(load_balance_summary(result.tracer).describe())
-        print()
-        print(gantt(result.tracer, machine.processors))
-        print(f"# {result.describe()}", file=sys.stderr)
+        if simulated:
+            print()
+            print(gantt(result.tracer, tracks))
+            print(f"# {result.describe()}", file=sys.stderr)
         return 0
 
     if ns.command == "trace":
@@ -275,9 +349,16 @@ def main(argv: list[str] | None = None) -> int:
         bus = EventBus()
         metrics = attach_metrics(bus)
         simulated = ns.machine is not None
+        track_names = None
+        if not simulated and ns.executor == "process":
+            track_names = {0: "master"}
+            track_names.update(
+                {i + 1: f"worker {i}" for i in range(ns.workers)}
+            )
         collector = ChromeTraceCollector(
             time_scale=TICK_SCALE if simulated else WALL_SCALE,
             process_name=f"delirium:{os.path.basename(ns.file)}",
+            track_names=track_names,
         )
         collector.attach(bus)
         if simulated:
@@ -286,7 +367,7 @@ def main(argv: list[str] | None = None) -> int:
                 machine = machine.with_processors(ns.processors)
             executor = SimulatedExecutor(machine, trace=True, bus=bus)
         else:
-            executor = SequentialExecutor(trace=True, bus=bus)
+            executor = _make_executor(ns, trace=True, bus=bus)
         with observe_blocks(bus):
             result = executor.run(
                 compiled.graph, args=run_args, registry=compiled.registry

@@ -8,7 +8,6 @@ from repro.machine import SimulatedExecutor, butterfly, uniform
 from repro.runtime import default_registry
 from repro.runtime.affinity import (
     AffinityPolicy,
-    DataAffinity,
     OperatorAffinity,
     make_policy,
 )

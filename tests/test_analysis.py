@@ -2,7 +2,7 @@
 
 from repro.compiler import analyze, analyze_program, free_variables, lower_program
 from repro.compiler.analysis import FreshNames, strongly_connected_components
-from repro.lang import ast, parse_expression, parse_program
+from repro.lang import parse_expression, parse_program
 
 
 def analysis_for(source: str, pure_ops: set[str] | None = None):

@@ -11,7 +11,7 @@ from repro.apps.raytracer import (
     render_rows,
     render_sequential,
 )
-from repro.machine import SimulatedExecutor, sequent, speedup_curve
+from repro.machine import sequent, speedup_curve
 from repro.runtime import SequentialExecutor, ThreadedExecutor
 
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro import compile_source
 from repro.errors import (
-    GraphError,
     OperatorError,
     RuntimeFailure,
     UnknownOperatorError,

@@ -9,10 +9,9 @@ reference-count hygiene after a run.
 import pytest
 
 from repro import compile_source
-from repro.errors import OperatorError, RuntimeFailure
+from repro.errors import OperatorError
 from repro.machine import SimulatedExecutor, uniform
 from repro.runtime import (
-    NULL,
     SequentialExecutor,
     ThreadedExecutor,
     default_registry,

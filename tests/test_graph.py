@@ -5,7 +5,7 @@ import pytest
 from repro import compile_source
 from repro.errors import GraphError
 from repro.graph.ir import GraphProgram, Node, NodeKind, Port, Template
-from repro.graph.validate import validate_program, validate_template
+from repro.graph.validate import validate_program
 from repro.graph.viz import ascii_framework, template_layers, to_dot, to_networkx
 
 from tests.conftest import FORK_JOIN_SRC, fork_join_registry

@@ -1,7 +1,5 @@
 """Graph generation: template structure for known programs."""
 
-import pytest
-
 from repro import compile_source
 from repro.graph.ir import NodeKind
 
@@ -184,7 +182,6 @@ class TestPruning:
     def test_prune_counts(self):
         from repro.compiler import analyze, analyze_program, generate_graphs, lower_program
         from repro.lang import parse_program
-        from repro.runtime import default_registry
 
         program = lower_program(
             parse_program("main() 1\nunused_a(x) x\nunused_b(x) x")

@@ -11,7 +11,7 @@ from repro import (
     validate_program,
 )
 from repro.machine import SimulatedExecutor, butterfly, cray_ymp, sequent
-from repro.runtime import SequentialExecutor, ThreadedExecutor, default_registry
+from repro.runtime import SequentialExecutor, ThreadedExecutor
 
 
 class TestRunSource:
@@ -119,14 +119,19 @@ class TestCLI:
             fh.write(source)
             path = fh.name
         try:
-            proc = subprocess.run(
-                [sys.executable, "-m", "repro.tools.cli", *[
-                    a.replace("FILE", path) for a in args
-                ]],
-                capture_output=True,
-                text=True,
-                timeout=120,
-            )
+            # Hermetic compile cache: the same tiny source recurs across
+            # tests, and a hit from a previous process would change output
+            # (no per-pass times on cached compiles).
+            with tempfile.TemporaryDirectory() as cache_dir:
+                proc = subprocess.run(
+                    [sys.executable, "-m", "repro.tools.cli", *[
+                        a.replace("FILE", path) for a in args
+                    ]],
+                    capture_output=True,
+                    text=True,
+                    timeout=120,
+                    env={**os.environ, "DELIRIUM_CACHE_DIR": cache_dir},
+                )
             return proc
         finally:
             os.unlink(path)

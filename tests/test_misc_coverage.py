@@ -56,8 +56,6 @@ class TestTruthiness:
         compiled = compile_source(
             "main() if arr() then 1 else 2", registry=reg
         )
-        from repro.errors import DeliriumError
-
         with pytest.raises(Exception):
             SequentialExecutor().run(compiled.graph, registry=reg)
 

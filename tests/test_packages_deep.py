@@ -4,8 +4,8 @@ import pytest
 
 from repro import compile_source
 from repro.errors import ParseError
-from repro.lang import parse_expression, parse_program
-from repro.runtime import SequentialExecutor, default_registry
+from repro.lang import parse_expression
+from repro.runtime import default_registry
 
 
 class TestNestedPackages:

@@ -17,14 +17,13 @@ destructively modify them) and check:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro import compile_source
-from repro.lang import ast
 from repro.lang.ast import unparse
 from repro.machine import SimulatedExecutor, butterfly, uniform
 from repro.runtime import (
+    ProcessExecutor,
     SequentialExecutor,
     ThreadedExecutor,
     default_registry,
@@ -169,6 +168,35 @@ class TestDeterminismProperty:
             compiled.graph, args=(n,), registry=REGISTRY
         ).value
         assert threaded == reference
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        _programs(),
+        st.integers(-5, 5),
+        st.integers(1, 3),
+        st.integers(1, 4),
+        st.integers(0, 100),
+    )
+    def test_process_executor_independence(
+        self, source, n, workers, batch, seed
+    ):
+        # The strongest form of the section-8 guarantee: operator bodies
+        # run in other *processes* (every op force-dispatched, payloads
+        # through shared memory when big enough), under any worker count,
+        # batch size, and scheduling seed — still bit-identical.  The
+        # module-level REGISTRY travels to workers by fork inheritance.
+        compiled = compile_source(source, registry=REGISTRY)
+        reference = SequentialExecutor().run(
+            compiled.graph, args=(n,), registry=REGISTRY
+        ).value
+        remote = ProcessExecutor(
+            workers,
+            batch_size=batch,
+            cost_threshold=0.0,
+            shm_threshold=256,
+            seed=seed,
+        ).run(compiled.graph, args=(n,), registry=REGISTRY).value
+        assert remote == reference
 
     @settings(max_examples=15, deadline=None)
     @given(

@@ -13,7 +13,7 @@ from repro.graph.serialize import (
     program_to_dict,
     save,
 )
-from repro.runtime import SequentialExecutor, default_registry
+from repro.runtime import SequentialExecutor
 
 from tests.conftest import FACTORIAL_SRC, FIB_SRC, FORK_JOIN_SRC, fork_join_registry
 

@@ -1,10 +1,7 @@
 """Stress shapes: deep recursion, wide fan-outs, long loops, big graphs."""
 
-import pytest
-
 from repro import compile_source, default_registry
 from repro.machine import SimulatedExecutor, uniform
-from repro.runtime import SequentialExecutor
 
 
 class TestDepth:

@@ -1,7 +1,7 @@
 """The Gantt timeline tool and copy attribution."""
 
 from repro.apps.retina import RetinaConfig, compile_retina
-from repro.machine import SimulatedExecutor, cray_2, uniform
+from repro.machine import SimulatedExecutor, cray_2
 from repro.runtime.tracing import Tracer
 from repro.tools import gantt, utilization_per_processor
 
