@@ -53,7 +53,9 @@ CONFIGS = {
     "cse only": ("cse",),
     "dce only": ("dce",),
     "inline only": ("inline",),
+    "fuse only": ("fuse",),
     "all four": ("inline", "constprop", "cse", "dce"),
+    "all four + fuse": ("inline", "constprop", "cse", "dce", "fuse"),
 }
 
 
@@ -106,6 +108,12 @@ def test_optimizer_ablation(benchmark, results, report):
     assert full["nodes"] < 0.8 * base["nodes"]
     assert full["ops"] < base["ops"]
     assert full["ticks"] < 0.75 * base["ticks"]
+    # Fusion stacks on the scalar passes: fewer graph nodes and fewer
+    # operator firings than "all four" alone, same result.
+    fused = results["all four + fuse"]
+    assert fused["nodes"] < full["nodes"]
+    assert fused["ops"] < full["ops"]
+    assert results["fuse only"]["nodes"] < base["nodes"]
 
 
 def test_each_single_pass_preserves_semantics(results):

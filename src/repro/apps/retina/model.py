@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy.ndimage import convolve1d
 from scipy.signal import convolve2d
 
 
@@ -126,8 +127,58 @@ def _gaussian(size: int, sigma: float) -> np.ndarray:
     return k / k.sum()
 
 
-def slab_kernels(config: RetinaConfig) -> list[np.ndarray]:
-    """One convolution kernel per slab.
+def _gaussian1d(size: int, sigma: float) -> np.ndarray:
+    ax = np.arange(size) - size // 2
+    g = np.exp(-(ax**2) / (2 * sigma**2))
+    return g / g.sum()
+
+
+@dataclass(frozen=True)
+class SeparableKernel:
+    """A 2-D stencil expressed as a sum of rank-1 (column ⊗ row) terms.
+
+    Every retina slab kernel has rank at most two: Gaussians are
+    ``g ⊗ g``, the motion detectors are ``g ⊗ g'`` / ``g' ⊗ g``, and the
+    difference-of-Gaussians is the two-term sum.  Applying the factors as
+    1-D passes costs ``2k`` multiply-adds per pixel per term instead of
+    ``k²`` — the dominant win in the retina's sequential wall clock.
+    """
+
+    terms: tuple[tuple[np.ndarray, np.ndarray], ...]
+
+    def dense(self) -> np.ndarray:
+        """The equivalent dense 2-D kernel (tests, cost accounting)."""
+        out = np.outer(self.terms[0][0], self.terms[0][1])
+        for col, row in self.terms[1:]:
+            out = out + np.outer(col, row)
+        return out
+
+
+def convolve_frame(
+    x: np.ndarray, kernel: "SeparableKernel | np.ndarray"
+) -> np.ndarray:
+    """Zero-padded same-size convolution of ``x`` with ``kernel``.
+
+    Separable kernels run as row-then-column 1-D convolutions per term
+    (``scipy.ndimage.convolve1d`` with constant-zero boundary, which
+    matches ``convolve2d(..., boundary="fill")``); dense ndarrays take the
+    direct 2-D path.  The row pass is per-row and the column pass sees
+    identical haloed inputs, so band decomposition stays *bit-identical*
+    to this full-frame form — the same argument as for the dense stencil.
+    """
+    if isinstance(kernel, np.ndarray):
+        return convolve2d(x, kernel, mode="same", boundary="fill")
+    out: np.ndarray | None = None
+    for col, row in kernel.terms:
+        t = convolve1d(x, row, axis=1, mode="constant")
+        t = convolve1d(t, col, axis=0, mode="constant")
+        out = t if out is None else out + t
+    assert out is not None
+    return out
+
+
+def slab_kernels(config: RetinaConfig) -> list[SeparableKernel]:
+    """One convolution kernel per slab, in separable form.
 
     Slab 0: center-surround receptor (difference of Gaussians);
     slab 1: horizontal motion detector (antisymmetric in x);
@@ -135,10 +186,15 @@ def slab_kernels(config: RetinaConfig) -> list[np.ndarray]:
     Patterns repeat if final_slab exceeds four.
     """
     size = config.kernel_size
-    dog = _gaussian(size, 0.8) - 0.9 * _gaussian(size, 2.0)
-    gx = np.gradient(_gaussian(size, 1.2), axis=1)
-    gy = np.gradient(_gaussian(size, 1.2), axis=0)
-    smooth = _gaussian(size, 1.0)
+    g08 = _gaussian1d(size, 0.8)
+    g20 = _gaussian1d(size, 2.0)
+    g12 = _gaussian1d(size, 1.2)
+    d12 = np.gradient(g12)
+    g10 = _gaussian1d(size, 1.0)
+    dog = SeparableKernel(((g08, g08), (-0.9 * g20, g20)))
+    gx = SeparableKernel(((g12, d12),))
+    gy = SeparableKernel(((d12, g12),))
+    smooth = SeparableKernel(((g10, g10),))
     base = [dog, gx, gy, smooth]
     n = max(config.final_slab - config.start_slab, 1)
     return [base[i % 4] for i in range(n + config.start_slab)]
@@ -256,15 +312,17 @@ def split_bands(state: RetinaState, config: RetinaConfig) -> list[Band]:
     return bands
 
 
-def convolve_band(band: Band, kernel: np.ndarray) -> Band:
+def convolve_band(band: Band, kernel: "SeparableKernel | np.ndarray") -> Band:
     """``convol_bite``'s body: stencil one band; exact thanks to halos.
 
-    A zero-padded ('fill') convolution of the haloed rows, trimmed back to
-    the real rows, equals the corresponding rows of a full-frame
-    convolution: interior band edges see true neighbor data from the halo,
-    and frame edges see the same zero padding either way.
+    A zero-padded convolution of the haloed rows, trimmed back to the real
+    rows, equals the corresponding rows of a full-frame convolution:
+    interior band edges see true neighbor data from the halo, and frame
+    edges see the same zero padding either way.  The argument holds for
+    the separable passes too — the row pass never crosses rows, and the
+    column pass sees the same haloed inputs band-wise as frame-wise.
     """
-    out = convolve2d(band.rows, kernel, mode="same", boundary="fill")
+    out = convolve_frame(band.rows, kernel)
     real = out[band.top_halo : band.top_halo + (band.r1 - band.r0)]
     band.rows = real
     band.top_halo = 0
@@ -279,7 +337,7 @@ def assemble_frame(bands: list[Band], config: RetinaConfig) -> np.ndarray:
     return frame
 
 
-_DIFFUSE = _gaussian(5, 1.3)
+_DIFFUSE = SeparableKernel(((_gaussian1d(5, 1.3), _gaussian1d(5, 1.3)),))
 
 
 def band_energy_and_diffuse(
@@ -291,7 +349,7 @@ def band_energy_and_diffuse(
     returns (band's energy contribution, updated real rows).
     """
     energy = float(np.sum(rows * rows))
-    diffused = convolve2d(haloed, _DIFFUSE, mode="same", boundary="fill")
+    diffused = convolve_frame(haloed, _DIFFUSE)
     real = diffused[top_halo : top_halo + n_real]
     return energy, real
 

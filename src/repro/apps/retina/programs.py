@@ -10,6 +10,7 @@ preprocessor exactly as in the paper.
 from __future__ import annotations
 
 from ...compiler import CompiledProgram, compile_source
+from ...compiler.passes.pipeline import PASS_ORDER
 from .model import RetinaConfig
 from .operators import make_registry
 
@@ -89,15 +90,24 @@ do_convol(c1,c2,c3,c4)
 
 
 def compile_retina(
-    version: int = 2, config: RetinaConfig | None = None, **kwargs
+    version: int = 2,
+    config: RetinaConfig | None = None,
+    fuse: bool = False,
+    **kwargs,
 ) -> CompiledProgram:
     """Compile retina v1 or v2 against its operator registry.
 
     The preprocessor receives ``NUM_ITER``/``START_SLAB``/``FINAL_SLAB``
-    from the config, exactly as the paper's symbolic constants.
+    from the config, exactly as the paper's symbolic constants.  With
+    ``fuse=True`` the graph-level fusion pass collapses cheap
+    single-consumer chains (and the split→untuple pairs) into super-nodes;
+    the default keeps the paper-shaped graphs that the figure and dump
+    tests pin.
     """
     cfg = config or RetinaConfig()
     source = {1: RETINA_V1, 2: RETINA_V2}[version]
+    if fuse and "optimize_passes" not in kwargs:
+        kwargs["optimize_passes"] = PASS_ORDER + ("fuse",)
     return compile_source(
         source,
         registry=make_registry(cfg),

@@ -31,7 +31,13 @@ from ..runtime.operators import OperatorRegistry, default_registry
 from .analysis import analyze_program
 from .graphgen import generate_graphs
 from .lowering import lower_program
-from .passes.pipeline import PASS_ORDER, OptimizationReport, optimize
+from .passes import fuse as fuse_pass
+from .passes.pipeline import (
+    PASS_ORDER,
+    OptimizationReport,
+    optimize,
+    split_passes,
+)
 from .symtab import analyze
 
 #: Table 1 pass names, in the paper's order.
@@ -91,6 +97,10 @@ def compile_source(
     optimize_passes:
         Which optimizations to run (``None`` or ``()`` disables all —
         useful for ablations and for differential testing of the passes).
+        ``"fuse"`` enables the graph-level operator-fusion pass, which
+        runs after template generation; it is *not* in the default set so
+        default compilations keep their historical graph shapes (the CLI
+        enables it by default via ``--fuse``).
     strict:
         Enforce unbound-name errors during environment analysis.
     entry:
@@ -129,10 +139,13 @@ def compile_source(
     analyze(program, known_operators=registry.names(), strict=strict)
     seconds["Env Analysis"] = time.perf_counter() - t0
 
+    ast_passes, graph_passes = split_passes(
+        tuple(optimize_passes) if optimize_passes else ()
+    )
     t0 = time.perf_counter()
     report: OptimizationReport | None = None
-    if optimize_passes:
-        report = optimize(program, registry, enabled=tuple(optimize_passes))
+    if ast_passes:
+        report = optimize(program, registry, enabled=ast_passes)
     seconds["Optimization"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
@@ -142,6 +155,14 @@ def compile_source(
     graph.entry = entry
     graph.entry_template()  # fail fast if the entry is missing
     graph.prune_unreachable()
+    if "fuse" in graph_passes:
+        fuse_stats = fuse_pass.run(graph, registry)
+        if report is None:
+            report = OptimizationReport(enabled=graph_passes)
+        else:
+            report.enabled = report.enabled + ("fuse",)
+        for key, count in fuse_stats.items():
+            report.stats[key] = report.stats.get(key, 0) + count
     seconds["Graph Conversion"] = time.perf_counter() - t0 + lowering_seconds
 
     return CompiledProgram(

@@ -1,0 +1,262 @@
+"""Operator fusion: collapse cheap linear chains into one super-node.
+
+Per-fire overhead — ready-queue traffic, activation bookkeeping, and (on
+the process executor) a master↔worker round-trip — is charged per *node*,
+so a pipeline of tiny scalar operators pays the coordination tax once per
+member.  The paper's advice is structural ("unnecessary nodes in the graph
+translate into extra overhead", section 6); this pass automates it at the
+graph level, after template generation:
+
+* a **linear chain** of single-consumer ``OP`` nodes whose operators are
+  cheap (numeric cost hint at most :data:`FUSE_COST_THRESHOLD` ticks) and
+  declare no ``modifies`` is rewritten into one fused ``OP`` node whose
+  :attr:`~repro.graph.ir.Node.fused` recipe replays the members in order
+  inside a single Python frame;
+* a trailing ``UNTUPLE`` whose package comes from a single-consumer ``OP``
+  is absorbed into that node **regardless of the producer's cost**: the
+  fused node grows one output port per package element and the engine
+  delivers the final step's tuple element-by-element.  This is the common
+  ``split -> untuple`` shape every scatter in the retina model has, and it
+  halves those nodes' fire count even though the split itself is costly.
+
+Fusion never crosses template boundaries, never touches expanding nodes
+(``CALL``/``IF``/``CLOSURE``), and never fuses an operator with a
+``modifies`` declaration — copy-on-write decisions are per-node and must
+stay observable.  Results are bit-identical by construction: the composed
+callable applies exactly the member functions to exactly the values the
+dataflow edges would have carried (intermediate values simply never pass
+through the block layer).
+
+The pass mutates templates in place and re-finalizes them; run it after
+``prune_unreachable`` so dead templates are not wasted effort.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import UnknownOperatorError
+from ...graph.ir import GraphProgram, Node, NodeKind, Port, Template
+from ...runtime.operators import OperatorRegistry, OperatorSpec
+
+#: Operators whose numeric cost hint is at or below this many simulated
+#: ticks count as "cheap" for OP->OP fusion.  Chosen well above the
+#: builtin scalar helpers (cost 1-2) and well below any kernel a Delirium
+#: program would want dispatched on its own.
+FUSE_COST_THRESHOLD = 100.0
+
+
+def _spec_of(registry: OperatorRegistry, node: Node) -> OperatorSpec | None:
+    try:
+        return registry.get(node.name)
+    except UnknownOperatorError:
+        return None
+
+
+def _cheap(spec: OperatorSpec, threshold: float) -> bool:
+    """Cheap enough to fuse through: no hint (machine default, tiny) or a
+    numeric hint under the threshold.  Callable hints are conservatively
+    expensive — their value is unknown until run time."""
+    if spec.cost is None:
+        return True
+    if callable(spec.cost):
+        return False
+    return float(spec.cost) <= threshold
+
+
+@dataclass
+class _Chain:
+    """One maximal fusible path: OP members plus an optional untuple tail."""
+
+    members: list[int]
+    untuple: int | None
+
+
+def _single_consumer(template: Template, node_id: int) -> tuple[int, int] | None:
+    """The sole consumer of ``node_id``'s only output, or ``None``.
+
+    ``None`` when the node has multiple outputs, multiple consumers, or
+    its output is the template result (the engine delivers results from
+    live ports; a fused interior has no live port)."""
+    node = template.nodes[node_id]
+    if node.n_outputs != 1:
+        return None
+    consumers = template.consumers[node_id][0]
+    if len(consumers) != 1:
+        return None
+    if template.result_node == node_id and template.result_out == 0:
+        return None
+    return consumers[0]
+
+
+def _find_chains(
+    template: Template, registry: OperatorRegistry, threshold: float
+) -> list[_Chain]:
+    nodes = template.nodes
+    eligible: list[OperatorSpec | None] = []
+    for node in nodes:
+        spec = _spec_of(registry, node) if node.kind is NodeKind.OP else None
+        if spec is not None and spec.modifies:
+            spec = None
+        eligible.append(spec)
+
+    # prev[c] = the producer fused into c's chain; at most one per consumer
+    # (lowest producer id claims), at most one successor per producer (the
+    # single-consumer condition), so the links form disjoint linear paths.
+    prev: dict[int, int] = {}
+    has_next: set[int] = set()
+    for p in range(len(nodes)):
+        spec_p = eligible[p]
+        if spec_p is None:
+            continue
+        consumer = _single_consumer(template, p)
+        if consumer is None:
+            continue
+        c, _ = consumer
+        if c in prev:
+            continue
+        dest = nodes[c]
+        if dest.kind is NodeKind.UNTUPLE:
+            # Absorb the untuple no matter how costly the producer is:
+            # the pair always collapses to one fire.
+            prev[c] = p
+            has_next.add(p)
+        elif dest.kind is NodeKind.OP:
+            spec_c = eligible[c]
+            if spec_c is None:
+                continue
+            if not (_cheap(spec_p, threshold) and _cheap(spec_c, threshold)):
+                continue
+            prev[c] = p
+            has_next.add(p)
+
+    chains: list[_Chain] = []
+    for tail in prev:
+        if tail in has_next:
+            continue  # not the end of its path
+        path = [tail]
+        while path[-1] in prev:
+            path.append(prev[path[-1]])
+        path.reverse()
+        if nodes[tail].kind is NodeKind.UNTUPLE:
+            members, untuple = path[:-1], tail
+        else:
+            members, untuple = path, None
+        if len(members) + (1 if untuple is not None else 0) >= 2:
+            chains.append(_Chain(members, untuple))
+    return chains
+
+
+def _fuse_chain(template: Template, chain: _Chain) -> None:
+    """Rewrite the chain's last node in place as the fused super-node.
+
+    Rewriting the *last* node (the untuple, when absorbed) keeps every
+    downstream port reference valid — consumers already point at its
+    outputs.  Interior members are deleted afterwards in one renumbering
+    sweep per template."""
+    nodes = template.nodes
+    member_set = set(chain.members)
+    step_index = {m: j for j, m in enumerate(chain.members)}
+
+    ext_slots: dict[Port, int] = {}
+    ext_ports: list[Port] = []
+    steps = []
+    for m in chain.members:
+        refs = []
+        for port in nodes[m].inputs:
+            if port.node in member_set:
+                refs.append(("t", step_index[port.node]))
+            else:
+                slot = ext_slots.get(port)
+                if slot is None:
+                    slot = ext_slots[port] = len(ext_ports)
+                    ext_ports.append(port)
+                refs.append(("i", slot))
+        steps.append((nodes[m].name, tuple(refs)))
+
+    if chain.untuple is not None:
+        target = chain.untuple
+        untuple_n = nodes[target].n_outputs
+    else:
+        target = chain.members[-1]
+        untuple_n = 0
+
+    parts = [
+        f"{name}({','.join(kind + str(k) for kind, k in refs)})"
+        for name, refs in steps
+    ]
+    if untuple_n:
+        parts.append(f"untuple{untuple_n}")
+    fused_name = "fused:" + ";".join(parts)
+    label = "+".join(name for name, _ in steps) + (
+        "+untuple" if untuple_n else ""
+    )
+
+    nodes[target] = Node(
+        kind=NodeKind.OP,
+        inputs=list(ext_ports),
+        n_outputs=untuple_n if untuple_n else 1,
+        name=fused_name,
+        fused=(tuple(steps), untuple_n),
+        label=label,
+    )
+
+
+def _remove_nodes(template: Template, removed: set[int]) -> None:
+    old_nodes = template.nodes
+    old2new: dict[int, int] = {}
+    kept: list[Node] = []
+    for old_id, node in enumerate(old_nodes):
+        if old_id in removed:
+            continue
+        old2new[old_id] = len(kept)
+        kept.append(node)
+    for node in kept:
+        node.inputs = [Port(old2new[p.node], p.out) for p in node.inputs]
+    assert template.result is not None
+    template.result = Port(old2new[template.result.node], template.result.out)
+    template.nodes = kept
+    template.finalize()
+
+
+def run(
+    graph: GraphProgram,
+    registry: OperatorRegistry,
+    cost_threshold: float = FUSE_COST_THRESHOLD,
+) -> dict[str, int]:
+    """Fuse every template in ``graph`` in place; return pass statistics.
+
+    Statistics use the pipeline's ``pass.stat`` key convention so they
+    merge into an :class:`~repro.compiler.passes.pipeline.
+    OptimizationReport` unchanged: ``fuse.chains_fused``,
+    ``fuse.ops_fused``, ``fuse.untuples_absorbed``, ``fuse.nodes_removed``.
+    """
+    chains_fused = 0
+    ops_fused = 0
+    untuples = 0
+    nodes_removed = 0
+    for template in graph.templates.values():
+        chains = _find_chains(template, registry, cost_threshold)
+        if not chains:
+            continue
+        removed: set[int] = set()
+        for chain in chains:
+            _fuse_chain(template, chain)
+            tail = chain.untuple if chain.untuple is not None else chain.members[-1]
+            for m in chain.members:
+                if m != tail:
+                    removed.add(m)
+            chains_fused += 1
+            ops_fused += len(chain.members)
+            if chain.untuple is not None:
+                untuples += 1
+        _remove_nodes(template, removed)
+        nodes_removed += len(removed)
+    if not chains_fused:
+        return {}
+    return {
+        "fuse.chains_fused": chains_fused,
+        "fuse.ops_fused": ops_fused,
+        "fuse.untuples_absorbed": untuples,
+        "fuse.nodes_removed": nodes_removed,
+    }

@@ -51,8 +51,25 @@ class OptimizationReport:
         )
 
 
-#: Canonical pass order.
+#: Canonical pass order (the AST-level fixpoint passes).
 PASS_ORDER = ("inline", "constprop", "cse", "dce")
+
+#: Graph-level passes, run by the driver *after* template generation (they
+#: rewrite coordination graphs, not ASTs, so they live outside the fixpoint
+#: loop).  Names share the same flat namespace as :data:`PASS_ORDER`.
+GRAPH_PASS_ORDER = ("fuse",)
+
+#: Every pass name a caller may request, in execution order.
+FULL_PASS_ORDER = PASS_ORDER + GRAPH_PASS_ORDER
+
+
+def split_passes(
+    enabled: tuple[str, ...],
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Partition requested pass names into (AST passes, graph passes)."""
+    ast_passes = tuple(p for p in enabled if p not in GRAPH_PASS_ORDER)
+    graph_passes = tuple(p for p in enabled if p in GRAPH_PASS_ORDER)
+    return ast_passes, graph_passes
 
 _RUNNERS = {
     "inline": inline.run,

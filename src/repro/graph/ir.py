@@ -52,6 +52,15 @@ class NodeKind(enum.Enum):
 EXPANDING_KINDS = frozenset({NodeKind.CALL, NodeKind.IF})
 
 
+#: Ready-queue priority classes (section 7's three levels).  Defined here —
+#: not in the scheduler — so :meth:`Template.finalize` can precompute each
+#: node's priority once per template instead of per firing; the scheduler
+#: re-exports them under the same names.
+PRIORITY_NORMAL = 0
+PRIORITY_CALL = 1
+PRIORITY_RECURSIVE_CALL = 2
+
+
 @dataclass(frozen=True, slots=True)
 class Port:
     """A reference to output ``out`` of node ``node`` within a template."""
@@ -90,6 +99,14 @@ class Node:
     recursive:
         For ``CALL``: the compiler proved the call is part of a recursive
         cycle; the scheduler gives such expansions the lowest priority.
+    fused:
+        For ``OP`` nodes produced by the fusion pass: the recipe
+        ``(steps, untuple_n)`` where ``steps`` is a tuple of
+        ``(op_name, arg_refs)`` entries executed in order and each arg ref
+        is ``("i", k)`` (the fused node's k-th input) or ``("t", j)`` (the
+        j-th step's result).  ``untuple_n > 0`` means the final step's
+        package is decomposed in place: the fused node has ``untuple_n``
+        outputs instead of one.  ``None`` for ordinary nodes.
     tail:
         The node's output *is* the template result; expansions inherit the
         parent continuation (constant-space loops).
@@ -107,6 +124,7 @@ class Node:
     else_template: str = ""
     n_then_captures: int = 0
     recursive: bool = False
+    fused: tuple | None = None
     tail: bool = False
     label: str = ""
 
@@ -140,6 +158,11 @@ class Template:
     initial_ready:
         Derived: nodes with zero inputs that are not placeholders — these
         are ready the moment an activation is created.
+    in_counts / priorities / result_node / result_out:
+        Derived engine fast-path arrays: per-node input counts (activation
+        ``missing`` seeds), per-node ready-queue priority class, and the
+        result port as two plain ints — precomputed once here so the hot
+        firing loops index arrays instead of re-deriving them per task.
     source_function:
         The unqualified Delirium function this template came from (arm and
         loop templates point at their host function).
@@ -152,6 +175,10 @@ class Template:
     result: Port | None = None
     consumers: list[list[list[tuple[int, int]]]] = field(default_factory=list)
     initial_ready: list[int] = field(default_factory=list)
+    in_counts: list[int] = field(default_factory=list)
+    priorities: list[int] = field(default_factory=list)
+    result_node: int = -1
+    result_out: int = -1
     source_function: str = ""
 
     # ------------------------------------------------------------------
@@ -197,6 +224,19 @@ class Template:
             if not node.inputs
             and node.kind not in (NodeKind.PARAM, NodeKind.CAPTURE)
         ]
+        self.in_counts = [len(node.inputs) for node in self.nodes]
+        self.priorities = [
+            (
+                (PRIORITY_RECURSIVE_CALL if node.recursive else PRIORITY_CALL)
+                if node.kind is NodeKind.CALL
+                else PRIORITY_CALL
+                if node.kind is NodeKind.IF
+                else PRIORITY_NORMAL
+            )
+            for node in self.nodes
+        ]
+        self.result_node = self.result.node
+        self.result_out = self.result.out
         return self
 
     # ------------------------------------------------------------------
@@ -220,6 +260,12 @@ class Template:
             extra = ""
             if node.kind is NodeKind.CONST:
                 extra = f" value={node.value!r}"
+            elif node.kind is NodeKind.OP and node.fused is not None:
+                steps, untuple_n = node.fused
+                chain = ">".join(step_name for step_name, _ in steps)
+                if untuple_n:
+                    chain += f">untuple{untuple_n}"
+                extra = f" fused=[{chain}]"
             elif node.kind in (NodeKind.OP, NodeKind.OPREF):
                 extra = f" op={node.name}"
             elif node.kind is NodeKind.CLOSURE:

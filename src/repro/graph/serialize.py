@@ -72,6 +72,15 @@ def _encode_node(node: Node) -> dict:
         out["n_then_captures"] = node.n_then_captures
     if node.recursive:
         out["recursive"] = True
+    if node.fused is not None:
+        steps, untuple_n = node.fused
+        out["fused"] = {
+            "steps": [
+                [op_name, [[kind, k] for kind, k in refs]]
+                for op_name, refs in steps
+            ],
+            "untuple": untuple_n,
+        }
     if node.tail:
         out["tail"] = True
     if node.label:
@@ -95,6 +104,15 @@ def _decode_node(data: dict) -> Node:
     )
     if node.kind is NodeKind.CONST:
         node.value = _decode_value(data.get("value"))
+    fused = data.get("fused")
+    if fused is not None:
+        node.fused = (
+            tuple(
+                (op_name, tuple((kind, int(k)) for kind, k in refs))
+                for op_name, refs in fused["steps"]
+            ),
+            int(fused.get("untuple", 0)),
+        )
     return node
 
 

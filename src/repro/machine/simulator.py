@@ -31,7 +31,7 @@ from ..runtime.affinity import AffinityPolicy, make_policy
 from ..runtime.blocks import DataBlock
 from ..runtime.engine import EngineStats, ExecutionState
 from ..runtime.executors import resolve_bus
-from ..runtime.operators import OperatorRegistry, default_registry
+from ..runtime.operators import OperatorRegistry, default_registry, node_spec
 from ..runtime.scheduler import ReadyQueue, Task
 from ..runtime.tracing import Tracer
 from ..runtime.values import Closure, MultiValue, OperatorValue
@@ -129,6 +129,7 @@ class SimulatedExecutor:
         self.check_purity = check_purity
         self.trace = trace
         self.bus = bus
+        self._fused_specs: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     def _op_cost(self, name: str, spec: Any, args: tuple[Any, ...]) -> float:
@@ -159,7 +160,7 @@ class SimulatedExecutor:
         machine = self.machine
         fetch_bytes = 0.0
         if node.kind is NodeKind.OP:
-            spec = registry.get(node.name)
+            spec = node_spec(registry, node, self._fused_specs)
             args = self._payloads(task.activation.slots[task.node_id])
             return self._op_cost(node.name, spec, args), 0.0
         if node.kind is NodeKind.CALL:
@@ -221,6 +222,8 @@ class SimulatedExecutor:
         registry: OperatorRegistry | None = None,
     ) -> SimResult:
         registry = registry if registry is not None else default_registry()
+        # Per-run cache of composed fused-node specs (cost resolution).
+        self._fused_specs = {}
         machine = self.machine
         bus, tracer = resolve_bus(self.bus, self.trace)
         if bus is not None:

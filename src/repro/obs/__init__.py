@@ -45,6 +45,7 @@ from .events import (
     Expansion,
     OpFinished,
     OpStarted,
+    OperatorsFused,
     QueueDepthSample,
     ResultReceived,
     ShmBlockCreated,
@@ -83,6 +84,7 @@ __all__ = [
     "MetricsRegistry",
     "OpFinished",
     "OpStarted",
+    "OperatorsFused",
     "QueueDepthSample",
     "ResultReceived",
     "Series",

@@ -79,9 +79,15 @@ class TaskFired(Event):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
 class OpStarted(Event):
-    """The engine is about to invoke an operator function."""
+    """The engine is about to invoke an operator function.
+
+    ``fused_ops`` is how many source-graph operators this invocation
+    represents: 1 for an ordinary operator, the chain length (absorbed
+    ``untuple`` included) for a fused super-node.
+    """
 
     name: str
+    fused_ops: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -206,6 +212,22 @@ class ShmBlockCreated(Event):
 
 
 # ----------------------------------------------------------------------
+# Compiler fusion (emitted once per run, at start)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class OperatorsFused(Event):
+    """The program being executed contains fused super-nodes.
+
+    ``fused_nodes`` is how many fused nodes exist across the program's
+    templates; ``ops_absorbed`` is how many source-graph nodes (member
+    operators plus absorbed untuples) those fused nodes replace.
+    """
+
+    fused_nodes: int
+    ops_absorbed: int
+
+
+# ----------------------------------------------------------------------
 # Scheduler
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
@@ -235,6 +257,7 @@ ALL_EVENTS: tuple[type, ...] = (
     TaskDispatched,
     ResultReceived,
     ShmBlockCreated,
+    OperatorsFused,
     QueueDepthSample,
 )
 

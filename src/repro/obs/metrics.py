@@ -34,6 +34,7 @@ from .events import (
     Event,
     EventBus,
     Expansion,
+    OperatorsFused,
     OpStarted,
     QueueDepthSample,
     ResultReceived,
@@ -272,6 +273,8 @@ def attach_metrics(
     result_nbytes = reg.counter("result_nbytes")
     shm_blocks = reg.counter("shm_blocks_created")
     shm_nbytes = reg.counter("shm_nbytes")
+    fused_fires = reg.counter("fused_fires")
+    fused_ops_saved = reg.counter("fused_ops_saved")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -283,6 +286,9 @@ def attach_metrics(
             tasks_enqueued.inc()
         elif isinstance(e, OpStarted):
             ops_executed.inc(label=e.name)
+            if e.fused_ops > 1:
+                fused_fires.inc()
+                fused_ops_saved.inc(e.fused_ops - 1)
         elif isinstance(e, QueueDepthSample):
             for level, depth in enumerate(e.depths):
                 reg.gauge(f"queue_depth/p{level}").set(depth)
@@ -315,6 +321,9 @@ def attach_metrics(
         elif isinstance(e, ShmBlockCreated):
             shm_blocks.inc()
             shm_nbytes.inc(e.nbytes)
+        elif isinstance(e, OperatorsFused):
+            reg.gauge("fused_nodes").set(e.fused_nodes)
+            reg.gauge("fused_ops_absorbed").set(e.ops_absorbed)
 
     bus.subscribe(on_event)
     return reg

@@ -61,9 +61,9 @@ class Activation:
     def __init__(self, template: Template, aid: int) -> None:
         self.template = template
         self.slots: list[list[Any]] = [
-            [_EMPTY] * len(node.inputs) for node in template.nodes
+            [_EMPTY] * n for n in template.in_counts
         ]
-        self.missing: list[int] = [len(node.inputs) for node in template.nodes]
+        self.missing: list[int] = list(template.in_counts)
         self.continuation: tuple["Activation", int] | None = None
         self.fired = 0
         self.result_done = False
@@ -72,11 +72,10 @@ class Activation:
     # ------------------------------------------------------------------
     def reset(self, aid: int) -> None:
         """Recycle this activation for a fresh evaluation of its template."""
-        for node, slot_row in zip(self.template.nodes, self.slots):
-            for i in range(len(node.inputs)):
+        for slot_row in self.slots:
+            for i in range(len(slot_row)):
                 slot_row[i] = _EMPTY
-        for node_id, node in enumerate(self.template.nodes):
-            self.missing[node_id] = len(node.inputs)
+        self.missing[:] = self.template.in_counts
         self.continuation = None
         self.fired = 0
         self.result_done = False

@@ -39,6 +39,7 @@ from ..obs.events import (
     CowCopy,
     EventBus,
     Expansion,
+    OperatorsFused,
     OpFinished,
     OpStarted,
     TailExpansion,
@@ -46,13 +47,8 @@ from ..obs.events import (
 )
 from .activation import Activation, ActivationPool
 from .blocks import DataBlock, release, retain, unwrap, wrap_payload
-from .operators import OperatorRegistry, OperatorSpec
-from .scheduler import (
-    PRIORITY_CALL,
-    PRIORITY_NORMAL,
-    PRIORITY_RECURSIVE_CALL,
-    Task,
-)
+from .operators import OperatorRegistry, OperatorSpec, node_spec
+from .scheduler import Task
 from .values import Closure, MultiValue, OperatorValue, is_truthy
 
 _NO_RESULT = object()
@@ -126,6 +122,10 @@ class EngineStats:
 
     tasks_fired: int = 0
     ops_executed: int = 0
+    #: Firings of fused super-nodes, and how many source-graph firings
+    #: those saved (chain length minus one, absorbed untuples included).
+    fused_fires: int = 0
+    fused_ops_saved: int = 0
     cow_copies: int = 0
     in_place_writes: int = 0
     expansions: int = 0
@@ -202,6 +202,10 @@ class ExecutionState:
         #: operator must never be recycled, even when all its nodes have
         #: "fired" and its result has been delegated to a tail call.
         self._pending_ops: dict[int, int] = {}
+        #: Composed specs for fused super-nodes, by fused node name (the
+        #: name encodes the full recipe, so one entry serves every
+        #: structurally identical fused node across templates).
+        self._fused_specs: dict[str, OperatorSpec] = {}
 
     # ------------------------------------------------------------------
     # Public interface
@@ -219,6 +223,18 @@ class ExecutionState:
                 f"entry {template.name!r} takes {len(template.params)} "
                 f"argument(s), got {len(args)}"
             )
+        bus = self.bus
+        if bus is not None:
+            fused_nodes = 0
+            ops_absorbed = 0
+            for tpl in self.program.templates.values():
+                for n in tpl.nodes:
+                    if n.fused is not None:
+                        steps, untuple_n = n.fused
+                        fused_nodes += 1
+                        ops_absorbed += len(steps) + (1 if untuple_n else 0)
+            if fused_nodes:
+                bus.emit(OperatorsFused(bus.now(), fused_nodes, ops_absorbed))
         root = self.pool.acquire(template)
         root.continuation = None
         newly: list[Task] = [
@@ -310,7 +326,7 @@ class ExecutionState:
             self._deliver_output(act, node_id, 0, closure, 0, newly)
         elif kind is NodeKind.OP:
             inputs = act.take_inputs(node_id)
-            spec = self.registry.get(node.name)
+            spec = node_spec(self.registry, node, self._fused_specs)
             pending = self._begin_operator(
                 act, node_id, spec, list(inputs), list(inputs), home, classify
             )
@@ -351,9 +367,35 @@ class ExecutionState:
                         f"operator {spec.name!r} modified argument {i} "
                         "without declaring it in modifies=(...)"
                     )
-        result = self._wrap_result(raw_result, pending.arg_blocks, pending.home)
         newly: list[Task] = []
-        self._deliver_output(act, pending.node_id, 0, result, 0, newly)
+        node = act.template.nodes[pending.node_id]
+        fused = node.fused
+        if fused is not None and fused[1]:
+            # Fused chain ending in an absorbed untuple: the final step's
+            # raw tuple is delivered element-by-element to this node's
+            # output ports, exactly as the standalone UNTUPLE would have
+            # delivered the elements of the MultiValue it unpacked.
+            untuple_n = fused[1]
+            if not isinstance(raw_result, tuple):
+                raise RuntimeFailure(
+                    f"cannot decompose non-package value {raw_result!r} "
+                    f"(fused node {node.label!r} in {act.template.name!r})"
+                )
+            if len(raw_result) != untuple_n:
+                raise RuntimeFailure(
+                    f"package of {len(raw_result)} value(s) decomposed into "
+                    f"{untuple_n} name(s) in {act.template.name!r}"
+                )
+            for i, element in enumerate(raw_result):
+                value = self._wrap_result(
+                    element, pending.arg_blocks, pending.home
+                )
+                self._deliver_output(act, pending.node_id, i, value, 0, newly)
+        else:
+            result = self._wrap_result(
+                raw_result, pending.arg_blocks, pending.home
+            )
+            self._deliver_output(act, pending.node_id, 0, result, 0, newly)
         for v in pending.all_inputs:
             release(v, 1)
         count = self._pending_ops.get(act.aid, 0) - 1
@@ -416,16 +458,14 @@ class ExecutionState:
     # Node semantics
     # ------------------------------------------------------------------
     def _task(self, act: Activation, node_id: int) -> Task:
-        node = act.template.nodes[node_id]
-        if node.kind is NodeKind.CALL:
-            priority = PRIORITY_RECURSIVE_CALL if node.recursive else PRIORITY_CALL
-        elif node.kind is NodeKind.IF:
-            priority = PRIORITY_CALL
-        else:
-            priority = PRIORITY_NORMAL
+        template = act.template
+        # Priorities are precomputed per node at template finalize time;
+        # the hot path never touches the Node object.
+        priority = template.priorities[node_id]
         self._task_seq += 1
         bus = self.bus
         if bus is not None:
+            node = template.nodes[node_id]
             bus.emit(
                 TaskEnqueued(
                     bus.now(),
@@ -451,8 +491,7 @@ class ExecutionState:
     ) -> None:
         template = act.template
         consumers = template.consumers[node_id][out]
-        assert template.result is not None
-        is_result = template.result.node == node_id and template.result.out == out
+        is_result = template.result_node == node_id and template.result_out == out
         retain(value, len(consumers) + (1 if is_result else 0))
         if carried_share:
             release(value, carried_share)
@@ -561,12 +600,19 @@ class ExecutionState:
                 arg_blocks.append(None)
 
         self.stats.ops_executed += 1
+        fused = act.template.nodes[node_id].fused
+        if fused is not None:
+            n_source_ops = len(fused[0]) + (1 if fused[1] else 0)
+            self.stats.fused_fires += 1
+            self.stats.fused_ops_saved += n_source_ops - 1
+        else:
+            n_source_ops = 1
         self._pending_ops[act.aid] = self._pending_ops.get(act.aid, 0) + 1
         op_began: float | None = None
         bus = self.bus
         if bus is not None:
             op_began = bus.now()
-            bus.emit(OpStarted(op_began, spec.name))
+            bus.emit(OpStarted(op_began, spec.name, n_source_ops))
         return PendingOp(
             activation=act,
             node_id=node_id,

@@ -36,7 +36,7 @@ from ..obs.events import (
     TaskFired,
 )
 from .engine import EngineStats, ExecutionState, PendingOp
-from .operators import OperatorRegistry, default_registry
+from .operators import OperatorRegistry, collect_fused_chains, default_registry
 from .scheduler import ReadyQueue
 from .tracing import Tracer
 from .workers import (
@@ -393,6 +393,7 @@ class ProcessExecutor:
             registry=registry,
             registry_ref=self.registry_ref,
             shm_threshold=self.shm_threshold,
+            fused_chains=collect_fused_chains(program),
         ) as pool:
 
             def flush() -> None:

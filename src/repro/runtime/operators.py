@@ -286,6 +286,140 @@ def default_registry() -> OperatorRegistry:
     return OperatorRegistry().merged_with(builtin_registry())
 
 
+# ---------------------------------------------------------------------------
+# Fused operators (compiler fusion pass support)
+# ---------------------------------------------------------------------------
+
+#: ``Node.fused`` recipe type: ``(steps, untuple_n)`` where each step is
+#: ``(op_name, arg_refs)`` and each arg ref is ``("i", k)`` — the fused
+#: node's k-th input — or ``("t", j)`` — the j-th step's result.
+FusedChain = tuple[tuple[tuple[str, tuple[tuple[str, int], ...]], ...], int]
+
+
+def compose_fused(
+    name: str,
+    steps: tuple[tuple[str, tuple[tuple[str, int], ...]], ...],
+    untuple_n: int,
+    registry: OperatorRegistry,
+) -> OperatorSpec:
+    """Build the composed :class:`OperatorSpec` for one fused chain.
+
+    The callable runs every member operator in chain order inside one
+    Python frame — one fire, one dispatch, one set of queue/activation
+    bookkeeping for the whole chain.  Composition happens at run time
+    against whatever registry is present (the master's or a worker's), so
+    fused graphs serialize like any other: the recipe is metadata, never
+    pickled code.
+
+    Cost model: a single-step chain (a split whose ``untuple`` was
+    absorbed) passes the member's cost hint through unchanged — the
+    arguments are identical.  Multi-step chains sum the members' numeric
+    hints; if any member's hint is a callable (its arguments would no
+    longer line up) the fused spec carries no hint and dispatch falls back
+    to the payload-size test.
+    """
+    plan: list[tuple[Callable[..., Any], tuple[tuple[str, int], ...]]] = []
+    pure = True
+    costs: list[float | Callable[..., float] | None] = []
+    n_inputs = 0
+    for op_name, arg_refs in steps:
+        spec = registry.get(op_name)
+        if spec.modifies:
+            raise DeliriumError(
+                f"cannot fuse operator {op_name!r}: it declares modifies="
+                f"{sorted(spec.modifies)}"
+            )
+        plan.append((spec.fn, tuple(arg_refs)))
+        pure = pure and spec.pure
+        costs.append(spec.cost)
+        for kind, k in arg_refs:
+            if kind == "i":
+                n_inputs = max(n_inputs, k + 1)
+
+    cost: float | Callable[..., float] | None
+    if len(costs) == 1:
+        cost = costs[0]
+    else:
+        total = 0.0
+        cost = 0.0
+        for c in costs:
+            if isinstance(c, (int, float)):
+                total += float(c)
+            else:
+                cost = None
+                break
+        if cost is not None:
+            cost = total
+
+    if len(plan) == 1:
+        # Single-step chain (split + absorbed untuple): call the member
+        # directly — no per-step indirection at all.
+        fused_fn = plan[0][0]
+    else:
+        run_plan = tuple(plan)
+
+        def fused_fn(*args: Any) -> Any:
+            tmps: list[Any] = []
+            append = tmps.append
+            for fn, refs in run_plan:
+                append(
+                    fn(*[args[k] if kind == "i" else tmps[k] for kind, k in refs])
+                )
+            return tmps[-1]
+
+    doc_chain = ">".join(op_name for op_name, _ in steps)
+    if untuple_n:
+        doc_chain += f">untuple{untuple_n}"
+    return OperatorSpec(
+        name=name,
+        fn=fused_fn,
+        modifies=frozenset(),
+        pure=pure,
+        foldable=False,
+        cost=cost,
+        arity=n_inputs,
+        doc=f"fused chain: {doc_chain}",
+    )
+
+
+def node_spec(
+    registry: OperatorRegistry,
+    node: Any,
+    cache: dict[str, OperatorSpec] | None = None,
+) -> OperatorSpec:
+    """Resolve the spec for an ``OP`` node, composing fused bodies.
+
+    ``cache`` (name -> spec) amortizes composition; fused names encode
+    their full recipe, so a name is a safe cache key.
+    """
+    fused = node.fused
+    if fused is None:
+        return registry.get(node.name)
+    if cache is not None:
+        spec = cache.get(node.name)
+        if spec is not None:
+            return spec
+    spec = compose_fused(node.name, fused[0], fused[1], registry)
+    if cache is not None:
+        cache[node.name] = spec
+    return spec
+
+
+def collect_fused_chains(program: Any) -> dict[str, FusedChain]:
+    """Every fused recipe in a compiled program, keyed by fused node name.
+
+    The table is plain picklable data; :class:`~repro.runtime.workers.
+    WorkerPool` ships it to worker processes so they can compose the same
+    callables against their own registries (fork- and spawn-safe).
+    """
+    chains: dict[str, FusedChain] = {}
+    for template in program.templates.values():
+        for node in template.nodes:
+            if node.fused is not None:
+                chains[node.name] = node.fused
+    return chains
+
+
 def unwrap_multivalue(value: Any) -> Any:
     """Convert a MultiValue to a tuple for operator consumption."""
     if isinstance(value, MultiValue):

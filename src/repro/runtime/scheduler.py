@@ -26,12 +26,12 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any
 
+from ..graph.ir import (  # noqa: F401 - canonical home; re-exported here
+    PRIORITY_CALL,
+    PRIORITY_NORMAL,
+    PRIORITY_RECURSIVE_CALL,
+)
 from ..obs.events import EventBus, QueueDepthSample
-
-#: Priority classes.
-PRIORITY_NORMAL = 0
-PRIORITY_CALL = 1
-PRIORITY_RECURSIVE_CALL = 2
 
 
 @dataclass(frozen=True, slots=True)
@@ -73,9 +73,16 @@ class ReadyQueue:
     ) -> None:
         self.use_priorities = use_priorities
         self._rng = random.Random(seed) if seed is not None else None
-        self._queues: list[deque[Task]] = [deque(), deque(), deque()]
+        # Three named, preallocated deques; ``_queues`` aliases them for
+        # the sampling and seeded-pop paths.  The common production case
+        # (no rng, no bus) pops through the named references directly.
+        self._q0: deque[Task] = deque()
+        self._q1: deque[Task] = deque()
+        self._q2: deque[Task] = deque()
+        self._queues: list[deque[Task]] = [self._q0, self._q1, self._q2]
         self._size = 0
         self._bus = bus if (bus is not None and bus.active) else None
+        self._fast = self._rng is None and self._bus is None
 
     def _sample_depth(self) -> None:
         bus = self._bus
@@ -90,12 +97,27 @@ class ReadyQueue:
             self._sample_depth()
 
     def push_all(self, tasks: list[Task]) -> None:
+        if self._fast and self.use_priorities:
+            q = self._queues
+            for t in tasks:
+                q[t.priority].append(t)
+            self._size += len(tasks)
+            return
         for t in tasks:
             self.push(t)
 
     def pop(self) -> Task:
         if self._size == 0:
             raise IndexError("pop from empty ready queue")
+        if self._fast:
+            self._size -= 1
+            q0 = self._q0
+            if q0:
+                return q0.popleft()
+            q1 = self._q1
+            if q1:
+                return q1.popleft()
+            return self._q2.popleft()
         for q in self._queues:
             if q:
                 self._size -= 1

@@ -42,7 +42,12 @@ from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
 from ..errors import RuntimeFailure
-from .operators import OperatorRegistry, default_registry
+from .operators import (
+    FusedChain,
+    OperatorRegistry,
+    compose_fused,
+    default_registry,
+)
 
 #: NumPy buffers at or above this many bytes travel via shared memory.
 SHM_THRESHOLD_DEFAULT = 64 * 1024
@@ -246,6 +251,7 @@ def worker_main(
     result_queue: Any,
     registry_ref: RegistryRef | None,
     shm_threshold: int,
+    fused_chains: dict[str, FusedChain] | None = None,
 ) -> None:
     """Body of one worker process: batches in, batches out, until None.
 
@@ -253,6 +259,11 @@ def worker_main(
     with ``t0`` a raw ``time.perf_counter`` stamp (CLOCK_MONOTONIC is
     process-shared, so the master can place worker spans on its own
     timeline).
+
+    ``fused_chains`` maps fused super-node names to their recipes (plain
+    picklable data); the worker composes each chain against its own
+    registry on first use, so a dispatched fused body runs exactly like a
+    registered operator.
     """
     if registry_ref is not None:
         registry = registry_ref.load()
@@ -260,6 +271,8 @@ def worker_main(
         registry = _FORK_REGISTRY
     else:
         registry = default_registry()
+    fused_chains = fused_chains or {}
+    fused_specs: dict[str, Any] = {}
     while True:
         batch = task_queue.get()
         if batch is None:
@@ -268,7 +281,16 @@ def worker_main(
         for call_id, op_name, enc_args in batch:
             t0 = time.perf_counter()
             try:
-                spec = registry.get(op_name)
+                spec = fused_specs.get(op_name)
+                if spec is None:
+                    chain = fused_chains.get(op_name)
+                    if chain is not None:
+                        spec = compose_fused(
+                            op_name, chain[0], chain[1], registry
+                        )
+                        fused_specs[op_name] = spec
+                    else:
+                        spec = registry.get(op_name)
                 args = tuple(decode_value(e) for e in enc_args)
                 raw = spec.fn(*args)
                 payload = encode_value(raw, shm_threshold)
@@ -297,6 +319,7 @@ class WorkerPool:
         registry: OperatorRegistry | None = None,
         registry_ref: RegistryRef | None = None,
         shm_threshold: int = SHM_THRESHOLD_DEFAULT,
+        fused_chains: dict[str, FusedChain] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -330,6 +353,7 @@ class WorkerPool:
                         self._results,
                         registry_ref,
                         shm_threshold,
+                        fused_chains,
                     ),
                     daemon=True,
                     name=f"delirium-proc-{i}",

@@ -14,6 +14,11 @@ The cache directory is ``$DELIRIUM_CACHE_DIR`` when set, otherwise
 is ever needed: editing the source (or changing ``-D``/``--no-optimize``)
 simply computes a different key.  ``--no-cache`` bypasses both read and
 write.
+
+The active pass set is part of the key, and the CLI encodes ``--fuse`` as
+the extra pass name ``"fuse"`` in that tuple — so fused and unfused
+compilations of identical source occupy *different* cache entries and can
+never be served to each other (``tests/test_fuse.py`` pins this).
 """
 
 from __future__ import annotations

@@ -66,6 +66,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="disable the optimization passes",
     )
     parser.add_argument(
+        "--fuse",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="fuse cheap single-consumer operator chains into super-nodes "
+        "(--no-fuse reproduces the unfused graphs bit-for-bit)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the compile cache (~/.cache/delirium or "
@@ -128,6 +135,11 @@ def _compile(args: argparse.Namespace):
 
         return _LoadedGraph(load(args.file))
     passes = () if args.no_optimize else ("inline", "constprop", "cse", "dce")
+    if args.fuse:
+        # The fusion flag is part of the pass tuple, so the compile cache
+        # key (which hashes the pass set) can never serve a --fuse graph
+        # to a --no-fuse invocation or vice versa.
+        passes = passes + ("fuse",)
     defines = _defines(args.define)
     key = None
     if not args.no_cache:

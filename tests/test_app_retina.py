@@ -37,14 +37,24 @@ class TestModel:
             model.advance_targets(c, SMALL)
         state = model.combine_chunks(chunks, SMALL)
         kernel = model.slab_kernels(SMALL)[0]
-        from scipy.signal import convolve2d
-
-        full = convolve2d(state.frame, kernel, mode="same", boundary="fill")
+        full = model.convolve_frame(state.frame, kernel)
         bands = model.split_bands(state, SMALL)
         for band in bands:
             model.convolve_band(band, kernel)
         assembled = model.assemble_frame(bands, SMALL)
         assert np.array_equal(assembled, full)
+
+    def test_separable_kernels_match_dense(self):
+        from scipy.signal import convolve2d
+
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal((32, 32))
+        for kernel in model.slab_kernels(SMALL)[:4]:
+            dense = convolve2d(
+                x, kernel.dense(), mode="same", boundary="fill"
+            )
+            sep = model.convolve_frame(x, kernel)
+            assert np.allclose(sep, dense, atol=1e-12)
 
     def test_targets_stay_in_bounds(self):
         state = model.initial_state(SMALL)

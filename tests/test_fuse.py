@@ -1,0 +1,354 @@
+"""The operator-fusion pass (ISSUE 3): eligibility, rewrite, round-trip.
+
+Fusion collapses linear chains of cheap single-consumer ``OP`` nodes —
+plus a trailing ``untuple`` of a single-consumer producer — into one
+super-node carrying the full recipe, so the engine pays one dispatch
+where the source graph paid several.  These tests pin the eligibility
+rules, the in-place rewrite, serialization, cache keying, observability,
+and bit-identical execution across every executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_source
+from repro.compiler.passes.pipeline import (
+    FULL_PASS_ORDER,
+    GRAPH_PASS_ORDER,
+    PASS_ORDER,
+    split_passes,
+)
+from repro.graph.ir import NodeKind
+from repro.graph.serialize import dumps, loads
+from repro.machine import SimulatedExecutor, uniform
+from repro.obs import EventBus, EventLog, OperatorsFused, OpStarted, attach_metrics
+from repro.runtime import (
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadedExecutor,
+    default_registry,
+)
+
+FUSED_PASSES = PASS_ORDER + ("fuse",)
+
+#: Chain incr -> decr (decr's output is consumed twice by mul, so the
+#: chain stops there); mul is the template result.
+CHAIN_SOURCE = """
+main(x)
+  let a = incr(x)
+      b = decr(a)
+  in mul(b, b)
+"""
+
+
+def _registry():
+    reg = default_registry()
+
+    @reg.register(name="expensive", cost=1e6)
+    def expensive(x):
+        return x * 10
+
+    @reg.register(name="poke", modifies=(0,), cost=1.0)
+    def poke(lst):
+        lst[0] += 1
+        return lst
+
+    @reg.register(name="mklist", cost=1.0)
+    def mklist(x):
+        return [x, x]
+
+    @reg.register(name="split2", cost=1.0)
+    def split2(x):
+        return (x + 1, x - 1)
+
+    return reg
+
+
+REGISTRY = _registry()
+
+
+def _fused_nodes(graph):
+    return [
+        (name, node_id, node)
+        for name, t in graph.templates.items()
+        for node_id, node in enumerate(t.nodes)
+        if node.fused is not None
+    ]
+
+
+def _compile(source, passes=FUSED_PASSES):
+    return compile_source(source, registry=REGISTRY, optimize_passes=passes)
+
+
+class TestEligibility:
+    def test_linear_chain_fused(self):
+        fused = _compile(CHAIN_SOURCE)
+        nodes = _fused_nodes(fused.graph)
+        assert len(nodes) == 1
+        steps, untuple_n = nodes[0][2].fused
+        assert [s[0] for s in steps] == ["incr", "decr"]
+        assert untuple_n == 0
+        assert fused.optimization.stats["fuse.chains_fused"] == 1
+
+    def test_three_node_chain_single_super_node(self):
+        src = "main(x)\n  let a = incr(x)\n      b = decr(a)\n  in incr(b)"
+        fused = _compile(src)
+        nodes = _fused_nodes(fused.graph)
+        assert len(nodes) == 1
+        steps, _ = nodes[0][2].fused
+        assert [s[0] for s in steps] == ["incr", "decr", "incr"]
+
+    def test_expensive_operator_breaks_chain(self):
+        src = (
+            "main(x)\n  let a = incr(x)\n      b = expensive(a)\n"
+            "  in incr(b)"
+        )
+        fused = _compile(src)
+        assert _fused_nodes(fused.graph) == []
+
+    def test_modifying_operator_breaks_chain(self):
+        src = (
+            "main(x)\n  let a = mklist(x)\n      b = poke(a)\n"
+            "  in sum_list(b)"
+        )
+        reg = _registry()
+
+        @reg.register(name="sum_list", cost=1.0)
+        def sum_list(lst):
+            return sum(lst)
+
+        fused = compile_source(src, registry=reg, optimize_passes=FUSED_PASSES)
+        for _, _, node in _fused_nodes(fused.graph):
+            assert all(s[0] != "poke" for s in node.fused[0])
+
+    def test_fan_out_breaks_chain(self):
+        # a feeds two distinct consumers (decr and incr), and b/c each
+        # feed mul twice — none of those links may fuse.  (mul -> add is
+        # still a legal chain elsewhere in the graph.)
+        src = (
+            "main(x)\n  let a = incr(x)\n      b = decr(a)\n"
+            "      c = incr(a)\n  in add(mul(b, b), mul(c, c))"
+        )
+        fused = _compile(src)
+        for _, _, node in _fused_nodes(fused.graph):
+            step_names = [s[0] for s in node.fused[0]]
+            assert "incr" not in step_names
+            assert "decr" not in step_names
+
+    def test_untuple_of_op_absorbed(self):
+        src = "main(x)\n  let <a, b> = split2(x)\n  in add(a, b)"
+        fused = _compile(src)
+        nodes = _fused_nodes(fused.graph)
+        assert len(nodes) == 1
+        steps, untuple_n = nodes[0][2].fused
+        assert [s[0] for s in steps] == ["split2"]
+        assert untuple_n == 2
+        assert nodes[0][2].n_outputs == 2
+        assert fused.optimization.stats["fuse.untuples_absorbed"] == 1
+
+    def test_chain_into_result_node_fused(self):
+        # The chain tail is the template result; the rewrite is in place,
+        # so the result port stays valid.
+        src = "main(x) incr(decr(x))"
+        fused = _compile(src)
+        nodes = _fused_nodes(fused.graph)
+        assert len(nodes) == 1
+        value = SequentialExecutor().run(
+            fused.graph, args=(5,), registry=REGISTRY
+        ).value
+        assert value == 5  # incr(decr(5))
+
+
+class TestPipelineOrdering:
+    def test_fuse_is_graph_level(self):
+        assert GRAPH_PASS_ORDER == ("fuse",)
+        assert "fuse" not in PASS_ORDER
+        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse",)
+
+    def test_split_passes_partitions(self):
+        ast_passes, graph_passes = split_passes(
+            ("inline", "fuse", "constprop")
+        )
+        assert ast_passes == ("inline", "constprop")
+        assert graph_passes == ("fuse",)
+        assert split_passes(()) == ((), ())
+        assert split_passes(("fuse",)) == ((), ("fuse",))
+
+    def test_report_records_fuse(self):
+        fused = _compile(CHAIN_SOURCE)
+        assert "fuse" in fused.optimization.enabled
+        assert fused.optimization.stats["fuse.ops_fused"] == 2
+
+    def test_default_compile_does_not_fuse(self):
+        plain = compile_source(CHAIN_SOURCE, registry=REGISTRY)
+        assert _fused_nodes(plain.graph) == []
+
+
+class TestSerialization:
+    def test_fused_graph_round_trips(self):
+        fused = _compile(CHAIN_SOURCE)
+        text = dumps(fused.graph)
+        restored = loads(text)
+        assert dumps(restored) == text
+        nodes = _fused_nodes(restored)
+        assert len(nodes) == 1
+        assert nodes[0][2].fused == _fused_nodes(fused.graph)[0][2].fused
+
+    def test_untuple_fusion_round_trips(self):
+        src = "main(x)\n  let <a, b> = split2(x)\n  in add(a, b)"
+        fused = _compile(src)
+        restored = loads(dumps(fused.graph))
+        assert _fused_nodes(restored)[0][2].fused[1] == 2
+
+    def test_unfused_dump_is_bit_identical_to_pre_fusion_format(self):
+        # --no-fuse must reproduce today's graphs bit-for-bit: an unfused
+        # compile emits no "fused" keys and survives a round trip exactly.
+        plain = compile_source(CHAIN_SOURCE, registry=REGISTRY)
+        text = dumps(plain.graph)
+        assert '"fused"' not in text
+        assert dumps(loads(text)) == text
+
+
+class TestCacheKeys:
+    def test_fused_and_unfused_keys_differ(self):
+        from repro.tools.cache import cache_key
+
+        plain = cache_key(CHAIN_SOURCE, passes=PASS_ORDER)
+        fused = cache_key(CHAIN_SOURCE, passes=FUSED_PASSES)
+        assert plain != fused
+
+
+class TestDescribe:
+    def test_describe_shows_recipe(self):
+        fused = _compile(CHAIN_SOURCE)
+        text = fused.graph.templates["main"].describe()
+        assert "fused=[incr>decr]" in text
+
+    def test_describe_shows_untuple(self):
+        src = "main(x)\n  let <a, b> = split2(x)\n  in add(a, b)"
+        fused = _compile(src)
+        text = fused.graph.templates["main"].describe()
+        assert "fused=[split2>untuple2]" in text
+
+
+class TestExecution:
+    SRC = (
+        "main(x)\n"
+        "  let a = incr(x)\n"
+        "      b = decr(a)\n"
+        "      <p, q> = split2(b)\n"
+        "      c = mul(p, q)\n"
+        "  in add(c, b)"
+    )
+
+    def _both(self):
+        plain = compile_source(self.SRC, registry=REGISTRY)
+        fused = _compile(self.SRC)
+        assert _fused_nodes(fused.graph)
+        return plain, fused
+
+    def test_sequential_matches(self):
+        plain, fused = self._both()
+        for n in (-3, 0, 7):
+            ref = SequentialExecutor().run(
+                plain.graph, args=(n,), registry=REGISTRY
+            )
+            got = SequentialExecutor().run(
+                fused.graph, args=(n,), registry=REGISTRY
+            )
+            assert got.value == ref.value
+            assert got.stats.tasks_fired < ref.stats.tasks_fired
+            assert got.stats.fused_fires > 0
+            assert got.stats.fused_ops_saved > 0
+
+    def test_threaded_matches(self):
+        plain, fused = self._both()
+        ref = SequentialExecutor().run(
+            plain.graph, args=(4,), registry=REGISTRY
+        ).value
+        for workers in (1, 2, 4):
+            got = ThreadedExecutor(workers).run(
+                fused.graph, args=(4,), registry=REGISTRY
+            ).value
+            assert got == ref
+
+    def test_process_matches_with_forced_dispatch(self):
+        # cost_threshold=0 ships every fire — including fused super-nodes,
+        # whose recipes workers recompose from the program's fused chains.
+        plain, fused = self._both()
+        ref = SequentialExecutor().run(
+            plain.graph, args=(4,), registry=REGISTRY
+        ).value
+        got = ProcessExecutor(2, cost_threshold=0.0).run(
+            fused.graph, args=(4,), registry=REGISTRY
+        ).value
+        assert got == ref
+
+    def test_simulator_matches(self):
+        plain, fused = self._both()
+        ref = SimulatedExecutor(uniform(4)).run(
+            plain.graph, args=(4,), registry=REGISTRY
+        )
+        got = SimulatedExecutor(uniform(4)).run(
+            fused.graph, args=(4,), registry=REGISTRY
+        )
+        assert got.value == ref.value
+
+
+class TestObservability:
+    def test_operators_fused_event_and_fused_ops(self):
+        fused = _compile(CHAIN_SOURCE)
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        SequentialExecutor(bus=bus).run(
+            fused.graph, args=(3,), registry=REGISTRY
+        )
+        fused_events = [e for e in log.events if isinstance(e, OperatorsFused)]
+        assert len(fused_events) == 1
+        assert fused_events[0].fused_nodes == 1
+        assert fused_events[0].ops_absorbed == 2
+        started = [e for e in log.events if isinstance(e, OpStarted)]
+        assert any(e.fused_ops == 2 for e in started)
+        assert all(e.fused_ops == 1 for e in started if "fused" not in e.name)
+
+    def test_metrics_counters(self):
+        fused = _compile(CHAIN_SOURCE)
+        bus = EventBus()
+        metrics = attach_metrics(bus)
+        SequentialExecutor(bus=bus).run(
+            fused.graph, args=(3,), registry=REGISTRY
+        )
+        snap = metrics.snapshot()
+        assert snap["counters"]["fused_fires"]["value"] == 1
+        assert snap["counters"]["fused_ops_saved"]["value"] == 1
+        assert snap["gauges"]["fused_nodes"]["value"] == 1
+        assert snap["gauges"]["fused_ops_absorbed"]["value"] == 2
+
+    def test_unfused_run_emits_no_fusion_event(self):
+        plain = compile_source(CHAIN_SOURCE, registry=REGISTRY)
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        SequentialExecutor(bus=bus).run(
+            plain.graph, args=(3,), registry=REGISTRY
+        )
+        assert not [e for e in log.events if isinstance(e, OperatorsFused)]
+
+
+class TestErrors:
+    def test_fused_untuple_arity_mismatch_raises(self):
+        reg = _registry()
+
+        @reg.register(name="bad3", cost=1.0)
+        def bad3(x):
+            return (x, x, x)
+
+        src = "main(x)\n  let <a, b> = bad3(x)\n  in add(a, b)"
+        fused = compile_source(src, registry=reg, optimize_passes=FUSED_PASSES)
+        assert _fused_nodes(fused.graph)
+        from repro.errors import RuntimeFailure
+
+        with pytest.raises(RuntimeFailure, match="decomposed into"):
+            SequentialExecutor().run(fused.graph, args=(1,), registry=reg)

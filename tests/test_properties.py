@@ -287,3 +287,81 @@ class TestGeneratedProgramsAreWellFormed:
 
         p = parse_program(source)
         assert parse_program(unparse(p)) == p
+
+
+class TestFusionProperty:
+    """ISSUE 3: fused execution is bit-identical to unfused execution
+    under every executor, any worker count, any scheduling seed."""
+
+    @staticmethod
+    def _passes():
+        from repro.compiler.passes.pipeline import PASS_ORDER
+
+        return PASS_ORDER + ("fuse",)
+
+    @settings(max_examples=30, deadline=None)
+    @given(_programs(), st.integers(-5, 5), st.integers(0, 1000))
+    def test_sequential_fused_matches(self, source, n, seed):
+        plain = compile_source(source, registry=REGISTRY)
+        fused = compile_source(
+            source, registry=REGISTRY, optimize_passes=self._passes()
+        )
+        reference = SequentialExecutor().run(
+            plain.graph, args=(n,), registry=REGISTRY
+        ).value
+        assert SequentialExecutor().run(
+            fused.graph, args=(n,), registry=REGISTRY
+        ).value == reference
+        assert SequentialExecutor(seed=seed).run(
+            fused.graph, args=(n,), registry=REGISTRY
+        ).value == reference
+
+    @settings(max_examples=12, deadline=None)
+    @given(_programs(), st.integers(-5, 5), st.integers(1, 6))
+    def test_threaded_fused_matches(self, source, n, workers):
+        plain = compile_source(source, registry=REGISTRY)
+        fused = compile_source(
+            source, registry=REGISTRY, optimize_passes=self._passes()
+        )
+        reference = SequentialExecutor().run(
+            plain.graph, args=(n,), registry=REGISTRY
+        ).value
+        assert ThreadedExecutor(workers).run(
+            fused.graph, args=(n,), registry=REGISTRY
+        ).value == reference
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        _programs(),
+        st.integers(-5, 5),
+        st.integers(1, 3),
+        st.integers(0, 100),
+    )
+    def test_process_fused_matches(self, source, n, workers, seed):
+        # cost_threshold=0 force-dispatches every fire, fused super-nodes
+        # included, so workers exercise lazy recomposition of the chain
+        # recipes shipped at pool start.
+        plain = compile_source(source, registry=REGISTRY)
+        fused = compile_source(
+            source, registry=REGISTRY, optimize_passes=self._passes()
+        )
+        reference = SequentialExecutor().run(
+            plain.graph, args=(n,), registry=REGISTRY
+        ).value
+        assert ProcessExecutor(
+            workers, cost_threshold=0.0, shm_threshold=256, seed=seed
+        ).run(fused.graph, args=(n,), registry=REGISTRY).value == reference
+
+    @settings(max_examples=12, deadline=None)
+    @given(_programs(), st.integers(-5, 5), st.integers(1, 6))
+    def test_simulated_fused_matches(self, source, n, p):
+        plain = compile_source(source, registry=REGISTRY)
+        fused = compile_source(
+            source, registry=REGISTRY, optimize_passes=self._passes()
+        )
+        reference = SequentialExecutor().run(
+            plain.graph, args=(n,), registry=REGISTRY
+        ).value
+        assert SimulatedExecutor(uniform(p)).run(
+            fused.graph, args=(n,), registry=REGISTRY
+        ).value == reference
