@@ -1,0 +1,151 @@
+"""Memory-path smoke checks, small enough for CI.
+
+Three guarantees of the zero-copy memory path, each on a workload sized
+to finish in well under a second:
+
+* a fully-donatable chain of ``modifies`` operators runs with **zero**
+  copy-on-write copies — every donated argument is mutated in place, and
+  switching donation off changes nothing about the result;
+* a copy-on-write forced by genuine sharing draws its destination buffer
+  from the engine's free-list pool when a same-shape donated buffer died
+  earlier in the run (``np.copyto`` into recycled memory, not a fresh
+  allocation);
+* peak RSS stays flat across 100 retina iterations — the activation and
+  buffer free lists recycle instead of accumulating.
+
+The programs are synthetic (registered inline) because they need exact
+control over sharing: the retina's operators traffic in slab *objects*,
+whose buffers the pool deliberately refuses.
+"""
+
+from __future__ import annotations
+
+import resource
+
+import numpy as np
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.compiler import compile_source
+from repro.compiler.passes.pipeline import PASS_ORDER
+from repro.runtime import SequentialExecutor
+from repro.runtime.operators import OperatorRegistry, default_registry
+
+N = 65_536  # doubles per array; 512 KiB buffers
+
+#: Four in-place increments over one donated buffer.
+CHAIN = """
+main(n)
+  bump(bump(bump(bump(make_array(n)))))
+"""
+
+#: Phase 1 (x, k) donates and kills a buffer; phase 2 (s, t) forces a
+#: genuine COW — ``s`` is consumed by both ``bump`` and ``asum`` — whose
+#: destination must come from the pool.  ``k`` feeding ``ones_seeded``
+#: sequences phase 2 strictly after phase 1.
+POOL = """
+main(n)
+  let x = bump(make_array(n))
+      k = checksum(x)
+      s = ones_seeded(n, k)
+      t = bump(s)
+  in asum(t, s)
+"""
+
+DONATING_PASSES = PASS_ORDER + ("fuse", "donate")
+
+
+def _registry() -> OperatorRegistry:
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(name="make_array", pure=True, cost=100.0)
+    def make_array(n):
+        return np.zeros(int(n), dtype=np.float64)
+
+    @local.register(name="ones_seeded", pure=True, cost=100.0)
+    def ones_seeded(n, seed):
+        return np.ones(int(n), dtype=np.float64) * float(seed)
+
+    @local.register(name="checksum", pure=True, cost=100.0)
+    def checksum(a):
+        return float(a.sum()) + 1.0
+
+    @local.register(name="bump", modifies=(0,), cost=100.0)
+    def bump(a):
+        a += 1.0
+        return a
+
+    @local.register(name="asum", pure=True, cost=100.0)
+    def asum(a, b):
+        return float(a.sum() + b.sum())
+
+    return reg.merged_with(local)
+
+
+def _run(source: str, passes=DONATING_PASSES):
+    prog = compile_source(source, registry=_registry(), optimize_passes=passes)
+    return SequentialExecutor().run(
+        prog.graph, args=(N,), registry=prog.registry
+    )
+
+
+def test_donatable_chain_has_zero_cow_copies():
+    result = _run(CHAIN)
+    stats = result.stats
+    assert stats.cow_copies == 0, "donated chain must never COW"
+    assert stats.copies_avoided == 4, "each bump hands its buffer over"
+    assert stats.in_place_writes == 4
+    assert stats.donation_misses == 0
+
+    undonated = _run(CHAIN, passes=PASS_ORDER + ("fuse",))
+    assert undonated.stats.copies_avoided == 0
+    np.testing.assert_array_equal(result.value, undonated.value)
+
+
+def test_cow_draws_from_recycled_donated_buffer():
+    result = _run(POOL)
+    stats = result.stats
+    assert stats.cow_copies == 1, "shared s must COW exactly once"
+    assert stats.buffers_recycled == 1, (
+        "the COW destination must be x's recycled buffer, not a fresh "
+        "allocation"
+    )
+    assert stats.buffer_bytes_recycled == N * 8
+    assert stats.copies_avoided >= 1  # the donated bump over x
+    # sum(t) + sum(s) with s = ones * (N + 1) and t = s + 1.
+    assert result.value == float(2 * N * (N + 1) + N)
+
+
+#: 100 total retina iterations, run as 20 five-iteration programs so the
+#: growth window also covers executor setup/teardown churn.
+RSS_CONFIG = RetinaConfig(height=64, width=64, kernel_size=5, num_iter=5)
+RSS_RUNS = 20
+#: Allowed peak-RSS growth across the window.  A real leak — one 32 KiB
+#: slab chain per iteration — costs several MiB over 100 iterations;
+#: allocator noise stays well under this.
+RSS_BOUND_KIB = 24 * 1024
+
+
+def test_retina_rss_growth_bounded():
+    prog = compile_retina(2, RSS_CONFIG, fuse=True, donate=True)
+    graph, registry = prog.graph, prog.registry
+
+    def run_once():
+        return SequentialExecutor().run(graph, registry=registry)
+
+    baseline_result = run_once()  # warm allocator, import caches, pools
+    run_once()
+    baseline_kib = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    for _ in range(RSS_RUNS):
+        result = run_once()
+    growth = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss - baseline_kib
+    assert result.value.signature() == baseline_result.value.signature()
+    assert growth <= RSS_BOUND_KIB, (
+        f"peak RSS grew {growth} KiB over {RSS_RUNS * RSS_CONFIG.num_iter} "
+        f"retina iterations (bound: {RSS_BOUND_KIB} KiB)"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -31,6 +31,7 @@ from ..runtime.operators import OperatorRegistry, default_registry
 from .analysis import analyze_program
 from .graphgen import generate_graphs
 from .lowering import lower_program
+from .passes import donate as donate_pass
 from .passes import fuse as fuse_pass
 from .passes.pipeline import (
     PASS_ORDER,
@@ -97,10 +98,12 @@ def compile_source(
     optimize_passes:
         Which optimizations to run (``None`` or ``()`` disables all —
         useful for ablations and for differential testing of the passes).
-        ``"fuse"`` enables the graph-level operator-fusion pass, which
-        runs after template generation; it is *not* in the default set so
-        default compilations keep their historical graph shapes (the CLI
-        enables it by default via ``--fuse``).
+        ``"fuse"`` enables the graph-level operator-fusion pass and
+        ``"donate"`` the last-use donation analysis; both run after
+        template generation (donate always after fuse) and are *not* in
+        the default set so default compilations keep their historical
+        graph shapes (the CLI enables them by default via ``--fuse`` /
+        ``--donate``).
     strict:
         Enforce unbound-name errors during environment analysis.
     entry:
@@ -158,10 +161,20 @@ def compile_source(
     if "fuse" in graph_passes:
         fuse_stats = fuse_pass.run(graph, registry)
         if report is None:
-            report = OptimizationReport(enabled=graph_passes)
+            report = OptimizationReport(enabled=("fuse",))
         else:
             report.enabled = report.enabled + ("fuse",)
         for key, count in fuse_stats.items():
+            report.stats[key] = report.stats.get(key, 0) + count
+    if "donate" in graph_passes:
+        # Always after fuse: last-use facts are computed on the final
+        # graph shape, so fused super-node inputs participate too.
+        donate_stats = donate_pass.run(graph, registry)
+        if report is None:
+            report = OptimizationReport(enabled=("donate",))
+        else:
+            report.enabled = report.enabled + ("donate",)
+        for key, count in donate_stats.items():
             report.stats[key] = report.stats.get(key, 0) + count
     seconds["Graph Conversion"] = time.perf_counter() - t0 + lowering_seconds
 

@@ -1,0 +1,73 @@
+"""Static last-use ("donation") analysis over coordination graphs.
+
+Section 2.1 of the paper makes reference-counted copy-on-write the heart
+of the runtime; this pass discharges the copy decision *at compile time*
+wherever the graph proves it.  An operator input edge is **donated** when
+
+* the consuming node is the **sole consumer** of the producing port
+  (static fan-out one — nobody else can ever observe the value),
+* the port is **not the template result** (the result outlives the node),
+* the producer is a plain data source (``OP``/``CONST``/``PARAM``/
+  ``TUPLE``/``UNTUPLE``) — not a closure capture and not a function
+  result, whose values can outlive the edge through capture pins or the
+  callee's own result plumbing.
+
+A donated edge is a promise that the value dies at this firing: the
+engine hands the block to the operator for in-place mutation with no
+copy-on-write copy, and recycles the payload buffer through the
+:class:`~repro.runtime.blocks.BufferPool` when the firing releases the
+block's last reference.  The engine keeps a one-word reference-count
+confirmation on donated modifies-arguments as a determinism guard
+(dynamic aliasing — e.g. the same block arriving on two edges of one
+firing — is invisible statically); a donated edge whose guard trips falls
+back to the ordinary COW path and is counted in
+``EngineStats.donation_misses``, so the annotation can make the run
+faster but never wrong.
+
+The rule itself lives in :func:`repro.graph.validate.donation_violation`;
+this pass annotates exactly the edges that function accepts, and
+``validate_template`` re-checks every annotation so a mis-annotated graph
+is rejected loudly.
+
+Runs after fusion (fused super-nodes are ordinary ``OP`` nodes by then,
+so their inputs participate), mutating ``Node.donated`` in place.
+"""
+
+from __future__ import annotations
+
+from ...graph.ir import GraphProgram, NodeKind, Template
+from ...graph.validate import donation_violation
+
+
+def annotate_template(template: Template) -> int:
+    """Annotate one template in place; returns the number of donated edges."""
+    donated_edges = 0
+    for node_id, node in enumerate(template.nodes):
+        if node.kind is not NodeKind.OP:
+            continue
+        donated = tuple(
+            i
+            for i in range(len(node.inputs))
+            if donation_violation(template, node_id, i) is None
+        )
+        node.donated = donated or None
+        donated_edges += len(donated)
+    return donated_edges
+
+
+def run(graph: GraphProgram, registry: object | None = None) -> dict[str, int]:
+    """Annotate every template; returns ``donate.*`` stats for the report.
+
+    ``registry`` is accepted for driver-signature uniformity with the
+    fusion pass but unused — donation is a pure graph-shape property.
+    """
+    donated_edges = 0
+    annotated_nodes = 0
+    for template in graph.templates.values():
+        donated_edges += annotate_template(template)
+        annotated_nodes += sum(1 for n in template.nodes if n.donated)
+    stats: dict[str, int] = {}
+    if donated_edges:
+        stats["donate.edges_donated"] = donated_edges
+        stats["donate.nodes_annotated"] = annotated_nodes
+    return stats

@@ -252,6 +252,13 @@ def run(
                 untuples += 1
         _remove_nodes(template, removed)
         nodes_removed += len(removed)
+        # Fusion changes port fan-outs, so any pre-existing last-use
+        # annotations on this template are stale; drop them and let the
+        # donation pass (which always runs after fusion) recompute facts
+        # on the final graph shape.  Dropping is the safe direction — a
+        # missing donation is just a skipped optimization.
+        for node in template.nodes:
+            node.donated = None
     if not chains_fused:
         return {}
     return {

@@ -107,6 +107,15 @@ class Node:
         j-th step's result).  ``untuple_n > 0`` means the final step's
         package is decomposed in place: the fused node has ``untuple_n``
         outputs instead of one.  ``None`` for ordinary nodes.
+    donated:
+        For ``OP`` nodes: sorted tuple of input indices whose incoming
+        edge the donation pass proved to be the *last use* of the value —
+        this node is the sole consumer of the producing port, the port is
+        not the template result, and the producer is not a closure capture
+        or a function result.  The engine hands such inputs to the
+        operator for in-place mutation without a copy-on-write copy, and
+        recycles their buffers at rc→0.  ``None`` when the pass did not
+        run (the default graphs carry no annotations).
     tail:
         The node's output *is* the template result; expansions inherit the
         parent continuation (constant-space loops).
@@ -125,6 +134,7 @@ class Node:
     n_then_captures: int = 0
     recursive: bool = False
     fused: tuple | None = None
+    donated: tuple | None = None
     tail: bool = False
     label: str = ""
 
@@ -266,8 +276,12 @@ class Template:
                 if untuple_n:
                     chain += f">untuple{untuple_n}"
                 extra = f" fused=[{chain}]"
+                if node.donated:
+                    extra += f" donated={list(node.donated)}"
             elif node.kind in (NodeKind.OP, NodeKind.OPREF):
                 extra = f" op={node.name}"
+                if node.donated:
+                    extra += f" donated={list(node.donated)}"
             elif node.kind is NodeKind.CLOSURE:
                 extra = f" template={node.template}"
             elif node.kind is NodeKind.IF:

@@ -81,6 +81,10 @@ def _encode_node(node: Node) -> dict:
             ],
             "untuple": untuple_n,
         }
+    if node.donated:
+        # Emitted only when non-empty so graphs compiled without the
+        # donation pass serialize bit-for-bit as before.
+        out["donated"] = list(node.donated)
     if node.tail:
         out["tail"] = True
     if node.label:
@@ -113,6 +117,9 @@ def _decode_node(data: dict) -> Node:
             ),
             int(fused.get("untuple", 0)),
         )
+    donated = data.get("donated")
+    if donated:
+        node.donated = tuple(int(i) for i in donated)
     return node
 
 

@@ -30,6 +30,16 @@ __all__ = [
     "workstation",
 ]
 
-from .calibrate import CalibrationReport, measure_costs
+from .calibrate import (
+    CalibrationReport,
+    DispatchCalibration,
+    calibrate_dispatch,
+    measure_costs,
+)
 
-__all__ += ["CalibrationReport", "measure_costs"]
+__all__ += [
+    "CalibrationReport",
+    "DispatchCalibration",
+    "calibrate_dispatch",
+    "measure_costs",
+]

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-from ..graph.ir import GraphProgram
+from ..graph.ir import GraphProgram, NodeKind
 from ..runtime.executors import SequentialExecutor
 from ..runtime.operators import OperatorRegistry, default_registry
 
@@ -79,3 +79,69 @@ def measure_costs(
         report.costs[label] = max(mean_ticks, min_ticks)
         report.calls[label] = counts[label]
     return report
+
+
+@dataclass
+class DispatchCalibration:
+    """Measured per-operator wall costs and the dispatch split they imply.
+
+    ``seconds_by_operator`` plugs directly into
+    ``ProcessExecutor(measured_costs=...)`` /
+    :class:`~repro.runtime.workers.DispatchPolicy`; ``dispatch`` and
+    ``keep_local`` record the resulting policy decision for reporting
+    (the wallclock benchmark commits them to ``BENCH_wallclock.json``).
+    """
+
+    #: operator *name* (including fused super-operator names) -> mean
+    #: measured wall seconds per firing.
+    seconds_by_operator: dict[str, float] = field(default_factory=dict)
+    #: names whose measured cost clears ``min_dispatch_seconds``.
+    dispatch: list[str] = field(default_factory=list)
+    #: names cheaper than one IPC round trip — kept in the master.
+    keep_local: list[str] = field(default_factory=list)
+    min_dispatch_seconds: float = 0.002
+    report: CalibrationReport = field(default_factory=CalibrationReport)
+
+
+def calibrate_dispatch(
+    graph: GraphProgram,
+    registry: OperatorRegistry | None = None,
+    args: tuple[Any, ...] = (),
+    min_dispatch_seconds: float = 0.002,
+    ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
+) -> DispatchCalibration:
+    """Measure per-operator wall costs and split them around the IPC bar.
+
+    Built on :func:`measure_costs`, which keys its records by node
+    *label*; ordinary operator nodes are labeled with their operator
+    name, but a fused super-node's label is the human-readable chain
+    (``"a+b+untuple"``) while the spec the dispatch policy sees is named
+    by the machine recipe (``"fused:..."``).  This walks the graph's OP
+    nodes to map labels back to spec names; when several nodes share a
+    name, the *maximum* measured cost wins — the conservative direction
+    for a dispatch decision.
+    """
+    report = measure_costs(
+        graph, registry, args=args, ticks_per_second=ticks_per_second
+    )
+    label_to_name: dict[str, str] = {}
+    for template in graph.templates.values():
+        for node in template.nodes:
+            if node.kind is NodeKind.OP and node.label:
+                label_to_name.setdefault(node.label, node.name)
+    seconds: dict[str, float] = {}
+    for label, mean_ticks in report.costs.items():
+        name = label_to_name.get(label, label)
+        per_fire = mean_ticks / report.ticks_per_second
+        seconds[name] = max(seconds.get(name, 0.0), per_fire)
+    return DispatchCalibration(
+        seconds_by_operator=seconds,
+        dispatch=sorted(
+            n for n, s in seconds.items() if s >= min_dispatch_seconds
+        ),
+        keep_local=sorted(
+            n for n, s in seconds.items() if s < min_dispatch_seconds
+        ),
+        min_dispatch_seconds=min_dispatch_seconds,
+        report=report,
+    )

@@ -36,9 +36,12 @@ from .events import (
     ALL_EVENTS,
     ActivationAllocated,
     ActivationRecycled,
+    BlockAllocated,
     BlockReleased,
     BlockRetained,
+    BufferRecycled,
     CowCopy,
+    DonationApplied,
     Event,
     EventBus,
     EventLog,
@@ -69,12 +72,15 @@ __all__ = [
     "ALL_EVENTS",
     "ActivationAllocated",
     "ActivationRecycled",
+    "BlockAllocated",
     "BlockReleased",
     "BlockRetained",
+    "BufferRecycled",
     "ChromeTraceCollector",
     "Counter",
     "CowCopy",
     "DEFAULT_BUCKETS",
+    "DonationApplied",
     "Event",
     "EventBus",
     "EventLog",

@@ -126,6 +126,15 @@ class ActivationRecycled(Event):
 # Data blocks
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
+class BlockAllocated(Event):
+    """A fresh :class:`~repro.runtime.blocks.DataBlock` was constructed
+    (COW copies included; recycled-buffer copies construct one too, but
+    reuse the payload allocation)."""
+
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
 class BlockRetained(Event):
     """``n`` references added to a data block (``rc`` = count after)."""
 
@@ -146,6 +155,25 @@ class BlockReleased(Event):
 @dataclass(frozen=True, slots=True)
 class CowCopy(Event):
     """A copy-on-write copy, attributed to the operator that forced it."""
+
+    operator: str
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class DonationApplied(Event):
+    """A statically donated edge let the engine hand a block to its
+    operator in place — the copy-on-write decision was discharged at
+    compile time by the donation pass."""
+
+    operator: str
+    nbytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class BufferRecycled(Event):
+    """A copy-on-write copy reused a pooled buffer (``np.copyto`` into a
+    recycled allocation) instead of allocating fresh memory."""
 
     operator: str
     nbytes: int
@@ -249,9 +277,12 @@ ALL_EVENTS: tuple[type, ...] = (
     OpFinished,
     ActivationAllocated,
     ActivationRecycled,
+    BlockAllocated,
     BlockRetained,
     BlockReleased,
     CowCopy,
+    DonationApplied,
+    BufferRecycled,
     Expansion,
     TailExpansion,
     TaskDispatched,
@@ -275,10 +306,16 @@ class EventBus:
     beyond an attribute check per emit site.
     """
 
-    __slots__ = ("_subs", "_clock", "_time")
+    __slots__ = ("_subs", "_dispatch", "_clock", "_time")
 
     def __init__(self) -> None:
         self._subs: list[tuple[tuple[type, ...] | None, Subscriber]] = []
+        #: Per-concrete-event-type subscriber lists, built lazily on first
+        #: emit of each type and invalidated on (un)subscribe.  Turns the
+        #: per-emit linear isinstance scan into one dict hit — an emit no
+        #: subscriber wants costs a lookup plus an empty loop, which is
+        #: what keeps instrumented runs close to uninstrumented ones.
+        self._dispatch: dict[type, list[Subscriber]] = {}
         self._clock: Callable[[], float] | None = None
         self._time = 0.0
 
@@ -314,20 +351,44 @@ class EventBus:
         """
         entry = (tuple(events) if events is not None else None, fn)
         self._subs.append(entry)
+        self._dispatch.clear()
 
         def unsubscribe() -> None:
             try:
                 self._subs.remove(entry)
             except ValueError:
                 pass
+            self._dispatch.clear()
 
         return unsubscribe
 
     # -- emission ------------------------------------------------------
+    def _resolve(self, event_type: type) -> list[Subscriber]:
+        subs = [
+            fn
+            for types, fn in self._subs
+            if types is None or issubclass(event_type, types)
+        ]
+        self._dispatch[event_type] = subs
+        return subs
+
+    def wants(self, event_type: type) -> bool:
+        """Whether any subscriber would receive events of this type.
+
+        Emit sites constructing expensive events may check this first and
+        skip construction entirely when nobody is listening.
+        """
+        subs = self._dispatch.get(event_type)
+        if subs is None:
+            subs = self._resolve(event_type)
+        return bool(subs)
+
     def emit(self, event: Event) -> None:
-        for types, fn in self._subs:
-            if types is None or isinstance(event, types):
-                fn(event)
+        subs = self._dispatch.get(type(event))
+        if subs is None:
+            subs = self._resolve(type(event))
+        for fn in subs:
+            fn(event)
 
 
 class EventLog:
@@ -370,6 +431,8 @@ def observe_blocks(bus: EventBus) -> "Any":
         def hook(kind: str, block: Any, n: int) -> None:
             if kind == "retain":
                 bus.emit(BlockRetained(bus.now(), block.nbytes, n, block.rc))
+            elif kind == "alloc":
+                bus.emit(BlockAllocated(bus.now(), block.nbytes))
             else:
                 bus.emit(BlockReleased(bus.now(), block.nbytes, n, block.rc))
 

@@ -28,9 +28,12 @@ from typing import Any, Callable
 from .events import (
     ActivationAllocated,
     ActivationRecycled,
+    BlockAllocated,
     BlockReleased,
     BlockRetained,
+    BufferRecycled,
     CowCopy,
+    DonationApplied,
     Event,
     EventBus,
     Expansion,
@@ -275,6 +278,12 @@ def attach_metrics(
     shm_nbytes = reg.counter("shm_nbytes")
     fused_fires = reg.counter("fused_fires")
     fused_ops_saved = reg.counter("fused_ops_saved")
+    donated_fires = reg.counter("blocks.donated_fires")
+    donated_bytes = reg.counter("blocks.donated_bytes")
+    blocks_allocated = reg.counter("blocks_allocated")
+    blocks_alloc_bytes = reg.counter("blocks_allocated_bytes")
+    buffers_recycled = reg.counter("pool.buffers_recycled")
+    pool_recycled_bytes = reg.counter("pool.recycled_bytes")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -296,6 +305,15 @@ def attach_metrics(
         elif isinstance(e, CowCopy):
             cow_copies.inc(label=e.operator)
             cow_bytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, DonationApplied):
+            donated_fires.inc(label=e.operator)
+            donated_bytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, BufferRecycled):
+            buffers_recycled.inc(label=e.operator)
+            pool_recycled_bytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, BlockAllocated):
+            blocks_allocated.inc()
+            blocks_alloc_bytes.inc(e.nbytes)
         elif isinstance(e, TailExpansion):
             expansions.inc()
             tail_expansions.inc()

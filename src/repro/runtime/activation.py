@@ -107,10 +107,24 @@ class ActivationPool:
     activations required ... by making activations available for re-use as
     early as possible."  The pool makes that measurable: the ablation
     benchmark reports created/reused counts and the peak number live.
+
+    Free lists are bounded per template (``max_free_per_template``): a
+    burst of parallelism — a wide fork-join that briefly needs hundreds
+    of activations of one template — must not pin that burst's slot
+    buffers (and every block they reference is already cleared, but the
+    list/slot structures themselves are not small) for the rest of the
+    run.  Releases beyond the bound simply drop the activation to the
+    garbage collector.
     """
 
-    def __init__(self, bus: EventBus | None = None) -> None:
+    def __init__(
+        self,
+        bus: EventBus | None = None,
+        max_free_per_template: int = 64,
+    ) -> None:
         self._bus = bus if (bus is not None and bus.active) else None
+        self.max_free_per_template = max_free_per_template
+        self.free_dropped = 0
         self._free: dict[str, list[Activation]] = {}
         self.created = 0
         self.reused = 0
@@ -153,7 +167,11 @@ class ActivationPool:
         self.live -= 1
         self.live_by_template[act.template.name] -= 1
         self.live_set.discard(act)
-        self._free.setdefault(act.template.name, []).append(act)
+        free_list = self._free.setdefault(act.template.name, [])
+        if len(free_list) < self.max_free_per_template:
+            free_list.append(act)
+        else:
+            self.free_dropped += 1
         bus = self._bus
         if bus is not None:
             bus.emit(
@@ -167,4 +185,5 @@ class ActivationPool:
             "created": self.created,
             "reused": self.reused,
             "peak_live": self.peak_live,
+            "free_dropped": self.free_dropped,
         }

@@ -40,10 +40,11 @@ from .values import Closure, MultiValue, NULL, OperatorValue
 #: Types that circulate unwrapped (immutable atomic values).
 IMMUTABLE_TYPES = (int, float, complex, bool, str, bytes, frozenset, type(None))
 
-#: Optional module-wide observer of reference-count traffic, called as
+#: Optional module-wide observer of block traffic, called as
 #: ``hook(kind, block, n)`` with kind ``"retain"`` or ``"release"`` after
-#: the count update.  Retain/release are module functions with no per-run
-#: state, so the hook is global; install it scoped via
+#: a count update, or ``"alloc"`` when a fresh block is constructed.
+#: Retain/release are module functions with no per-run state, so the hook
+#: is global; install it scoped via
 #: :func:`repro.obs.events.observe_blocks`.  ``None`` (the default) keeps
 #: the hot path at one global load + identity check.
 _BLOCK_HOOK = None
@@ -122,6 +123,8 @@ class DataBlock:
         self.rc = 0
         self.home = home
         self.nbytes = payload_nbytes(payload)
+        if _BLOCK_HOOK is not None:
+            _BLOCK_HOOK("alloc", self, 1)
 
     def unique(self) -> bool:
         """True when this block holds the sole reference (writable)."""
@@ -136,6 +139,81 @@ class DataBlock:
             f"DataBlock(rc={self.rc}, home={self.home}, "
             f"nbytes={self.nbytes}, payload={type(self.payload).__name__})"
         )
+
+
+class BufferPool:
+    """Free lists of same-shape/dtype NumPy buffers for COW reuse.
+
+    When a donated block dies at rc→0 and its payload is a bare array the
+    engine proved the operator result cannot alias, the buffer lands here
+    instead of going back to the allocator; the next copy-on-write copy of
+    a matching shape/dtype becomes ``np.copyto`` into the recycled buffer
+    instead of a fresh allocation.  Capacity is bounded in bytes (oldest
+    offers are simply dropped once full), so the pool can never turn the
+    runtime into a leak — the CI memory-smoke benchmark guards this.
+
+    The pool is per-:class:`~repro.runtime.engine.ExecutionState` and is
+    only touched under the engine's serialization discipline (the single
+    thread, the threaded executor's condition lock, or the process
+    master), so it needs no locking of its own.
+    """
+
+    __slots__ = (
+        "max_bytes", "held_bytes", "recycled", "recycled_bytes", "dropped",
+        "_free",
+    )
+
+    def __init__(self, max_bytes: int = 128 * 1024 * 1024) -> None:
+        self.max_bytes = max_bytes
+        self.held_bytes = 0
+        self.recycled = 0        #: buffers handed back out via get()
+        self.recycled_bytes = 0  #: bytes of those buffers
+        self.dropped = 0         #: offers rejected (full pool / unusable)
+        self._free: dict[tuple, list[np.ndarray]] = {}
+
+    @staticmethod
+    def _key(shape: tuple, dtype: Any) -> tuple:
+        return (shape, np.dtype(dtype).str)
+
+    def put(self, arr: Any) -> bool:
+        """Offer a dead buffer for reuse; returns whether it was kept.
+
+        Only owning, C-contiguous, non-empty arrays are poolable — a view
+        does not own its memory, and copying into a strided target would
+        lose the cheap-``copyto`` property.
+        """
+        if (
+            not isinstance(arr, np.ndarray)
+            or arr.base is not None
+            or not arr.flags.c_contiguous
+            or not arr.flags.writeable
+            or arr.nbytes == 0
+            or self.held_bytes + arr.nbytes > self.max_bytes
+        ):
+            self.dropped += 1
+            return False
+        self._free.setdefault(self._key(arr.shape, arr.dtype), []).append(arr)
+        self.held_bytes += arr.nbytes
+        return True
+
+    def get(self, shape: tuple, dtype: Any) -> np.ndarray | None:
+        """A recycled buffer of exactly this shape/dtype, or ``None``."""
+        free = self._free.get(self._key(shape, dtype))
+        if not free:
+            return None
+        arr = free.pop()
+        self.held_bytes -= arr.nbytes
+        self.recycled += 1
+        self.recycled_bytes += arr.nbytes
+        return arr
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "recycled": self.recycled,
+            "recycled_bytes": self.recycled_bytes,
+            "held_bytes": self.held_bytes,
+            "dropped": self.dropped,
+        }
 
 
 def wrap_payload(payload: Any, home: int = -1) -> Any:
@@ -187,7 +265,16 @@ def release(value: Any, n: int = 1) -> None:
         return
     if isinstance(value, DataBlock):
         value.rc -= n
-        assert value.rc >= 0, "data block reference count went negative"
+        if value.rc < 0:
+            # A real error, not an assert: a negative count means some
+            # consumer released a share it never held, which silently
+            # corrupts copy-on-write decisions — and asserts vanish under
+            # ``python -O``, exactly when nobody is watching.
+            value.rc += n
+            raise RuntimeError(
+                f"data block reference count went negative "
+                f"(released {n} share(s) from rc={value.rc}): {value!r}"
+            )
         if _BLOCK_HOOK is not None:
             _BLOCK_HOOK("release", value, n)
     elif isinstance(value, MultiValue):

@@ -36,7 +36,9 @@ import numpy as np
 from ..errors import GraphError, OperatorError, RuntimeFailure
 from ..graph.ir import GraphProgram, Node, NodeKind
 from ..obs.events import (
+    BufferRecycled,
     CowCopy,
+    DonationApplied,
     EventBus,
     Expansion,
     OperatorsFused,
@@ -46,7 +48,14 @@ from ..obs.events import (
     TaskEnqueued,
 )
 from .activation import Activation, ActivationPool
-from .blocks import DataBlock, release, retain, unwrap, wrap_payload
+from .blocks import (
+    BufferPool,
+    DataBlock,
+    release,
+    retain,
+    unwrap,
+    wrap_payload,
+)
 from .operators import OperatorRegistry, OperatorSpec, node_spec
 from .scheduler import Task
 from .values import Closure, MultiValue, OperatorValue, is_truthy
@@ -97,6 +106,10 @@ class PendingOp:
     home: int
     remote: bool
     op_began: float | None = None
+    #: Input indices the donation pass proved are last uses
+    #: (``node.donated``); ``None`` when the pass did not run or the node
+    #: has no donated edges.
+    donated: tuple[int, ...] | None = None
 
 
 @dataclass
@@ -128,9 +141,23 @@ class EngineStats:
     fused_ops_saved: int = 0
     cow_copies: int = 0
     in_place_writes: int = 0
+    #: Copies the donation analysis discharged: donated *modifies* args
+    #: handed over for in-place mutation, and defensive view copies skipped
+    #: because the view's base block was a dying donated input.
+    copies_avoided: int = 0
+    bytes_copy_avoided: int = 0
+    #: Donated edges whose block turned out shared at fire time (dynamic
+    #: aliasing the static analysis cannot see); fell back to COW.
+    donation_misses: int = 0
+    #: COW copies written into pool-recycled buffers (``np.copyto``)
+    #: instead of fresh allocations, and the bytes those reused.
+    buffers_recycled: int = 0
+    buffer_bytes_recycled: int = 0
     expansions: int = 0
     tail_expansions: int = 0
     activation_stats: dict[str, int] = field(default_factory=dict)
+    #: Buffer-pool snapshot (see :class:`~repro.runtime.blocks.BufferPool`).
+    pool_stats: dict[str, int] = field(default_factory=dict)
     #: Copy-on-write copies attributed to the operator that forced them —
     #: the profiling view a Delirium programmer uses to find the large
     #: structure that should have been split (section 2.1's advice).
@@ -146,6 +173,30 @@ def _payload_of(value: Any) -> Any:
     if isinstance(value, MultiValue):
         return tuple(_payload_of(v) for v in value.items)
     return value
+
+
+def _may_alias(result: Any, payload: np.ndarray) -> bool:
+    """Could ``result`` reach ``payload``'s memory?  Conservative.
+
+    Arrays are walked down their ``base`` chain; tuples recurse; atomic
+    immutables cannot alias.  Anything else is an opaque application
+    object that may hold a view we cannot see — assume it does.
+    """
+    if result is None or isinstance(
+        result, (int, float, complex, bool, str, bytes, np.integer,
+                 np.floating, np.bool_)
+    ):
+        return False
+    if isinstance(result, np.ndarray):
+        base: Any = result
+        while isinstance(base, np.ndarray):
+            if base is payload:
+                return True
+            base = base.base
+        return False
+    if isinstance(result, tuple):
+        return any(_may_alias(x, payload) for x in result)
+    return True
 
 
 def _fingerprint(payload: Any) -> object:
@@ -191,6 +242,9 @@ class ExecutionState:
         self.check_purity = check_purity
         self.bus = bus if (bus is not None and bus.active) else None
         self.pool = ActivationPool(bus=self.bus)
+        #: Free lists of dead donated buffers for COW-copy reuse; touched
+        #: only under the engine's serialization discipline.
+        self.buffers = BufferPool()
         self.stats = EngineStats()
         self._final: Any = _NO_RESULT
         self._task_seq = 0
@@ -328,7 +382,8 @@ class ExecutionState:
             inputs = act.take_inputs(node_id)
             spec = node_spec(self.registry, node, self._fused_specs)
             pending = self._begin_operator(
-                act, node_id, spec, list(inputs), list(inputs), home, classify
+                act, node_id, spec, list(inputs), list(inputs), home, classify,
+                donated=node.donated,
             )
             return FireOutcome(newly, pending)
         elif kind is NodeKind.CALL:
@@ -354,7 +409,7 @@ class ExecutionState:
         act = pending.activation
         spec = pending.spec
         bus = self.bus
-        if bus is not None:
+        if bus is not None and bus.wants(OpFinished):
             op_ended = bus.now()
             began = pending.op_began if pending.op_began is not None else op_ended
             bus.emit(OpFinished(op_ended, spec.name, op_ended - began))
@@ -369,6 +424,7 @@ class ExecutionState:
                     )
         newly: list[Task] = []
         node = act.template.nodes[pending.node_id]
+        donated = pending.donated if pending.donated is not None else ()
         fused = node.fused
         if fused is not None and fused[1]:
             # Fused chain ending in an absorbed untuple: the final step's
@@ -388,16 +444,18 @@ class ExecutionState:
                 )
             for i, element in enumerate(raw_result):
                 value = self._wrap_result(
-                    element, pending.arg_blocks, pending.home
+                    element, pending.arg_blocks, pending.home, donated
                 )
                 self._deliver_output(act, pending.node_id, i, value, 0, newly)
         else:
             result = self._wrap_result(
-                raw_result, pending.arg_blocks, pending.home
+                raw_result, pending.arg_blocks, pending.home, donated
             )
             self._deliver_output(act, pending.node_id, 0, result, 0, newly)
         for v in pending.all_inputs:
             release(v, 1)
+        if donated:
+            self._recycle_dead_inputs(pending, raw_result)
         count = self._pending_ops.get(act.aid, 0) - 1
         if count > 0:
             self._pending_ops[act.aid] = count
@@ -418,6 +476,7 @@ class ExecutionState:
 
     def snapshot_stats(self) -> EngineStats:
         self.stats.activation_stats = self.pool.stats()
+        self.stats.pool_stats = self.buffers.stats()
         return self.stats
 
     def stall_report(self, limit: int = 8) -> str:
@@ -464,7 +523,7 @@ class ExecutionState:
         priority = template.priorities[node_id]
         self._task_seq += 1
         bus = self.bus
-        if bus is not None:
+        if bus is not None and bus.wants(TaskEnqueued):
             node = template.nodes[node_id]
             bus.emit(
                 TaskEnqueued(
@@ -540,6 +599,7 @@ class ExecutionState:
         all_inputs: list[Any],
         home: int,
         classify: Classify | None,
+        donated: tuple[int, ...] | None = None,
     ) -> PendingOp:
         if spec.arity is not None and spec.arity != len(op_inputs):
             raise RuntimeFailure(
@@ -551,6 +611,8 @@ class ExecutionState:
             remote = classify(
                 spec, tuple(_payload_of(v) for v in op_inputs)
             )
+        bus = self.bus
+        donated_set: tuple[int, ...] = donated if donated is not None else ()
         args: list[Any] = []
         arg_blocks: list[DataBlock | None] = []
         fingerprints: list[tuple[int, object]] = []
@@ -559,9 +621,29 @@ class ExecutionState:
                 if i in spec.modifies:
                     if v.unique():
                         self.stats.in_place_writes += 1
+                        if i in donated_set:
+                            # The compiler proved this is the edge's last
+                            # use, so the in-place handoff is statically
+                            # discharged — a copy-always engine would have
+                            # copied here.  (The ``unique()`` guard above
+                            # stays: dynamic aliasing through closures or
+                            # re-converging calls is invisible statically.)
+                            self.stats.copies_avoided += 1
+                            self.stats.bytes_copy_avoided += v.nbytes
+                            if bus is not None and bus.wants(DonationApplied):
+                                bus.emit(
+                                    DonationApplied(
+                                        bus.now(), spec.name, v.nbytes
+                                    )
+                                )
                         args.append(v.payload)
                         arg_blocks.append(v)
                     else:
+                        if i in donated_set:
+                            # Annotated donated but dynamically shared:
+                            # fall back to copy-on-write, which is always
+                            # correct; record the miss for observability.
+                            self.stats.donation_misses += 1
                         self.stats.cow_copies += 1
                         self.stats.copies_by_operator[spec.name] = (
                             self.stats.copies_by_operator.get(spec.name, 0) + 1
@@ -570,9 +652,9 @@ class ExecutionState:
                             self.stats.copy_bytes_by_operator.get(spec.name, 0)
                             + v.nbytes
                         )
-                        if self.bus is not None:
-                            self.bus.emit(
-                                CowCopy(self.bus.now(), spec.name, v.nbytes)
+                        if bus is not None and bus.wants(CowCopy):
+                            bus.emit(
+                                CowCopy(bus.now(), spec.name, v.nbytes)
                             )
                         if remote:
                             # Serialization to the worker is the copy; the
@@ -581,7 +663,7 @@ class ExecutionState:
                             args.append(v.payload)
                             arg_blocks.append(v)
                         else:
-                            fresh = v.copy(home)
+                            fresh = self._cow_copy(v, home, spec.name)
                             args.append(fresh.payload)
                             arg_blocks.append(fresh)
                 else:
@@ -609,10 +691,15 @@ class ExecutionState:
             n_source_ops = 1
         self._pending_ops[act.aid] = self._pending_ops.get(act.aid, 0) + 1
         op_began: float | None = None
-        bus = self.bus
         if bus is not None:
-            op_began = bus.now()
-            bus.emit(OpStarted(op_began, spec.name, n_source_ops))
+            # ``wants`` lets an unsubscribed event skip both the object
+            # construction and the clock read — the dominant emit-site
+            # costs on the master's critical path.
+            wants_started = bus.wants(OpStarted)
+            if wants_started or bus.wants(OpFinished):
+                op_began = bus.now()
+            if wants_started:
+                bus.emit(OpStarted(op_began, spec.name, n_source_ops))
         return PendingOp(
             activation=act,
             node_id=node_id,
@@ -625,14 +712,42 @@ class ExecutionState:
             home=home,
             remote=remote,
             op_began=op_began,
+            donated=donated,
         )
 
+    def _cow_copy(self, v: DataBlock, home: int, op_name: str) -> DataBlock:
+        """Copy-on-write copy, reusing a pooled buffer when one fits.
+
+        A recycled same-shape/dtype buffer turns the copy into a
+        ``np.copyto`` with no allocator round trip; otherwise this is the
+        plain :meth:`DataBlock.copy` path.
+        """
+        p = v.payload
+        if isinstance(p, np.ndarray):
+            buf = self.buffers.get(p.shape, p.dtype)
+            if buf is not None:
+                np.copyto(buf, p)
+                self.stats.buffers_recycled += 1
+                self.stats.buffer_bytes_recycled += buf.nbytes
+                bus = self.bus
+                if bus is not None and bus.wants(BufferRecycled):
+                    bus.emit(BufferRecycled(bus.now(), op_name, buf.nbytes))
+                return DataBlock(buf, home=home)
+        return v.copy(home)
+
     def _wrap_result(
-        self, raw: Any, arg_blocks: list[DataBlock | None], home: int
+        self,
+        raw: Any,
+        arg_blocks: list[DataBlock | None],
+        home: int,
+        donated: tuple[int, ...] = (),
     ) -> Any:
         if isinstance(raw, tuple):
             return MultiValue(
-                tuple(self._wrap_result(x, arg_blocks, home) for x in raw)
+                tuple(
+                    self._wrap_result(x, arg_blocks, home, donated)
+                    for x in raw
+                )
             )
         for block in arg_blocks:
             if block is not None and block.payload is raw:
@@ -649,11 +764,44 @@ class ExecutionState:
             base: Any = raw
             while isinstance(base, np.ndarray) and base.base is not None:
                 base = base.base
-            for block in arg_blocks:
+            for i, block in enumerate(arg_blocks):
                 if block is not None and block.payload is base:
-                    raw = raw.copy()
+                    if i in donated and block.rc == 1:
+                        # Donated last use: the only live share is this
+                        # firing's input slot, released right after this
+                        # wrap, so no other consumer can ever reach the
+                        # buffer — and the view's NumPy ``base`` reference
+                        # keeps it alive.  The defensive copy is
+                        # unnecessary.
+                        self.stats.copies_avoided += 1
+                        self.stats.bytes_copy_avoided += int(raw.nbytes)
+                    else:
+                        raw = raw.copy()
                     break
         return wrap_payload(raw, home)
+
+    def _recycle_dead_inputs(self, pending: PendingOp, raw_result: Any) -> None:
+        """Offer donated inputs that died at rc→0 to the buffer pool.
+
+        Only provably safe buffers are pooled: the payload must be a bare
+        owning array (the pool enforces the shape of reusable buffers),
+        and the raw result must not alias it — a remote result never can
+        (it was deserialized from the worker), a local result is walked
+        structurally, and opaque application objects are conservatively
+        assumed to hold views.
+        """
+        assert pending.donated is not None
+        for i in pending.donated:
+            if i >= len(pending.op_inputs):
+                continue
+            v = pending.op_inputs[i]
+            if (
+                isinstance(v, DataBlock)
+                and v.rc == 0
+                and isinstance(v.payload, np.ndarray)
+                and (pending.remote or not _may_alias(raw_result, v.payload))
+            ):
+                self.buffers.put(v.payload)
 
     # ------------------------------------------------------------------
     def _fire_call(

@@ -329,6 +329,11 @@ class ProcessExecutor:
         Maximum operator calls per IPC message.
     cost_threshold / shm_threshold / pinned_local:
         Dispatch and transport tuning (see above).
+    measured_costs / min_dispatch_seconds:
+        Measured per-firing wall seconds by operator name (from
+        :func:`repro.machine.calibrate.calibrate_dispatch`) and the
+        per-call IPC cost bar they are compared against; measured
+        operators bypass the static cost-hint test entirely.
     registry_ref:
         :class:`~repro.runtime.workers.RegistryRef` naming an importable
         registry factory — required only on platforms without ``fork``,
@@ -339,7 +344,7 @@ class ProcessExecutor:
         self,
         n_workers: int = 4,
         batch_size: int = 4,
-        cost_threshold: float = 250_000.0,
+        cost_threshold: float = 2_000_000.0,
         shm_threshold: int = SHM_THRESHOLD_DEFAULT,
         use_priorities: bool = True,
         seed: int | None = None,
@@ -348,6 +353,8 @@ class ProcessExecutor:
         bus: EventBus | None = None,
         registry_ref: RegistryRef | None = None,
         pinned_local: tuple[str, ...] = (),
+        measured_costs: dict[str, float] | None = None,
+        min_dispatch_seconds: float = 0.002,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -359,6 +366,8 @@ class ProcessExecutor:
             cost_threshold=cost_threshold,
             nbytes_threshold=shm_threshold,
             pinned_local=frozenset(pinned_local),
+            measured_seconds=measured_costs,
+            min_dispatch_seconds=min_dispatch_seconds,
         )
         self.shm_threshold = shm_threshold
         self.use_priorities = use_priorities
@@ -385,6 +394,10 @@ class ProcessExecutor:
             bus.set_clock(lambda: time.perf_counter() - began)
         classify = self.policy.should_dispatch
         in_flight: dict[int, PendingOp] = {}
+        #: Pooled arena segments lent to each in-flight call, returned to
+        #: the arena when the call's result arrives (the worker decodes —
+        #: copies out of — every argument before computing).
+        call_segments: dict[int, list[str]] = {}
         staged: list[tuple[int, str, list[EncodedValue]]] = []
         call_seq = 0
 
@@ -415,8 +428,15 @@ class ProcessExecutor:
                 nonlocal call_seq
                 call_seq += 1
                 enc_args = [
-                    encode_value(a, self.shm_threshold) for a in pending.args
+                    encode_value(a, self.shm_threshold, arena=pool.arena)
+                    for a in pending.args
                 ]
+                pooled = [
+                    e.shm_name for e in enc_args
+                    if e.pooled and e.shm_name is not None
+                ]
+                if pooled:
+                    call_segments[call_seq] = pooled
                 if bus is not None:
                     now = bus.now()
                     for enc in enc_args:
@@ -462,6 +482,8 @@ class ProcessExecutor:
                 worker_id, results = pool.recv()
                 for call_id, ok, payload, t0_raw, duration in results:
                     pending = in_flight.pop(call_id)
+                    for name in call_segments.pop(call_id, ()):
+                        pool.arena.release(name)
                     spec = pending.spec
                     if not ok:
                         exc = _decode_exception(payload)

@@ -41,6 +41,11 @@ from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
 
+try:  # POSIX only; the arena needs tracker-free unlink (see ShmArena)
+    import _posixshmem
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _posixshmem = None
+
 from ..errors import RuntimeFailure
 from .operators import (
     FusedChain,
@@ -121,13 +126,19 @@ class EncodedValue:
     ``data`` is the pickle stream; when ``shm_name`` is set, the large
     buffers live in that shared-memory segment at ``segments`` (offset,
     nbytes) positions, in pickle buffer order.  ``shm_nbytes`` is the
-    segment size (0 for pure-pickle payloads).
+    payload's total buffer size (0 for pure-pickle payloads).
+
+    ``pooled`` marks a segment borrowed from a master-side
+    :class:`ShmArena`: the consumer copies out and *closes* it but never
+    unlinks — the arena reuses the segment for later calls and owns its
+    teardown.
     """
 
     data: bytes
     shm_name: str | None = None
     segments: tuple[tuple[int, int], ...] = ()
     shm_nbytes: int = 0
+    pooled: bool = False
 
     @property
     def nbytes(self) -> int:
@@ -138,14 +149,120 @@ class EncodedValue:
         return self.shm_name is not None
 
 
-def encode_value(obj: Any, shm_threshold: int = SHM_THRESHOLD_DEFAULT) -> EncodedValue:
+class ShmArena:
+    """A master-side pool of reusable shared-memory segments.
+
+    Every dispatched argument above the shm threshold used to create (and
+    the worker unlink) one fresh POSIX segment — a ``shm_open`` /
+    ``ftruncate`` / ``mmap`` / ``unlink`` round trip per large payload,
+    every fire.  The arena instead keeps segments alive across calls:
+    segments come in power-of-two size classes, ``acquire`` reuses a free
+    one when it fits, and the executor returns a call's segments with
+    :meth:`release` once the worker's result proves the arguments were
+    consumed.  Workers copy out and merely *close* pooled segments (see
+    :func:`decode_value`); only :meth:`close` — called at worker-pool
+    shutdown — unlinks them.
+
+    The arena lives in the master (the workers share one task queue, so a
+    segment's next consumer is unknown at encode time) and is empty when
+    workers fork, so children never inherit arena mappings.
+
+    Pooled segments are kept out of ``multiprocessing.resource_tracker``
+    entirely.  Which processes share a tracker depends on whether the
+    tracker happened to start before the workers forked, so any
+    registration an arena segment leaves behind in *some* process's
+    tracker ends with that tracker unlinking a segment the master still
+    reuses (or warning about "leaked" segments it never owned).  Instead
+    every registration is withdrawn where it happens — here after
+    create, in :func:`decode_value` after attach — and :meth:`close`
+    unlinks through ``shm_unlink`` directly, bypassing the tracker's
+    bookkeeping.  Crash cleanup is therefore manual (``/dev/shm``), the
+    usual cost of explicitly managed segment lifetime.
+    """
+
+    def __init__(self, min_bytes: int = 4096) -> None:
+        self.min_bytes = min_bytes
+        self.created = 0
+        self.reused = 0
+        self.created_bytes = 0
+        #: name -> (segment, size class) currently lent to an in-flight call.
+        self._lent: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
+        #: size class -> free segments of that class.
+        self._free: dict[int, list[shared_memory.SharedMemory]] = {}
+
+    def _size_class(self, nbytes: int) -> int:
+        return 1 << (max(self.min_bytes, nbytes) - 1).bit_length()
+
+    def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
+        """A segment of at least ``nbytes``, recycled when one fits."""
+        cls = self._size_class(nbytes)
+        free = self._free.get(cls)
+        if free:
+            shm = free.pop()
+            self.reused += 1
+        else:
+            shm = shared_memory.SharedMemory(create=True, size=cls)
+            # Withdraw the create-side tracker registration immediately;
+            # the arena owns this segment's whole lifetime (class docs).
+            resource_tracker.unregister(shm._name, "shared_memory")
+            self.created += 1
+            self.created_bytes += cls
+        self._lent[shm.name] = (shm, cls)
+        return shm
+
+    def release(self, name: str) -> None:
+        """Return a lent segment to its free list (unknown names ignored)."""
+        entry = self._lent.pop(name, None)
+        if entry is not None:
+            shm, cls = entry
+            self._free.setdefault(cls, []).append(shm)
+
+    def close(self) -> None:
+        """Unlink every segment (lent and free).  Arena is reusable after."""
+        segments = [shm for shm, _ in self._lent.values()]
+        segments.extend(
+            shm for free in self._free.values() for shm in free
+        )
+        self._lent.clear()
+        self._free.clear()
+        for shm in segments:
+            name = shm._name
+            shm.close()
+            try:
+                if _posixshmem is not None:
+                    # Not shm.unlink(): that would also send an
+                    # UNREGISTER for a name no tracker has registered.
+                    _posixshmem.shm_unlink(name)
+                else:  # pragma: no cover - non-POSIX platforms
+                    resource_tracker.register(name, "shared_memory")
+                    shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "created": self.created,
+            "reused": self.reused,
+            "created_bytes": self.created_bytes,
+            "lent": len(self._lent),
+            "free": sum(len(v) for v in self._free.values()),
+        }
+
+
+def encode_value(
+    obj: Any,
+    shm_threshold: int = SHM_THRESHOLD_DEFAULT,
+    arena: ShmArena | None = None,
+) -> EncodedValue:
     """Serialize ``obj`` for the other side of a process boundary.
 
     Contiguous pickle-5 buffers (NumPy array data, wherever it sits in the
     object graph — inside a dataclass, a list, a dict) of at least
-    ``shm_threshold`` bytes are placed in one fresh shared-memory segment;
-    the segment is closed (not unlinked) before returning, so it survives
-    until the consumer unlinks it in :func:`decode_value`.
+    ``shm_threshold`` bytes are placed in one shared-memory segment.
+    Without an ``arena`` the segment is fresh and the consumer unlinks it
+    in :func:`decode_value`; with an ``arena`` the segment is borrowed
+    (``pooled=True``) and the caller returns it via
+    :meth:`ShmArena.release` once consumed.
     """
     buffers: list[pickle.PickleBuffer] = []
 
@@ -168,6 +285,14 @@ def encode_value(obj: Any, shm_threshold: int = SHM_THRESHOLD_DEFAULT) -> Encode
         n = pb.raw().nbytes
         segments.append((total, n))
         total += -(-n // _ALIGN) * _ALIGN
+    if arena is not None:
+        shm = arena.acquire(total)
+        for (offset, n), pb in zip(segments, buffers):
+            shm.buf[offset : offset + n] = pb.raw().cast("B")
+            pb.release()
+        # The arena keeps the segment open and will reuse it; nothing to
+        # close or unregister here.
+        return EncodedValue(data, shm.name, tuple(segments), total, pooled=True)
     shm = shared_memory.SharedMemory(create=True, size=total)
     try:
         for (offset, n), pb in zip(segments, buffers):
@@ -188,20 +313,33 @@ def decode_value(enc: EncodedValue, unlink: bool = True) -> Any:
     """Rebuild a payload from :func:`encode_value`'s wire form.
 
     The shared-memory segment (if any) is copied into a **private**
-    writable buffer before unpickling, then closed and (by default)
-    unlinked — the consumer owns segment teardown.  Arrays in the result
-    are therefore writable and fully isolated from the producer: an
-    in-place write on this side is invisible on the other, which is what
-    lets the engine skip physical COW copies for remote operator calls.
+    writable buffer before unpickling, then closed; non-pooled segments
+    are (by default) also unlinked — the consumer owns their teardown.
+    Pooled segments belong to the producer's :class:`ShmArena`: the copy
+    is sliced to the payload's bytes (the segment is size-class rounded),
+    the attach-side resource-tracker registration is withdrawn (Python
+    registers on attach unconditionally; arena segments stay out of
+    every tracker — see :class:`ShmArena`), and the segment itself is
+    left alone for the arena to reuse.
+
+    Arrays in the result are writable and fully isolated from the
+    producer either way: an in-place write on this side is invisible on
+    the other, which is what lets the engine skip physical COW copies for
+    remote operator calls.
     """
     if enc.shm_name is None:
         return pickle.loads(enc.data)
     shm = shared_memory.SharedMemory(name=enc.shm_name)
     try:
-        private = bytearray(shm.buf)
+        if enc.pooled:
+            private = bytearray(shm.buf[: enc.shm_nbytes])
+        else:
+            private = bytearray(shm.buf)
     finally:
         shm.close()
-        if unlink:
+        if enc.pooled:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        elif unlink:
             shm.unlink()
     view = memoryview(private)
     buffers = [view[offset : offset + n] for offset, n in enc.segments]
@@ -210,8 +348,8 @@ def decode_value(enc: EncodedValue, unlink: bool = True) -> Any:
 
 def discard_encoded(enc: EncodedValue) -> None:
     """Free an encoded payload that will never be decoded (error paths)."""
-    if enc.shm_name is None:
-        return
+    if enc.shm_name is None or enc.pooled:
+        return  # pooled segments are torn down by their arena
     try:
         shm = shared_memory.SharedMemory(name=enc.shm_name)
     except FileNotFoundError:  # consumer got there first
@@ -326,6 +464,10 @@ class WorkerPool:
         self.n_workers = n_workers
         self.registry_ref = registry_ref
         self.shm_threshold = shm_threshold
+        #: Reusable dispatch-argument segments.  Created (empty) before the
+        #: workers fork so children never inherit arena mappings; the pool
+        #: owns its teardown in :meth:`close`.
+        self.arena = ShmArena()
         ctx = pick_context()
         if (
             ctx.get_start_method() != "fork"
@@ -384,6 +526,7 @@ class WorkerPool:
                 p.join(timeout=1.0)
         self._tasks.close()
         self._results.close()
+        self.arena.close()
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -396,23 +539,45 @@ class WorkerPool:
 class DispatchPolicy:
     """When does an operator body cross the process boundary?
 
-    An operator is dispatched when its cost hint (ticks) meets
-    ``cost_threshold``; operators without a usable hint fall back to a
-    payload-size test (``nbytes_threshold`` over the summed argument
-    sizes) — big data usually means big compute, and cheap glue on small
-    scalars must never pay IPC.  Set ``cost_threshold=0.0`` to dispatch
-    every operator (the determinism test harness does).
+    The best evidence is *measured* wall time: when ``measured_seconds``
+    (from :func:`repro.machine.calibrate.calibrate_dispatch`) knows an
+    operator, it is dispatched only when one firing costs at least
+    ``min_dispatch_seconds`` — the observed per-call IPC round trip;
+    anything cheaper runs faster in the master than it serializes.
+
+    Unmeasured operators fall back to the static cost hint (ticks)
+    against ``cost_threshold``; operators without a usable hint fall back
+    further to a payload-size test (``nbytes_threshold`` over the summed
+    argument sizes) — big data usually means big compute, and cheap glue
+    on small scalars must never pay IPC.  Set ``cost_threshold=0.0`` to
+    dispatch every operator (the determinism test harness does).
+
+    The default ``cost_threshold`` corresponds to ~2 ms at the nominal
+    10⁹ ticks/s machine scale, matching ``min_dispatch_seconds``: after
+    operator fusion made individual firings cheap, the old 250k-tick
+    (0.25 ms) bar dispatched operators that cost far less than the IPC
+    they paid, which is exactly the regression the measured table fixes.
     """
 
-    cost_threshold: float = 250_000.0
+    cost_threshold: float = 2_000_000.0
     nbytes_threshold: int = SHM_THRESHOLD_DEFAULT
     #: Operator names always kept in-process (glue the master can run
     #: faster than it can serialize).
     pinned_local: frozenset[str] = field(default_factory=frozenset)
+    #: Measured wall seconds per firing, by operator name (including
+    #: fused super-operator names) — see ``calibrate_dispatch``.
+    measured_seconds: dict[str, float] | None = None
+    #: Minimum measured per-firing cost that justifies the process
+    #: boundary (~ one IPC round trip).
+    min_dispatch_seconds: float = 0.002
 
     def should_dispatch(self, spec: Any, payloads: tuple[Any, ...]) -> bool:
         if spec.name in self.pinned_local:
             return False
+        if self.measured_seconds is not None:
+            seconds = self.measured_seconds.get(spec.name)
+            if seconds is not None:
+                return seconds >= self.min_dispatch_seconds
         cost = spec.try_cost_ticks(payloads)
         if cost is not None:
             return cost >= self.cost_threshold

@@ -73,6 +73,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "(--no-fuse reproduces the unfused graphs bit-for-bit)",
     )
     parser.add_argument(
+        "--donate",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="annotate statically-proven last-use edges so the engine "
+        "skips copy-on-write and recycles buffers (--no-donate keeps "
+        "every copy decision dynamic)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the compile cache (~/.cache/delirium or "
@@ -136,10 +144,13 @@ def _compile(args: argparse.Namespace):
         return _LoadedGraph(load(args.file))
     passes = () if args.no_optimize else ("inline", "constprop", "cse", "dce")
     if args.fuse:
-        # The fusion flag is part of the pass tuple, so the compile cache
-        # key (which hashes the pass set) can never serve a --fuse graph
-        # to a --no-fuse invocation or vice versa.
+        # Graph-pass flags are part of the pass tuple, so the compile
+        # cache key (which hashes the pass set) can never serve a --fuse
+        # or --donate graph to an invocation that disabled it, or vice
+        # versa.
         passes = passes + ("fuse",)
+    if args.donate:
+        passes = passes + ("donate",)
     defines = _defines(args.define)
     key = None
     if not args.no_cache:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.runtime.blocks import (
+    BufferPool,
     DataBlock,
     copy_payload,
     payload_nbytes,
@@ -73,10 +74,25 @@ class TestRetainRelease:
         retain(block, 0)
         assert block.rc == 0
 
-    def test_negative_rc_asserts(self):
+    def test_negative_rc_raises_runtime_error(self):
+        # A real error, not an assert: must fire even under ``python -O``.
         block = DataBlock([1])
-        with pytest.raises(AssertionError):
+        with pytest.raises(RuntimeError, match="went negative"):
             release(block, 1)
+
+    def test_negative_rc_restores_count(self):
+        block = DataBlock([1])
+        retain(block, 1)
+        with pytest.raises(RuntimeError):
+            release(block, 2)
+        assert block.rc == 1  # the failed release must not corrupt rc
+
+    def test_negative_rc_inside_multivalue(self):
+        a = DataBlock([1])
+        retain(a, 1)
+        mv = MultiValue((a,))
+        with pytest.raises(RuntimeError):
+            release(mv, 2)
 
     def test_scalars_ignored(self):
         retain(42, 3)
@@ -130,6 +146,56 @@ class TestUnwrap:
     def test_atoms_unchanged(self):
         assert unwrap(7) == 7
         assert unwrap(NULL) is NULL
+
+
+class TestBufferPool:
+    def test_round_trip_same_shape_dtype(self):
+        pool = BufferPool()
+        arr = np.ascontiguousarray(
+            np.arange(6, dtype=np.float64).reshape(2, 3)
+        ).copy()
+        assert pool.put(arr)
+        got = pool.get((2, 3), np.float64)
+        assert got is arr
+        assert pool.stats()["recycled"] == 1
+        assert pool.stats()["recycled_bytes"] == arr.nbytes
+
+    def test_get_miss_returns_none(self):
+        pool = BufferPool()
+        pool.put(np.zeros((2, 3)))
+        assert pool.get((3, 2), np.float64) is None
+        assert pool.get((2, 3), np.float32) is None
+
+    def test_views_rejected(self):
+        pool = BufferPool()
+        arr = np.zeros((4, 4))
+        assert not pool.put(arr[1:])
+        assert pool.stats()["dropped"] == 1
+
+    def test_non_contiguous_rejected(self):
+        pool = BufferPool()
+        assert not pool.put(np.zeros((4, 4)).T.copy(order="F"))
+
+    def test_empty_rejected(self):
+        pool = BufferPool()
+        assert not pool.put(np.zeros((0,)))
+
+    def test_non_array_rejected(self):
+        pool = BufferPool()
+        assert not pool.put([1, 2, 3])
+
+    def test_capacity_bound(self):
+        pool = BufferPool(max_bytes=100)
+        assert pool.put(np.zeros(10))  # 80 bytes held
+        assert not pool.put(np.zeros(10))  # would exceed 100
+        assert pool.stats()["held_bytes"] == 80
+        assert pool.stats()["dropped"] == 1
+
+    def test_held_bytes_tracks_get(self):
+        pool = BufferPool()
+        pool.put(np.zeros(10))
+        pool.get((10,), np.float64)
+        assert pool.stats()["held_bytes"] == 0
 
 
 class TestSizes:

@@ -1,0 +1,305 @@
+"""The last-use ("donation") analysis: pass, validation, serialization,
+cache keying, and the engine's trust-but-verify dynamic semantics.
+
+The static rule lives in :func:`repro.graph.validate.donation_violation`
+(single source of truth); the pass in ``compiler/passes/donate.py``
+annotates exactly the edges that rule accepts; ``validate_template``
+re-checks every annotation so a mis-annotated graph — hand-edited,
+corrupted, or produced by a buggy pass — is rejected before the engine
+can corrupt a shared payload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import GraphError, compile_source, validate_program
+from repro.compiler.passes import donate
+from repro.compiler.passes.pipeline import PASS_ORDER
+from repro.graph import serialize
+from repro.graph.ir import NodeKind
+from repro.graph.validate import donation_violation
+from repro.runtime import SequentialExecutor
+from repro.runtime.operators import OperatorRegistry, default_registry
+from repro.tools.cache import cache_key
+
+DONATING = PASS_ORDER + ("fuse", "donate")
+
+
+def _registry() -> OperatorRegistry:
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(name="mkblock", cost=20.0)
+    def mkblock(n):
+        return [n, n + 1, n + 2]
+
+    @local.register(name="mkarray", pure=True, cost=20.0)
+    def mkarray(n):
+        return np.full(1024, float(n))
+
+    @local.register(name="bump", modifies=(0,), cost=30.0)
+    def bump(lst, k):
+        for i in range(len(lst)):
+            lst[i] += k
+        return lst
+
+    @local.register(name="abump", modifies=(0,), cost=30.0)
+    def abump(a, k):
+        a += k
+        return a
+
+    @local.register(name="blk_sum", pure=True, cost=10.0)
+    def blk_sum(x):
+        return int(np.sum(x)) if isinstance(x, np.ndarray) else sum(x)
+
+    return reg.merged_with(local)
+
+
+REGISTRY = _registry()
+
+CHAIN = """
+main(n)
+  blk_sum(bump(bump(mkblock(n), 1), 2))
+"""
+
+SHARED = """
+main(n)
+  let x = mkblock(n)
+      a = bump(x, 1)
+  in add(blk_sum(a), 0)
+"""
+
+
+def _entry(compiled):
+    return compiled.graph.templates[compiled.graph.entry]
+
+
+class TestAnnotation:
+    def test_chain_edges_donated(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=DONATING
+        )
+        template = _entry(compiled)
+        donated = {
+            (i, d)
+            for i, node in enumerate(template.nodes)
+            if node.donated
+            for d in node.donated
+        }
+        assert donated, "single-consumer chain must donate"
+        validate_program(compiled.graph)
+        # Every bump receives its block argument donated: sole consumer,
+        # plain OP producer, not the template result.
+        for i, node in enumerate(template.nodes):
+            if node.kind is NodeKind.OP and node.name == "bump":
+                assert node.donated and 0 in node.donated, (i, node)
+
+    def test_undonated_passes_leave_no_annotations(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=PASS_ORDER + ("fuse",)
+        )
+        assert all(
+            node.donated is None
+            for t in compiled.graph.templates.values()
+            for node in t.nodes
+        )
+
+    def test_result_port_never_donated(self):
+        # In SHARED, `a` (bump's output) flows to blk_sum whose output is
+        # combined into the result; the template-result port itself is
+        # excluded by the rule regardless of consumer count.
+        compiled = compile_source(
+            SHARED, registry=REGISTRY, optimize_passes=DONATING
+        )
+        template = _entry(compiled)
+        result = template.result
+        for node in template.nodes:
+            if not node.donated:
+                continue
+            for i in node.donated:
+                port = node.inputs[i]
+                assert not (
+                    result.node == port.node and result.out == port.out
+                )
+
+    def test_violation_reasons(self):
+        compiled = compile_source(
+            SHARED, registry=REGISTRY, optimize_passes=()
+        )
+        template = _entry(compiled)
+        param = next(
+            i
+            for i, n in enumerate(template.nodes)
+            if n.kind is NodeKind.PARAM
+        )
+        assert "not an operator" in donation_violation(template, param, 0)
+        some_op = next(
+            i for i, n in enumerate(template.nodes) if n.kind is NodeKind.OP
+        )
+        assert "has no input" in donation_violation(template, some_op, 99)
+
+    def test_run_reports_stats(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=PASS_ORDER
+        )
+        stats = donate.run(compiled.graph)
+        assert stats["donate.edges_donated"] >= 2
+        assert stats["donate.nodes_annotated"] >= 2
+
+
+class TestValidation:
+    def test_misannotated_shared_edge_rejected(self):
+        # Compile WITHOUT donation, then forge a donated annotation on an
+        # edge whose producing port has several consumers — exactly the
+        # corruption validate_program must catch (the COW-safety net).
+        source = """
+main(n)
+  let x = mkblock(n)
+      a = bump(x, 1)
+  in add(blk_sum(a), blk_sum(x))
+"""
+        compiled = compile_source(
+            source, registry=REGISTRY, optimize_passes=()
+        )
+        template = _entry(compiled)
+        bump_id = next(
+            i
+            for i, n in enumerate(template.nodes)
+            if n.kind is NodeKind.OP and n.name == "bump"
+        )
+        assert donation_violation(template, bump_id, 0) is not None
+        template.nodes[bump_id].donated = (0,)
+        with pytest.raises(GraphError, match="annotated donated"):
+            validate_program(compiled.graph)
+
+    def test_out_of_range_annotation_rejected(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=()
+        )
+        template = _entry(compiled)
+        op = next(
+            i for i, n in enumerate(template.nodes) if n.kind is NodeKind.OP
+        )
+        template.nodes[op].donated = (42,)
+        with pytest.raises(GraphError, match="no input 42"):
+            validate_program(compiled.graph)
+
+    def test_annotated_graph_validates(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=DONATING
+        )
+        validate_program(compiled.graph)
+
+
+class TestSerialization:
+    def test_round_trip_preserves_annotations(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=DONATING
+        )
+        text = serialize.dumps(compiled.graph)
+        restored = serialize.loads(text)
+        for name, template in compiled.graph.templates.items():
+            other = restored.templates[name]
+            assert [n.donated for n in template.nodes] == [
+                n.donated for n in other.nodes
+            ]
+        assert serialize.dumps(restored) == text
+
+    def test_unannotated_dump_has_no_donated_key(self):
+        # Dumps of graphs that never ran the donation pass must stay
+        # bit-identical to the pre-donation format: the key is simply
+        # absent, not null.
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=PASS_ORDER + ("fuse",)
+        )
+        assert "donated" not in serialize.dumps(compiled.graph)
+
+
+class TestCacheKey:
+    def test_donate_pass_changes_key(self):
+        with_donate = cache_key(CHAIN, passes=DONATING)
+        without = cache_key(CHAIN, passes=PASS_ORDER + ("fuse",))
+        assert with_donate != without
+        assert with_donate == cache_key(CHAIN, passes=DONATING)
+
+
+class TestDescribe:
+    def test_describe_shows_donated_inputs(self):
+        compiled = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=DONATING
+        )
+        assert "donated=[0]" in _entry(compiled).describe()
+
+
+class TestEngineSemantics:
+    def test_donated_chain_runs_in_place_and_matches(self):
+        donated = compile_source(
+            CHAIN, registry=REGISTRY, optimize_passes=DONATING
+        )
+        plain = compile_source(CHAIN, registry=REGISTRY, optimize_passes=())
+        for n in (0, 3, -2):
+            ref = SequentialExecutor().run(
+                plain.graph, args=(n,), registry=REGISTRY
+            )
+            res = SequentialExecutor().run(
+                donated.graph, args=(n,), registry=REGISTRY
+            )
+            assert res.value == ref.value
+            assert res.stats.cow_copies == 0
+            assert res.stats.copies_avoided >= 2
+            assert res.stats.donation_misses == 0
+
+    def test_dynamic_aliasing_falls_back_to_cow(self):
+        # <a, b> = <x, x>: a's untuple port has one consumer, so the edge
+        # into bump is statically donatable — but at fire time the block
+        # is shared with b (rc 2), the case the static rule cannot see.
+        # The engine's reference-count guard must miss and COW.
+        source = """
+main(n)
+  let x = mkblock(n)
+      p = <x, x>
+      <a, b> = p
+      va = bump(a, 1)
+  in add(blk_sum(va), blk_sum(b))
+"""
+        donated = compile_source(
+            source, registry=REGISTRY, optimize_passes=DONATING
+        )
+        plain = compile_source(source, registry=REGISTRY, optimize_passes=())
+        ref = SequentialExecutor().run(
+            plain.graph, args=(2,), registry=REGISTRY
+        )
+        res = SequentialExecutor().run(
+            donated.graph, args=(2,), registry=REGISTRY
+        )
+        assert res.value == ref.value
+        template = _entry(donated)
+        bump_donated = any(
+            0 in (node.donated or ())
+            for node in template.nodes
+            if node.kind is NodeKind.OP and node.name == "bump"
+        )
+        if bump_donated:
+            assert res.stats.donation_misses >= 1
+            assert res.stats.cow_copies >= 1
+
+    def test_dead_donated_ndarray_buffer_recycled(self):
+        # mkarray's buffer is donated into abump (in place), abump's
+        # result is donated into blk_sum; after blk_sum the array dies
+        # with a non-aliasing scalar result — its buffer must enter the
+        # pool for the next same-shape COW.
+        source = """
+main(n)
+  blk_sum(abump(mkarray(n), 1))
+"""
+        compiled = compile_source(
+            source, registry=REGISTRY, optimize_passes=DONATING
+        )
+        res = SequentialExecutor().run(
+            compiled.graph, args=(3,), registry=REGISTRY
+        )
+        assert res.value == 4 * 1024
+        assert res.stats.cow_copies == 0
+        assert res.stats.pool_stats["held_bytes"] == 1024 * 8

@@ -162,9 +162,10 @@ class TestEligibility:
 
 class TestPipelineOrdering:
     def test_fuse_is_graph_level(self):
-        assert GRAPH_PASS_ORDER == ("fuse",)
+        assert GRAPH_PASS_ORDER == ("fuse", "donate")
         assert "fuse" not in PASS_ORDER
-        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse",)
+        assert "donate" not in PASS_ORDER
+        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse", "donate")
 
     def test_split_passes_partitions(self):
         ast_passes, graph_passes = split_passes(

@@ -1,0 +1,209 @@
+"""Runtime memory-path units: the shared-memory arena, the measured
+dispatch policy, dispatch calibration, and the engine's aliasing guard.
+
+These are the pieces behind the zero-copy process path: the master's
+:class:`~repro.runtime.workers.ShmArena` recycles POSIX segments across
+fires, :class:`~repro.runtime.workers.DispatchPolicy` consults measured
+per-operator wall costs before paying an IPC round trip, and
+``calibrate_dispatch`` produces that table from one traced run.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.machine import calibrate_dispatch
+from repro.runtime.engine import _may_alias
+from repro.runtime.workers import (
+    DispatchPolicy,
+    ShmArena,
+    decode_value,
+    encode_value,
+)
+
+
+class TestShmArena:
+    def test_acquire_release_reuses_segment(self):
+        arena = ShmArena()
+        try:
+            first = arena.acquire(5000)
+            name = first.name
+            arena.release(name)
+            second = arena.acquire(6000)  # same 8192-byte size class
+            assert second.name == name
+            assert arena.stats()["created"] == 1
+            assert arena.stats()["reused"] == 1
+        finally:
+            arena.close()
+
+    def test_size_classes_are_powers_of_two_with_floor(self):
+        arena = ShmArena(min_bytes=4096)
+        assert arena._size_class(1) == 4096
+        assert arena._size_class(4096) == 4096
+        assert arena._size_class(4097) == 8192
+        assert arena._size_class(100_000) == 131_072
+
+    def test_distinct_classes_do_not_share(self):
+        arena = ShmArena()
+        try:
+            small = arena.acquire(1000)
+            arena.release(small.name)
+            big = arena.acquire(1_000_000)
+            assert big.name != small.name
+            assert arena.stats()["created"] == 2
+            assert arena.stats()["reused"] == 0
+        finally:
+            arena.close()
+
+    def test_close_unlinks_everything(self):
+        from multiprocessing import shared_memory
+
+        arena = ShmArena()
+        lent = arena.acquire(5000)
+        freed = arena.acquire(5000)
+        arena.release(freed.name)
+        names = [lent.name, freed.name]
+        arena.close()
+        assert arena.stats()["lent"] == 0
+        assert arena.stats()["free"] == 0
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_pooled_encode_decode_round_trip(self):
+        arena = ShmArena()
+        try:
+            payload = np.arange(10_000, dtype=np.float64)
+            enc = encode_value(payload, shm_threshold=1024, arena=arena)
+            assert enc.pooled
+            assert enc.shm_name is not None
+            decoded = decode_value(enc)
+            np.testing.assert_array_equal(decoded, payload)
+            assert arena.stats()["lent"] == 1
+            arena.release(enc.shm_name)
+            # The next large encode must reuse the same segment.
+            enc2 = encode_value(payload * 2.0, shm_threshold=1024, arena=arena)
+            assert enc2.shm_name == enc.shm_name
+            assert arena.stats()["reused"] == 1
+            np.testing.assert_array_equal(decode_value(enc2), payload * 2.0)
+        finally:
+            arena.close()
+
+    def test_small_payloads_skip_the_arena(self):
+        arena = ShmArena()
+        try:
+            enc = encode_value(np.arange(4), shm_threshold=1 << 20, arena=arena)
+            assert not enc.pooled
+            assert enc.shm_name is None
+            assert arena.stats()["created"] == 0
+        finally:
+            arena.close()
+
+
+def _spec(name: str, cost):
+    return SimpleNamespace(name=name, try_cost_ticks=lambda payloads: cost)
+
+
+class TestDispatchPolicy:
+    def test_measured_table_overrides_cost_hint(self):
+        policy = DispatchPolicy(
+            measured_seconds={"cheap": 0.0001, "heavy": 0.02},
+            min_dispatch_seconds=0.002,
+        )
+        # cheap's static hint says "dispatch"; the measurement vetoes it.
+        assert not policy.should_dispatch(_spec("cheap", 1e9), (1,))
+        assert policy.should_dispatch(_spec("heavy", 1.0), (1,))
+
+    def test_unmeasured_falls_back_to_cost_hint(self):
+        policy = DispatchPolicy(
+            measured_seconds={"other": 1.0}, cost_threshold=2_000_000.0
+        )
+        assert policy.should_dispatch(_spec("unknown", 3_000_000.0), (1,))
+        assert not policy.should_dispatch(_spec("unknown", 1_000.0), (1,))
+
+    def test_pinned_local_beats_measurement(self):
+        policy = DispatchPolicy(
+            pinned_local=frozenset({"heavy"}),
+            measured_seconds={"heavy": 10.0},
+        )
+        assert not policy.should_dispatch(_spec("heavy", 1e9), (1,))
+
+    def test_zero_threshold_still_dispatches_everything(self):
+        policy = DispatchPolicy(cost_threshold=0.0)
+        assert policy.should_dispatch(_spec("anything", 0.0), (1,))
+
+
+class TestCalibrateDispatch:
+    @pytest.fixture(scope="class")
+    def calibration(self):
+        config = RetinaConfig(height=32, width=32, kernel_size=5, num_iter=2)
+        prog = compile_retina(2, config, fuse=True, donate=True)
+        return calibrate_dispatch(prog.graph, prog.registry)
+
+    def test_partition_covers_all_measured_operators(self, calibration):
+        names = set(calibration.seconds_by_operator)
+        assert names
+        assert set(calibration.dispatch) | set(calibration.keep_local) == names
+        assert not set(calibration.dispatch) & set(calibration.keep_local)
+        for name in calibration.dispatch:
+            assert (
+                calibration.seconds_by_operator[name]
+                >= calibration.min_dispatch_seconds
+            )
+
+    def test_fused_specs_measured_under_spec_names(self, calibration):
+        # measure_costs keys records by node *label* ("a+b"); the policy
+        # needs spec names ("fused:...") — the mapping must land there.
+        assert any(
+            name.startswith("fused:")
+            for name in calibration.seconds_by_operator
+        )
+
+    def test_tiny_retina_keeps_everything_local(self, calibration):
+        # 32x32 firings are tens of microseconds — far below one IPC
+        # round trip.  This is the PR 4 regression fix in miniature.
+        assert calibration.dispatch == []
+
+    def test_bar_at_zero_dispatches_everything(self):
+        config = RetinaConfig(height=32, width=32, kernel_size=5, num_iter=1)
+        prog = compile_retina(2, config, fuse=True)
+        calibration = calibrate_dispatch(
+            prog.graph, prog.registry, min_dispatch_seconds=0.0
+        )
+        assert calibration.keep_local == []
+        assert set(calibration.dispatch) == set(
+            calibration.seconds_by_operator
+        )
+
+
+class TestMayAlias:
+    def test_scalars_never_alias(self):
+        a = np.ones(8)
+        assert not _may_alias(1, a)
+        assert not _may_alias("x", a)
+        assert not _may_alias(np.float64(3.0), a)
+
+    def test_same_array_aliases(self):
+        a = np.ones(8)
+        assert _may_alias(a, a)
+
+    def test_view_aliases_its_base(self):
+        a = np.ones(8)
+        assert _may_alias(a[2:5], a)
+
+    def test_unrelated_array_does_not_alias(self):
+        assert not _may_alias(np.ones(8), np.zeros(8))
+
+    def test_tuple_aliases_through_members(self):
+        a = np.ones(8)
+        assert _may_alias((1, a[1:]), a)
+        assert not _may_alias((1, np.zeros(4)), a)
+
+    def test_opaque_objects_assumed_aliasing(self):
+        a = np.ones(8)
+        assert _may_alias([a], a)  # list: conservatively aliasing
+        assert _may_alias(object(), a)
