@@ -13,7 +13,8 @@ The subtypes mirror the stages of the system:
 * :class:`GraphError` — ill-formed coordination graphs (these indicate bugs
   in the compiler or hand-built graphs, not user programs).
 * :class:`RuntimeFailure` (and :class:`OperatorError`,
-  :class:`UnknownOperatorError`) — failures while executing a graph.
+  :class:`UnknownOperatorError`, :class:`PoolIrrecoverableError`) —
+  failures while executing a graph.
 * :class:`MachineError` — misconfigured machine models or simulator misuse.
 """
 
@@ -88,11 +89,44 @@ class OperatorError(RuntimeFailure):
 
     The original exception is preserved as ``__cause__`` and the operator
     name is recorded so node-timing reports can point at the culprit.
+    When the fire ran under a supervised executor the error additionally
+    carries where and how it failed:
+
+    ``node_id``
+        Coordination-graph node id of the firing (``-1`` when unknown).
+    ``attempts``
+        One entry per execution attempt, oldest first — ``(attempt,
+        worker_pid, outcome)`` where ``outcome`` is a short string such as
+        ``"raised: ValueError('boom')"``, ``"worker crashed"``, or
+        ``"timed out after 2.0s"``.  Empty for unsupervised failures.
+    ``worker_pid``
+        Pid of the worker that executed the final attempt (``None`` for
+        in-process execution).
     """
 
-    def __init__(self, operator: str, cause: BaseException) -> None:
+    def __init__(
+        self,
+        operator: str,
+        cause: BaseException,
+        *,
+        node_id: int = -1,
+        attempts: tuple[tuple[int, int | None, str], ...] = (),
+        worker_pid: int | None = None,
+    ) -> None:
         self.operator = operator
-        super().__init__(f"operator {operator!r} failed: {cause!r}")
+        self.node_id = node_id
+        self.attempts = attempts
+        self.worker_pid = worker_pid
+        message = f"operator {operator!r} failed: {cause!r}"
+        if node_id >= 0:
+            message += f" (node {node_id})"
+        if attempts:
+            history = "; ".join(
+                f"attempt {n}" + (f" [pid {pid}]" if pid else "") + f": {out}"
+                for n, pid, out in attempts
+            )
+            message += f" after {len(attempts)} attempt(s): {history}"
+        super().__init__(message)
         self.__cause__ = cause
 
 
@@ -105,6 +139,23 @@ class UnknownOperatorError(RuntimeFailure):
             f"unknown operator {operator!r}: not registered and not a "
             "Delirium function in the compiled program"
         )
+
+
+class PoolIrrecoverableError(RuntimeFailure):
+    """The process worker pool cannot be kept alive.
+
+    Raised (or caught by the degradation ladder) when worker respawns
+    exceed :attr:`~repro.runtime.supervise.FaultPolicy.max_respawns`, or
+    the pool cannot be constructed at all.
+    """
+
+    def __init__(self, reason: str, respawns: int = 0) -> None:
+        self.reason = reason
+        self.respawns = respawns
+        message = f"worker pool irrecoverable: {reason}"
+        if respawns:
+            message += f" (after {respawns} respawn(s))"
+        super().__init__(message)
 
 
 class MachineError(DeliriumError):

@@ -1,0 +1,40 @@
+"""Seeded, deterministic fault injection for the Delirium runtime.
+
+The single-assignment model makes re-execution of a failed firing
+semantically safe, which means the runtime's fault-tolerance layer
+(:mod:`repro.runtime.supervise`) can be *tested* the strongest possible
+way: inject crashes, exceptions, delays, and allocation failures into a
+run and assert the result is bit-identical to the fault-free run.  This
+package provides the injection side of that contract:
+
+* :class:`FaultSpec` — a parsed ``--inject-faults`` specification (see
+  :func:`FaultSpec.parse` for the grammar);
+* :class:`FaultInjector` — the runtime hook: executors (and worker
+  processes, which rebuild their own injector from the picklable spec)
+  consult it at every operator-call boundary and at every shared-memory
+  arena acquisition;
+* :class:`InjectedFault` — the exception raised by ``raise`` clauses,
+  picklable so it survives the worker result channel.
+
+Every decision is a pure function of ``(clause seed, operator name,
+per-operator invocation count)`` through a keyed blake2 hash — no global
+RNG state, so two runs with the same spec inject the same faults at the
+same logical points regardless of scheduling, and each forked worker's
+decisions depend only on the calls it actually executes.
+"""
+
+from .spec import (
+    FaultClause,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultClause",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "parse_fault_spec",
+]

@@ -1,0 +1,277 @@
+"""The ``--inject-faults`` grammar and the deterministic injector.
+
+Grammar (clauses separated by ``;``, parameters by ``,``)::
+
+    SPEC   := CLAUSE (';' CLAUSE)*
+    CLAUSE := KIND [':' PARAM (',' PARAM)*]
+    PARAM  := KEY '=' VALUE
+    KIND   := 'raise' | 'delay' | 'kill' | 'arena'
+
+Kinds:
+
+``raise``
+    The operator call raises :class:`InjectedFault` *before* the operator
+    body runs (so no argument is ever half-mutated — re-execution sees
+    pristine inputs).
+``delay``
+    Sleep ``seconds`` before the operator body.  Combined with a
+    supervisor timeout this is how a test forces a per-fire timeout.
+``kill``
+    ``SIGKILL`` the current process before the operator body — but only
+    when the process is a *worker* (it has a multiprocessing parent).
+    In the master or a plain sequential run the clause is inert, so one
+    spec string can be reused across every executor.
+``arena``
+    Fail a :class:`~repro.runtime.workers.ShmArena` segment acquisition
+    (the encoder falls back to a fresh unpooled segment).
+
+Selection parameters, common to all kinds:
+
+``op=NAME``
+    Restrict to one operator (default: every operator; ignored by
+    ``arena``, which has no operator context).
+``p=FLOAT`` / ``seed=INT``
+    Fire with probability ``p`` per matching invocation, decided by a
+    keyed hash of ``(seed, op, invocation count)`` — deterministic, no
+    RNG state.
+``nth=INT``
+    Fire on exactly the N-th matching invocation (1-based), once.
+``times=INT``
+    Cap total firings of the clause (default: 1 for ``nth`` clauses,
+    unlimited for ``p`` clauses).
+
+Examples::
+
+    kill:p=0.05,seed=7
+    raise:op=conv_rows,nth=2
+    delay:op=mc_pi,nth=1,seconds=0.25
+    arena:nth=1;kill:op=post_up,nth=3
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+
+from ..errors import DeliriumError
+
+_KINDS = ("raise", "delay", "kill", "arena")
+
+#: Pseudo-operator name under which ``arena`` clause invocations are
+#: counted (arena acquisitions have no operator context).
+ARENA_SCOPE = "<arena>"
+
+
+class FaultSpecError(DeliriumError):
+    """An ``--inject-faults`` specification does not match the grammar."""
+
+
+class InjectedFault(RuntimeError):
+    """The failure deliberately raised by a ``raise`` fault clause.
+
+    Deliberately *not* a :class:`~repro.errors.DeliriumError`: injected
+    faults must travel the same wrapping/retry path as any foreign
+    exception an operator body could raise.  Constructed from plain
+    ``args`` so it pickles across the worker result channel.
+    """
+
+
+@dataclass(frozen=True)
+class FaultClause:
+    """One parsed fault clause.  Plain data; pickles to workers."""
+
+    kind: str
+    op: str | None = None
+    p: float | None = None
+    nth: int | None = None
+    times: int | None = None
+    seconds: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; expected one of "
+                + ", ".join(_KINDS)
+            )
+        if self.p is None and self.nth is None:
+            raise FaultSpecError(
+                f"fault clause {self.kind!r} needs a trigger: p=PROB or nth=N"
+            )
+        if self.p is not None and not (0.0 <= self.p <= 1.0):
+            raise FaultSpecError(f"fault probability p={self.p} not in [0, 1]")
+        if self.nth is not None and self.nth < 1:
+            raise FaultSpecError(f"nth={self.nth} must be >= 1 (1-based)")
+        if self.kind == "delay" and self.seconds <= 0.0:
+            raise FaultSpecError("delay clause needs seconds=FLOAT > 0")
+
+    @property
+    def max_fires(self) -> int | None:
+        """Firing cap: explicit ``times``, else 1 for nth, else unlimited."""
+        if self.times is not None:
+            return self.times
+        return 1 if self.nth is not None else None
+
+    def matches(self, op_name: str, count: int, salt: int = 0) -> bool:
+        """Does this clause fire on the ``count``-th call of ``op_name``?
+
+        ``count`` is 1-based and already restricted to invocations this
+        clause is scoped to (per-clause counters live in the injector).
+        ``salt`` is the worker incarnation (0 for initial workers and the
+        master, the respawn ordinal after a crash).  Without it a clause
+        that killed a worker would make the *same* decision in the fresh
+        worker that receives the retried call — a deterministic poison
+        loop.  ``nth`` clauses fire only at salt 0: a respawned worker
+        must not replay one-shot faults its predecessor already fired.
+        """
+        if self.nth is not None:
+            return salt == 0 and count == self.nth
+        assert self.p is not None
+        digest = hashlib.blake2b(
+            f"{self.seed}:{salt}:{self.kind}:{op_name}:{count}".encode(),
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "big") / 2**64 < self.p
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A parsed ``--inject-faults`` specification (picklable)."""
+
+    clauses: tuple[FaultClause, ...] = ()
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        clauses: list[FaultClause] = []
+        for raw in text.split(";"):
+            raw = raw.strip()
+            if not raw:
+                continue
+            kind, _, params = raw.partition(":")
+            kwargs: dict[str, object] = {}
+            for param in params.split(",") if params else ():
+                param = param.strip()
+                if not param:
+                    continue
+                key, eq, value = param.partition("=")
+                if not eq:
+                    raise FaultSpecError(
+                        f"bad fault parameter {param!r}; expected KEY=VALUE"
+                    )
+                key = key.strip()
+                value = value.strip()
+                if key == "op":
+                    kwargs["op"] = value
+                elif key == "p":
+                    kwargs["p"] = float(value)
+                elif key in ("nth", "times", "seed"):
+                    kwargs[key] = int(value)
+                elif key == "seconds":
+                    kwargs["seconds"] = float(value)
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault parameter {key!r} in clause "
+                        f"{raw!r}"
+                    )
+            clauses.append(FaultClause(kind=kind.strip(), **kwargs))
+        if not clauses:
+            raise FaultSpecError(f"empty fault spec {text!r}")
+        return cls(tuple(clauses))
+
+    def build(self, salt: int = 0) -> "FaultInjector":
+        """An injector for one process; ``salt`` = worker incarnation."""
+        return FaultInjector(self, salt=salt)
+
+    def describe(self) -> str:
+        parts = []
+        for c in self.clauses:
+            trig = f"p={c.p},seed={c.seed}" if c.p is not None else f"nth={c.nth}"
+            scope = f"op={c.op}," if c.op else ""
+            extra = f",seconds={c.seconds}" if c.kind == "delay" else ""
+            parts.append(f"{c.kind}:{scope}{trig}{extra}")
+        return ";".join(parts)
+
+
+def parse_fault_spec(text: str) -> FaultSpec:
+    """Module-level convenience mirror of :meth:`FaultSpec.parse`."""
+    return FaultSpec.parse(text)
+
+
+def _in_worker_process() -> bool:
+    """True when this process was spawned/forked by a multiprocessing pool."""
+    import multiprocessing
+
+    return multiprocessing.parent_process() is not None
+
+
+@dataclass
+class FaultInjector:
+    """Stateful per-process fault decisions for one :class:`FaultSpec`.
+
+    The injector holds only monotone counters, so it is cheap to consult
+    and trivially rebuilt inside each worker (workers receive the *spec*,
+    not the injector: each process counts the invocations it actually
+    sees, which keeps decisions deterministic per process regardless of
+    how calls are distributed).
+    """
+
+    spec: FaultSpec
+    #: Worker incarnation (see :meth:`FaultClause.matches`).
+    salt: int = 0
+    #: Per-(clause index, op) invocation counters.
+    _counts: dict[tuple[int, str], int] = field(default_factory=dict)
+    #: Per-clause firing counters (to honor ``times`` caps).
+    _fired: dict[int, int] = field(default_factory=dict)
+    #: Total faults this injector has actually injected (all kinds).
+    injected: int = 0
+
+    def _should_fire(self, idx: int, clause: FaultClause, scope: str) -> bool:
+        if clause.op is not None and clause.op != scope:
+            return False
+        cap = clause.max_fires
+        if cap is not None and self._fired.get(idx, 0) >= cap:
+            return False
+        key = (idx, scope)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        if not clause.matches(scope, count, self.salt):
+            return False
+        self._fired[idx] = self._fired.get(idx, 0) + 1
+        self.injected += 1
+        return True
+
+    # ------------------------------------------------------------------
+    def on_call(self, op_name: str) -> None:
+        """Consulted immediately before an operator body runs.
+
+        May sleep (``delay``), raise :class:`InjectedFault` (``raise``),
+        or SIGKILL the current process (``kill``, workers only).  Faults
+        fire *before* the body, so a retried call always sees unmutated
+        arguments.
+        """
+        for idx, clause in enumerate(self.spec.clauses):
+            if clause.kind == "arena":
+                continue
+            if not self._should_fire(idx, clause, op_name):
+                continue
+            if clause.kind == "delay":
+                time.sleep(clause.seconds)
+            elif clause.kind == "raise":
+                raise InjectedFault(
+                    f"injected fault in operator {op_name!r} "
+                    f"(clause {idx}: {clause.kind})"
+                )
+            elif clause.kind == "kill" and _in_worker_process():
+                os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_arena_acquire(self) -> bool:
+        """Consulted per arena segment acquisition; True = fail it."""
+        for idx, clause in enumerate(self.spec.clauses):
+            if clause.kind != "arena":
+                continue
+            if self._should_fire(idx, clause, ARENA_SCOPE):
+                return True
+        return False

@@ -109,6 +109,7 @@ def calibrate_dispatch(
     args: tuple[Any, ...] = (),
     min_dispatch_seconds: float = 0.002,
     ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
+    repeats: int = 3,
 ) -> DispatchCalibration:
     """Measure per-operator wall costs and split them around the IPC bar.
 
@@ -120,10 +121,26 @@ def calibrate_dispatch(
     nodes to map labels back to spec names; when several nodes share a
     name, the *maximum* measured cost wins — the conservative direction
     for a dispatch decision.
+
+    The measurement run repeats ``repeats`` times and each label keeps
+    its *minimum* mean: scheduler noise can only inflate a wall-clock
+    sample, never deflate it, so best-of-N is the faithful estimate of
+    an operator's intrinsic cost (a transient load spike must hit every
+    repeat to survive into the dispatch decision).
     """
     report = measure_costs(
         graph, registry, args=args, ticks_per_second=ticks_per_second
     )
+    for _ in range(max(0, repeats - 1)):
+        again = measure_costs(
+            graph, registry, args=args, ticks_per_second=ticks_per_second
+        )
+        for label, ticks in again.costs.items():
+            if label in report.costs:
+                report.costs[label] = min(report.costs[label], ticks)
+            else:  # pragma: no cover - nondeterministic program shapes
+                report.costs[label] = ticks
+                report.calls[label] = again.calls[label]
     label_to_name: dict[str, str] = {}
     for template in graph.templates.values():
         for node in template.nodes:

@@ -45,17 +45,23 @@ from .events import (
     Event,
     EventBus,
     EventLog,
+    ExecutorDegraded,
     Expansion,
+    FireRetried,
+    FireTimedOut,
     OpFinished,
     OpStarted,
     OperatorsFused,
     QueueDepthSample,
     ResultReceived,
     ShmBlockCreated,
+    ShmSegmentReclaimed,
     TailExpansion,
     TaskDispatched,
     TaskEnqueued,
     TaskFired,
+    WorkerCrashed,
+    WorkerRespawned,
     observe_blocks,
 )
 from .metrics import (
@@ -84,7 +90,10 @@ __all__ = [
     "Event",
     "EventBus",
     "EventLog",
+    "ExecutorDegraded",
     "Expansion",
+    "FireRetried",
+    "FireTimedOut",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -95,12 +104,15 @@ __all__ = [
     "ResultReceived",
     "Series",
     "ShmBlockCreated",
+    "ShmSegmentReclaimed",
     "TICK_SCALE",
     "TailExpansion",
     "TaskDispatched",
     "TaskEnqueued",
     "TaskFired",
     "WALL_SCALE",
+    "WorkerCrashed",
+    "WorkerRespawned",
     "attach_metrics",
     "observe_blocks",
     "validate_trace",

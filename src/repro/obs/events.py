@@ -240,6 +240,76 @@ class ShmBlockCreated(Event):
 
 
 # ----------------------------------------------------------------------
+# Fault tolerance (supervised ProcessExecutor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class WorkerCrashed(Event):
+    """A worker process died (exit signal or code) with fires in flight."""
+
+    worker: int
+    pid: int
+    exitcode: int | None
+    in_flight: int
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerRespawned(Event):
+    """The supervisor replaced a dead worker with a fresh process."""
+
+    worker: int
+    pid: int
+    respawns: int
+
+
+@dataclass(frozen=True, slots=True)
+class FireRetried(Event):
+    """An in-flight firing is being re-executed after a fault.
+
+    ``reason`` is ``"crash"``, ``"timeout"``, or ``"error"``; ``attempt``
+    is the 1-based number of the attempt *about to run*.
+    """
+
+    operator: str
+    call_id: int
+    node_id: int
+    attempt: int
+    reason: str
+    backoff: float
+
+
+@dataclass(frozen=True, slots=True)
+class FireTimedOut(Event):
+    """A dispatched firing exceeded the per-fire timeout; its worker is
+    presumed hung and will be killed and respawned."""
+
+    operator: str
+    call_id: int
+    worker: int
+    timeout: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutorDegraded(Event):
+    """The executor fell down the degradation ladder (process → threaded
+    → sequential) because its machinery was irrecoverable."""
+
+    from_executor: str
+    to_executor: str
+    reason: str
+
+
+@dataclass(frozen=True, slots=True)
+class ShmSegmentReclaimed(Event):
+    """The supervisor reclaimed a shared-memory segment that was checked
+    out to a worker which died mid-fire (returned to the arena free list
+    or unlinked)."""
+
+    name: str
+    nbytes: int
+    pid: int
+
+
+# ----------------------------------------------------------------------
 # Compiler fusion (emitted once per run, at start)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
@@ -288,6 +358,12 @@ ALL_EVENTS: tuple[type, ...] = (
     TaskDispatched,
     ResultReceived,
     ShmBlockCreated,
+    WorkerCrashed,
+    WorkerRespawned,
+    FireRetried,
+    FireTimedOut,
+    ExecutorDegraded,
+    ShmSegmentReclaimed,
     OperatorsFused,
     QueueDepthSample,
 )

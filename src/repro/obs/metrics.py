@@ -36,16 +36,22 @@ from .events import (
     DonationApplied,
     Event,
     EventBus,
+    ExecutorDegraded,
     Expansion,
+    FireRetried,
+    FireTimedOut,
     OperatorsFused,
     OpStarted,
     QueueDepthSample,
     ResultReceived,
     ShmBlockCreated,
+    ShmSegmentReclaimed,
     TailExpansion,
     TaskDispatched,
     TaskEnqueued,
     TaskFired,
+    WorkerCrashed,
+    WorkerRespawned,
 )
 
 #: Default histogram bucket upper bounds: wide log-spaced coverage that
@@ -284,6 +290,13 @@ def attach_metrics(
     blocks_alloc_bytes = reg.counter("blocks_allocated_bytes")
     buffers_recycled = reg.counter("pool.buffers_recycled")
     pool_recycled_bytes = reg.counter("pool.recycled_bytes")
+    worker_crashes = reg.counter("worker_crashes")
+    worker_respawns = reg.counter("worker_respawns")
+    fires_retried = reg.counter("fires_retried")
+    fires_timed_out = reg.counter("fires_timed_out")
+    executor_degraded = reg.counter("executor_degraded")
+    shm_reclaimed = reg.counter("shm_segments_reclaimed")
+    shm_reclaimed_bytes = reg.counter("shm_reclaimed_bytes")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -339,6 +352,19 @@ def attach_metrics(
         elif isinstance(e, ShmBlockCreated):
             shm_blocks.inc()
             shm_nbytes.inc(e.nbytes)
+        elif isinstance(e, WorkerCrashed):
+            worker_crashes.inc()
+        elif isinstance(e, WorkerRespawned):
+            worker_respawns.inc()
+        elif isinstance(e, FireRetried):
+            fires_retried.inc(label=e.operator)
+        elif isinstance(e, FireTimedOut):
+            fires_timed_out.inc(label=e.operator)
+        elif isinstance(e, ExecutorDegraded):
+            executor_degraded.inc(label=e.to_executor)
+        elif isinstance(e, ShmSegmentReclaimed):
+            shm_reclaimed.inc()
+            shm_reclaimed_bytes.inc(e.nbytes)
         elif isinstance(e, OperatorsFused):
             reg.gauge("fused_nodes").set(e.fused_nodes)
             reg.gauge("fused_ops_absorbed").set(e.ops_absorbed)

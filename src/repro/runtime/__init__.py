@@ -36,6 +36,7 @@ from .scheduler import (
     ReadyQueue,
     Task,
 )
+from .supervise import FaultPolicy, Supervisor, run_with_retries
 from .tracing import NodeTiming, Tracer
 from .values import NULL, Closure, MultiValue, OperatorValue, is_truthy
 from .workers import DispatchPolicy, RegistryRef, WorkerPool
@@ -48,6 +49,7 @@ __all__ = [
     "DispatchPolicy",
     "EngineStats",
     "ExecutionState",
+    "FaultPolicy",
     "FireOutcome",
     "MultiValue",
     "NULL",
@@ -65,6 +67,7 @@ __all__ = [
     "RegistryRef",
     "RunResult",
     "SequentialExecutor",
+    "Supervisor",
     "Task",
     "ThreadedExecutor",
     "Tracer",
@@ -76,6 +79,7 @@ __all__ = [
     "release",
     "set_block_hook",
     "retain",
+    "run_with_retries",
     "unwrap",
     "wrap_payload",
 ]

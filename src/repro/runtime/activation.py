@@ -164,6 +164,12 @@ class ActivationPool:
         return act
 
     def release(self, act: Activation) -> None:
+        if act not in self.live_set:
+            raise RuntimeError(
+                f"activation {act.aid} of {act.template.name!r} released "
+                "twice — a firing was committed more than once "
+                "(retry double-release?)"
+            )
         self.live -= 1
         self.live_by_template[act.template.name] -= 1
         self.live_set.discard(act)

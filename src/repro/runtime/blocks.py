@@ -192,7 +192,14 @@ class BufferPool:
         ):
             self.dropped += 1
             return False
-        self._free.setdefault(self._key(arr.shape, arr.dtype), []).append(arr)
+        free = self._free.setdefault(self._key(arr.shape, arr.dtype), [])
+        for held in free:
+            if held is arr:
+                raise RuntimeError(
+                    "buffer offered to the pool twice — a firing was "
+                    "released more than once (retry double-release?)"
+                )
+        free.append(arr)
         self.held_bytes += arr.nbytes
         return True
 

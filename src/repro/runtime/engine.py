@@ -110,6 +110,10 @@ class PendingOp:
     #: (``node.donated``); ``None`` when the pass did not run or the node
     #: has no donated edges.
     donated: tuple[int, ...] | None = None
+    #: Set by :meth:`ExecutionState.complete_fire` on commit.  A retried
+    #: fire must never be committed twice — the second commit would
+    #: double-release every input share and underflow the pools.
+    committed: bool = False
 
 
 @dataclass
@@ -155,6 +159,14 @@ class EngineStats:
     buffer_bytes_recycled: int = 0
     expansions: int = 0
     tail_expansions: int = 0
+    #: Fault-tolerance counters (supervised executors; see
+    #: :mod:`repro.runtime.supervise`).
+    worker_crashes: int = 0
+    worker_respawns: int = 0
+    fires_retried: int = 0
+    fires_timed_out: int = 0
+    executor_degraded: int = 0
+    shm_segments_reclaimed: int = 0
     activation_stats: dict[str, int] = field(default_factory=dict)
     #: Buffer-pool snapshot (see :class:`~repro.runtime.blocks.BufferPool`).
     pool_stats: dict[str, int] = field(default_factory=dict)
@@ -314,8 +326,10 @@ class ExecutionState:
                 raw_result = run_op(spec, pending.args)
             else:
                 raw_result = spec.fn(*pending.args)
+        except OperatorError:
+            raise  # already wrapped (e.g. by a retrying run_op)
         except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
-            raise OperatorError(spec.name, exc) from exc
+            raise OperatorError(spec.name, exc, node_id=pending.node_id) from exc
         newly = outcome.newly
         newly.extend(self.complete_fire(pending, raw_result))
         return newly
@@ -408,6 +422,13 @@ class ExecutionState:
         """
         act = pending.activation
         spec = pending.spec
+        if pending.committed:
+            raise RuntimeFailure(
+                f"pending fire of {spec.name!r} (node {pending.node_id}) "
+                "committed twice — a retry path delivered the same firing "
+                "to complete_fire() more than once"
+            )
+        pending.committed = True
         bus = self.bus
         if bus is not None and bus.wants(OpFinished):
             op_ended = bus.now()

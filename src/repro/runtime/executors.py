@@ -26,26 +26,30 @@ import time
 from dataclasses import dataclass
 from typing import Any
 
-from ..errors import OperatorError, RuntimeFailure
+from ..errors import (
+    DeliriumError,
+    OperatorError,
+    PoolIrrecoverableError,
+    RuntimeFailure,
+)
 from ..graph.ir import GraphProgram
 from ..obs.events import (
     EventBus,
+    ExecutorDegraded,
+    FireRetried,
     ResultReceived,
-    ShmBlockCreated,
-    TaskDispatched,
     TaskFired,
 )
 from .engine import EngineStats, ExecutionState, PendingOp
 from .operators import OperatorRegistry, collect_fused_chains, default_registry
 from .scheduler import ReadyQueue
+from .supervise import Completion, FaultPolicy, Supervisor, run_with_retries
 from .tracing import Tracer
 from .workers import (
     SHM_THRESHOLD_DEFAULT,
     DispatchPolicy,
-    EncodedValue,
     RegistryRef,
     WorkerPool,
-    _decode_exception,
     decode_value,
     encode_value,
 )
@@ -69,6 +73,55 @@ def resolve_bus(
     if bus is not None and not bus.active:
         bus = None
     return bus, tracer
+
+
+def make_inline_run_op(
+    fault_policy: FaultPolicy | None,
+    fault_spec: Any,
+    stats: EngineStats,
+    bus: EventBus | None,
+) -> Any:
+    """Build the engine's ``run_op`` hook for in-process fault handling.
+
+    Returns ``None`` — the zero-overhead default — when neither a fault
+    policy nor a fault spec is configured, so ordinary runs pay nothing.
+    Otherwise operator bodies run through
+    :func:`~repro.runtime.supervise.run_with_retries` with the per-run
+    injector, and every retry is counted on ``stats`` and announced on
+    the bus.
+    """
+    if fault_policy is None and fault_spec is None:
+        return None
+    policy = fault_policy if fault_policy is not None else FaultPolicy()
+    injector = fault_spec.build() if fault_spec is not None else None
+
+    def run_op(spec: Any, args: tuple[Any, ...]) -> Any:
+        retries: list[int] = []
+        raw = run_with_retries(
+            spec,
+            args,
+            policy,
+            injector,
+            on_retry=lambda n, exc: retries.append(n),
+        )
+        if retries:
+            stats.fires_retried += len(retries)
+            if bus is not None and bus.wants(FireRetried):
+                now = bus.now()
+                for n in retries:
+                    backoff = (
+                        policy.backoff * (2 ** (n - 1))
+                        if policy.backoff
+                        else 0.0
+                    )
+                    bus.emit(
+                        FireRetried(
+                            now, spec.name, -1, -1, n + 1, "error", backoff
+                        )
+                    )
+        return raw
+
+    return run_op
 
 
 @dataclass
@@ -100,6 +153,15 @@ class SequentialExecutor:
         run start), emits one :class:`~repro.obs.events.TaskFired` span
         per node firing, and threads it through the engine, scheduler,
         and activation pool.
+    fault_policy:
+        Optional :class:`~repro.runtime.supervise.FaultPolicy`; failed
+        operator bodies are retried per the policy (non-``modifies``
+        operators, plus any pre-body injected fault).
+    fault_spec:
+        Optional :class:`~repro.faults.FaultSpec`; a per-run injector is
+        consulted before every operator body.  ``kill`` and ``arena``
+        clauses are inert in-process by design, so one spec string works
+        under every executor.
     """
 
     def __init__(
@@ -109,12 +171,16 @@ class SequentialExecutor:
         check_purity: bool = False,
         trace: bool = False,
         bus: EventBus | None = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_spec: Any = None,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
         self.check_purity = check_purity
         self.trace = trace
         self.bus = bus
+        self.fault_policy = fault_policy
+        self.fault_spec = fault_spec
 
     def run(
         self,
@@ -131,6 +197,9 @@ class SequentialExecutor:
         began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - began)
+        run_op = make_inline_run_op(
+            self.fault_policy, self.fault_spec, state.stats, bus
+        )
         queue.push_all(state.start(args))
         while queue:
             task = queue.pop()
@@ -139,7 +208,7 @@ class SequentialExecutor:
                 node = act.template.nodes[task.node_id]
                 template_name, aid = act.template.name, act.aid
                 t0 = time.perf_counter() - began
-                queue.push_all(state.fire(task))
+                queue.push_all(state.fire(task, run_op=run_op))
                 t1 = time.perf_counter() - began
                 bus.emit(
                     TaskFired(
@@ -156,7 +225,7 @@ class SequentialExecutor:
                     )
                 )
             else:
-                queue.push_all(state.fire(task))
+                queue.push_all(state.fire(task, run_op=run_op))
         wall = time.perf_counter() - began
         if not state.finished:
             raise RuntimeFailure(
@@ -187,6 +256,8 @@ class ThreadedExecutor:
         check_purity: bool = False,
         trace: bool = False,
         bus: EventBus | None = None,
+        fault_policy: FaultPolicy | None = None,
+        fault_spec: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -195,6 +266,8 @@ class ThreadedExecutor:
         self.check_purity = check_purity
         self.trace = trace
         self.bus = bus
+        self.fault_policy = fault_policy
+        self.fault_spec = fault_spec
 
     def run(
         self,
@@ -215,22 +288,67 @@ class ThreadedExecutor:
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - run_began)
 
+        fault_policy = self.fault_policy
+        injector = (
+            self.fault_spec.build() if self.fault_spec is not None else None
+        )
+        retry_policy = (
+            fault_policy
+            if fault_policy is not None
+            else (FaultPolicy() if injector is not None else None)
+        )
+
         def run_pending(pending: PendingOp) -> None:
             # Drop the engine lock for the duration of the sequential
             # sub-computation; this is the concurrency the model permits.
             spec = pending.spec
             error: BaseException | None = None
             raw: Any = None
+            retries: list[int] = []
             condition.release()
             t0 = time.perf_counter()
             try:
-                raw = spec.fn(*pending.args)
+                if retry_policy is not None:
+                    raw = run_with_retries(
+                        spec,
+                        pending.args,
+                        retry_policy,
+                        injector,
+                        node_id=pending.node_id,
+                        on_retry=lambda n, exc: retries.append(n),
+                    )
+                else:
+                    raw = spec.fn(*pending.args)
+            except OperatorError as exc:
+                error = exc
             except Exception as exc:  # noqa: BLE001 - wrapped, re-raised
                 error = OperatorError(spec.name, exc)
-                error.__cause__ = exc
             finally:
                 elapsed = time.perf_counter() - t0
                 condition.acquire()
+            if retries:
+                # Counted (and announced) back under the lock: the stats
+                # object and bus subscribers are not thread-safe.
+                state.stats.fires_retried += len(retries)
+                if bus is not None and bus.wants(FireRetried):
+                    now = bus.now()
+                    for n in retries:
+                        backoff = (
+                            retry_policy.backoff * (2 ** (n - 1))
+                            if retry_policy.backoff
+                            else 0.0
+                        )
+                        bus.emit(
+                            FireRetried(
+                                now,
+                                spec.name,
+                                -1,
+                                pending.node_id,
+                                n + 1,
+                                "error",
+                                backoff,
+                            )
+                        )
             if bus is not None:
                 # Emitted under the lock; the worker's thread index
                 # stands in for a processor id.  Only operator calls
@@ -272,8 +390,13 @@ class ThreadedExecutor:
                         queue.push_all(outcome.newly)
                         if outcome.pending is not None:
                             run_pending(outcome.pending)
-                    except BaseException as exc:  # noqa: BLE001
+                    except Exception as exc:  # noqa: BLE001 - collected
                         errors.append(exc)
+                    except BaseException as exc:
+                        # Control-flow exceptions (KeyboardInterrupt,
+                        # SystemExit) must win over any operator error
+                        # when the main thread re-raises errors[0].
+                        errors.insert(0, exc)
                     finally:
                         active -= 1
                         condition.notify_all()
@@ -338,6 +461,15 @@ class ProcessExecutor:
         :class:`~repro.runtime.workers.RegistryRef` naming an importable
         registry factory — required only on platforms without ``fork``,
         where workers cannot inherit the master's registry.
+    fault_policy:
+        :class:`~repro.runtime.supervise.FaultPolicy` governing retries,
+        per-fire timeouts, respawn budget, and the degradation ladder.
+        The default policy is used when ``None``.
+    fault_spec:
+        Optional :class:`~repro.faults.FaultSpec` for deterministic
+        fault injection — shipped to every worker (and respawned
+        worker), consulted by the master's inline path, and hooked into
+        the shared-memory arena.
     """
 
     def __init__(
@@ -355,6 +487,8 @@ class ProcessExecutor:
         pinned_local: tuple[str, ...] = (),
         measured_costs: dict[str, float] | None = None,
         min_dispatch_seconds: float = 0.002,
+        fault_policy: FaultPolicy | None = None,
+        fault_spec: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -376,6 +510,8 @@ class ProcessExecutor:
         self.trace = trace
         self.bus = bus
         self.registry_ref = registry_ref
+        self.fault_policy = fault_policy
+        self.fault_spec = fault_spec
 
     def run(
         self,
@@ -384,6 +520,92 @@ class ProcessExecutor:
         registry: OperatorRegistry | None = None,
     ) -> RunResult:
         registry = registry if registry is not None else default_registry()
+        policy = (
+            self.fault_policy
+            if self.fault_policy is not None
+            else FaultPolicy()
+        )
+        try:
+            pool = WorkerPool(
+                self.n_workers,
+                registry=registry,
+                registry_ref=self.registry_ref,
+                shm_threshold=self.shm_threshold,
+                fused_chains=collect_fused_chains(program),
+                fault_spec=self.fault_spec,
+            )
+        except Exception as exc:
+            if policy.degrade != "ladder":
+                raise
+            return self._run_degraded(program, args, registry, repr(exc))
+        try:
+            return self._run_supervised(pool, program, args, registry, policy)
+        finally:
+            pool.close()
+
+    def _run_degraded(
+        self,
+        program: GraphProgram,
+        args: tuple[Any, ...],
+        registry: OperatorRegistry,
+        reason: str,
+    ) -> RunResult:
+        """The pool could not be built: fall down the executor ladder.
+
+        Process → threaded first (operator bodies still overlap where
+        kernels release the GIL); threaded → sequential only if even
+        thread creation fails.  Delirium-level errors (operator
+        failures, stalls) propagate — the ladder handles *machinery*
+        failures, not program failures.
+        """
+        bus = self.bus if self.bus is not None and self.bus.active else None
+        if bus is not None:
+            bus.emit(
+                ExecutorDegraded(bus.now(), "process", "threaded", reason)
+            )
+        threaded = ThreadedExecutor(
+            n_workers=self.n_workers,
+            use_priorities=self.use_priorities,
+            check_purity=self.check_purity,
+            trace=self.trace,
+            bus=self.bus,
+            fault_policy=self.fault_policy,
+            fault_spec=self.fault_spec,
+        )
+        try:
+            result = threaded.run(program, args, registry)
+            result.stats.executor_degraded += 1
+            return result
+        except DeliriumError:
+            raise
+        except Exception as exc:
+            if bus is not None:
+                bus.emit(
+                    ExecutorDegraded(
+                        bus.now(), "threaded", "sequential", repr(exc)
+                    )
+                )
+            sequential = SequentialExecutor(
+                use_priorities=self.use_priorities,
+                seed=self.seed,
+                check_purity=self.check_purity,
+                trace=self.trace,
+                bus=self.bus,
+                fault_policy=self.fault_policy,
+                fault_spec=self.fault_spec,
+            )
+            result = sequential.run(program, args, registry)
+            result.stats.executor_degraded += 2
+            return result
+
+    def _run_supervised(
+        self,
+        pool: WorkerPool,
+        program: GraphProgram,
+        args: tuple[Any, ...],
+        registry: OperatorRegistry,
+        policy: FaultPolicy,
+    ) -> RunResult:
         bus, tracer = resolve_bus(self.bus, self.trace)
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
@@ -392,148 +614,152 @@ class ProcessExecutor:
         began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - began)
-        classify = self.policy.should_dispatch
-        in_flight: dict[int, PendingOp] = {}
-        #: Pooled arena segments lent to each in-flight call, returned to
-        #: the arena when the call's result arrives (the worker decodes —
-        #: copies out of — every argument before computing).
-        call_segments: dict[int, list[str]] = {}
-        staged: list[tuple[int, str, list[EncodedValue]]] = []
-        call_seq = 0
-
-        with WorkerPool(
-            self.n_workers,
-            registry=registry,
-            registry_ref=self.registry_ref,
+        injector = (
+            self.fault_spec.build() if self.fault_spec is not None else None
+        )
+        if injector is not None:
+            pool.arena.fail_hook = injector.on_arena_acquire
+        supervisor = Supervisor(
+            pool,
+            policy,
+            batch_size=self.batch_size,
             shm_threshold=self.shm_threshold,
-            fused_chains=collect_fused_chains(program),
-        ) as pool:
+            bus=bus,
+            stats=state.stats,
+        )
+        classify: Any = self.policy.should_dispatch
 
-            def flush() -> None:
-                """Send staged calls, splitting so every worker gets work."""
-                if not staged:
-                    return
-                chunk = max(
-                    1,
-                    min(
-                        self.batch_size,
-                        -(-len(staged) // self.n_workers),
-                    ),
+        def commit(c: Completion) -> None:
+            spec = c.pending.spec
+            if bus is not None:
+                now = bus.now()
+                bus.emit(
+                    ResultReceived(
+                        now,
+                        spec.name,
+                        c.call_id,
+                        c.worker,
+                        c.duration,
+                        c.nbytes,
+                        c.via_shm,
+                    )
                 )
-                for i in range(0, len(staged), chunk):
-                    pool.submit(staged[i : i + chunk])
-                staged.clear()
+                bus.emit(
+                    TaskFired(
+                        max(0.0, c.t0 - began),
+                        spec.name,
+                        "op",
+                        0,
+                        "",
+                        -1,
+                        -1,
+                        -1,
+                        c.duration,
+                        c.worker + 1,
+                    )
+                )
+            queue.push_all(state.complete_fire(c.pending, c.raw))
 
-            def dispatch(pending: PendingOp) -> None:
-                nonlocal call_seq
-                call_seq += 1
-                enc_args = [
-                    encode_value(a, self.shm_threshold, arena=pool.arena)
+        def run_inline(pending: PendingOp, isolate: bool = False) -> None:
+            spec = pending.spec
+            call_args = pending.args
+            if isolate:
+                # Degraded remote pendings skipped their physical COW
+                # copies (serialization was going to isolate the worker's
+                # writes); running them here needs private copies, made
+                # through the same codec a worker would have used.
+                call_args = tuple(
+                    decode_value(encode_value(a, self.shm_threshold))
                     for a in pending.args
-                ]
-                pooled = [
-                    e.shm_name for e in enc_args
-                    if e.pooled and e.shm_name is not None
-                ]
-                if pooled:
-                    call_segments[call_seq] = pooled
-                if bus is not None:
+                )
+            retries: list[int] = []
+            t0 = time.perf_counter()
+            raw = run_with_retries(
+                spec,
+                call_args,
+                policy,
+                injector,
+                node_id=pending.node_id,
+                on_retry=lambda n, exc: retries.append(n),
+            )
+            t1 = time.perf_counter()
+            if retries:
+                state.stats.fires_retried += len(retries)
+                if bus is not None and bus.wants(FireRetried):
                     now = bus.now()
-                    for enc in enc_args:
-                        if enc.shm_name is not None:
-                            bus.emit(
-                                ShmBlockCreated(now, enc.shm_name, enc.shm_nbytes)
-                            )
-                    bus.emit(
-                        TaskDispatched(
-                            now,
-                            pending.spec.name,
-                            call_seq,
-                            sum(e.nbytes for e in enc_args),
-                            any(e.via_shm for e in enc_args),
+                    for n in retries:
+                        backoff = (
+                            policy.backoff * (2 ** (n - 1))
+                            if policy.backoff
+                            else 0.0
                         )
-                    )
-                in_flight[call_seq] = pending
-                staged.append((call_seq, pending.spec.name, enc_args))
-                if len(staged) >= self.batch_size * self.n_workers:
-                    flush()
-
-            def run_inline(pending: PendingOp) -> None:
-                spec = pending.spec
-                t0 = time.perf_counter()
-                try:
-                    raw = spec.fn(*pending.args)
-                except Exception as exc:  # noqa: BLE001 - wrapped
-                    raise OperatorError(spec.name, exc) from exc
-                t1 = time.perf_counter()
-                queue.push_all(state.complete_fire(pending, raw))
-                if bus is not None:
-                    bus.emit(
-                        TaskFired(
-                            t0 - began, spec.name, "op", 0, "", -1, -1, -1,
-                            t1 - t0, 0,
-                        )
-                    )
-
-            def absorb_results(block: bool) -> bool:
-                """Commit one result message; return whether one arrived."""
-                if not in_flight or (not block):
-                    return False
-                worker_id, results = pool.recv()
-                for call_id, ok, payload, t0_raw, duration in results:
-                    pending = in_flight.pop(call_id)
-                    for name in call_segments.pop(call_id, ()):
-                        pool.arena.release(name)
-                    spec = pending.spec
-                    if not ok:
-                        exc = _decode_exception(payload)
-                        raise OperatorError(spec.name, exc) from exc
-                    raw = decode_value(payload)
-                    if bus is not None:
-                        now = bus.now()
                         bus.emit(
-                            ResultReceived(
+                            FireRetried(
                                 now,
                                 spec.name,
-                                call_id,
-                                worker_id,
-                                duration,
-                                payload.nbytes,
-                                payload.via_shm,
+                                -1,
+                                pending.node_id,
+                                n + 1,
+                                "error",
+                                backoff,
                             )
                         )
-                        bus.emit(
-                            TaskFired(
-                                max(0.0, t0_raw - began),
-                                spec.name,
-                                "op",
-                                0,
-                                "",
-                                -1,
-                                -1,
-                                -1,
-                                duration,
-                                worker_id + 1,
-                            )
-                        )
-                    queue.push_all(state.complete_fire(pending, raw))
-                return True
+            queue.push_all(state.complete_fire(pending, raw))
+            if bus is not None:
+                bus.emit(
+                    TaskFired(
+                        t0 - began, spec.name, "op", 0, "", -1, -1, -1,
+                        t1 - t0, 0,
+                    )
+                )
 
-            queue.push_all(state.start(args))
-            while queue or in_flight:
-                while queue:
-                    task = queue.pop()
-                    outcome = state.begin_fire(task, classify=classify)
-                    queue.push_all(outcome.newly)
-                    pending = outcome.pending
-                    if pending is None:
-                        continue
-                    if pending.remote:
-                        dispatch(pending)
-                    else:
-                        run_inline(pending)
-                flush()
-                absorb_results(block=bool(in_flight))
+        def degrade(reason: str) -> None:
+            """The pool is irrecoverable mid-run: finish in-process.
+
+            Commits everything the pool already produced, re-executes
+            the abandoned in-flight firings on isolated argument copies,
+            and switches dispatch off — the rest of the run is inline
+            (the in-master rung of the ladder; restarting on threads is
+            impossible mid-run, the engine state is already live here).
+            """
+            nonlocal classify
+            classify = None
+            state.stats.executor_degraded += 1
+            if bus is not None:
+                bus.emit(
+                    ExecutorDegraded(
+                        bus.now(), "process", "sequential", reason
+                    )
+                )
+            for c in supervisor.take_completions():
+                commit(c)
+            for pending in supervisor.drain_in_flight():
+                run_inline(pending, isolate=True)
+
+        queue.push_all(state.start(args))
+        while queue or supervisor.in_flight:
+            while queue:
+                task = queue.pop()
+                outcome = state.begin_fire(task, classify=classify)
+                queue.push_all(outcome.newly)
+                pending = outcome.pending
+                if pending is None:
+                    continue
+                if pending.remote:
+                    supervisor.dispatch(pending)
+                else:
+                    run_inline(pending)
+            if not supervisor.in_flight:
+                continue
+            try:
+                completions = supervisor.pump(block=True)
+            except PoolIrrecoverableError as exc:
+                if policy.degrade == "off":
+                    raise
+                degrade(str(exc))
+                continue
+            for c in completions:
+                commit(c)
 
         wall = time.perf_counter() - began
         if not state.finished:

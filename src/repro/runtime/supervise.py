@@ -1,0 +1,710 @@
+"""Fault-tolerant supervision of operator firings.
+
+Delirium's single-assignment semantics make re-execution of a failed
+firing safe by construction: a fired operator either delivered its
+outputs through ``complete_fire`` or it never happened — the master's
+memory is untouched until the commit, and a worker only ever receives
+serialized *copies* of the arguments.  This module turns that property
+into a fault-tolerance layer:
+
+* :class:`FaultPolicy` — the run-level knobs: how many times a firing is
+  re-executed, how long a dispatched firing may take, how retries back
+  off, and whether an irrecoverable worker pool degrades to an
+  in-process executor or surfaces an error.
+* :class:`Supervisor` — owns the dispatch bookkeeping for
+  :class:`~repro.runtime.executors.ProcessExecutor`: per-worker batch
+  assignment, multiplexed result/sentinel waiting, crash detection with
+  automatic respawn (re-shipping registry refs, fused chains, and the
+  fault spec), deterministic re-fire of the calls a dead worker held,
+  per-fire timeouts (a hung worker is killed and replaced), reclamation
+  of shared-memory arena segments checked out to crashed workers, and a
+  poison-fire ledger that converts a repeatedly failing firing into a
+  structured :class:`~repro.errors.OperatorError` carrying the node id,
+  attempt history, and worker pid.
+* :func:`run_with_retries` — the in-process analogue used by the
+  sequential and threaded executors (and the process executor's inline
+  path): injected faults fire *before* the operator body and are
+  therefore always retryable; real operator exceptions are retried only
+  for operators without declared in-place writes (a failed ``modifies``
+  body may have half-mutated its argument).
+
+Every fault surfaces as a typed event on the bus (``WorkerCrashed``,
+``WorkerRespawned``, ``FireRetried``, ``FireTimedOut``,
+``ShmSegmentReclaimed``, ``ExecutorDegraded``) and as counters on
+:class:`~repro.runtime.engine.EngineStats` / the metrics registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import OperatorError, PoolIrrecoverableError, RuntimeFailure
+from ..obs.events import (
+    EventBus,
+    FireRetried,
+    FireTimedOut,
+    ShmBlockCreated,
+    ShmSegmentReclaimed,
+    TaskDispatched,
+    WorkerCrashed,
+    WorkerRespawned,
+)
+from .engine import EngineStats, PendingOp
+from .workers import (
+    EncodedValue,
+    WorkerPool,
+    _decode_exception,
+    decode_value,
+    discard_encoded,
+    encode_value,
+)
+
+#: Degradation modes: ``"ladder"`` falls process → threaded → sequential
+#: when the pool is irrecoverable; ``"off"`` raises
+#: :class:`~repro.errors.PoolIrrecoverableError` to the caller instead.
+DEGRADE_MODES = ("ladder", "off")
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Run-level fault-tolerance knobs.
+
+    max_retries:
+        How many times a failed firing is re-executed after its first
+        attempt (so a firing runs at most ``1 + max_retries`` times
+        before it is declared poison).
+    timeout:
+        Per-fire wall-clock budget in seconds for dispatched firings
+        (scaled by batch length, since a worker runs its batch
+        serially); ``None`` disables timeouts.  A worker that blows the
+        budget is presumed hung, killed, and respawned.
+    backoff:
+        Base delay in seconds before a retry; attempt ``n`` waits
+        ``backoff * 2**(n-1)``.  ``0`` retries immediately.
+    degrade:
+        ``"ladder"`` (default) or ``"off"`` — see :data:`DEGRADE_MODES`.
+    max_respawns:
+        Worker replacements allowed per run before the pool is declared
+        irrecoverable.
+    """
+
+    max_retries: int = 2
+    timeout: float | None = None
+    backoff: float = 0.05
+    degrade: str = "ladder"
+    max_respawns: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.backoff < 0:
+            raise ValueError("backoff must be >= 0")
+        if self.degrade not in DEGRADE_MODES:
+            raise ValueError(
+                f"degrade must be one of {DEGRADE_MODES}, not {self.degrade!r}"
+            )
+        if self.max_respawns < 0:
+            raise ValueError("max_respawns must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPolicy":
+        """Build a policy from CLI syntax: ``key=value`` pairs, ``,``-split.
+
+        Keys: ``retries``, ``timeout`` (seconds, or ``none``),
+        ``backoff`` (seconds), ``degrade`` (``ladder``/``off``),
+        ``respawns``.  Example: ``retries=3,timeout=10,degrade=off``.
+        """
+        kwargs: dict[str, Any] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, eq, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not eq:
+                raise ValueError(
+                    f"bad fault-policy entry {part!r}; expected KEY=VALUE"
+                )
+            try:
+                if key == "retries":
+                    kwargs["max_retries"] = int(value)
+                elif key == "timeout":
+                    kwargs["timeout"] = (
+                        None
+                        if value.lower() in ("none", "off")
+                        else float(value)
+                    )
+                elif key == "backoff":
+                    kwargs["backoff"] = float(value)
+                elif key == "degrade":
+                    kwargs["degrade"] = value
+                elif key == "respawns":
+                    kwargs["max_respawns"] = int(value)
+                else:
+                    raise ValueError(f"unknown fault-policy key {key!r}")
+            except ValueError as exc:
+                if "fault-policy" in str(exc):
+                    raise
+                raise ValueError(
+                    f"bad fault-policy value for {key!r}: {value!r}"
+                ) from exc
+        return cls(**kwargs)
+
+
+@dataclass
+class Completion:
+    """One successfully executed remote firing, ready to commit."""
+
+    pending: PendingOp
+    raw: Any
+    call_id: int
+    worker: int
+    t0: float
+    duration: float
+    nbytes: int
+    via_shm: bool
+
+
+@dataclass
+class _CallRecord:
+    """Supervisor bookkeeping for one dispatched firing."""
+
+    call_id: int
+    pending: PendingOp
+    enc_args: list[EncodedValue] = field(default_factory=list)
+    pooled: list[str] = field(default_factory=list)
+    worker: int = -1
+    #: Completed failed attempts: ``(attempt, worker_pid, outcome)``.
+    attempts: list[tuple[int, int | None, str]] = field(default_factory=list)
+    deadline: float | None = None
+    encoded: bool = False
+
+    @property
+    def attempt_next(self) -> int:
+        return len(self.attempts) + 1
+
+
+class Supervisor:
+    """Dispatch bookkeeping + fault handling for the process executor.
+
+    The executor calls :meth:`dispatch` for every remote
+    :class:`~repro.runtime.engine.PendingOp` and :meth:`pump` whenever
+    its ready queue drains; ``pump`` returns committed-ready
+    :class:`Completion` objects and internally handles everything that
+    can go wrong in between: worker crashes (drain late results, reclaim
+    arena segments, respawn, re-fire), hung workers (kill + crash path),
+    failed attempts (exponential-backoff re-dispatch as singleton
+    batches, so a poison fire cannot keep dragging innocent batchmates
+    past their retry budget), and the poison ledger.
+
+    Raises :class:`~repro.errors.OperatorError` when one firing exhausts
+    its retries, and :class:`~repro.errors.PoolIrrecoverableError` when
+    the pool itself does; in both cases already-received completions
+    stay buffered (:meth:`take_completions`) and the unfinished firings
+    can be recovered with :meth:`drain_in_flight` for inline execution.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        policy: FaultPolicy,
+        *,
+        batch_size: int = 4,
+        shm_threshold: int | None = None,
+        bus: EventBus | None = None,
+        stats: EngineStats | None = None,
+    ) -> None:
+        self.pool = pool
+        self.policy = policy
+        self.batch_size = batch_size
+        self.shm_threshold = (
+            shm_threshold if shm_threshold is not None else pool.shm_threshold
+        )
+        self.bus = bus
+        self.stats = stats if stats is not None else EngineStats()
+        self._call_seq = 0
+        #: Records staged for (re-)dispatch, in arrival order.
+        self._staged: list[_CallRecord] = []
+        #: Backoff queue: ``(fire_at_monotonic, record)``.
+        self._delayed: list[tuple[float, _CallRecord]] = []
+        #: call_id -> record for calls sitting in a worker's pipe/loop.
+        self._assigned: dict[int, _CallRecord] = {}
+        #: worker index -> call_ids currently assigned to it.
+        self._worker_calls: dict[int, set[int]] = {
+            i: set() for i in range(pool.n_workers)
+        }
+        self._completions: list[Completion] = []
+
+    # -- public surface -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Firings the supervisor still owes the executor a commit for."""
+        return len(self._assigned) + len(self._staged) + len(self._delayed)
+
+    def dispatch(self, pending: PendingOp) -> int:
+        """Accept one remote firing; returns its call id."""
+        self._call_seq += 1
+        record = _CallRecord(self._call_seq, pending)
+        self._staged.append(record)
+        if len(self._staged) >= self.batch_size * self.pool.n_workers:
+            self.flush()
+        return record.call_id
+
+    def take_completions(self) -> list[Completion]:
+        out = self._completions
+        self._completions = []
+        return out
+
+    def pump(self, block: bool) -> list[Completion]:
+        """Advance the pool: send staged work, absorb results and faults.
+
+        With ``block=True``, waits until at least one result, crash,
+        timeout, or due retry makes progress possible; with ``False``,
+        polls.  Returns (and clears) the buffered completions.
+        """
+        self._promote_delayed()
+        self.flush()
+        self._poll(self._wait_timeout(block))
+        self._check_timeouts()
+        self._promote_delayed()
+        self.flush()
+        return self.take_completions()
+
+    def drain_in_flight(self) -> list[PendingOp]:
+        """Abandon the pool: hand back every uncommitted firing.
+
+        Reclaims/discards any encodings still outstanding and clears the
+        supervisor's bookkeeping.  The caller (the degradation path)
+        re-executes the returned pendings in-process — on fresh private
+        argument copies, since remote pendings skipped physical COW.
+        """
+        records = list(self._staged)
+        records.extend(r for _, r in self._delayed)
+        records.extend(self._assigned.values())
+        self._staged.clear()
+        self._delayed.clear()
+        self._assigned.clear()
+        for calls in self._worker_calls.values():
+            calls.clear()
+        for record in records:
+            self._release_encodings(record, crashed=True, pid=None)
+        return [r.pending for r in records]
+
+    # -- encoding / staging ---------------------------------------------
+    def _encode(self, record: _CallRecord) -> None:
+        record.enc_args = [
+            encode_value(a, self.shm_threshold, arena=self.pool.arena)
+            for a in record.pending.args
+        ]
+        record.pooled = [
+            e.shm_name
+            for e in record.enc_args
+            if e.pooled and e.shm_name is not None
+        ]
+        record.encoded = True
+        bus = self.bus
+        if bus is not None and bus.wants(ShmBlockCreated):
+            now = bus.now()
+            for enc in record.enc_args:
+                if enc.shm_name is not None:
+                    bus.emit(ShmBlockCreated(now, enc.shm_name, enc.shm_nbytes))
+
+    def _release_encodings(
+        self, record: _CallRecord, crashed: bool, pid: int | None
+    ) -> None:
+        """Retire a record's encodings.
+
+        ``crashed=False`` is the normal path: the worker decoded (and
+        for fresh segments unlinked) every argument before computing, so
+        only the pooled arena segments need returning.  ``crashed=True``
+        means consumption is unknown: pooled segments are *reclaimed*
+        (the dead process's mappings died with it) and fresh segments
+        unlinked best-effort.
+        """
+        if not record.encoded:
+            return
+        if crashed:
+            reclaimed = self.pool.arena.reclaim(record.pooled)
+            if reclaimed:
+                self.stats.shm_segments_reclaimed += len(reclaimed)
+                bus = self.bus
+                if bus is not None and bus.wants(ShmSegmentReclaimed):
+                    now = bus.now()
+                    for name, nbytes in reclaimed:
+                        bus.emit(
+                            ShmSegmentReclaimed(now, name, nbytes, pid or 0)
+                        )
+            for enc in record.enc_args:
+                if not enc.pooled:
+                    discard_encoded(enc)
+        else:
+            for name in record.pooled:
+                self.pool.arena.release(name)
+        record.enc_args = []
+        record.pooled = []
+        record.encoded = False
+
+    def _least_loaded(self) -> int:
+        return min(
+            self._worker_calls, key=lambda i: len(self._worker_calls[i])
+        )
+
+    def flush(self) -> None:
+        """Assign staged records to workers and send the batches.
+
+        Retried records go out as singleton batches (a poison fire must
+        not drag batchmates past their deadlines or retry budgets);
+        fresh records are chunked so every worker gets work.
+        """
+        while True:
+            staged, self._staged = self._staged, []
+            if not staged:
+                return
+            retries = [r for r in staged if r.attempts]
+            fresh = [r for r in staged if not r.attempts]
+            batches: list[list[_CallRecord]] = [[r] for r in retries]
+            if fresh:
+                chunk = max(
+                    1,
+                    min(
+                        self.batch_size,
+                        -(-len(fresh) // self.pool.n_workers),
+                    ),
+                )
+                batches.extend(
+                    fresh[i : i + chunk] for i in range(0, len(fresh), chunk)
+                )
+            resend = False
+            for batch in batches:
+                if not self._send(batch):
+                    resend = True  # a worker died on send; records restaged
+            if not resend and not self._staged:
+                return
+
+    def _send(self, batch: list[_CallRecord]) -> bool:
+        """Send one batch to the least-loaded worker; False on dead pipe."""
+        worker = self._least_loaded()
+        payload: list[tuple[int, str, list[EncodedValue]]] = []
+        now = time.monotonic()
+        bus = self.bus
+        for record in batch:
+            if not record.encoded:
+                self._encode(record)
+            payload.append(
+                (record.call_id, record.pending.spec.name, record.enc_args)
+            )
+        try:
+            self.pool.submit_to(worker, payload)
+        except (BrokenPipeError, OSError):
+            # The worker died before taking the batch: nothing executed,
+            # so the records go back to staging without an attempt mark.
+            # A broken pipe implies the process is (about to be) dead —
+            # make sure it is before the crash handler inspects it, so
+            # the flush loop cannot spin on a half-dead worker.
+            self._staged.extend(batch)
+            process = self.pool.processes[worker]
+            if process is not None and process.is_alive():
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=5.0)
+            self._handle_crash(worker)
+            return False
+        timeout = self.policy.timeout
+        for record in batch:
+            record.worker = worker
+            record.deadline = (
+                now + timeout * len(batch) if timeout is not None else None
+            )
+            self._assigned[record.call_id] = record
+            self._worker_calls[worker].add(record.call_id)
+            if bus is not None and bus.wants(TaskDispatched):
+                bus.emit(
+                    TaskDispatched(
+                        bus.now(),
+                        record.pending.spec.name,
+                        record.call_id,
+                        sum(e.nbytes for e in record.enc_args),
+                        any(e.via_shm for e in record.enc_args),
+                    )
+                )
+        return True
+
+    # -- waiting / absorption -------------------------------------------
+    def _wait_timeout(self, block: bool) -> float | None:
+        if not block:
+            return 0.0
+        now = time.monotonic()
+        candidates: list[float] = []
+        if self._delayed:
+            candidates.append(min(t for t, _ in self._delayed))
+        if self.policy.timeout is not None:
+            deadlines = [
+                r.deadline
+                for r in self._assigned.values()
+                if r.deadline is not None
+            ]
+            if deadlines:
+                candidates.append(min(deadlines))
+        if not candidates:
+            return None if self._assigned else 0.0
+        return max(0.0, min(candidates) - now)
+
+    def _poll(self, timeout: float | None) -> bool:
+        if not self._assigned:
+            if timeout:
+                time.sleep(min(timeout, 0.5))
+            return False
+        progressed = False
+        for obj in self.pool.wait(timeout):
+            worker = self.pool.worker_for_conn(obj)
+            if worker is not None:
+                try:
+                    message = obj.recv()
+                except (EOFError, OSError):
+                    self._handle_crash(worker)
+                    progressed = True
+                    continue
+                if message is not None:
+                    self._absorb(message)
+                    progressed = True
+                continue
+            worker = self.pool.worker_for_sentinel(obj)
+            if worker is not None:
+                self._handle_crash(worker)
+                progressed = True
+        return progressed
+
+    def _absorb(self, message: tuple[int, list[tuple]]) -> None:
+        worker_id, results = message
+        for call_id, ok, payload, t0, duration in results:
+            record = self._assigned.pop(call_id, None)
+            if record is None:
+                continue  # already resolved via the crash path
+            self._worker_calls[record.worker].discard(call_id)
+            self._release_encodings(record, crashed=False, pid=None)
+            pending = record.pending
+            if ok:
+                raw_payload: EncodedValue = payload
+                self._completions.append(
+                    Completion(
+                        pending,
+                        decode_value(raw_payload),
+                        call_id,
+                        worker_id,
+                        t0,
+                        duration,
+                        raw_payload.nbytes,
+                        raw_payload.via_shm,
+                    )
+                )
+                continue
+            exc = _decode_exception(payload)
+            pid = self._worker_pid(record.worker)
+            self._record_failure(record, pid, f"raised: {exc!r}", exc, "error")
+
+    def _record_failure(
+        self,
+        record: _CallRecord,
+        pid: int | None,
+        outcome: str,
+        exc: BaseException | None,
+        reason: str,
+    ) -> None:
+        """Mark one failed attempt; schedule a retry or declare poison."""
+        attempt = record.attempt_next
+        record.attempts.append((attempt, pid, outcome))
+        if len(record.attempts) > self.policy.max_retries:
+            cause = exc if exc is not None else RuntimeFailure(outcome)
+            raise OperatorError(
+                record.pending.spec.name,
+                cause,
+                node_id=record.pending.node_id,
+                attempts=tuple(record.attempts),
+                worker_pid=pid,
+            ) from cause
+        backoff = (
+            self.policy.backoff * (2 ** (attempt - 1))
+            if self.policy.backoff
+            else 0.0
+        )
+        self.stats.fires_retried += 1
+        bus = self.bus
+        if bus is not None and bus.wants(FireRetried):
+            bus.emit(
+                FireRetried(
+                    bus.now(),
+                    record.pending.spec.name,
+                    record.call_id,
+                    record.pending.node_id,
+                    attempt + 1,
+                    reason,
+                    backoff,
+                )
+            )
+        record.worker = -1
+        record.deadline = None
+        if backoff > 0.0:
+            self._delayed.append((time.monotonic() + backoff, record))
+        else:
+            self._staged.append(record)
+
+    # -- faults ----------------------------------------------------------
+    def _worker_pid(self, worker: int) -> int | None:
+        if 0 <= worker < len(self.pool.processes):
+            p = self.pool.processes[worker]
+            return p.pid if p is not None else None
+        return None
+
+    def _handle_crash(
+        self,
+        worker: int,
+        reason: str = "worker crashed",
+        kind: str = "crash",
+    ) -> None:
+        """A worker died: salvage, reclaim, re-fire, respawn."""
+        process = self.pool.processes[worker]
+        if process is None or process.is_alive():
+            return  # stale handle (already respawned this pump round)
+        pid = process.pid
+        exitcode = process.exitcode
+        # Salvage results the worker completed before dying.
+        conn = self.pool.conns[worker]
+        try:
+            while conn is not None and conn.poll(0):
+                message = conn.recv()
+                if message is not None:
+                    self._absorb(message)
+        except (EOFError, OSError):
+            pass
+        lost = [
+            self._assigned.pop(cid)
+            for cid in sorted(self._worker_calls[worker])
+            if cid in self._assigned
+        ]
+        self._worker_calls[worker].clear()
+        self.stats.worker_crashes += 1
+        bus = self.bus
+        if bus is not None and bus.wants(WorkerCrashed):
+            bus.emit(
+                WorkerCrashed(
+                    bus.now(), worker, pid or 0, exitcode, len(lost)
+                )
+            )
+        if self.pool.respawns >= self.policy.max_respawns:
+            # Put the lost records back so drain_in_flight can recover
+            # them for the degradation path.
+            self._staged.extend(lost)
+            raise PoolIrrecoverableError(
+                f"worker {worker} (pid {pid}) died with exit code "
+                f"{exitcode} and the respawn budget is exhausted",
+                respawns=self.pool.respawns,
+            )
+        self.pool.respawn(worker)
+        self.stats.worker_respawns += 1
+        if bus is not None and bus.wants(WorkerRespawned):
+            bus.emit(
+                WorkerRespawned(
+                    bus.now(),
+                    worker,
+                    self.pool.processes[worker].pid or 0,
+                    self.pool.respawns,
+                )
+            )
+        # Deterministic re-fire: the worker held serialized copies only,
+        # so the master-side pending is pristine and safe to re-dispatch.
+        for record in lost:
+            self._release_encodings(record, crashed=True, pid=pid)
+            self._record_failure(record, pid, reason, None, kind)
+
+    def _check_timeouts(self) -> None:
+        if self.policy.timeout is None or not self._assigned:
+            return
+        now = time.monotonic()
+        hung: dict[int, list[_CallRecord]] = {}
+        for record in self._assigned.values():
+            if record.deadline is not None and now > record.deadline:
+                hung.setdefault(record.worker, []).append(record)
+        bus = self.bus
+        for worker, records in hung.items():
+            self.stats.fires_timed_out += len(records)
+            if bus is not None and bus.wants(FireTimedOut):
+                for record in records:
+                    bus.emit(
+                        FireTimedOut(
+                            bus.now(),
+                            record.pending.spec.name,
+                            record.call_id,
+                            worker,
+                            self.policy.timeout,
+                        )
+                    )
+            process = self.pool.processes[worker]
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+            timeout = self.policy.timeout
+            self._handle_crash(
+                worker,
+                reason=f"timed out after {timeout}s",
+                kind="timeout",
+            )
+
+    def _promote_delayed(self) -> None:
+        if not self._delayed:
+            return
+        now = time.monotonic()
+        due = [r for t, r in self._delayed if t <= now]
+        self._delayed = [(t, r) for t, r in self._delayed if t > now]
+        self._staged.extend(due)
+
+
+def run_with_retries(
+    spec: Any,
+    args: tuple[Any, ...],
+    policy: FaultPolicy | None,
+    injector: Any = None,
+    *,
+    node_id: int = -1,
+    on_retry: Callable[[int, BaseException], None] | None = None,
+) -> Any:
+    """Execute one operator body in-process under the fault policy.
+
+    The shared retry loop for the sequential and threaded executors and
+    the process executor's inline path.  An installed fault injector is
+    consulted *before* the body, so anything it raises is retryable for
+    every operator; a real body exception is retried only when the
+    operator declares no in-place writes (``spec.modifies`` empty — a
+    failed mutating body may have left its argument half-written, and
+    in-process there is no serialization boundary to hide that).
+    """
+    max_retries = policy.max_retries if policy is not None else 0
+    backoff = policy.backoff if policy is not None else 0.0
+    attempts: list[tuple[int, int | None, str]] = []
+    attempt = 0
+    while True:
+        attempt += 1
+        pre_body = True
+        try:
+            if injector is not None:
+                injector.on_call(spec.name)
+            pre_body = False
+            return spec.fn(*args)
+        except Exception as exc:  # noqa: BLE001 - policy decides
+            attempts.append((attempt, None, f"raised: {exc!r}"))
+            retryable = pre_body or not spec.modifies
+            if not retryable or attempt > max_retries:
+                raise OperatorError(
+                    spec.name,
+                    exc,
+                    node_id=node_id,
+                    attempts=tuple(attempts) if len(attempts) > 1 else (),
+                ) from exc
+            if on_retry is not None:
+                on_retry(attempt, exc)
+            if backoff:
+                time.sleep(backoff * (2 ** (attempt - 1)))

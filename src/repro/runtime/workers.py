@@ -23,11 +23,19 @@ analogue.  Three pieces:
   as the original system re-linked the compiled C operators into every
   process.
 
-* **The pool** (:class:`WorkerPool`) — persistent worker processes fed
-  *batches* of operator calls over one shared task queue (so a free
-  worker always grabs the next batch — automatic load balance) and one
-  shared result queue.  Batching amortizes the per-message IPC cost for
-  fine-grained operators; the executor decides batch boundaries.
+* **The pool** (:class:`WorkerPool`) — persistent worker processes, each
+  fed *batches* of operator calls over its own duplex pipe.  Per-worker
+  pipes (rather than one shared queue) are what makes the pool
+  supervisable: the master always knows which calls a worker holds, a
+  SIGKILLed worker cannot die holding a shared queue lock and deadlock
+  everyone else, and ``multiprocessing.connection.wait`` multiplexes the
+  result pipes *and* the process sentinels so a crash is observed the
+  same way a result is.  The master assigns batches least-loaded;
+  batching amortizes the per-message IPC cost for fine-grained
+  operators.  :meth:`WorkerPool.respawn` replaces a dead worker with a
+  fresh process (re-shipping the registry ref, fused chains, and fault
+  spec), which is the mechanism under
+  :class:`~repro.runtime.supervise.Supervisor`'s fault policy.
 """
 
 from __future__ import annotations
@@ -185,6 +193,12 @@ class ShmArena:
         self.created = 0
         self.reused = 0
         self.created_bytes = 0
+        self.reclaimed = 0
+        #: Fault-injection hook: when set and it returns True, the next
+        #: :meth:`acquire` raises ``OSError`` exactly as a real
+        #: ``shm_open`` failure would (callers fall back to an unpooled
+        #: segment — see :func:`encode_value`).
+        self.fail_hook: Any = None
         #: name -> (segment, size class) currently lent to an in-flight call.
         self._lent: dict[str, tuple[shared_memory.SharedMemory, int]] = {}
         #: size class -> free segments of that class.
@@ -195,6 +209,8 @@ class ShmArena:
 
     def acquire(self, nbytes: int) -> shared_memory.SharedMemory:
         """A segment of at least ``nbytes``, recycled when one fits."""
+        if self.fail_hook is not None and self.fail_hook():
+            raise OSError("injected arena allocation failure")
         cls = self._size_class(nbytes)
         free = self._free.get(cls)
         if free:
@@ -216,6 +232,26 @@ class ShmArena:
         if entry is not None:
             shm, cls = entry
             self._free.setdefault(cls, []).append(shm)
+
+    def reclaim(self, names: Any) -> list[tuple[str, int]]:
+        """Recover segments checked out to a call that will never complete.
+
+        Called by the supervisor when a worker dies mid-fire: the dead
+        process's mappings are gone with it, so its lent segments are
+        safe to recycle immediately.  Returns ``(name, nbytes)`` pairs
+        for the segments actually reclaimed (unknown names — e.g. a call
+        whose segments were already released by a late result — are
+        skipped).
+        """
+        out: list[tuple[str, int]] = []
+        for name in names:
+            entry = self._lent.get(name)
+            if entry is not None:
+                _, cls = entry
+                self.release(name)
+                self.reclaimed += 1
+                out.append((name, cls))
+        return out
 
     def close(self) -> None:
         """Unlink every segment (lent and free).  Arena is reusable after."""
@@ -243,6 +279,7 @@ class ShmArena:
         return {
             "created": self.created,
             "reused": self.reused,
+            "reclaimed": self.reclaimed,
             "created_bytes": self.created_bytes,
             "lent": len(self._lent),
             "free": sum(len(v) for v in self._free.values()),
@@ -262,7 +299,9 @@ def encode_value(
     Without an ``arena`` the segment is fresh and the consumer unlinks it
     in :func:`decode_value`; with an ``arena`` the segment is borrowed
     (``pooled=True``) and the caller returns it via
-    :meth:`ShmArena.release` once consumed.
+    :meth:`ShmArena.release` once consumed.  An arena acquisition
+    failure (real or injected via :attr:`ShmArena.fail_hook`) degrades
+    to the fresh-segment path rather than failing the call.
     """
     buffers: list[pickle.PickleBuffer] = []
 
@@ -286,13 +325,19 @@ def encode_value(
         segments.append((total, n))
         total += -(-n // _ALIGN) * _ALIGN
     if arena is not None:
-        shm = arena.acquire(total)
-        for (offset, n), pb in zip(segments, buffers):
-            shm.buf[offset : offset + n] = pb.raw().cast("B")
-            pb.release()
-        # The arena keeps the segment open and will reuse it; nothing to
-        # close or unregister here.
-        return EncodedValue(data, shm.name, tuple(segments), total, pooled=True)
+        try:
+            shm = arena.acquire(total)
+        except OSError:
+            shm = None  # allocation failure: fall back to a fresh segment
+        if shm is not None:
+            for (offset, n), pb in zip(segments, buffers):
+                shm.buf[offset : offset + n] = pb.raw().cast("B")
+                pb.release()
+            # The arena keeps the segment open and will reuse it; nothing
+            # to close or unregister here.
+            return EncodedValue(
+                data, shm.name, tuple(segments), total, pooled=True
+            )
     shm = shared_memory.SharedMemory(create=True, size=total)
     try:
         for (offset, n), pb in zip(segments, buffers):
@@ -364,20 +409,72 @@ def discard_encoded(enc: EncodedValue) -> None:
 
 
 def _encode_exception(exc: BaseException) -> tuple[str, Any, str]:
+    """Serialize a worker-side exception, preserving the ``__cause__`` chain.
+
+    Pickle discards ``__cause__`` (an exception reduces to ``(cls,
+    args)``), so each link of the chain is encoded separately —
+    pickle-round-trip when possible, ``repr`` text otherwise — and
+    :func:`_decode_exception` relinks them on the master.  The worker's
+    formatted traceback rides alongside so it survives even when the
+    exception object itself cannot.
+    """
     tb = traceback.format_exc()
-    try:
-        data = pickle.dumps(exc)
-        pickle.loads(data)
-        return ("pickle", data, tb)
-    except Exception:  # noqa: BLE001 - exotic exceptions fall back to text
-        return ("text", f"{type(exc).__name__}: {exc}", tb)
+    links: list[tuple[str, Any]] = []
+    node: BaseException | None = exc
+    seen: set[int] = set()
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        try:
+            data = pickle.dumps(node, protocol=5)
+            pickle.loads(data)
+            links.append(("pickle", data))
+        except Exception:  # noqa: BLE001 - exotic exceptions fall to text
+            links.append(("text", repr(node)))
+        node = node.__cause__
+    return ("chain", links, tb)
 
 
 def _decode_exception(enc: tuple[str, Any, str]) -> BaseException:
+    """Rebuild the exception from :func:`_encode_exception`'s wire form.
+
+    Each chain link that pickled comes back as its original type; links
+    that did not become :class:`RemoteOperatorFailure` carrying the repr
+    (the outermost one also carries the worker traceback text).  The
+    decoded root always exposes the worker's formatted traceback as
+    ``remote_traceback``.  The legacy two-variant format from before the
+    chain encoding is still accepted.
+    """
     kind, payload, tb = enc
-    if kind == "pickle":
+    if kind == "chain":
+        links: list[BaseException] = []
+        for i, (lkind, lpayload) in enumerate(payload):
+            node: BaseException | None = None
+            if lkind == "pickle":
+                try:
+                    node = pickle.loads(lpayload)
+                except Exception:  # noqa: BLE001 - master lacks the type
+                    node = None
+                if node is not None and not isinstance(node, BaseException):
+                    node = None
+            if node is None:
+                text = lpayload if lkind == "text" else repr(lpayload)
+                if i == 0:
+                    text = f"{text}\n--- worker traceback ---\n{tb}"
+                node = RemoteOperatorFailure(text)
+            links.append(node)
+        for parent, cause in zip(links, links[1:]):
+            parent.__cause__ = cause
+        root = links[0] if links else RemoteOperatorFailure(tb)
         try:
-            return pickle.loads(payload)
+            root.remote_traceback = tb
+        except (AttributeError, TypeError):  # pragma: no cover - slotted
+            pass
+        return root
+    if kind == "pickle":  # legacy format
+        try:
+            decoded = pickle.loads(payload)
+            if isinstance(decoded, BaseException):
+                return decoded
         except Exception:  # noqa: BLE001
             pass
     return RemoteOperatorFailure(f"{payload}\n--- worker traceback ---\n{tb}")
@@ -385,23 +482,35 @@ def _decode_exception(enc: tuple[str, Any, str]) -> BaseException:
 
 def worker_main(
     worker_id: int,
-    task_queue: Any,
-    result_queue: Any,
+    conn: Any,
     registry_ref: RegistryRef | None,
     shm_threshold: int,
     fused_chains: dict[str, FusedChain] | None = None,
+    fault_spec: Any = None,
+    fault_salt: int = 0,
 ) -> None:
     """Body of one worker process: batches in, batches out, until None.
 
-    Each result is ``(call_id, ok, EncodedValue-or-error, t0, duration)``
-    with ``t0`` a raw ``time.perf_counter`` stamp (CLOCK_MONOTONIC is
-    process-shared, so the master can place worker spans on its own
-    timeline).
+    ``conn`` is the worker's end of a duplex pipe owned exclusively by
+    this process — batches arrive on it, ``(worker_id, results)``
+    messages go back on it.  Each result is ``(call_id, ok,
+    EncodedValue-or-error, t0, duration)`` with ``t0`` a raw
+    ``time.perf_counter`` stamp (CLOCK_MONOTONIC is process-shared, so
+    the master can place worker spans on its own timeline).
 
     ``fused_chains`` maps fused super-node names to their recipes (plain
     picklable data); the worker composes each chain against its own
     registry on first use, so a dispatched fused body runs exactly like a
     registered operator.
+
+    ``fault_spec`` (a picklable :class:`repro.faults.FaultSpec`) installs
+    deterministic fault injection: the per-process injector is consulted
+    *after* argument decoding and *before* the operator body, so a fault
+    never leaves a fresh shared-memory segment half-consumed and a
+    retried call always sees unmutated inputs.  ``fault_salt`` is the
+    worker's incarnation number — respawned workers make *fresh* fault
+    decisions, so a retried call cannot deterministically re-trigger the
+    fault that killed its predecessor.
     """
     if registry_ref is not None:
         registry = registry_ref.load()
@@ -411,11 +520,14 @@ def worker_main(
         registry = default_registry()
     fused_chains = fused_chains or {}
     fused_specs: dict[str, Any] = {}
+    injector = fault_spec.build(fault_salt) if fault_spec is not None else None
     while True:
-        batch = task_queue.get()
+        try:
+            batch = conn.recv()
+        except EOFError:  # master closed its end (or died): clean exit
+            return
         if batch is None:
             return
-        results = []
         for call_id, op_name, enc_args in batch:
             t0 = time.perf_counter()
             try:
@@ -430,25 +542,46 @@ def worker_main(
                     else:
                         spec = registry.get(op_name)
                 args = tuple(decode_value(e) for e in enc_args)
+                if injector is not None:
+                    injector.on_call(op_name)
                 raw = spec.fn(*args)
                 payload = encode_value(raw, shm_threshold)
                 ok = True
             except BaseException as exc:  # noqa: BLE001 - shipped to master
                 payload = _encode_exception(exc)
                 ok = False
-            results.append(
-                (call_id, ok, payload, t0, time.perf_counter() - t0)
-            )
-        result_queue.put((worker_id, results))
+            # Each result is shipped as soon as it exists, not at the end
+            # of the batch: a result's fresh shm segments have no owner
+            # until the master sees them, so holding finished results
+            # while later batchmates run would leak those segments if
+            # this process dies mid-batch (the supervisor salvages the
+            # pipe's contents on a crash, but cannot know the names of
+            # segments that were never sent).
+            try:
+                conn.send(
+                    (
+                        worker_id,
+                        [(call_id, ok, payload, t0, time.perf_counter() - t0)],
+                    )
+                )
+            except BrokenPipeError:  # master gone; nothing to report to
+                return
 
 
 class WorkerPool:
-    """A persistent pool of operator-executing processes.
+    """A persistent, supervisable pool of operator-executing processes.
 
-    One shared task queue feeds all workers (a free worker takes the next
-    batch); one shared result queue carries completions back.  Use as a
-    context manager — exit sends one shutdown sentinel per worker and
-    joins them, escalating to ``terminate`` for stragglers.
+    Every worker owns a duplex pipe to the master: the master sends
+    batches down a worker's pipe (:meth:`submit_to`; the scheduler picks
+    the least-loaded worker) and multiplexes all result pipes plus the
+    process *sentinels* with :meth:`wait` — so a completed batch and a
+    dead worker arrive through the same select call, and a SIGKILLed
+    worker can never wedge a lock another worker needs.  A dead worker
+    is replaced in place with :meth:`respawn`, which re-ships the same
+    registry ref / fused chains / fault spec the original got.
+
+    Use as a context manager — exit sends one shutdown sentinel per
+    worker and joins them, escalating to ``terminate`` for stragglers.
     """
 
     def __init__(
@@ -458,6 +591,7 @@ class WorkerPool:
         registry_ref: RegistryRef | None = None,
         shm_threshold: int = SHM_THRESHOLD_DEFAULT,
         fused_chains: dict[str, FusedChain] | None = None,
+        fault_spec: Any = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -468,9 +602,9 @@ class WorkerPool:
         #: workers fork so children never inherit arena mappings; the pool
         #: owns its teardown in :meth:`close`.
         self.arena = ShmArena()
-        ctx = pick_context()
+        self._ctx = pick_context()
         if (
-            ctx.get_start_method() != "fork"
+            self._ctx.get_start_method() != "fork"
             and registry_ref is None
             and registry is not None
             and registry.names() - default_registry().names()
@@ -481,51 +615,123 @@ class WorkerPool:
                 "RegistryRef(module, attr, ...)) naming an importable "
                 "registry factory"
             )
-        self._tasks = ctx.SimpleQueue()
-        self._results = ctx.SimpleQueue()
+        self._registry = registry
+        self._fused_chains = fused_chains
+        self._fault_spec = fault_spec
+        #: Total workers replaced over the pool's lifetime.
+        self.respawns = 0
+        self.processes: list[Any] = [None] * n_workers
+        #: Master-side pipe ends, indexed like :attr:`processes`.
+        self.conns: list[Any] = [None] * n_workers
+        for i in range(n_workers):
+            self._spawn(i)
+
+    def _spawn(self, i: int, fault_salt: int = 0) -> Any:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         global _FORK_REGISTRY
-        _FORK_REGISTRY = registry
+        _FORK_REGISTRY = self._registry
         try:
-            self.processes = [
-                ctx.Process(
-                    target=worker_main,
-                    args=(
-                        i,
-                        self._tasks,
-                        self._results,
-                        registry_ref,
-                        shm_threshold,
-                        fused_chains,
-                    ),
-                    daemon=True,
-                    name=f"delirium-proc-{i}",
-                )
-                for i in range(n_workers)
-            ]
-            for p in self.processes:
-                p.start()
+            p = self._ctx.Process(
+                target=worker_main,
+                args=(
+                    i,
+                    child_conn,
+                    self.registry_ref,
+                    self.shm_threshold,
+                    self._fused_chains,
+                    self._fault_spec,
+                    fault_salt,
+                ),
+                daemon=True,
+                name=f"delirium-proc-{i}",
+            )
+            p.start()
         finally:
             _FORK_REGISTRY = None
+        child_conn.close()  # the worker holds the only live copy now
+        self.processes[i] = p
+        self.conns[i] = parent_conn
+        return p
 
-    def submit(self, batch: list[tuple[int, str, list[EncodedValue]]]) -> None:
-        self._tasks.put(batch)
+    def respawn(self, i: int) -> Any:
+        """Replace worker ``i`` with a fresh process (same configuration).
 
-    def recv(self) -> tuple[int, list[tuple]]:
-        """Block for the next ``(worker_id, results)`` message."""
-        return self._results.get()
+        The old process is terminated if somehow still alive (a hung
+        worker being put down), its pipe closed, and a new worker takes
+        its slot.  Returns the new process.
+        """
+        old = self.processes[i]
+        conn = self.conns[i]
+        if conn is not None:
+            conn.close()
+        if old is not None:
+            if old.is_alive():
+                old.kill()
+            old.join(timeout=5.0)
+        self.respawns += 1
+        return self._spawn(i, fault_salt=self.respawns)
+
+    def submit_to(
+        self, i: int, batch: list[tuple[int, str, list[EncodedValue]]]
+    ) -> None:
+        """Send one batch to worker ``i``.
+
+        Raises ``BrokenPipeError``/``OSError`` if the worker is already
+        dead — callers treat that exactly like a crash-after-dispatch
+        (the sentinel fires on the next :meth:`wait`).
+        """
+        self.conns[i].send(batch)
+
+    def wait(self, timeout: float | None = None) -> list[Any]:
+        """Block until a result pipe is readable or a sentinel fires.
+
+        Returns the ready objects from ``multiprocessing.connection.wait``
+        — a mix of master-side pipe ends (use :meth:`worker_for_conn` /
+        ``conn.recv()``) and process sentinels (a dead worker; always
+        ready until the worker is respawned, so callers must resolve a
+        crash before waiting again).  Empty on timeout.
+        """
+        from multiprocessing.connection import wait as _mp_wait
+
+        handles: list[Any] = [c for c in self.conns if c is not None]
+        handles.extend(
+            p.sentinel for p in self.processes if p is not None
+        )
+        return _mp_wait(handles, timeout)
+
+    def worker_for_conn(self, obj: Any) -> int | None:
+        """Worker index owning this pipe end, or None for a sentinel."""
+        for i, conn in enumerate(self.conns):
+            if conn is obj:
+                return i
+        return None
+
+    def worker_for_sentinel(self, obj: Any) -> int | None:
+        """Worker index owning this process sentinel, or None."""
+        for i, p in enumerate(self.processes):
+            if p is not None and p.sentinel == obj:
+                return i
+        return None
 
     def close(self) -> None:
-        for _ in self.processes:
-            self._tasks.put(None)
+        for conn in self.conns:
+            if conn is None:
+                continue
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
         deadline = time.monotonic() + 5.0
         for p in self.processes:
-            p.join(timeout=max(0.0, deadline - time.monotonic()))
+            if p is not None:
+                p.join(timeout=max(0.0, deadline - time.monotonic()))
         for p in self.processes:
-            if p.is_alive():
+            if p is not None and p.is_alive():
                 p.terminate()
                 p.join(timeout=1.0)
-        self._tasks.close()
-        self._results.close()
+        for conn in self.conns:
+            if conn is not None:
+                conn.close()
         self.arena.close()
 
     def __enter__(self) -> "WorkerPool":

@@ -104,17 +104,50 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker count for --executor threaded/process (default 4)",
     )
+    parser.add_argument(
+        "--fault-policy",
+        metavar="SPEC",
+        default=None,
+        help="fault-tolerance knobs as comma-separated KEY=VALUE pairs: "
+        "retries=N, timeout=SECONDS|none, backoff=SECONDS, "
+        "degrade=ladder|off, respawns=N (e.g. "
+        "'retries=3,timeout=30,degrade=off')",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        default=None,
+        help="deterministic fault injection for chaos testing: "
+        "semicolon-separated clauses KIND[:KEY=VALUE,...] with kinds "
+        "raise|delay|kill|arena and params op=, p=, nth=, times=, "
+        "seconds=, seed= (e.g. 'raise:op=scale,p=0.1;kill:p=0.02')",
+    )
+
+
+def _fault_options(ns: argparse.Namespace) -> dict:
+    """Parse --fault-policy / --inject-faults into executor kwargs."""
+    out: dict = {}
+    if getattr(ns, "fault_policy", None):
+        from ..runtime.supervise import FaultPolicy
+
+        out["fault_policy"] = FaultPolicy.parse(ns.fault_policy)
+    if getattr(ns, "inject_faults", None):
+        from ..faults import parse_fault_spec
+
+        out["fault_spec"] = parse_fault_spec(ns.inject_faults)
+    return out
 
 
 def _make_executor(
     ns: argparse.Namespace, trace: bool = False, bus=None
 ):
     """Build the real (non-simulated) executor the flags ask for."""
+    faults = _fault_options(ns)
     if ns.executor == "threaded":
-        return ThreadedExecutor(ns.workers, trace=trace, bus=bus)
+        return ThreadedExecutor(ns.workers, trace=trace, bus=bus, **faults)
     if ns.executor == "process":
-        return ProcessExecutor(ns.workers, trace=trace, bus=bus)
-    return SequentialExecutor(trace=trace, bus=bus)
+        return ProcessExecutor(ns.workers, trace=trace, bus=bus, **faults)
+    return SequentialExecutor(trace=trace, bus=bus, **faults)
 
 
 def _defines(pairs: list[str]) -> dict[str, object]:

@@ -1,0 +1,219 @@
+"""The fault-injection subsystem: grammar, determinism, injector state.
+
+ISSUE 5's chaos testing rests on injection being *deterministic*: fault
+decisions come from a keyed hash of (seed, salt, kind, op, count), not an
+RNG, so a failing chaos run can be replayed exactly.  These tests pin the
+``--inject-faults`` grammar, the decision function (including the
+incarnation salt that prevents a kill clause from deterministically
+re-killing the worker that picks up the retried call), and the injector's
+counter/cap bookkeeping.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import DeliriumError
+from repro.faults import (
+    FaultClause,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    parse_fault_spec,
+)
+from repro.faults.spec import ARENA_SCOPE, FaultSpecError
+
+
+class TestGrammar:
+    def test_single_clause(self):
+        spec = parse_fault_spec("raise:op=scale,p=0.1")
+        (clause,) = spec.clauses
+        assert clause.kind == "raise"
+        assert clause.op == "scale"
+        assert clause.p == 0.1
+
+    def test_multiple_clauses(self):
+        spec = parse_fault_spec("kill:p=0.05,seed=7;delay:nth=2,seconds=0.5")
+        assert [c.kind for c in spec.clauses] == ["kill", "delay"]
+        assert spec.clauses[0].seed == 7
+        assert spec.clauses[1].seconds == 0.5
+
+    def test_all_parameters(self):
+        spec = parse_fault_spec("raise:op=x,nth=3,times=2,seed=9")
+        (clause,) = spec.clauses
+        assert (clause.op, clause.nth, clause.times, clause.seed) == (
+            "x", 3, 2, 9,
+        )
+
+    def test_whitespace_tolerated(self):
+        spec = parse_fault_spec(" raise : op=x , nth=1 ; arena : p=0.5 ")
+        assert [c.kind for c in spec.clauses] == ["raise", "arena"]
+
+    def test_describe_round_trips(self):
+        text = "kill:p=0.05,seed=7;raise:op=conv,nth=2;delay:nth=1,seconds=0.25"
+        spec = parse_fault_spec(text)
+        assert parse_fault_spec(spec.describe()) == spec
+
+    def test_spec_pickles(self):
+        spec = parse_fault_spec("kill:p=0.05;arena:nth=1")
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            ";;",
+            "explode:p=0.5",            # unknown kind
+            "raise",                    # no trigger
+            "raise:p=1.5",              # p out of range
+            "raise:nth=0",              # nth is 1-based
+            "raise:nth=1,volume=11",    # unknown parameter
+            "raise:nth",                # not KEY=VALUE
+            "delay:nth=1",              # delay needs seconds
+            "delay:nth=1,seconds=0",    # ... positive seconds
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+    def test_spec_error_is_delirium_error(self):
+        with pytest.raises(DeliriumError):
+            parse_fault_spec("nope:p=1")
+
+    def test_injected_fault_is_foreign(self):
+        # Injected faults must travel the same wrapping/retry path as any
+        # exception a real operator body could raise.
+        assert not issubclass(InjectedFault, DeliriumError)
+        exc = InjectedFault("injected fault in operator 'x'")
+        assert pickle.loads(pickle.dumps(exc)).args == exc.args
+
+
+class TestDecisionFunction:
+    def test_deterministic_across_instances(self):
+        clause = FaultClause(kind="raise", p=0.3, seed=42)
+        a = [clause.matches("op", i) for i in range(1, 200)]
+        b = [clause.matches("op", i) for i in range(1, 200)]
+        assert a == b
+        assert any(a) and not all(a)
+
+    def test_seed_changes_placement(self):
+        a = FaultClause(kind="raise", p=0.3, seed=1)
+        b = FaultClause(kind="raise", p=0.3, seed=2)
+        assert [a.matches("op", i) for i in range(1, 200)] != [
+            b.matches("op", i) for i in range(1, 200)
+        ]
+
+    def test_rate_roughly_honoured(self):
+        clause = FaultClause(kind="raise", p=0.25, seed=0)
+        n = 2000
+        fired = sum(clause.matches("op", i) for i in range(1, n + 1))
+        assert 0.18 * n < fired < 0.32 * n
+
+    def test_p_extremes(self):
+        always = FaultClause(kind="raise", p=1.0)
+        never = FaultClause(kind="raise", p=0.0)
+        assert all(always.matches("op", i) for i in range(1, 50))
+        assert not any(never.matches("op", i) for i in range(1, 50))
+
+    def test_salt_changes_placement(self):
+        # The poison-loop defence: a respawned worker (salt=1) must not
+        # repeat the decision that killed its predecessor (salt=0).
+        clause = FaultClause(kind="kill", p=0.3, seed=5)
+        gen0 = [clause.matches("op", i, 0) for i in range(1, 200)]
+        gen1 = [clause.matches("op", i, 1) for i in range(1, 200)]
+        assert gen0 != gen1
+
+    def test_nth_fires_only_in_first_incarnation(self):
+        clause = FaultClause(kind="raise", nth=2)
+        assert not clause.matches("op", 1, 0)
+        assert clause.matches("op", 2, 0)
+        assert not clause.matches("op", 2, 1)
+
+
+class TestInjector:
+    def test_nth_raises_once(self):
+        inj = parse_fault_spec("raise:nth=2").build()
+        inj.on_call("op")
+        with pytest.raises(InjectedFault):
+            inj.on_call("op")
+        for _ in range(20):
+            inj.on_call("op")  # nth implies times=1
+        assert inj.injected == 1
+
+    def test_op_scoping(self):
+        inj = parse_fault_spec("raise:op=bad,nth=1").build()
+        for _ in range(5):
+            inj.on_call("good")
+        with pytest.raises(InjectedFault):
+            inj.on_call("bad")
+
+    def test_counts_are_per_operator(self):
+        inj = parse_fault_spec("raise:nth=3").build()
+        inj.on_call("a")
+        inj.on_call("a")
+        inj.on_call("b")
+        inj.on_call("b")
+        with pytest.raises(InjectedFault):
+            inj.on_call("a")  # a's third call, b still at two
+
+    def test_times_caps_probabilistic_clause(self):
+        inj = parse_fault_spec("raise:p=1.0,times=2").build()
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                inj.on_call("op")
+        for _ in range(10):
+            inj.on_call("op")
+        assert inj.injected == 2
+
+    def test_delay_sleeps(self):
+        import time
+
+        inj = parse_fault_spec("delay:nth=1,seconds=0.05").build()
+        t0 = time.perf_counter()
+        inj.on_call("op")
+        assert time.perf_counter() - t0 >= 0.05
+
+    def test_kill_inert_outside_workers(self):
+        # A kill clause in the master / a sequential run must be a no-op,
+        # so one spec string works across every executor.  (If this were
+        # broken the test process would die here.)
+        inj = parse_fault_spec("kill:p=1.0").build()
+        for _ in range(3):
+            inj.on_call("op")
+
+    def test_arena_clause_only_affects_arena(self):
+        inj = parse_fault_spec("arena:nth=1").build()
+        inj.on_call("op")  # arena clauses never fire on operator calls
+        assert inj.on_arena_acquire()
+        assert not inj.on_arena_acquire()
+        assert inj.injected == 1
+
+    def test_arena_counts_under_arena_scope(self):
+        inj = parse_fault_spec("arena:nth=2").build()
+        assert not inj.on_arena_acquire()
+        assert inj.on_arena_acquire()
+        assert (0, ARENA_SCOPE) in inj._counts
+
+    def test_build_salt(self):
+        spec = parse_fault_spec("kill:p=0.5,seed=3")
+        assert spec.build().salt == 0
+        assert spec.build(4).salt == 4
+
+    def test_same_spec_same_decisions(self):
+        spec = parse_fault_spec("raise:p=0.4,seed=17")
+
+        def trace(inj: FaultInjector) -> list[bool]:
+            out = []
+            for _ in range(100):
+                try:
+                    inj.on_call("op")
+                    out.append(False)
+                except InjectedFault:
+                    out.append(True)
+            return out
+
+        assert trace(spec.build()) == trace(spec.build())
+        assert trace(FaultSpec.parse(spec.describe()).build()) == trace(
+            spec.build()
+        )

@@ -1,0 +1,568 @@
+"""The fault-tolerance layer: supervision, retries, degradation, codec.
+
+ISSUE 5's tentpole.  The supervised :class:`ProcessExecutor` must survive
+worker crashes (SIGKILL mid-fire), hung workers (per-fire timeouts), and
+failing operator bodies — re-executing firings deterministically (safe by
+single-assignment: the master's memory is untouched until the commit) —
+and degrade gracefully to in-process execution when the pool is beyond
+saving.  Poison fires surface as structured
+:class:`~repro.errors.OperatorError` with the attempt ledger.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.errors import (
+    OperatorError,
+    PoolIrrecoverableError,
+    RuntimeFailure,
+)
+from repro.faults import InjectedFault, parse_fault_spec
+from repro.obs import (
+    EventBus,
+    EventLog,
+    ExecutorDegraded,
+    FireRetried,
+    FireTimedOut,
+    ShmSegmentReclaimed,
+    WorkerCrashed,
+    WorkerRespawned,
+    attach_metrics,
+)
+from repro.runtime import (
+    FaultPolicy,
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadedExecutor,
+    default_registry,
+)
+from repro.runtime.operators import OperatorSpec
+from repro.runtime.supervise import run_with_retries
+from repro.runtime.workers import (
+    RemoteOperatorFailure,
+    _decode_exception,
+    _encode_exception,
+)
+
+
+def _registry():
+    reg = default_registry()
+
+    @reg.register(pure=True, cost=2e6)
+    def mkarr(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, n))
+
+    @reg.register(name="scale", modifies=(0,), cost=2e6)
+    def scale(a, k):
+        a *= k
+        return a
+
+    @reg.register(pure=True, cost=2e6)
+    def total(a):
+        return float(a.sum())
+
+    return reg
+
+
+REGISTRY = _registry()
+
+SRC = """
+main(n)
+  let
+    a = mkarr(n, 7)
+    s1 = total(scale(a, 3))
+    s2 = total(a)
+  in add(s1, s2)
+"""
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - non-tmpfs platforms
+        return set()
+
+
+def _run(spec_text=None, policy=None, workers=2, bus=None, src=SRC, n=24):
+    compiled = compile_source(src, registry=REGISTRY)
+    executor = ProcessExecutor(
+        workers,
+        cost_threshold=0.0,
+        shm_threshold=256,
+        fault_policy=policy,
+        fault_spec=(
+            parse_fault_spec(spec_text) if spec_text is not None else None
+        ),
+        bus=bus,
+    )
+    return compiled.graph, executor.run(
+        compiled.graph, args=(n,), registry=REGISTRY
+    )
+
+
+REFERENCE = None
+
+
+def _reference(n=24):
+    global REFERENCE
+    if REFERENCE is None:
+        compiled = compile_source(SRC, registry=REGISTRY)
+        REFERENCE = SequentialExecutor().run(
+            compiled.graph, args=(n,), registry=REGISTRY
+        ).value
+    return REFERENCE
+
+
+# ---------------------------------------------------------------------------
+# FaultPolicy
+# ---------------------------------------------------------------------------
+class TestFaultPolicy:
+    def test_defaults(self):
+        p = FaultPolicy()
+        assert p.max_retries == 2
+        assert p.timeout is None
+        assert p.degrade == "ladder"
+
+    def test_parse(self):
+        p = FaultPolicy.parse("retries=3, timeout=10, backoff=0.1, degrade=off")
+        assert (p.max_retries, p.timeout, p.backoff, p.degrade) == (
+            3, 10.0, 0.1, "off",
+        )
+        assert FaultPolicy.parse("timeout=none").timeout is None
+        assert FaultPolicy.parse("respawns=1").max_respawns == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["retries=-1", "timeout=0", "backoff=-1", "degrade=sideways",
+         "respawns=-2", "volume=11", "retries"],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPolicy.parse(bad)
+
+
+# ---------------------------------------------------------------------------
+# The in-process retry loop
+# ---------------------------------------------------------------------------
+class TestRunWithRetries:
+    def _spec(self, fn, modifies=()):
+        return OperatorSpec(name="op", fn=fn, modifies=modifies)
+
+    def test_success_passthrough(self):
+        spec = self._spec(lambda x: x + 1)
+        assert run_with_retries(spec, (41,), FaultPolicy()) == 42
+
+    def test_flaky_pure_op_retried(self):
+        calls = []
+
+        def flaky(x):
+            calls.append(x)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return x
+
+        spec = self._spec(flaky)
+        policy = FaultPolicy(max_retries=3, backoff=0.0)
+        retries = []
+        assert run_with_retries(
+            spec, (7,), policy, on_retry=lambda n, e: retries.append(n)
+        ) == 7
+        assert len(calls) == 3
+        assert retries == [1, 2]
+
+    def test_mutating_body_failure_not_retried(self):
+        # A failed modifies body may have half-written its argument; with
+        # no serialization boundary the retry would see corrupted input.
+        calls = []
+
+        def bad(a):
+            calls.append(1)
+            a[0] = 99
+            raise ValueError("mid-mutation")
+
+        spec = self._spec(bad, modifies=(0,))
+        with pytest.raises(OperatorError):
+            run_with_retries(spec, ([1, 2],), FaultPolicy(max_retries=5))
+        assert len(calls) == 1
+
+    def test_injected_fault_retryable_even_for_mutators(self):
+        # Injected faults fire before the body: the argument is pristine,
+        # so even a modifies operator retries.
+        injector = parse_fault_spec("raise:nth=1").build()
+        calls = []
+
+        def bump(a):
+            calls.append(1)
+            a[0] += 1
+            return a
+
+        spec = self._spec(bump, modifies=(0,))
+        policy = FaultPolicy(max_retries=2, backoff=0.0)
+        out = run_with_retries(spec, ([1],), policy, injector)
+        assert out == [2]
+        assert len(calls) == 1  # the first attempt died pre-body
+
+    def test_poison_carries_attempt_ledger(self):
+        def die(x):
+            raise ValueError("always")
+
+        spec = self._spec(die)
+        with pytest.raises(OperatorError) as excinfo:
+            run_with_retries(
+                spec, (1,), FaultPolicy(max_retries=2, backoff=0.0), node_id=9
+            )
+        err = excinfo.value
+        assert err.node_id == 9
+        assert len(err.attempts) == 3
+        assert all("always" in outcome for _, _, outcome in err.attempts)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_no_policy_means_no_retries(self):
+        calls = []
+
+        def die(x):
+            calls.append(1)
+            raise ValueError("nope")
+
+        with pytest.raises(OperatorError):
+            run_with_retries(self._spec(die), (1,), None)
+        assert len(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# Exception codec (satellite: _decode_exception coverage)
+# ---------------------------------------------------------------------------
+class CustomError(Exception):
+    pass
+
+
+class Unpicklable(Exception):
+    def __init__(self, msg):
+        super().__init__(msg)
+        self.fh = open(os.devnull)  # sockets/handles never pickle
+
+    def __repr__(self):
+        return f"Unpicklable({self.args[0]!r})"
+
+
+def _raise_and_encode(exc):
+    try:
+        raise exc
+    except Exception as caught:
+        return _encode_exception(caught)
+
+
+class TestExceptionCodec:
+    def test_custom_type_round_trips(self):
+        out = _decode_exception(_raise_and_encode(CustomError("boom", 5)))
+        assert type(out) is CustomError
+        assert out.args == ("boom", 5)
+
+    def test_traceback_text_preserved(self):
+        def deep():
+            raise CustomError("from deep")
+
+        try:
+            deep()
+        except Exception as caught:
+            enc = _encode_exception(caught)
+        out = _decode_exception(enc)
+        assert "in deep" in out.remote_traceback
+        assert "CustomError" in out.remote_traceback
+
+    def test_nested_causes_relinked(self):
+        try:
+            try:
+                raise KeyError("inner")
+            except KeyError as inner:
+                raise CustomError("outer") from inner
+        except Exception as caught:
+            enc = _encode_exception(caught)
+        out = _decode_exception(enc)
+        assert type(out) is CustomError
+        assert type(out.__cause__) is KeyError
+        assert out.__cause__.args == ("inner",)
+
+    def test_unpicklable_falls_back_to_repr(self):
+        out = _decode_exception(_raise_and_encode(Unpicklable("no wire")))
+        assert isinstance(out, RemoteOperatorFailure)
+        assert "Unpicklable('no wire')" in str(out)
+        assert "worker traceback" in str(out)
+
+    def test_unpicklable_cause_under_picklable_root(self):
+        try:
+            try:
+                raise Unpicklable("deep handle")
+            except Exception as inner:
+                raise CustomError("outer") from inner
+        except Exception as caught:
+            enc = _encode_exception(caught)
+        out = _decode_exception(enc)
+        assert type(out) is CustomError
+        assert isinstance(out.__cause__, RemoteOperatorFailure)
+        assert "deep handle" in str(out.__cause__)
+
+    def test_wire_form_pickles(self):
+        enc = _raise_and_encode(CustomError("wire"))
+        assert _decode_exception(pickle.loads(pickle.dumps(enc))).args == (
+            "wire",
+        )
+
+    def test_legacy_formats_accepted(self):
+        legacy = ("pickle", pickle.dumps(ValueError("old")), "tb text")
+        assert _decode_exception(legacy).args == ("old",)
+        text = _decode_exception(("text", "repr of exc", "tb text"))
+        assert isinstance(text, RemoteOperatorFailure)
+        assert "repr of exc" in str(text)
+
+
+# ---------------------------------------------------------------------------
+# Crash recovery
+# ---------------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_killed_worker_respawned_and_result_identical(self):
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        before = _shm_entries()
+        _, result = _run("kill:op=total,nth=1", bus=bus)
+        assert result.value == _reference()
+        assert result.stats.worker_crashes >= 1
+        assert result.stats.worker_respawns >= 1
+        assert result.stats.fires_retried >= 1
+        crashes = log.of_type(WorkerCrashed)
+        respawns = log.of_type(WorkerRespawned)
+        retried = log.of_type(FireRetried)
+        assert crashes and respawns and retried
+        assert crashes[0].exitcode == -9
+        assert any(e.reason == "crash" for e in retried)
+        assert _shm_entries() <= before  # nothing leaked
+
+    def test_arena_segments_reclaimed_from_dead_worker(self):
+        # total's argument is a big array: it rides a pooled arena
+        # segment, which the worker still holds when SIGKILL lands.
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        _, result = _run("kill:op=total,nth=1", bus=bus)
+        reclaimed = log.of_type(ShmSegmentReclaimed)
+        assert reclaimed
+        assert result.stats.shm_segments_reclaimed == len(reclaimed)
+        assert all(e.nbytes > 0 for e in reclaimed)
+
+    def test_metrics_reflect_injected_faults(self):
+        bus = EventBus()
+        metrics = attach_metrics(bus)
+        _, result = _run("kill:op=total,nth=1", bus=bus)
+        assert (
+            metrics.counter("worker_crashes").value
+            == result.stats.worker_crashes
+        )
+        assert (
+            metrics.counter("fires_retried").value
+            == result.stats.fires_retried
+        )
+        assert metrics.counter("shm_segments_reclaimed").value == (
+            result.stats.shm_segments_reclaimed
+        )
+
+    def test_random_kills_still_bit_identical(self):
+        _, result = _run(
+            "kill:p=0.1,seed=3",
+            policy=FaultPolicy(max_retries=4, backoff=0.0, max_respawns=64),
+        )
+        assert result.value == _reference()
+
+
+# ---------------------------------------------------------------------------
+# Timeouts
+# ---------------------------------------------------------------------------
+class TestTimeouts:
+    def test_hung_worker_killed_and_fire_retried(self):
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        _, result = _run(
+            "delay:op=total,nth=1,seconds=30",
+            policy=FaultPolicy(max_retries=2, timeout=0.5, backoff=0.0),
+            bus=bus,
+        )
+        assert result.value == _reference()
+        assert result.stats.fires_timed_out >= 1
+        assert result.stats.worker_crashes >= 1
+        timed_out = log.of_type(FireTimedOut)
+        assert timed_out and timed_out[0].timeout == 0.5
+        assert any(
+            e.reason == "timeout" or "timed out" in str(e.reason)
+            for e in log.of_type(FireRetried)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Poison fires
+# ---------------------------------------------------------------------------
+class TestPoisonFires:
+    def test_structured_operator_error(self):
+        with pytest.raises(OperatorError) as excinfo:
+            _run(
+                "raise:op=total,p=1.0",
+                policy=FaultPolicy(max_retries=2, backoff=0.0),
+            )
+        err = excinfo.value
+        assert err.operator == "total"
+        assert err.node_id >= 0
+        assert len(err.attempts) == 3
+        assert err.worker_pid is not None
+        assert isinstance(err.__cause__, InjectedFault)
+
+    def test_real_worker_exception_still_wrapped(self):
+        reg = default_registry()
+
+        @reg.register(name="die", cost=2e6)
+        def die(x):
+            raise ValueError(f"worker boom {x}")
+
+        compiled = compile_source("main(n) die(n)", registry=reg)
+        with pytest.raises(OperatorError) as excinfo:
+            ProcessExecutor(2, cost_threshold=0.0).run(
+                compiled.graph, args=(5,), registry=reg
+            )
+        assert "die" in str(excinfo.value)
+        assert "worker boom 5" in str(excinfo.value.__cause__)
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+class TestDegradation:
+    def test_irrecoverable_pool_degrades_inline(self):
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        _, result = _run(
+            "kill:p=1.0",
+            policy=FaultPolicy(max_retries=1, max_respawns=0, backoff=0.0),
+            bus=bus,
+        )
+        assert result.value == _reference()
+        assert result.stats.executor_degraded >= 1
+        degraded = log.of_type(ExecutorDegraded)
+        assert degraded and degraded[0].from_executor == "process"
+
+    def test_degrade_off_surfaces_pool_error(self):
+        with pytest.raises(PoolIrrecoverableError) as excinfo:
+            _run(
+                "kill:p=1.0",
+                policy=FaultPolicy(
+                    max_retries=1, max_respawns=0, degrade="off", backoff=0.0
+                ),
+            )
+        assert "respawn budget" in str(excinfo.value)
+
+    def test_pool_construction_failure_falls_to_threaded(self, monkeypatch):
+        import repro.runtime.executors as executors
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no processes today")
+
+        monkeypatch.setattr(executors, "WorkerPool", broken_pool)
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        _, result = _run(None, bus=bus)
+        assert result.value == _reference()
+        assert result.stats.executor_degraded >= 1
+        degraded = log.of_type(ExecutorDegraded)
+        assert degraded[0].to_executor == "threaded"
+        assert "no processes today" in degraded[0].reason
+
+    def test_operator_error_not_swallowed_by_ladder(self, monkeypatch):
+        # Degradation handles machinery failures; a failing *program*
+        # must surface identically from the fallback executor.
+        import repro.runtime.executors as executors
+
+        monkeypatch.setattr(
+            executors,
+            "WorkerPool",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("down")),
+        )
+        with pytest.raises(OperatorError):
+            _run("raise:op=total,p=1.0", policy=FaultPolicy(max_retries=0))
+
+
+# ---------------------------------------------------------------------------
+# Inline executors under injection
+# ---------------------------------------------------------------------------
+class TestInlineExecutors:
+    def test_sequential_with_injection_matches(self):
+        compiled = compile_source(SRC, registry=REGISTRY)
+        result = SequentialExecutor(
+            fault_policy=FaultPolicy(max_retries=3, backoff=0.0),
+            fault_spec=parse_fault_spec("raise:p=0.3,seed=5"),
+        ).run(compiled.graph, args=(24,), registry=REGISTRY)
+        assert result.value == _reference()
+        assert result.stats.fires_retried >= 1
+
+    def test_threaded_with_injection_matches(self):
+        compiled = compile_source(SRC, registry=REGISTRY)
+        result = ThreadedExecutor(
+            3,
+            fault_policy=FaultPolicy(max_retries=3, backoff=0.0),
+            fault_spec=parse_fault_spec("raise:p=0.3,seed=5"),
+        ).run(compiled.graph, args=(24,), registry=REGISTRY)
+        assert result.value == _reference()
+        assert result.stats.fires_retried >= 1
+
+    def test_kill_clause_inert_in_inline_executors(self):
+        compiled = compile_source(SRC, registry=REGISTRY)
+        result = SequentialExecutor(
+            fault_spec=parse_fault_spec("kill:p=1.0"),
+        ).run(compiled.graph, args=(24,), registry=REGISTRY)
+        assert result.value == _reference()
+
+
+# ---------------------------------------------------------------------------
+# Double-release guards (satellite)
+# ---------------------------------------------------------------------------
+class TestDoubleReleaseGuards:
+    def test_buffer_pool_rejects_double_offer(self):
+        from repro.runtime.blocks import BufferPool
+
+        pool = BufferPool()
+        arr = np.ones(64)
+        assert pool.put(arr)
+        with pytest.raises(RuntimeError, match="twice"):
+            pool.put(arr)
+
+    def test_activation_pool_rejects_double_release(self):
+        from repro.runtime import ActivationPool
+        from repro.runtime.scheduler import Task  # noqa: F401 - engine dep
+
+        compiled = compile_source("main(n) incr(n)")
+        pool = ActivationPool()
+        act = pool.acquire(compiled.graph.template("main"))
+        pool.release(act)
+        with pytest.raises(RuntimeError, match="released"):
+            pool.release(act)
+
+    def test_complete_fire_rejects_double_commit(self):
+        from repro.runtime import ExecutionState
+
+        compiled = compile_source("main(n) incr(n)")
+        state = ExecutionState(compiled.graph, default_registry())
+        tasks = list(state.start((1,)))
+        pending = None
+        while tasks and pending is None:
+            outcome = state.begin_fire(tasks.pop())
+            tasks.extend(outcome.newly)
+            pending = outcome.pending
+        assert pending is not None
+        raw = pending.spec.fn(*pending.args)
+        state.complete_fire(pending, raw)
+        with pytest.raises(RuntimeFailure, match="twice"):
+            state.complete_fire(pending, raw)
