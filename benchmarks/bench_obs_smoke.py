@@ -1,0 +1,133 @@
+"""Observability smoke checks, small enough for CI.
+
+Two guarantees from the deep-observability layer, exercised end to end:
+
+* **Unsubscribed emits stay free through the context plumbing.**  A
+  :class:`~repro.obs.runctx.RunContext` with every subscriber disabled
+  carries a zero-subscriber bus, which ``resolve_bus`` must drop to
+  ``None`` exactly as if no bus were passed — the ``run_ctx`` threading
+  must not reopen the per-fire cost the zero-overhead contract closed.
+  Measured: the retina model under such a context stays within the
+  zero-subscriber budget of the bare run (interleaved best-of-batches,
+  the ``test_obs_overhead`` method).
+
+* **The black box works under fire.**  A supervised process run with a
+  deterministic worker kill must leave a parseable flight-recorder dump
+  naming the crash, the in-flight fire, and the queue state — the
+  forensics a failed CI run would be debugged from.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+import time
+
+import numpy as np
+
+from repro import compile_source
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.faults import parse_fault_spec
+from repro.obs import RunContext
+from repro.runtime import (
+    FaultPolicy,
+    ProcessExecutor,
+    SequentialExecutor,
+    default_registry,
+)
+
+#: Interleaved bare/run-ctx pairs; the statistic is the *median of
+#: per-pair ratios*.  Unlike the batch scheme of
+#: ``tests/test_obs_overhead.py`` (simulated executor, low variance),
+#: this workload runs real operator bodies, and on a busy CI box the
+#: noise floor drifts over the test's lifetime; pairing adjacent runs
+#: cancels the drift and the median discards outlier pairs.
+PAIRS = 24
+#: Same budget as ``tests/test_obs_overhead.py``.
+MAX_OVERHEAD = 1.05
+
+
+def test_unsubscribed_context_overhead_bounded():
+    compiled = compile_retina(2, RetinaConfig())
+    graph, registry = compiled.graph, compiled.registry
+
+    def run_bare():
+        SequentialExecutor().run(graph, registry=registry)
+
+    def run_monitored():
+        # Zero subscribers: resolve_bus must drop the context's bus and
+        # leave the hot path identical to the bare run.
+        ctx = RunContext(metrics=False, flight_recorder=False)
+        SequentialExecutor(run_ctx=ctx).run(graph, registry=registry)
+
+    run_bare()
+    run_monitored()
+
+    ratios = []
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for _ in range(PAIRS):
+            t0 = time.perf_counter()
+            run_bare()
+            bare = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            run_monitored()
+            monitored = time.perf_counter() - t0
+            ratios.append(monitored / bare)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    ratio = statistics.median(ratios)
+    assert ratio < MAX_OVERHEAD, (
+        f"zero-subscriber RunContext cost {(ratio - 1):.1%} wall time "
+        f"(median of {PAIRS} interleaved pair ratios); budget is "
+        f"{MAX_OVERHEAD - 1:.0%}"
+    )
+
+
+CRASH_SRC = """
+main(n)
+  let
+    a = mkarr(n, 7)
+    b = mkarr(n, 8)
+  in add(total(a), total(b))
+"""
+
+
+def _crash_registry():
+    reg = default_registry()
+
+    @reg.register(pure=True, cost=2e6)
+    def mkarr(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, n))
+
+    @reg.register(pure=True, cost=2e6)
+    def total(a):
+        return float(a.sum())
+
+    return reg
+
+
+def test_chaos_crash_leaves_parseable_dump(tmp_path):
+    reg = _crash_registry()
+    compiled = compile_source(CRASH_SRC, registry=reg)
+    ctx = RunContext("ci-chaos", flightrec_dir=str(tmp_path), metrics=False)
+    executor = ProcessExecutor(
+        2,
+        cost_threshold=0.0,
+        fault_policy=FaultPolicy(max_retries=4, backoff=0.0, max_respawns=64),
+        fault_spec=parse_fault_spec("kill:op=total,nth=1"),
+        run_ctx=ctx,
+    )
+    result = executor.run(compiled.graph, args=(24,), registry=reg)
+    assert result.value is not None, "the supervised run must survive"
+
+    doc = json.loads((tmp_path / "ci-chaos.flightrec.json").read_text())
+    assert doc["trigger"]["type"] == "WorkerCrashed"
+    assert any(e["type"] == "WorkerCrashed" for e in doc["events"])
+    assert doc["snapshot"]["supervisor"]["in_flight"] >= 1
+    assert "depths" in doc["snapshot"]["ready_queue"]

@@ -48,7 +48,14 @@ import pytest
 from repro.apps.montecarlo.coordination import compile_pi
 from repro.apps.retina import RetinaConfig, compile_retina
 from repro.machine import calibrate_dispatch
-from repro.obs import BlockAllocated, EventBus, OpFinished, observe_blocks
+from repro.obs import (
+    BlockAllocated,
+    EventBus,
+    OpFinished,
+    RunContext,
+    observe_blocks,
+)
+from repro.obs.critpath import RECONCILIATION_TOLERANCE
 from repro.runtime import ProcessExecutor, SequentialExecutor
 
 #: >= the 128x128 floor from the acceptance criteria; kernel and
@@ -285,6 +292,31 @@ def test_wallclock_speedup(
             f"{'':>9} {'':>9} {'':>7} {'':>7} {'':>7}  {speedup:>6.2f}x"
         )
 
+    # Causal profile: one fully-recorded pass over the donated graph.
+    # The critical-path report must explain the wall clock it was
+    # measured against (attribution reconciles within the tolerance) —
+    # the cross-check that keeps the profiler honest on a real workload.
+    ctx = RunContext(
+        "bench-retina", record_events=True, flight_recorder=False,
+        metrics=False,
+    )
+    t0 = time.perf_counter()
+    SequentialExecutor(run_ctx=ctx).run(graph, registry=registry)
+    profiled_wall = time.perf_counter() - t0
+    critpath = ctx.critical_path(profiled_wall)
+    entry["critical_path"] = critpath.to_dict()
+    rows.append("")
+    rows.append(
+        f"critical path: {len(critpath.path)} of {critpath.n_firings} "
+        f"firings, {critpath.path_seconds:.4f}s busy of "
+        f"{profiled_wall:.4f}s wall (profiled pass)"
+    )
+    rows.append(
+        f"attribution reconciles within "
+        f"{critpath.reconciliation_error:.2%} of wallclock "
+        f"(tolerance {RECONCILIATION_TOLERANCE:.0%})"
+    )
+
     _record("retina_wallclock", entry)
     bench_json("retina_wallclock", entry)
     gain = 1.0 - donated_seconds / PR2_SEQUENTIAL_SECONDS
@@ -312,6 +344,11 @@ def test_wallclock_speedup(
     assert fraction < PR3_OVERHEAD_FRACTION, (
         f"master overhead fraction must land strictly below the PR 3 "
         f"record ({PR3_OVERHEAD_FRACTION}); got {fraction:.4f}"
+    )
+    assert critpath.reconciliation_error <= RECONCILIATION_TOLERANCE, (
+        f"critical-path attribution must reconcile with wallclock within "
+        f"{RECONCILIATION_TOLERANCE:.0%}; "
+        f"got {critpath.reconciliation_error:.2%}"
     )
 
     cpus = os.cpu_count() or 1

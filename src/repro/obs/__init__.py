@@ -32,8 +32,15 @@ from .chrome_trace import (
     ChromeTraceCollector,
     validate_trace,
 )
+from .critpath import (
+    CriticalPathReport,
+    FiringRecord,
+    compare_critical_paths,
+    critical_path,
+)
 from .events import (
     ALL_EVENTS,
+    EVENT_LOG_MAXLEN,
     ActivationAllocated,
     ActivationRecycled,
     BlockAllocated,
@@ -54,6 +61,8 @@ from .events import (
     OperatorsFused,
     QueueDepthSample,
     ResultReceived,
+    RunFinished,
+    RunStarted,
     ShmBlockCreated,
     ShmSegmentReclaimed,
     TailExpansion,
@@ -64,6 +73,16 @@ from .events import (
     WorkerRespawned,
     observe_blocks,
 )
+from .expo import (
+    MetricsServer,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from .flightrec import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    encode_event,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -73,6 +92,7 @@ from .metrics import (
     Series,
     attach_metrics,
 )
+from .runctx import RunContext, next_run_id
 
 __all__ = [
     "ALL_EVENTS",
@@ -85,8 +105,11 @@ __all__ = [
     "ChromeTraceCollector",
     "Counter",
     "CowCopy",
+    "CriticalPathReport",
     "DEFAULT_BUCKETS",
+    "DEFAULT_CAPACITY",
     "DonationApplied",
+    "EVENT_LOG_MAXLEN",
     "Event",
     "EventBus",
     "EventLog",
@@ -94,14 +117,20 @@ __all__ = [
     "Expansion",
     "FireRetried",
     "FireTimedOut",
+    "FiringRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "OpFinished",
     "OpStarted",
     "OperatorsFused",
     "QueueDepthSample",
     "ResultReceived",
+    "RunContext",
+    "RunFinished",
+    "RunStarted",
     "Series",
     "ShmBlockCreated",
     "ShmSegmentReclaimed",
@@ -114,6 +143,12 @@ __all__ = [
     "WorkerCrashed",
     "WorkerRespawned",
     "attach_metrics",
+    "compare_critical_paths",
+    "critical_path",
+    "encode_event",
+    "next_run_id",
     "observe_blocks",
+    "render_prometheus",
+    "validate_prometheus_text",
     "validate_trace",
 ]

@@ -26,6 +26,7 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
@@ -35,6 +36,30 @@ class Event:
     """Base class: every event carries a timestamp in the executor's unit."""
 
     ts: float
+
+
+# ----------------------------------------------------------------------
+# Run lifecycle (run-scoped observability contexts)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class RunStarted(Event):
+    """An executor began driving a program under a
+    :class:`~repro.obs.runctx.RunContext` — every event that follows on
+    this bus until the matching :class:`RunFinished` belongs to
+    ``run_id``."""
+
+    run_id: str
+    executor: str
+
+
+@dataclass(frozen=True, slots=True)
+class RunFinished(Event):
+    """The run completed (``ok=True``) or raised (``ok=False``)."""
+
+    run_id: str
+    executor: str
+    wall_seconds: float
+    ok: bool
 
 
 # ----------------------------------------------------------------------
@@ -205,13 +230,17 @@ class TaskDispatched(Event):
 
     ``nbytes`` counts the serialized argument payloads (pickle bytes plus
     any shared-memory segment bytes); ``via_shm`` is true when at least
-    one argument traveled through a shared-memory block.
+    one argument traveled through a shared-memory block.  ``node_id`` is
+    the graph node the firing belongs to (``-1`` on old emitters), which
+    lets the critical-path profiler join a dispatch to its
+    :class:`ResultReceived` and back to the firing.
     """
 
     operator: str
     call_id: int
     nbytes: int
     via_shm: bool
+    node_id: int = -1
 
 
 @dataclass(frozen=True, slots=True)
@@ -341,6 +370,8 @@ class QueueDepthSample(Event):
 
 #: Every concrete event type, for subscribers that want the full stream.
 ALL_EVENTS: tuple[type, ...] = (
+    RunStarted,
+    RunFinished,
     TaskEnqueued,
     TaskFired,
     OpStarted,
@@ -467,18 +498,38 @@ class EventBus:
             fn(event)
 
 
-class EventLog:
-    """The simplest subscriber: record every event in emission order.
+#: Default :class:`EventLog` bound.  A long process-executor run emits a
+#: few thousand events per second of wall time, so a million-event ring
+#: holds minutes of history while bounding memory at roughly 100 MB of
+#: event objects even if a run is left instrumented indefinitely.
+EVENT_LOG_MAXLEN = 1_048_576
 
-    Used by tests (causal-consistency checks) and ad-hoc debugging; the
-    production subscribers are :mod:`repro.obs.metrics` and
+
+class EventLog:
+    """The simplest subscriber: record events in emission order.
+
+    Used by tests (causal-consistency checks), ad-hoc debugging, and —
+    with a small ``maxlen`` — as the ring buffer inside the flight
+    recorder (:mod:`repro.obs.flightrec`); the production aggregating
+    subscribers are :mod:`repro.obs.metrics` and
     :mod:`repro.obs.chrome_trace`.
+
+    Storage is a ``deque`` bounded at ``maxlen`` (default
+    :data:`EVENT_LOG_MAXLEN`): once full, the oldest events are silently
+    dropped, so an always-attached log never grows without limit.  Pass
+    ``maxlen=None`` for the old unbounded behavior.
     """
 
-    def __init__(self) -> None:
-        self.events: list[Event] = []
+    def __init__(self, maxlen: int | None = EVENT_LOG_MAXLEN) -> None:
+        self.events: deque[Event] = deque(maxlen=maxlen)
+
+    @property
+    def maxlen(self) -> int | None:
+        return self.events.maxlen
 
     def attach(self, bus: EventBus) -> Callable[[], None]:
+        #: ``deque.append`` drops from the far end at capacity, so the
+        #: subscription itself is the zero-alloc ring append.
         return bus.subscribe(self.events.append)
 
     def of_type(self, *types: type) -> list[Event]:

@@ -44,6 +44,8 @@ from .events import (
     OpStarted,
     QueueDepthSample,
     ResultReceived,
+    RunFinished,
+    RunStarted,
     ShmBlockCreated,
     ShmSegmentReclaimed,
     TailExpansion,
@@ -211,6 +213,12 @@ class MetricsRegistry:
         return s
 
     # -- output --------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (see :mod:`repro.obs.expo`)."""
+        from .expo import render_prometheus
+
+        return render_prometheus(self)
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-serializable dump of every metric."""
         return {
@@ -297,6 +305,9 @@ def attach_metrics(
     executor_degraded = reg.counter("executor_degraded")
     shm_reclaimed = reg.counter("shm_segments_reclaimed")
     shm_reclaimed_bytes = reg.counter("shm_reclaimed_bytes")
+    runs_started = reg.counter("runs_started")
+    runs_finished = reg.counter("runs_finished")
+    runs_failed = reg.counter("runs_failed")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -368,6 +379,14 @@ def attach_metrics(
         elif isinstance(e, OperatorsFused):
             reg.gauge("fused_nodes").set(e.fused_nodes)
             reg.gauge("fused_ops_absorbed").set(e.ops_absorbed)
+        elif isinstance(e, RunStarted):
+            runs_started.inc(label=e.executor)
+        elif isinstance(e, RunFinished):
+            if e.ok:
+                runs_finished.inc(label=e.executor)
+            else:
+                runs_failed.inc(label=e.executor)
+            reg.gauge("run_wall_seconds").set(e.wall_seconds)
 
     bus.subscribe(on_event)
     return reg

@@ -157,7 +157,7 @@ class ActivationPool:
             self.peak_by_template[name] = live
         self.live_set.add(act)
         bus = self._bus
-        if bus is not None:
+        if bus is not None and bus.wants(ActivationAllocated):
             bus.emit(
                 ActivationAllocated(bus.now(), name, act.aid, reused, self.live)
             )
@@ -179,7 +179,7 @@ class ActivationPool:
         else:
             self.free_dropped += 1
         bus = self._bus
-        if bus is not None:
+        if bus is not None and bus.wants(ActivationRecycled):
             bus.emit(
                 ActivationRecycled(
                     bus.now(), act.template.name, act.aid, self.live

@@ -106,6 +106,13 @@ class PendingOp:
     home: int
     remote: bool
     op_began: float | None = None
+    #: Identity of the task this firing came from (``begin_fire`` stamps
+    #: them) so executor-emitted :class:`~repro.obs.events.TaskFired`
+    #: spans for operator bodies carry the same (seq, priority) as their
+    #: :class:`~repro.obs.events.TaskEnqueued` — the join key the
+    #: critical-path profiler reconstructs the causal DAG with.
+    seq: int = -1
+    priority: int = 0
     #: Input indices the donation pass proved are last uses
     #: (``node.donated``); ``None`` when the pass did not run or the node
     #: has no donated edges.
@@ -399,10 +406,14 @@ class ExecutionState:
                 act, node_id, spec, list(inputs), list(inputs), home, classify,
                 donated=node.donated,
             )
+            pending.seq = task.seq
+            pending.priority = task.priority
             return FireOutcome(newly, pending)
         elif kind is NodeKind.CALL:
             pending = self._fire_call(act, node_id, node, newly, home, classify)
             if pending is not None:
+                pending.seq = task.seq
+                pending.priority = task.priority
                 return FireOutcome(newly, pending)
         elif kind is NodeKind.IF:
             self._fire_if(act, node_id, node, newly)
@@ -412,13 +423,24 @@ class ExecutionState:
         self._maybe_free(act)
         return FireOutcome(newly)
 
-    def complete_fire(self, pending: PendingOp, raw_result: Any) -> list[Task]:
+    def complete_fire(
+        self,
+        pending: PendingOp,
+        raw_result: Any,
+        op_seconds: float | None = None,
+    ) -> list[Task]:
         """Commit a suspended operator firing; return the newly ready tasks.
 
         ``raw_result`` is whatever the operator function returned (in this
         process or another).  Exactly one ``complete_fire`` must follow
         every pending ``begin_fire``; an abandoned pending op leaves its
         activation pinned, which the stall report will point at.
+
+        ``op_seconds``, when given, overrides the duration reported on the
+        :class:`~repro.obs.events.OpFinished` event.  The process executor
+        passes the worker-measured body time here: without it the default
+        (commit time minus ``op_began``) would report the dispatch→commit
+        round trip, not the operator, for every remote firing.
         """
         act = pending.activation
         spec = pending.spec
@@ -432,8 +454,12 @@ class ExecutionState:
         bus = self.bus
         if bus is not None and bus.wants(OpFinished):
             op_ended = bus.now()
-            began = pending.op_began if pending.op_began is not None else op_ended
-            bus.emit(OpFinished(op_ended, spec.name, op_ended - began))
+            if op_seconds is None:
+                began = (
+                    pending.op_began if pending.op_began is not None else op_ended
+                )
+                op_seconds = op_ended - began
+            bus.emit(OpFinished(op_ended, spec.name, op_seconds))
         if self.check_purity and not pending.remote:
             for i, fp in pending.fingerprints:
                 block = pending.op_inputs[i]
@@ -499,6 +525,20 @@ class ExecutionState:
         self.stats.activation_stats = self.pool.stats()
         self.stats.pool_stats = self.buffers.stats()
         return self.stats
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Point-in-time engine state for the flight recorder: cheap,
+        JSON-ready, and safe to call mid-run (including from a fault
+        path, when some invariants may already be broken)."""
+        return {
+            "tasks_fired": self.stats.tasks_fired,
+            "ops_executed": self.stats.ops_executed,
+            "live_activations": self.pool.live,
+            "in_flight_ops": sum(self._pending_ops.values()),
+            "finished": self.finished,
+            "activation_stats": self.pool.stats(),
+            "buffer_pool": self.buffers.stats(),
+        }
 
     def stall_report(self, limit: int = 8) -> str:
         """Describe what is stuck when execution stalls without a result.
@@ -915,13 +955,13 @@ class ExecutionState:
         bus = self.bus
         if node.tail:
             self.stats.tail_expansions += 1
-            if bus is not None:
+            if bus is not None and bus.wants(TailExpansion):
                 bus.emit(TailExpansion(bus.now(), template.name, child.aid))
             child.continuation = parent.continuation
             # Delegate: the parent will never see a result of its own.
             parent.result_done = True
         else:
-            if bus is not None:
+            if bus is not None and bus.wants(Expansion):
                 bus.emit(Expansion(bus.now(), template.name, child.aid))
             child.continuation = (parent, node_id)
             self._pending_children[parent.aid] = (

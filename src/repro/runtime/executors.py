@@ -40,6 +40,7 @@ from ..obs.events import (
     ResultReceived,
     TaskFired,
 )
+from ..obs.runctx import RunContext
 from .engine import EngineStats, ExecutionState, PendingOp
 from .operators import OperatorRegistry, collect_fused_chains, default_registry
 from .scheduler import ReadyQueue
@@ -56,15 +57,20 @@ from .workers import (
 
 
 def resolve_bus(
-    bus: EventBus | None, trace: bool
+    bus: EventBus | None,
+    trace: bool,
+    run_ctx: RunContext | None = None,
 ) -> tuple[EventBus | None, Tracer | None]:
     """Shared executor preamble: tracer-as-subscriber plus fast-path check.
 
-    ``trace=True`` guarantees a bus (creating a private one if none was
-    supplied) and attaches a :class:`Tracer` to it; a bus that still has
-    no subscribers is then dropped entirely so the run pays nothing for
-    instrumentation nobody is watching.
+    An explicit ``bus`` wins; otherwise the run-scoped context supplies
+    its private bus.  ``trace=True`` guarantees a bus (creating a private
+    one if none was supplied) and attaches a :class:`Tracer` to it; a bus
+    that still has no subscribers is then dropped entirely so the run
+    pays nothing for instrumentation nobody is watching.
     """
+    if bus is None and run_ctx is not None:
+        bus = run_ctx.bus
     tracer: Tracer | None = None
     if trace:
         bus = bus if bus is not None else EventBus()
@@ -162,6 +168,13 @@ class SequentialExecutor:
         consulted before every operator body.  ``kill`` and ``arena``
         clauses are inert in-process by design, so one spec string works
         under every executor.
+    run_ctx:
+        Optional :class:`~repro.obs.runctx.RunContext`.  Supplies the bus
+        when none is given explicitly, receives engine / ready-queue
+        snapshot sources for flight-recorder dumps, and has the run
+        bracketed with :class:`~repro.obs.events.RunStarted` /
+        :class:`~repro.obs.events.RunFinished` (failures dump the black
+        box).
     """
 
     def __init__(
@@ -173,6 +186,7 @@ class SequentialExecutor:
         bus: EventBus | None = None,
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
+        run_ctx: RunContext | None = None,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
@@ -181,6 +195,7 @@ class SequentialExecutor:
         self.bus = bus
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
+        self.run_ctx = run_ctx
 
     def run(
         self,
@@ -189,7 +204,8 @@ class SequentialExecutor:
         registry: OperatorRegistry | None = None,
     ) -> RunResult:
         registry = registry if registry is not None else default_registry()
-        bus, tracer = resolve_bus(self.bus, self.trace)
+        ctx = self.run_ctx
+        bus, tracer = resolve_bus(self.bus, self.trace, ctx)
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
         )
@@ -197,41 +213,60 @@ class SequentialExecutor:
         began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - began)
-        run_op = make_inline_run_op(
-            self.fault_policy, self.fault_spec, state.stats, bus
-        )
-        queue.push_all(state.start(args))
-        while queue:
-            task = queue.pop()
-            if bus is not None:
-                act = task.activation
-                node = act.template.nodes[task.node_id]
-                template_name, aid = act.template.name, act.aid
-                t0 = time.perf_counter() - began
-                queue.push_all(state.fire(task, run_op=run_op))
-                t1 = time.perf_counter() - began
-                bus.emit(
-                    TaskFired(
-                        t0,
-                        node.label,
-                        node.kind.value,
-                        task.priority,
-                        template_name,
-                        aid,
-                        task.node_id,
-                        task.seq,
-                        t1 - t0,
-                        0,
-                    )
-                )
-            else:
-                queue.push_all(state.fire(task, run_op=run_op))
-        wall = time.perf_counter() - began
-        if not state.finished:
-            raise RuntimeFailure(
-                "execution stalled: ready queue drained without producing a "
-                "result (ill-formed graph?)\n" + state.stall_report()
+        if ctx is not None:
+            ctx.add_snapshot_source("engine", state.snapshot_state)
+            ctx.add_snapshot_source(
+                "ready_queue", lambda: {"depths": queue.depths()}
             )
+            ctx.run_started("sequential")
+        try:
+            run_op = make_inline_run_op(
+                self.fault_policy, self.fault_spec, state.stats, bus
+            )
+            # Snapshot of the subscriber set: the span branch below costs
+            # a clock read and an event object per firing, which a bus
+            # carrying only coarse subscribers (flight recorder, say)
+            # must not pay.
+            wants_fired = bus is not None and bus.wants(TaskFired)
+            queue.push_all(state.start(args))
+            while queue:
+                task = queue.pop()
+                if wants_fired:
+                    act = task.activation
+                    node = act.template.nodes[task.node_id]
+                    template_name, aid = act.template.name, act.aid
+                    t0 = time.perf_counter() - began
+                    queue.push_all(state.fire(task, run_op=run_op))
+                    t1 = time.perf_counter() - began
+                    bus.emit(
+                        TaskFired(
+                            t0,
+                            node.label,
+                            node.kind.value,
+                            task.priority,
+                            template_name,
+                            aid,
+                            task.node_id,
+                            task.seq,
+                            t1 - t0,
+                            0,
+                        )
+                    )
+                else:
+                    queue.push_all(state.fire(task, run_op=run_op))
+            wall = time.perf_counter() - began
+            if not state.finished:
+                raise RuntimeFailure(
+                    "execution stalled: ready queue drained without "
+                    "producing a result (ill-formed graph?)\n"
+                    + state.stall_report()
+                )
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.run_failed(exc, time.perf_counter() - began)
+            raise
+        if ctx is not None:
+            ctx.run_finished(wall)
         return RunResult(state.result(), state.snapshot_stats(), tracer, wall)
 
 
@@ -258,6 +293,7 @@ class ThreadedExecutor:
         bus: EventBus | None = None,
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
+        run_ctx: RunContext | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -268,6 +304,7 @@ class ThreadedExecutor:
         self.bus = bus
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
+        self.run_ctx = run_ctx
 
     def run(
         self,
@@ -276,7 +313,8 @@ class ThreadedExecutor:
         registry: OperatorRegistry | None = None,
     ) -> RunResult:
         registry = registry if registry is not None else default_registry()
-        bus, tracer = resolve_bus(self.bus, self.trace)
+        ctx = self.run_ctx
+        bus, tracer = resolve_bus(self.bus, self.trace, ctx)
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
         )
@@ -287,6 +325,13 @@ class ThreadedExecutor:
         run_began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - run_began)
+        if ctx is not None:
+            ctx.add_snapshot_source("engine", state.snapshot_state)
+            ctx.add_snapshot_source(
+                "ready_queue", lambda: {"depths": queue.depths()}
+            )
+            ctx.run_started("threaded")
+        wants_fired = bus is not None and bus.wants(TaskFired)
 
         fault_policy = self.fault_policy
         injector = (
@@ -349,11 +394,19 @@ class ThreadedExecutor:
                                 backoff,
                             )
                         )
-            if bus is not None:
-                # Emitted under the lock; the worker's thread index
-                # stands in for a processor id.  Only operator calls
-                # get spans here — engine bookkeeping is serialized
-                # under the lock and is not attributable to a worker.
+            if error is not None:
+                raise error
+            act = pending.activation
+            template_name, aid = act.template.name, act.aid
+            queue.push_all(state.complete_fire(pending, raw))
+            if wants_fired:
+                # Emitted under the lock, after the commit so the
+                # firing's children are enqueued (stream-order) before
+                # the span that caused them — the causal-profiler
+                # contract.  The worker's thread index stands in for a
+                # processor id.  Only operator calls get spans here —
+                # engine bookkeeping is serialized under the lock and is
+                # not attributable to a worker.
                 name = threading.current_thread().name
                 processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
                 bus.emit(
@@ -361,18 +414,15 @@ class ThreadedExecutor:
                         t0 - run_began,
                         spec.name,
                         "op",
-                        0,
-                        "",
-                        -1,
-                        -1,
-                        -1,
+                        pending.priority,
+                        template_name,
+                        aid,
+                        pending.node_id,
+                        pending.seq,
                         elapsed,
                         processor,
                     )
                 )
-            if error is not None:
-                raise error
-            queue.push_all(state.complete_fire(pending, raw))
 
         def worker() -> None:
             nonlocal active
@@ -413,13 +463,21 @@ class ThreadedExecutor:
         for t in threads:
             t.join()
         wall = time.perf_counter() - began
-        if errors:
-            raise errors[0]
-        if not state.finished:
-            raise RuntimeFailure(
-                "execution stalled: ready queue drained without producing a "
-                "result (ill-formed graph?)\n" + state.stall_report()
-            )
+        try:
+            if errors:
+                raise errors[0]
+            if not state.finished:
+                raise RuntimeFailure(
+                    "execution stalled: ready queue drained without "
+                    "producing a result (ill-formed graph?)\n"
+                    + state.stall_report()
+                )
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.run_failed(exc, wall)
+            raise
+        if ctx is not None:
+            ctx.run_finished(wall)
         return RunResult(state.result(), state.snapshot_stats(), tracer, wall)
 
 
@@ -489,6 +547,7 @@ class ProcessExecutor:
         min_dispatch_seconds: float = 0.002,
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
+        run_ctx: RunContext | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -512,6 +571,7 @@ class ProcessExecutor:
         self.registry_ref = registry_ref
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
+        self.run_ctx = run_ctx
 
     def run(
         self,
@@ -558,7 +618,11 @@ class ProcessExecutor:
         failures, stalls) propagate — the ladder handles *machinery*
         failures, not program failures.
         """
-        bus = self.bus if self.bus is not None and self.bus.active else None
+        bus = self.bus
+        if bus is None and self.run_ctx is not None:
+            bus = self.run_ctx.bus
+        if bus is not None and not bus.active:
+            bus = None
         if bus is not None:
             bus.emit(
                 ExecutorDegraded(bus.now(), "process", "threaded", reason)
@@ -571,6 +635,7 @@ class ProcessExecutor:
             bus=self.bus,
             fault_policy=self.fault_policy,
             fault_spec=self.fault_spec,
+            run_ctx=self.run_ctx,
         )
         try:
             result = threaded.run(program, args, registry)
@@ -593,6 +658,7 @@ class ProcessExecutor:
                 bus=self.bus,
                 fault_policy=self.fault_policy,
                 fault_spec=self.fault_spec,
+                run_ctx=self.run_ctx,
             )
             result = sequential.run(program, args, registry)
             result.stats.executor_degraded += 2
@@ -606,7 +672,8 @@ class ProcessExecutor:
         registry: OperatorRegistry,
         policy: FaultPolicy,
     ) -> RunResult:
-        bus, tracer = resolve_bus(self.bus, self.trace)
+        ctx = self.run_ctx
+        bus, tracer = resolve_bus(self.bus, self.trace, ctx)
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
         )
@@ -627,38 +694,63 @@ class ProcessExecutor:
             bus=bus,
             stats=state.stats,
         )
+        if ctx is not None:
+            ctx.add_snapshot_source("engine", state.snapshot_state)
+            ctx.add_snapshot_source(
+                "ready_queue", lambda: {"depths": queue.depths()}
+            )
+            ctx.add_snapshot_source("supervisor", supervisor.snapshot)
+            ctx.add_snapshot_source(
+                "workers",
+                lambda: {
+                    "respawns": pool.respawns,
+                    "arena": pool.arena.stats(),
+                },
+            )
+            ctx.run_started("process")
+        wants_fired = bus is not None and bus.wants(TaskFired)
         classify: Any = self.policy.should_dispatch
 
         def commit(c: Completion) -> None:
-            spec = c.pending.spec
+            pending = c.pending
+            spec = pending.spec
+            act = pending.activation
+            template_name, aid = act.template.name, act.aid
+            # Commit first: the firing's children are enqueued (and
+            # announced) before the span that caused them, which is the
+            # order the causal profiler reconstructs parents from.  The
+            # worker-measured body time rides along so OpFinished carries
+            # real compute seconds, not compute + queue + IPC.
+            newly = state.complete_fire(pending, c.raw, op_seconds=c.duration)
             if bus is not None:
-                now = bus.now()
-                bus.emit(
-                    ResultReceived(
-                        now,
-                        spec.name,
-                        c.call_id,
-                        c.worker,
-                        c.duration,
-                        c.nbytes,
-                        c.via_shm,
+                if bus.wants(ResultReceived):
+                    bus.emit(
+                        ResultReceived(
+                            bus.now(),
+                            spec.name,
+                            c.call_id,
+                            c.worker,
+                            c.duration,
+                            c.nbytes,
+                            c.via_shm,
+                        )
                     )
-                )
-                bus.emit(
-                    TaskFired(
-                        max(0.0, c.t0 - began),
-                        spec.name,
-                        "op",
-                        0,
-                        "",
-                        -1,
-                        -1,
-                        -1,
-                        c.duration,
-                        c.worker + 1,
+                if wants_fired:
+                    bus.emit(
+                        TaskFired(
+                            max(0.0, c.t0 - began),
+                            spec.name,
+                            "op",
+                            pending.priority,
+                            template_name,
+                            aid,
+                            pending.node_id,
+                            pending.seq,
+                            c.duration,
+                            c.worker + 1,
+                        )
                     )
-                )
-            queue.push_all(state.complete_fire(c.pending, c.raw))
+            queue.push_all(newly)
 
         def run_inline(pending: PendingOp, isolate: bool = False) -> None:
             spec = pending.spec
@@ -704,12 +796,24 @@ class ProcessExecutor:
                                 backoff,
                             )
                         )
-            queue.push_all(state.complete_fire(pending, raw))
-            if bus is not None:
+            act = pending.activation
+            template_name, aid = act.template.name, act.aid
+            queue.push_all(
+                state.complete_fire(pending, raw, op_seconds=t1 - t0)
+            )
+            if wants_fired:
                 bus.emit(
                     TaskFired(
-                        t0 - began, spec.name, "op", 0, "", -1, -1, -1,
-                        t1 - t0, 0,
+                        t0 - began,
+                        spec.name,
+                        "op",
+                        pending.priority,
+                        template_name,
+                        aid,
+                        pending.node_id,
+                        pending.seq,
+                        t1 - t0,
+                        0,
                     )
                 )
 
@@ -736,35 +840,70 @@ class ProcessExecutor:
             for pending in supervisor.drain_in_flight():
                 run_inline(pending, isolate=True)
 
-        queue.push_all(state.start(args))
-        while queue or supervisor.in_flight:
-            while queue:
-                task = queue.pop()
-                outcome = state.begin_fire(task, classify=classify)
-                queue.push_all(outcome.newly)
-                pending = outcome.pending
-                if pending is None:
+        try:
+            queue.push_all(state.start(args))
+            while queue or supervisor.in_flight:
+                while queue:
+                    task = queue.pop()
+                    if wants_fired:
+                        # Master engine spans: fires that resolve without
+                        # an operator body (consts, expansions, result
+                        # plumbing) otherwise vanish from the stream, and
+                        # with them the causal chain and the master's
+                        # share of the timeline.
+                        act = task.activation
+                        node = act.template.nodes[task.node_id]
+                        template_name, aid = act.template.name, act.aid
+                        t0 = bus.now()
+                        outcome = state.begin_fire(task, classify=classify)
+                        if outcome.pending is None:
+                            bus.emit(
+                                TaskFired(
+                                    t0,
+                                    node.label,
+                                    node.kind.value,
+                                    task.priority,
+                                    template_name,
+                                    aid,
+                                    task.node_id,
+                                    task.seq,
+                                    bus.now() - t0,
+                                    0,
+                                )
+                            )
+                    else:
+                        outcome = state.begin_fire(task, classify=classify)
+                    queue.push_all(outcome.newly)
+                    pending = outcome.pending
+                    if pending is None:
+                        continue
+                    if pending.remote:
+                        supervisor.dispatch(pending)
+                    else:
+                        run_inline(pending)
+                if not supervisor.in_flight:
                     continue
-                if pending.remote:
-                    supervisor.dispatch(pending)
-                else:
-                    run_inline(pending)
-            if not supervisor.in_flight:
-                continue
-            try:
-                completions = supervisor.pump(block=True)
-            except PoolIrrecoverableError as exc:
-                if policy.degrade == "off":
-                    raise
-                degrade(str(exc))
-                continue
-            for c in completions:
-                commit(c)
+                try:
+                    completions = supervisor.pump(block=True)
+                except PoolIrrecoverableError as exc:
+                    if policy.degrade == "off":
+                        raise
+                    degrade(str(exc))
+                    continue
+                for c in completions:
+                    commit(c)
 
-        wall = time.perf_counter() - began
-        if not state.finished:
-            raise RuntimeFailure(
-                "execution stalled: ready queue drained without producing a "
-                "result (ill-formed graph?)\n" + state.stall_report()
-            )
+            wall = time.perf_counter() - began
+            if not state.finished:
+                raise RuntimeFailure(
+                    "execution stalled: ready queue drained without "
+                    "producing a result (ill-formed graph?)\n"
+                    + state.stall_report()
+                )
+        except BaseException as exc:
+            if ctx is not None:
+                ctx.run_failed(exc, time.perf_counter() - began)
+            raise
+        if ctx is not None:
+            ctx.run_finished(wall)
         return RunResult(state.result(), state.snapshot_stats(), tracer, wall)

@@ -84,8 +84,17 @@ class ReadyQueue:
         self._bus = bus if (bus is not None and bus.active) else None
         self._fast = self._rng is None and self._bus is None
 
+    def depths(self) -> tuple[int, int, int]:
+        """Current depth per priority class (flight-recorder snapshot)."""
+        return (len(self._q0), len(self._q1), len(self._q2))
+
     def _sample_depth(self) -> None:
+        # ``wants`` guard: an active bus whose subscribers ignore depth
+        # samples (e.g. only a flight recorder is attached) must not pay
+        # event construction on every push/pop.
         bus = self._bus
+        if not bus.wants(QueueDepthSample):
+            return
         q0, q1, q2 = self._queues
         bus.emit(QueueDepthSample(bus.now(), (len(q0), len(q1), len(q2))))
 

@@ -430,9 +430,34 @@ class Supervisor:
                         record.call_id,
                         sum(e.nbytes for e in record.enc_args),
                         any(e.via_shm for e in record.enc_args),
+                        record.pending.node_id,
                     )
                 )
         return True
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time dispatch state (flight-recorder snapshot source).
+
+        Called at dump time — possibly mid-crash-handling — so it only
+        reads, never mutates, the bookkeeping.
+        """
+        assigned = [
+            {
+                "call_id": r.call_id,
+                "operator": r.pending.spec.name,
+                "node_id": r.pending.node_id,
+                "worker": r.worker,
+                "attempt": r.attempt_next,
+            }
+            for r in self._assigned.values()
+        ]
+        return {
+            "in_flight": self.in_flight,
+            "assigned": assigned,
+            "staged": len(self._staged),
+            "delayed": len(self._delayed),
+            "completions_buffered": len(self._completions),
+        }
 
     # -- waiting / absorption -------------------------------------------
     def _wait_timeout(self, block: bool) -> float | None:
@@ -581,20 +606,25 @@ class Supervisor:
                     self._absorb(message)
         except (EOFError, OSError):
             pass
-        lost = [
-            self._assigned.pop(cid)
+        lost_ids = [
+            cid
             for cid in sorted(self._worker_calls[worker])
             if cid in self._assigned
         ]
-        self._worker_calls[worker].clear()
         self.stats.worker_crashes += 1
         bus = self.bus
         if bus is not None and bus.wants(WorkerCrashed):
+            # Emitted while the lost calls are still in ``_assigned``: a
+            # flight recorder triggered by this event snapshots the
+            # supervisor, and the dump must show the in-flight fires the
+            # dead worker held.
             bus.emit(
                 WorkerCrashed(
-                    bus.now(), worker, pid or 0, exitcode, len(lost)
+                    bus.now(), worker, pid or 0, exitcode, len(lost_ids)
                 )
             )
+        lost = [self._assigned.pop(cid) for cid in lost_ids]
+        self._worker_calls[worker].clear()
         if self.pool.respawns >= self.policy.max_respawns:
             # Put the lost records back so drain_in_flight can recover
             # them for the degradation path.

@@ -39,7 +39,11 @@ from ..obs import (
 )
 from ..runtime import ProcessExecutor, SequentialExecutor, ThreadedExecutor
 from .timeline import gantt
-from .timing_report import load_balance_summary, node_timing_report
+from .timing_report import (
+    critical_path_section,
+    load_balance_summary,
+    node_timing_report,
+)
 
 
 def _parse_value(text: str) -> object:
@@ -124,6 +128,68 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--run-id",
+        metavar="ID",
+        default=None,
+        help="name for this run's observability scope (flight-recorder "
+        "dump file, /healthz document); generated when omitted",
+    )
+    parser.add_argument(
+        "--flight-recorder",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="keep a bounded ring of coarse runtime events and dump it "
+        "to <run-id>.flightrec.json on worker crashes, fire timeouts, "
+        "executor degradation, or failure (default on)",
+    )
+    parser.add_argument(
+        "--flightrec-dir",
+        metavar="DIR",
+        default=None,
+        help="directory for flight-recorder dumps (default: cwd)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        default=None,
+        help="serve Prometheus metrics on http://127.0.0.1:PORT/metrics "
+        "(and /healthz) for the duration of the run; 0 picks a free port",
+    )
+
+
+def _make_run_ctx(
+    ns: argparse.Namespace, record_events: bool = False
+):
+    """Build the run-scoped observability context the flags ask for."""
+    from ..obs import RunContext
+
+    return RunContext(
+        ns.run_id,
+        # The metrics subscriber watches per-fire events; without a
+        # scrape surface the default `run` path should not pay for it.
+        metrics=ns.metrics_port is not None or record_events,
+        flight_recorder=ns.flight_recorder,
+        flightrec_dir=ns.flightrec_dir,
+        record_events=record_events,
+    )
+
+
+def _serve_metrics(ctx, ns: argparse.Namespace):
+    """Start the scrape endpoint when --metrics-port was given."""
+    if ns.metrics_port is None:
+        return None
+    server = ctx.serve_metrics(port=ns.metrics_port)
+    print(
+        f"serving metrics at http://127.0.0.1:{server.port}/metrics "
+        f"(run id {ctx.run_id})",
+        file=sys.stderr,
+    )
+    return server
+
+
 def _fault_options(ns: argparse.Namespace) -> dict:
     """Parse --fault-policy / --inject-faults into executor kwargs."""
     out: dict = {}
@@ -139,10 +205,12 @@ def _fault_options(ns: argparse.Namespace) -> dict:
 
 
 def _make_executor(
-    ns: argparse.Namespace, trace: bool = False, bus=None
+    ns: argparse.Namespace, trace: bool = False, bus=None, run_ctx=None
 ):
     """Build the real (non-simulated) executor the flags ask for."""
     faults = _fault_options(ns)
+    if run_ctx is not None:
+        faults["run_ctx"] = run_ctx
     if ns.executor == "threaded":
         return ThreadedExecutor(ns.workers, trace=trace, bus=bus, **faults)
     if ns.executor == "process":
@@ -232,6 +300,7 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="compile and execute")
     _add_common(p_run)
     _add_executor(p_run)
+    _add_obs(p_run)
     p_run.add_argument(
         "--arg", action="append", default=[], help="argument to main()"
     )
@@ -251,6 +320,15 @@ def main(argv: list[str] | None = None) -> int:
     p_profile = sub.add_parser("profile", help="node timings on a machine")
     _add_common(p_profile)
     _add_executor(p_profile)
+    _add_obs(p_profile)
+    p_profile.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="profile causally instead of additively: record the full "
+        "event stream on a real executor, reconstruct the firing DAG, "
+        "and print the critical path, per-node slack, and the "
+        "master-overhead decomposition of the wall clock",
+    )
     p_profile.add_argument(
         "--machine",
         choices=sorted(PRESETS),
@@ -275,6 +353,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_common(p_trace)
     _add_executor(p_trace)
+    _add_obs(p_trace)
     p_trace.add_argument(
         "--arg", action="append", default=[], help="argument to main()"
     )
@@ -357,14 +436,43 @@ def main(argv: list[str] | None = None) -> int:
             print(result.value)
             print(f"# {result.describe()}", file=sys.stderr)
         else:
-            result = _make_executor(ns).run(
-                compiled.graph, args=run_args, registry=compiled.registry
-            )
+            ctx = _make_run_ctx(ns)
+            server = _serve_metrics(ctx, ns)
+            try:
+                result = _make_executor(ns, run_ctx=ctx).run(
+                    compiled.graph, args=run_args, registry=compiled.registry
+                )
+            finally:
+                if server is not None:
+                    server.stop()
             print(result.value)
         return 0
 
     if ns.command == "profile":
         import json as json_mod
+
+        if ns.critical_path:
+            if ns.machine is not None:
+                raise SystemExit(
+                    "--critical-path profiles real executors (wall "
+                    "seconds); drop --machine"
+                )
+            ctx = _make_run_ctx(ns, record_events=True)
+            server = _serve_metrics(ctx, ns)
+            try:
+                result = _make_executor(ns, run_ctx=ctx).run(
+                    compiled.graph, args=run_args, registry=compiled.registry
+                )
+            finally:
+                if server is not None:
+                    server.stop()
+            report = ctx.critical_path(result.wall_seconds)
+            if ns.json:
+                print(json_mod.dumps(report.to_dict(), indent=2))
+            else:
+                print(critical_path_section(report, unit="seconds"))
+            print(f"result: {result.value}", file=sys.stderr)
+            return 0
 
         bus = EventBus() if ns.json else None
         metrics = attach_metrics(bus) if bus is not None else None
@@ -404,6 +512,15 @@ def main(argv: list[str] | None = None) -> int:
 
         bus = EventBus()
         metrics = attach_metrics(bus)
+        server = None
+        if ns.metrics_port is not None:
+            from ..obs import MetricsServer
+
+            server = MetricsServer(metrics, port=ns.metrics_port).start()
+            print(
+                f"serving metrics at http://127.0.0.1:{server.port}/metrics",
+                file=sys.stderr,
+            )
         simulated = ns.machine is not None
         track_names = None
         if not simulated and ns.executor == "process":
@@ -424,10 +541,14 @@ def main(argv: list[str] | None = None) -> int:
             executor = SimulatedExecutor(machine, trace=True, bus=bus)
         else:
             executor = _make_executor(ns, trace=True, bus=bus)
-        with observe_blocks(bus):
-            result = executor.run(
-                compiled.graph, args=run_args, registry=compiled.registry
-            )
+        try:
+            with observe_blocks(bus):
+                result = executor.run(
+                    compiled.graph, args=run_args, registry=compiled.registry
+                )
+        finally:
+            if server is not None:
+                server.stop()
         out = ns.output
         if not out:
             base, _ = os.path.splitext(ns.file)

@@ -7,6 +7,12 @@ v1 vs v2 of the retina, priorities on vs off, replication on vs off.
 two configurations) and it reports the speedup, per-operator time deltas
 (from traces, when present), traffic deltas, and activation deltas — the
 table a programmer reads after every change, like sections 5.2/6.3 did.
+
+When both runs were profiled causally (``RunContext(record_events=True)``
++ :func:`~repro.obs.critpath.critical_path`), pass the two reports too:
+the comparison then also diffs the *critical paths* — where the
+bottleneck chain moved, not just which operators got faster in
+aggregate.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..machine.simulator import SimResult
+from ..obs.critpath import CriticalPathReport, compare_critical_paths
 
 
 @dataclass
@@ -26,6 +33,9 @@ class RunComparison:
     per_operator: dict[str, tuple[float, float]] = field(default_factory=dict)
     traffic_delta: dict[str, float] = field(default_factory=dict)
     activation_delta: dict[str, int] = field(default_factory=dict)
+    #: Critical-path diff (:func:`~repro.obs.critpath.
+    #: compare_critical_paths`) when both runs supplied reports.
+    critical_path_diff: str = ""
 
     @property
     def speedup(self) -> float:
@@ -64,10 +74,18 @@ class RunComparison:
         for key, delta in self.activation_delta.items():
             if delta:
                 lines.append(f"activations {key}: {delta:+d}")
+        if self.critical_path_diff:
+            lines.append("")
+            lines.append(self.critical_path_diff)
         return "\n".join(lines)
 
 
-def compare(baseline: SimResult, candidate: SimResult) -> RunComparison:
+def compare(
+    baseline: SimResult,
+    candidate: SimResult,
+    baseline_critpath: CriticalPathReport | None = None,
+    candidate_critpath: CriticalPathReport | None = None,
+) -> RunComparison:
     """Build the delta report; raises if the runs computed different values
     (comparing runs of different programs is always a mistake)."""
     same = baseline.value == candidate.value
@@ -102,6 +120,10 @@ def compare(baseline: SimResult, candidate: SimResult) -> RunComparison:
             - baseline.traffic.template_fetch_bytes
         ),
     }
+    if baseline_critpath is not None and candidate_critpath is not None:
+        out.critical_path_diff = compare_critical_paths(
+            baseline_critpath, candidate_critpath
+        )
     out.activation_delta = {
         "peak_live": (
             candidate.stats.activation_stats.get("peak_live", 0)

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.critpath import CriticalPathReport
 from ..runtime.tracing import Tracer
 
 
@@ -118,6 +119,28 @@ def load_balance_summary(
     mean_others = sum(others) / len(others) if others else peak
     ratio = peak / mean_others if mean_others > 0 else float("inf")
     return LoadBalanceSummary(per_label, bottleneck, peak, ratio)
+
+
+def critical_path_section(
+    report: CriticalPathReport, unit: str = "seconds", top: int = 12
+) -> str:
+    """Render a causal profile alongside the additive timing reports.
+
+    The ``call of X took N`` dump says where time went in aggregate;
+    this section says which chain of firings *determined* the makespan —
+    and, via slack, which expensive-looking firings were actually free
+    (their results sat unneeded, so speeding them up buys nothing).
+    """
+    lines = [report.describe(unit=unit, top=top)]
+    fmt = (lambda v: f"{v:.6f}") if unit == "seconds" else (
+        lambda v: f"{v:.0f}"
+    )
+    slackest = report.top_slack(5)
+    if slackest:
+        lines.append("most slack (off the path; optimizing these buys ~0):")
+        for label, s in slackest:
+            lines.append(f"  {label:<22} {fmt(s):>12}")
+    return "\n".join(lines)
 
 
 def pass_table(

@@ -1,0 +1,168 @@
+"""Metrics exposition: Prometheus rendering and the scrape endpoint."""
+
+import json
+import urllib.request
+
+from repro import compile_source
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    RunContext,
+    attach_metrics,
+    render_prometheus,
+    validate_prometheus_text,
+)
+from repro.obs.expo import NAMESPACE
+from repro.runtime import SequentialExecutor
+
+from tests.conftest import FIB_SRC
+
+
+def _populated_registry():
+    reg = MetricsRegistry()
+    c = reg.counter("tasks_fired")
+    c.inc()
+    c.inc(label="convolve")
+    reg.gauge("queue_depth").set(3)
+    g = reg.gauge("arena/segments")
+    g.set(2)
+    h = reg.histogram("op_seconds/convolve", bounds=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(v)
+    return reg
+
+
+def _run_registry():
+    from repro.obs import EventBus
+
+    bus = EventBus()
+    reg = attach_metrics(bus)
+    compiled = compile_source(FIB_SRC)
+    SequentialExecutor(bus=bus).run(compiled.graph, args=(10,))
+    return reg
+
+
+class TestRendering:
+    def test_families_prefixed_and_typed(self):
+        text = render_prometheus(_populated_registry())
+        assert f"# TYPE {NAMESPACE}_tasks_fired counter" in text
+        assert f"{NAMESPACE}_tasks_fired 2" in text
+        # Per-label attribution lives in its own family.
+        assert (
+            f'{NAMESPACE}_tasks_fired_by_label{{label="convolve"}} 1'
+            in text
+        )
+        # Gauges carry a high-water twin.
+        assert f"{NAMESPACE}_queue_depth 3" in text
+        assert f"{NAMESPACE}_queue_depth_high 3" in text
+        # Slash-named gauges become a key label.
+        assert f'{NAMESPACE}_arena{{key="segments"}} 2' in text
+
+    def test_histogram_buckets_cumulative(self):
+        text = render_prometheus(_populated_registry())
+        assert f'{NAMESPACE}_op_seconds_bucket{{key="convolve",le="0.001"}} 1' in text
+        assert f'{NAMESPACE}_op_seconds_bucket{{key="convolve",le="0.01"}} 2' in text
+        assert f'{NAMESPACE}_op_seconds_bucket{{key="convolve",le="0.1"}} 3' in text
+        assert f'{NAMESPACE}_op_seconds_bucket{{key="convolve",le="+Inf"}} 4' in text
+        assert f'{NAMESPACE}_op_seconds_count{{key="convolve"}} 4' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert validate_prometheus_text("") == []
+
+    def test_real_run_registry_validates(self):
+        # Acceptance half 1: what a run actually produces is valid text.
+        reg = _run_registry()
+        text = render_prometheus(reg)
+        assert text
+        assert validate_prometheus_text(text) == []
+        assert f"{NAMESPACE}_tasks_fired" in text
+
+    def test_to_prometheus_convenience(self):
+        reg = _populated_registry()
+        assert reg.to_prometheus() == render_prometheus(reg)
+
+
+class TestValidator:
+    def test_flags_malformed_sample(self):
+        problems = validate_prometheus_text("not a metric line!!\n")
+        assert problems and "malformed" in problems[0]
+
+    def test_flags_missing_type(self):
+        problems = validate_prometheus_text("delirium_x 1\n")
+        assert problems and "no TYPE" in problems[0]
+
+    def test_flags_non_cumulative_buckets(self):
+        bad = (
+            "# TYPE delirium_h histogram\n"
+            'delirium_h_bucket{le="0.1"} 5\n'
+            'delirium_h_bucket{le="1"} 3\n'
+        )
+        problems = validate_prometheus_text(bad)
+        assert any("cumulative" in p for p in problems)
+
+    def test_accepts_rendered_output(self):
+        assert validate_prometheus_text(
+            render_prometheus(_populated_registry())
+        ) == []
+
+
+class TestServer:
+    def test_scrape_endpoint(self):
+        # Acceptance half 2: a live HTTP scrape returns valid 0.0.4 text.
+        reg = _run_registry()
+        server = MetricsServer(reg, port=0).start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics", timeout=10
+            ) as resp:
+                assert resp.status == 200
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+        finally:
+            server.stop()
+        assert validate_prometheus_text(body) == []
+        assert f"{NAMESPACE}_tasks_fired" in body
+
+    def test_healthz_and_404(self):
+        server = MetricsServer(MetricsRegistry(), port=0).start()
+        try:
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/healthz", timeout=10
+            ) as resp:
+                assert resp.status == 200
+                doc = json.loads(resp.read())
+                assert doc["status"] == "ok"
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{server.port}/nope", timeout=10
+                )
+                raised = False
+            except urllib.error.HTTPError as err:
+                raised = err.code == 404
+            assert raised
+        finally:
+            server.stop()
+
+    def test_run_context_serves_its_own_registry(self, tmp_path):
+        ctx = RunContext("served", flightrec_dir=str(tmp_path))
+        compiled = compile_source(FIB_SRC)
+        SequentialExecutor(run_ctx=ctx).run(compiled.graph, args=(8,))
+        server = ctx.serve_metrics(port=0)
+        try:
+            base = f"http://127.0.0.1:{server.port}"
+            with urllib.request.urlopen(f"{base}/metrics", timeout=10) as r:
+                body = r.read().decode()
+            with urllib.request.urlopen(f"{base}/healthz", timeout=10) as r:
+                health = json.loads(r.read())
+        finally:
+            server.stop()
+        assert validate_prometheus_text(body) == []
+        assert health["run_id"] == "served"
+        assert health["executor"] == "sequential"
+
+    def test_context_manager_and_stop_idempotent(self):
+        server = MetricsServer(MetricsRegistry(), port=0)
+        with server as s:
+            assert s.port > 0
+        server.stop()  # second stop is a no-op

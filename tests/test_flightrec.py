@@ -1,0 +1,185 @@
+"""Flight recorder: bounded ring, auto-dump on faults, crash forensics."""
+
+import json
+import signal
+
+import numpy as np
+import pytest
+
+from repro import compile_source
+from repro.faults import parse_fault_spec
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    EventBus,
+    FlightRecorder,
+    OpStarted,
+    RunContext,
+    TaskDispatched,
+    TaskFired,
+    WorkerCrashed,
+    encode_event,
+)
+from repro.runtime import (
+    FaultPolicy,
+    ProcessExecutor,
+    SequentialExecutor,
+    default_registry,
+)
+
+from tests.conftest import FIB_SRC
+
+
+def _numpy_registry():
+    reg = default_registry()
+
+    @reg.register(pure=True, cost=2e6)
+    def mkarr(n, seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal((n, n))
+
+    @reg.register(pure=True, cost=2e6)
+    def total(a):
+        return float(a.sum())
+
+    return reg
+
+
+CRASH_SRC = """
+main(n)
+  let
+    a = mkarr(n, 7)
+    b = mkarr(n, 8)
+  in add(total(a), total(b))
+"""
+
+
+class TestRing:
+    def test_ring_is_bounded(self):
+        rec = FlightRecorder(capacity=8)
+        bus = EventBus()
+        rec.attach(bus)
+        for i in range(100):
+            bus.emit(TaskDispatched(float(i), "op", i, 8, False, 0))
+        assert len(rec.ring.events) == 8
+        # Oldest dropped: the survivors are the last eight emitted.
+        assert [e.call_id for e in rec.ring.events] == list(range(92, 100))
+
+    def test_default_capacity(self):
+        assert FlightRecorder().ring.maxlen == DEFAULT_CAPACITY
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_firehose_events_not_recorded(self):
+        # The ring must not subscribe to per-fire events — that would
+        # defeat the wants() guards at the hot emit sites.
+        rec = FlightRecorder()
+        bus = EventBus()
+        rec.attach(bus)
+        assert not bus.wants(TaskFired)
+        assert not bus.wants(OpStarted)
+        assert bus.wants(TaskDispatched)
+        assert bus.wants(WorkerCrashed)
+
+    def test_detach_stops_recording(self):
+        rec = FlightRecorder(capacity=8)
+        bus = EventBus()
+        rec.attach(bus)
+        bus.emit(TaskDispatched(0.0, "op", 1, 8, False, 0))
+        rec.detach()
+        bus.emit(TaskDispatched(1.0, "op", 2, 8, False, 0))
+        assert len(rec.ring.events) == 1
+
+
+class TestDump:
+    def test_manual_dump_round_trips(self, tmp_path):
+        rec = FlightRecorder(
+            run_id="manual", directory=str(tmp_path)
+        )
+        bus = EventBus()
+        rec.attach(bus)
+        bus.emit(TaskDispatched(0.5, "convolve", 3, 64, True, 7))
+        rec.add_snapshot_source("queue", lambda: {"depths": (1, 2, 3)})
+        rec.add_snapshot_source(
+            "broken", lambda: (_ for _ in ()).throw(RuntimeError("nope"))
+        )
+        target = rec.dump(reason="unit test")
+        assert target == str(tmp_path / "manual.flightrec.json")
+        doc = json.loads(open(target).read())
+        assert doc["run_id"] == "manual"
+        assert doc["reason"] == "unit test"
+        assert doc["capacity"] == DEFAULT_CAPACITY
+        assert doc["events"][0]["type"] == "TaskDispatched"
+        assert doc["events"][0]["operator"] == "convolve"
+        assert doc["snapshot"]["queue"]["depths"] == [1, 2, 3]
+        # A raising provider degrades to an error entry, not a lost dump.
+        assert "error" in doc["snapshot"]["broken"]
+        assert rec.dumps == 1
+
+    def test_encode_event_shape(self):
+        doc = encode_event(WorkerCrashed(1.0, 3, 12345, -9, 2))
+        assert doc["type"] == "WorkerCrashed"
+        assert doc["worker"] == 3 and doc["in_flight"] == 2
+
+    def test_signal_handler_install_uninstall(self, tmp_path):
+        rec = FlightRecorder(run_id="sig", directory=str(tmp_path))
+        before = signal.getsignal(signal.SIGTERM)
+        rec.install_signal_handlers((signal.SIGTERM,))
+        assert signal.getsignal(signal.SIGTERM) is not before
+        rec.uninstall_signal_handlers()
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+class TestCrashDump:
+    """Acceptance: a chaos run leaves a usable black box behind."""
+
+    def test_worker_kill_dumps_forensics(self, tmp_path):
+        reg = _numpy_registry()
+        compiled = compile_source(CRASH_SRC, registry=reg)
+        ctx = RunContext(
+            "chaos", flightrec_dir=str(tmp_path), metrics=False
+        )
+        executor = ProcessExecutor(
+            2,
+            cost_threshold=0.0,
+            fault_policy=FaultPolicy(
+                max_retries=4, backoff=0.0, max_respawns=64
+            ),
+            fault_spec=parse_fault_spec("kill:op=total,nth=1"),
+            run_ctx=ctx,
+        )
+        result = executor.run(compiled.graph, args=(24,), registry=reg)
+        assert result.value is not None  # the run survived the kill
+
+        dump_file = tmp_path / "chaos.flightrec.json"
+        assert dump_file.exists()
+        doc = json.loads(dump_file.read_text())
+
+        # The crash is in the ring...
+        types = [e["type"] for e in doc["events"]]
+        assert "WorkerCrashed" in types
+        assert "TaskDispatched" in types
+        # ...and the trigger names it.
+        assert doc["trigger"]["type"] == "WorkerCrashed"
+        assert doc["trigger"]["in_flight"] >= 1
+
+        # The snapshot caught the supervisor with the fire in flight:
+        # WorkerCrashed is emitted before the lost calls are reassigned.
+        sup = doc["snapshot"]["supervisor"]
+        assert sup["in_flight"] >= 1
+        assert any(
+            entry["operator"] == "total" for entry in sup["assigned"]
+        )
+        # Queue depths and engine state made it in too.
+        assert "depths" in doc["snapshot"]["ready_queue"]
+        assert doc["snapshot"]["engine"]["finished"] is False
+        assert "respawns" in doc["snapshot"]["workers"]
+        assert ctx.flightrec.dumps >= 1
+
+    def test_clean_run_leaves_no_dump(self, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext("clean", flightrec_dir=str(tmp_path))
+        SequentialExecutor(run_ctx=ctx).run(compiled.graph, args=(8,))
+        assert not (tmp_path / "clean.flightrec.json").exists()
+        assert ctx.flightrec.dumps == 0

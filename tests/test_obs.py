@@ -269,6 +269,29 @@ class TestZeroSubscriberTransparency:
         assert state.bus is None  # zero-subscriber fast path
 
 
+class TestEventLogBound:
+    def test_default_maxlen(self):
+        from repro.obs import EVENT_LOG_MAXLEN
+
+        log = EventLog()
+        assert log.maxlen == EVENT_LOG_MAXLEN == 1_048_576
+
+    def test_ring_drops_oldest(self):
+        from repro.obs import OpStarted
+
+        log = EventLog(maxlen=4)
+        bus = EventBus()
+        log.attach(bus)
+        for i in range(10):
+            bus.emit(OpStarted(float(i), f"op{i}"))
+        assert len(log.events) == 4
+        assert [e.name for e in log.events] == ["op6", "op7", "op8", "op9"]
+
+    def test_unbounded_opt_out(self):
+        log = EventLog(maxlen=None)
+        assert log.maxlen is None
+
+
 class TestBlockEvents:
     def test_observe_blocks_emits_and_restores(self):
         from repro.runtime import get_block_hook

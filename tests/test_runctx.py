@@ -1,0 +1,227 @@
+"""Run-scoped observability contexts: isolation, brackets, snapshots.
+
+The server-mode prerequisite (ROADMAP item 1): many runs in one process,
+each observing exactly its own events and metrics.  The acceptance test
+here drives two contexts concurrently and proves full disjointness.
+"""
+
+import threading
+
+import pytest
+
+from repro import OperatorError, compile_source, default_registry
+from repro.obs import (
+    RunContext,
+    RunFinished,
+    RunStarted,
+    next_run_id,
+)
+from repro.runtime import (
+    ProcessExecutor,
+    SequentialExecutor,
+    ThreadedExecutor,
+)
+
+from tests.conftest import FIB_SRC
+
+
+def _boom_registry():
+    reg = default_registry()
+
+    @reg.register(name="boom")
+    def boom(x):
+        raise ValueError(f"kaboom {x}")
+
+    return reg
+
+
+class TestRunIds:
+    def test_generated_ids_unique(self):
+        ids = {next_run_id() for _ in range(64)}
+        assert len(ids) == 64
+
+    def test_explicit_id_kept(self):
+        ctx = RunContext("job-7", flight_recorder=False)
+        assert ctx.run_id == "job-7"
+
+
+class TestRunBracket:
+    def _events(self, ctx):
+        assert ctx.log is not None
+        return list(ctx.log.events)
+
+    def test_started_and_finished_emitted(self, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext(
+            record_events=True, flightrec_dir=str(tmp_path)
+        )
+        result = SequentialExecutor(run_ctx=ctx).run(
+            compiled.graph, args=(8,)
+        )
+        events = self._events(ctx)
+        started = [e for e in events if isinstance(e, RunStarted)]
+        finished = [e for e in events if isinstance(e, RunFinished)]
+        assert len(started) == len(finished) == 1
+        assert started[0].run_id == ctx.run_id
+        assert started[0].executor == "sequential"
+        assert finished[0].ok
+        assert finished[0].wall_seconds == pytest.approx(
+            result.wall_seconds, rel=0.5
+        )
+        # RunStarted precedes every task event; RunFinished follows them.
+        assert isinstance(events[0], RunStarted)
+        assert isinstance(events[-1], RunFinished)
+
+    @pytest.mark.parametrize("executor_name", ["threaded", "process"])
+    def test_other_executors_bracket_too(self, executor_name, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext(
+            record_events=True, flightrec_dir=str(tmp_path)
+        )
+        cls = {
+            "threaded": ThreadedExecutor,
+            "process": ProcessExecutor,
+        }[executor_name]
+        cls(2, run_ctx=ctx).run(compiled.graph, args=(8,))
+        events = self._events(ctx)
+        started = [e for e in events if isinstance(e, RunStarted)]
+        finished = [e for e in events if isinstance(e, RunFinished)]
+        assert [e.executor for e in started] == [executor_name]
+        assert [e.ok for e in finished] == [True]
+
+    def test_failed_run_emits_failed_finish_and_dumps(self, tmp_path):
+        reg = _boom_registry()
+        compiled = compile_source("main(n) boom(n)", registry=reg)
+        ctx = RunContext(
+            "failing-run",
+            record_events=True,
+            flightrec_dir=str(tmp_path),
+        )
+        with pytest.raises(OperatorError):
+            SequentialExecutor(run_ctx=ctx).run(
+                compiled.graph, args=(3,), registry=reg
+            )
+        finished = [
+            e for e in self._events(ctx) if isinstance(e, RunFinished)
+        ]
+        assert len(finished) == 1 and not finished[0].ok
+        dump = tmp_path / "failing-run.flightrec.json"
+        assert dump.exists()
+        assert ctx.flightrec is not None and ctx.flightrec.dumps == 1
+
+    def test_explicit_bus_wins_over_context(self, tmp_path):
+        # An executor given both a bus and a run_ctx sends task events to
+        # the explicit bus (legacy wiring stays intact); the context keeps
+        # only its own run bracket.
+        from repro.obs import EventBus, EventLog
+
+        compiled = compile_source(FIB_SRC)
+        bus = EventBus()
+        log = EventLog()
+        log.attach(bus)
+        ctx = RunContext(
+            record_events=True, flightrec_dir=str(tmp_path)
+        )
+        SequentialExecutor(bus=bus, run_ctx=ctx).run(
+            compiled.graph, args=(6,)
+        )
+        assert log.events
+        assert all(
+            isinstance(e, (RunStarted, RunFinished))
+            for e in ctx.log.events
+        )
+
+
+class TestSnapshots:
+    def test_snapshot_sources_registered(self, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext(flightrec_dir=str(tmp_path))
+        SequentialExecutor(run_ctx=ctx).run(compiled.graph, args=(8,))
+        snap = ctx.snapshot()
+        assert snap["run_id"] == ctx.run_id
+        assert snap["engine"]["finished"] is True
+        assert snap["engine"]["tasks_fired"] > 0
+        assert snap["ready_queue"]["depths"] == (0, 0, 0)
+
+    def test_process_snapshot_includes_supervisor_and_workers(
+        self, tmp_path
+    ):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext(flightrec_dir=str(tmp_path))
+        ProcessExecutor(2, run_ctx=ctx).run(compiled.graph, args=(8,))
+        snap = ctx.snapshot()
+        assert snap["supervisor"]["in_flight"] == 0
+        assert "respawns" in snap["workers"]
+
+    def test_health_document(self, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx = RunContext("healthy", flightrec_dir=str(tmp_path))
+        SequentialExecutor(run_ctx=ctx).run(compiled.graph, args=(6,))
+        doc = ctx.health()
+        assert doc["run_id"] == "healthy"
+        assert doc["executor"] == "sequential"
+        assert doc["flightrec_dumps"] == 0
+
+
+class TestConcurrentIsolation:
+    """Acceptance: two concurrent contexts share nothing."""
+
+    def test_two_concurrent_runs_fully_disjoint(self, tmp_path):
+        compiled = compile_source(FIB_SRC)
+        ctx_a = RunContext(
+            "run-a", record_events=True, flightrec_dir=str(tmp_path)
+        )
+        ctx_b = RunContext(
+            "run-b", record_events=True, flightrec_dir=str(tmp_path)
+        )
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def drive(name, ctx, n):
+            barrier.wait()
+            results[name] = SequentialExecutor(run_ctx=ctx).run(
+                compiled.graph, args=(n,)
+            )
+
+        threads = [
+            threading.Thread(target=drive, args=("a", ctx_a, 10)),
+            threading.Thread(target=drive, args=("b", ctx_b, 7)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        # Structural isolation: no shared bus, registry, or event object.
+        assert ctx_a.bus is not ctx_b.bus
+        assert ctx_a.metrics is not ctx_b.metrics
+        ids_a = {id(e) for e in ctx_a.log.events}
+        ids_b = {id(e) for e in ctx_b.log.events}
+        assert not (ids_a & ids_b)
+
+        # Each stream names only its own run.
+        for ctx, expected in ((ctx_a, "run-a"), (ctx_b, "run-b")):
+            run_ids = {
+                e.run_id
+                for e in ctx.log.events
+                if isinstance(e, (RunStarted, RunFinished))
+            }
+            assert run_ids == {expected}
+
+        # Each registry counted exactly its own run's work, even though
+        # both runs interleaved on one process.
+        assert results["a"].value == 55 and results["b"].value == 13
+        for name, ctx in (("a", ctx_a), ("b", ctx_b)):
+            stats = results[name].stats
+            assert (
+                ctx.metrics.counter("tasks_fired").value
+                == stats.tasks_fired
+            )
+            assert (
+                ctx.metrics.counter("ops_executed").value
+                == stats.ops_executed
+            )
+        assert (
+            results["a"].stats.tasks_fired
+            != results["b"].stats.tasks_fired
+        ), "sanity: the two workloads must differ for the test to bite"
