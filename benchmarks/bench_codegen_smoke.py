@@ -1,0 +1,93 @@
+"""Fast codegen smoke: lowered retina vs interpreted recipes, CI-sized.
+
+The full wall-clock benchmark (``bench_wallclock.py``) pins the
+production-size overhead target; CI wants a sub-second check that the
+codegen pass still (a) lowers the fused chains to generated source,
+(b) leaves the result bit-identical to the interpreted recipes, and
+(c) does not pay *more* master overhead than interpretation — the
+generated functions exist purely to shed the per-step replay loop, so a
+regression here means the lowering started costing instead of saving.
+This is that check, at 32x32.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.retina import RetinaConfig, compile_retina
+from repro.runtime import SequentialExecutor
+
+TINY = RetinaConfig(height=32, width=32, num_iter=2)
+
+#: Overhead comparison repeats: the tiny frame's overhead is tens of
+#: microseconds per run, so each side keeps its best-of to shut out
+#: scheduler noise.
+REPEATS = 5
+
+
+def _overhead(compiled) -> tuple[float, float]:
+    """Best-of instrumented (overhead_seconds, instrumented_seconds)."""
+    import time
+
+    best = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        probe = SequentialExecutor(profile_ops=True).run(
+            compiled.graph, registry=compiled.registry
+        )
+        elapsed = time.perf_counter() - t0
+        overhead = max(elapsed - probe.stats.op_body_seconds, 0.0)
+        if best is None or elapsed < best[1]:
+            best = (overhead, elapsed)
+    return best
+
+
+@pytest.mark.parametrize("version", [1, 2])
+def test_codegen_retina_smoke(version, report):
+    interpreted = compile_retina(version, TINY, fuse=True, donate=True)
+    lowered = compile_retina(
+        version, TINY, fuse=True, donate=True, codegen=True
+    )
+
+    n_lowered = sum(
+        1
+        for template in lowered.graph.templates.values()
+        for node in template.nodes
+        if node.codegen is not None
+    )
+    assert n_lowered > 0, "codegen pass lowered no fused chains"
+    assert all(
+        node.codegen is None
+        for template in interpreted.graph.templates.values()
+        for node in template.nodes
+    ), "interpreted graph must carry no generated source"
+
+    ri = SequentialExecutor().run(
+        interpreted.graph, registry=interpreted.registry
+    )
+    rl = SequentialExecutor().run(lowered.graph, registry=lowered.registry)
+    assert rl.value.signature() == ri.value.signature(), (
+        "codegen run diverged from interpreted recipes"
+    )
+    assert rl.stats.tasks_fired == ri.stats.tasks_fired, (
+        "codegen must not change the firing schedule"
+    )
+
+    over_i, wall_i = _overhead(interpreted)
+    over_l, wall_l = _overhead(lowered)
+    # Equality-tolerant: at 32x32 both overheads are tiny; the guard is
+    # against the lowered path *growing* overhead, with 25% headroom for
+    # clock granularity on the microsecond-scale difference.
+    assert over_l <= over_i * 1.25, (
+        f"lowered chains must not cost more master overhead than "
+        f"interpreted ones: {over_l:.6f}s vs {over_i:.6f}s"
+    )
+
+    report(
+        f"Codegen smoke — retina v{version} at 32x32",
+        f"{n_lowered} fused node(s) lowered to generated source; "
+        f"overhead {over_i * 1e3:.2f}ms interpreted -> "
+        f"{over_l * 1e3:.2f}ms codegen "
+        f"(wall {wall_i * 1e3:.1f}ms -> {wall_l * 1e3:.1f}ms); "
+        "results bit-identical, firing schedule unchanged",
+    )

@@ -60,22 +60,32 @@ def make_registry(
 
 
 def compile_pi(
-    seed: int = 2026, batch_size: int = 4096
+    seed: int = 2026, batch_size: int = 4096, **kwargs
 ) -> CompiledProgram:
-    """The dartboard-π estimator."""
+    """The dartboard-π estimator.
+
+    Extra keyword arguments go to :func:`repro.compile_source` — e.g.
+    ``optimize_passes=PASS_ORDER + ("fuse", "codegen")`` for the lowered
+    configurations the codegen benchmarks compare.
+    """
     return compile_source(
         PI_PROGRAM,
         registry=make_registry(seed=seed, batch_size=batch_size),
         prelude=True,
+        **kwargs,
     )
 
 
 def compile_option(
-    spec: OptionSpec | None = None, seed: int = 2026, batch_size: int = 4096
+    spec: OptionSpec | None = None,
+    seed: int = 2026,
+    batch_size: int = 4096,
+    **kwargs,
 ) -> CompiledProgram:
-    """The European-call pricer."""
+    """The European-call pricer.  Extra kwargs go to ``compile_source``."""
     return compile_source(
         OPTION_PROGRAM,
         registry=make_registry(seed=seed, batch_size=batch_size, spec=spec),
         prelude=True,
+        **kwargs,
     )

@@ -31,6 +31,7 @@ from ..runtime.operators import OperatorRegistry, default_registry
 from .analysis import analyze_program
 from .graphgen import generate_graphs
 from .lowering import lower_program
+from .passes import codegen as codegen_pass
 from .passes import donate as donate_pass
 from .passes import fuse as fuse_pass
 from .passes.pipeline import (
@@ -98,12 +99,13 @@ def compile_source(
     optimize_passes:
         Which optimizations to run (``None`` or ``()`` disables all —
         useful for ablations and for differential testing of the passes).
-        ``"fuse"`` enables the graph-level operator-fusion pass and
-        ``"donate"`` the last-use donation analysis; both run after
-        template generation (donate always after fuse) and are *not* in
-        the default set so default compilations keep their historical
-        graph shapes (the CLI enables them by default via ``--fuse`` /
-        ``--donate``).
+        ``"fuse"`` enables the graph-level operator-fusion pass,
+        ``"donate"`` the last-use donation analysis, and ``"codegen"``
+        the terminal lowering of fused recipes to generated specialized
+        Python; all run after template generation (donate after fuse,
+        codegen last) and are *not* in the default set so default
+        compilations keep their historical graph shapes (the CLI enables
+        them by default via ``--fuse`` / ``--donate`` / ``--codegen``).
     strict:
         Enforce unbound-name errors during environment analysis.
     entry:
@@ -175,6 +177,16 @@ def compile_source(
         else:
             report.enabled = report.enabled + ("donate",)
         for key, count in donate_stats.items():
+            report.stats[key] = report.stats.get(key, 0) + count
+    if "codegen" in graph_passes:
+        # Terminal: lowers whatever set of fused recipes the earlier graph
+        # passes left behind to specialized generated source.
+        codegen_stats = codegen_pass.run(graph, registry)
+        if report is None:
+            report = OptimizationReport(enabled=("codegen",))
+        else:
+            report.enabled = report.enabled + ("codegen",)
+        for key, count in codegen_stats.items():
             report.stats[key] = report.stats.get(key, 0) + count
     seconds["Graph Conversion"] = time.perf_counter() - t0 + lowering_seconds
 

@@ -85,6 +85,12 @@ def _encode_node(node: Node) -> dict:
         # Emitted only when non-empty so graphs compiled without the
         # donation pass serialize bit-for-bit as before.
         out["donated"] = list(node.donated)
+    if node.codegen is not None:
+        # Same discipline: source text only when the codegen pass ran, so
+        # --no-codegen compilations serve byte-identical dumps to builds
+        # that predate the pass.  The bound callable never serializes;
+        # loaders re-bind from this source against their own registry.
+        out["codegen"] = node.codegen
     if node.tail:
         out["tail"] = True
     if node.label:
@@ -120,6 +126,9 @@ def _decode_node(data: dict) -> Node:
     donated = data.get("donated")
     if donated:
         node.donated = tuple(int(i) for i in donated)
+    codegen = data.get("codegen")
+    if codegen is not None:
+        node.codegen = str(codegen)
     return node
 
 

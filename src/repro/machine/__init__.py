@@ -34,12 +34,20 @@ from .calibrate import (
     CalibrationReport,
     DispatchCalibration,
     calibrate_dispatch,
+    calibrate_dispatch_cached,
+    load_dispatch_calibration,
+    machine_fingerprint,
     measure_costs,
+    save_dispatch_calibration,
 )
 
 __all__ += [
     "CalibrationReport",
     "DispatchCalibration",
     "calibrate_dispatch",
+    "calibrate_dispatch_cached",
+    "load_dispatch_calibration",
+    "machine_fingerprint",
     "measure_costs",
+    "save_dispatch_calibration",
 ]

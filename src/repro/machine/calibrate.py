@@ -162,3 +162,184 @@ def calibrate_dispatch(
         min_dispatch_seconds=min_dispatch_seconds,
         report=report,
     )
+
+
+# ---------------------------------------------------------------------------
+# On-disk persistence
+# ---------------------------------------------------------------------------
+#
+# A calibration run executes the whole program once per repeat on the
+# sequential executor — far too expensive to redo on every invocation
+# when nothing that determines the measurement has changed.  The
+# persisted table is keyed by everything it is a function of: the
+# operator registry (names), the program's operator population
+# (including fused super-operator recipes), and the machine the numbers
+# were taken on.  Any of those changing changes the key, so a stale
+# table can never be served; ``--recalibrate`` forces a fresh
+# measurement even on a hit.
+
+
+def machine_fingerprint() -> str:
+    """Stable identity of "this machine" for calibration keys.
+
+    Wall-clock operator costs depend on the ISA, the OS, the Python
+    build, and (for dispatch decisions) the core count — a table
+    measured on one box must not be served on another.
+    """
+    import os
+    import platform
+
+    return "|".join(
+        (
+            platform.machine(),
+            platform.system(),
+            platform.python_version(),
+            str(os.cpu_count() or 1),
+        )
+    )
+
+
+def _calibration_key(
+    graph: GraphProgram, registry: OperatorRegistry | None
+) -> str:
+    import hashlib
+    import json
+
+    reg = registry if registry is not None else default_registry()
+    ops = sorted(
+        {
+            node.name
+            for template in graph.templates.values()
+            for node in template.nodes
+            if node.kind is NodeKind.OP
+        }
+    )
+    payload = json.dumps(
+        {
+            "machine": machine_fingerprint(),
+            "ops": ops,
+            "registry": sorted(reg.names()),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:40]
+
+
+def calibration_path(
+    graph: GraphProgram, registry: OperatorRegistry | None = None
+) -> str:
+    """Where this (program, registry, machine) combination persists."""
+    import os
+
+    from ..tools.cache import cache_dir
+
+    return os.path.join(
+        cache_dir(), "calibration", _calibration_key(graph, registry) + ".json"
+    )
+
+
+def save_dispatch_calibration(
+    calibration: DispatchCalibration,
+    graph: GraphProgram,
+    registry: OperatorRegistry | None = None,
+) -> str:
+    """Persist measured per-operator seconds; returns the file path.
+
+    Only the measurements are stored — the dispatch/keep-local split is
+    a pure function of the seconds and the caller's threshold, so it is
+    recomputed on load (a different ``min_dispatch_seconds`` must not be
+    answered with a split computed for another one).
+    """
+    import json
+    import os
+    import tempfile
+
+    path = calibration_path(graph, registry)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    payload = {
+        "machine": machine_fingerprint(),
+        "seconds_by_operator": calibration.seconds_by_operator,
+        "min_dispatch_seconds": calibration.min_dispatch_seconds,
+    }
+    fd, tmp = tempfile.mkstemp(
+        dir=os.path.dirname(path), prefix=".cal-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True, indent=1)
+        os.replace(tmp, path)  # atomic: readers see old or new, never half
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_dispatch_calibration(
+    graph: GraphProgram,
+    registry: OperatorRegistry | None = None,
+    min_dispatch_seconds: float = 0.002,
+) -> DispatchCalibration | None:
+    """The persisted calibration for this key, or ``None``.
+
+    Any read failure (missing file, truncated write from a crashed
+    process, schema drift) degrades to ``None`` — the caller simply
+    measures again.  The loaded table's report is empty: raw per-label
+    tick records are not persisted, only the derived seconds.
+    """
+    import json
+
+    try:
+        with open(calibration_path(graph, registry), encoding="utf-8") as fh:
+            payload = json.load(fh)
+        seconds = {
+            str(name): float(value)
+            for name, value in payload["seconds_by_operator"].items()
+        }
+    except Exception:
+        return None
+    return DispatchCalibration(
+        seconds_by_operator=seconds,
+        dispatch=sorted(
+            n for n, s in seconds.items() if s >= min_dispatch_seconds
+        ),
+        keep_local=sorted(
+            n for n, s in seconds.items() if s < min_dispatch_seconds
+        ),
+        min_dispatch_seconds=min_dispatch_seconds,
+    )
+
+
+def calibrate_dispatch_cached(
+    graph: GraphProgram,
+    registry: OperatorRegistry | None = None,
+    args: tuple[Any, ...] = (),
+    min_dispatch_seconds: float = 0.002,
+    ticks_per_second: float = DEFAULT_TICKS_PER_SECOND,
+    repeats: int = 3,
+    force: bool = False,
+) -> DispatchCalibration:
+    """:func:`calibrate_dispatch` behind the on-disk table.
+
+    ``force=True`` (the CLI's ``--recalibrate``) skips the lookup,
+    measures fresh, and overwrites the stored table.  A cache hit costs
+    one small JSON read instead of ``repeats`` traced program runs.
+    """
+    if not force:
+        cached = load_dispatch_calibration(
+            graph, registry, min_dispatch_seconds=min_dispatch_seconds
+        )
+        if cached is not None:
+            return cached
+    calibration = calibrate_dispatch(
+        graph,
+        registry,
+        args=args,
+        min_dispatch_seconds=min_dispatch_seconds,
+        ticks_per_second=ticks_per_second,
+        repeats=repeats,
+    )
+    save_dispatch_calibration(calibration, graph, registry)
+    return calibration

@@ -46,6 +46,12 @@ class Activation:
         The result was delivered — or delegated to a tail call's child.
     aid:
         Serial number (diagnostics and deterministic tie-breaking).
+    pend_ops / pend_children:
+        In-flight operator firings and outstanding non-tail children of
+        this activation; both must be zero before it can be recycled.
+        Kept as plain counters on the activation (rather than engine-side
+        dicts keyed by ``aid``) because the recycling check runs after
+        every firing.
     """
 
     __slots__ = (
@@ -56,34 +62,53 @@ class Activation:
         "fired",
         "result_done",
         "aid",
+        "pend_ops",
+        "pend_children",
+        "fireable",
+        "_blank",
     )
 
-    def __init__(self, template: Template, aid: int) -> None:
+    def __init__(
+        self,
+        template: Template,
+        aid: int,
+        blank: list[list[Any]] | None = None,
+    ) -> None:
         self.template = template
-        self.slots: list[list[Any]] = [
-            [_EMPTY] * n for n in template.in_counts
-        ]
+        #: Pristine slot rows; ``reset`` restores each row with one
+        #: C-level slice assignment instead of a Python loop.  Read-only,
+        #: so the pool shares one copy across all activations of a
+        #: template rather than allocating a shadow row set per
+        #: activation.
+        if blank is None:
+            blank = [[_EMPTY] * n for n in template.in_counts]
+        self._blank = blank
+        self.slots: list[list[Any]] = [row[:] for row in blank]
         self.missing: list[int] = list(template.in_counts)
         self.continuation: tuple["Activation", int] | None = None
         self.fired = 0
         self.result_done = False
         self.aid = aid
+        self.pend_ops = 0
+        self.pend_children = 0
+        self.fireable = len(template.nodes) - template.n_placeholders()
 
     # ------------------------------------------------------------------
     def reset(self, aid: int) -> None:
         """Recycle this activation for a fresh evaluation of its template."""
-        for slot_row in self.slots:
-            for i in range(len(slot_row)):
-                slot_row[i] = _EMPTY
+        for slot_row, blank in zip(self.slots, self._blank):
+            slot_row[:] = blank
         self.missing[:] = self.template.in_counts
         self.continuation = None
         self.fired = 0
         self.result_done = False
         self.aid = aid
+        self.pend_ops = 0
+        self.pend_children = 0
 
     def fireable_nodes(self) -> int:
         """Nodes that will fire (everything but the placeholders)."""
-        return len(self.template.nodes) - self.template.n_placeholders()
+        return self.fireable
 
     def finished(self) -> bool:
         return self.result_done and self.fired >= self.fireable_nodes()
@@ -92,9 +117,8 @@ class Activation:
         """Return the received inputs of a ready node (slots keep them;
         per the execution model data is consumed exactly once, by the
         node's single firing)."""
-        row = self.slots[node_id]
-        assert all(v is not _EMPTY for v in row), "node fired before ready"
-        return row
+        assert self.missing[node_id] == 0, "node fired before ready"
+        return self.slots[node_id]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Activation#{self.aid}({self.template.name})"
@@ -126,6 +150,9 @@ class ActivationPool:
         self.max_free_per_template = max_free_per_template
         self.free_dropped = 0
         self._free: dict[str, list[Activation]] = {}
+        #: Shared pristine slot rows, one set per template (see
+        #: ``Activation._blank``).
+        self._blanks: dict[str, list[list[Any]]] = {}
         self.created = 0
         self.reused = 0
         self.live = 0
@@ -135,6 +162,13 @@ class ActivationPool:
         #: Currently live activations (identity set; diagnostics only).
         self.live_set: set[Activation] = set()
         self._serial = 0
+        # Subscriber-set snapshot (same discipline as the engine and the
+        # ready queue): pools are constructed after subscriptions attach.
+        bus = self._bus
+        self._wants_alloc = bus is not None and bus.wants(ActivationAllocated)
+        self._wants_recycled = bus is not None and bus.wants(
+            ActivationRecycled
+        )
 
     def acquire(self, template: Template) -> Activation:
         self._serial += 1
@@ -145,7 +179,11 @@ class ActivationPool:
             self.reused += 1
             reused = True
         else:
-            act = Activation(template, self._serial)
+            blank = self._blanks.get(template.name)
+            if blank is None:
+                blank = [[_EMPTY] * n for n in template.in_counts]
+                self._blanks[template.name] = blank
+            act = Activation(template, self._serial, blank)
             self.created += 1
             reused = False
         self.live += 1
@@ -157,7 +195,7 @@ class ActivationPool:
             self.peak_by_template[name] = live
         self.live_set.add(act)
         bus = self._bus
-        if bus is not None and bus.wants(ActivationAllocated):
+        if self._wants_alloc:
             bus.emit(
                 ActivationAllocated(bus.now(), name, act.aid, reused, self.live)
             )
@@ -179,7 +217,7 @@ class ActivationPool:
         else:
             self.free_dropped += 1
         bus = self._bus
-        if bus is not None and bus.wants(ActivationRecycled):
+        if self._wants_recycled:
             bus.emit(
                 ActivationRecycled(
                     bus.now(), act.template.name, act.aid, self.live

@@ -223,6 +223,18 @@ class BufferPool:
         }
 
 
+#: Exact-class dispatch cache for :func:`wrap_payload`: 0 = circulate
+#: unwrapped, 1 = tuple-like → MultiValue, 2 = wrap in a DataBlock.  Every
+#: isinstance outcome below is a function of the payload's exact class, so
+#: the decision is computed once per class and then served from one dict
+#: probe — operator results are overwhelmingly drawn from a handful of
+#: application types.  The ``NULL`` sentinel is handled by identity and
+#: its class never enters the cache.
+_WRAP_KIND: dict[type, int] = {}
+
+_NULL_CLS = type(NULL)
+
+
 def wrap_payload(payload: Any, home: int = -1) -> Any:
     """Wrap an operator result for circulation on graph edges.
 
@@ -239,17 +251,32 @@ def wrap_payload(payload: Any, home: int = -1) -> Any:
     is what makes the paper's pointer-returning "merge is free" operators
     free here too); see ``engine.py``.
     """
+    cls = payload.__class__
+    kind = _WRAP_KIND.get(cls)
+    if kind is not None:
+        if kind == 2:
+            return DataBlock(payload, home=home)
+        if kind == 0:
+            return payload
+        return MultiValue(tuple(wrap_payload(p, home) for p in payload))
     if payload is NULL or isinstance(
         payload, (Closure, OperatorValue, MultiValue, DataBlock)
     ):
+        if cls is not _NULL_CLS:
+            _WRAP_KIND[cls] = 0
         return payload
     if isinstance(payload, IMMUTABLE_TYPES):
+        _WRAP_KIND[cls] = 0
         return payload
     if isinstance(payload, tuple):
+        _WRAP_KIND[cls] = 1
         return MultiValue(tuple(wrap_payload(p, home) for p in payload))
     if isinstance(payload, (np.integer, np.floating, np.bool_)):
         # NumPy scalars are immutable; circulate them unwrapped.
+        _WRAP_KIND[cls] = 0
         return payload
+    if cls is not _NULL_CLS:
+        _WRAP_KIND[cls] = 2
     return DataBlock(payload, home=home)
 
 

@@ -28,7 +28,9 @@ model (section 8 of the paper) and the property the test suite hammers.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Any, Callable
 
 import numpy as np
@@ -48,6 +50,7 @@ from ..obs.events import (
     TaskEnqueued,
 )
 from .activation import Activation, ActivationPool
+from . import blocks as _blocks
 from .blocks import (
     BufferPool,
     DataBlock,
@@ -61,6 +64,19 @@ from .scheduler import Task
 from .values import Closure, MultiValue, OperatorValue, is_truthy
 
 _NO_RESULT = object()
+_NO_PLAN = object()
+
+#: Cross-run cache of inline fast-path plans and composed fused specs,
+#: keyed by program identity (``GraphProgram`` is an eq-comparing
+#: dataclass, hence unhashable — the id plus a weak self-reference gives
+#: identity semantics without touching the class).  Plans depend only on
+#: (registry, node) — both static for a compiled program — so repeated
+#: runs of the same graph (benchmark repeats, server loops) skip the
+#: rebuild.  Entries whose program or registry died are pruned on insert;
+#: a different registry for the same program replaces the entry.
+#: Purity-checking states bypass the cache (their plans are all ``None``
+#: by design).
+_PLAN_CACHES: dict[int, tuple] = {}
 
 #: Hook type: executors may intercept the raw operator call (e.g. to drop a
 #: lock around it, or to time it).  Receives the spec and ready payloads.
@@ -72,7 +88,7 @@ RunOp = Callable[[OperatorSpec, tuple[Any, ...]], Any]
 Classify = Callable[[OperatorSpec, tuple[Any, ...]], bool]
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingOp:
     """An operator firing suspended at the compute boundary.
 
@@ -123,7 +139,7 @@ class PendingOp:
     committed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class FireOutcome:
     """Result of :meth:`ExecutionState.begin_fire`.
 
@@ -140,7 +156,7 @@ class PurityViolationError(RuntimeFailure):
     """Debug mode caught an operator writing an argument it did not declare."""
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineStats:
     """Counters accumulated during one execution."""
 
@@ -174,6 +190,11 @@ class EngineStats:
     fires_timed_out: int = 0
     executor_degraded: int = 0
     shm_segments_reclaimed: int = 0
+    #: Wall seconds spent inside operator bodies, accumulated only when
+    #: the state runs with ``profile_ops=True`` — the low-overhead probe
+    #: the wallclock benchmark uses for its phase split (two bare
+    #: ``perf_counter`` reads per firing, no event objects).
+    op_body_seconds: float = 0.0
     activation_stats: dict[str, int] = field(default_factory=dict)
     #: Buffer-pool snapshot (see :class:`~repro.runtime.blocks.BufferPool`).
     pool_stats: dict[str, int] = field(default_factory=dict)
@@ -255,10 +276,16 @@ class ExecutionState:
         registry: OperatorRegistry,
         check_purity: bool = False,
         bus: EventBus | None = None,
+        profile_ops: bool = False,
     ) -> None:
         self.program = program
         self.registry = registry
         self.check_purity = check_purity
+        #: When set, bracket every operator body with two bare
+        #: ``perf_counter`` reads and accumulate into
+        #: ``stats.op_body_seconds`` — the benchmark phase-split probe,
+        #: orders of magnitude cheaper than per-firing event objects.
+        self.profile_ops = profile_ops
         self.bus = bus if (bus is not None and bus.active) else None
         self.pool = ActivationPool(bus=self.bus)
         #: Free lists of dead donated buffers for COW-copy reuse; touched
@@ -267,18 +294,61 @@ class ExecutionState:
         self.stats = EngineStats()
         self._final: Any = _NO_RESULT
         self._task_seq = 0
-        #: Per-activation count of outstanding non-tail children, guarding
-        #: activation recycling (see ``_expand``).
-        self._pending_children: dict[int, int] = {}
-        #: Per-activation count of operator firings begun but not yet
-        #: completed (see ``begin_fire``); an activation with an in-flight
-        #: operator must never be recycled, even when all its nodes have
-        #: "fired" and its result has been delegated to a tail call.
-        self._pending_ops: dict[int, int] = {}
+        # Outstanding non-tail children and in-flight operator firings
+        # live directly on each activation (``pend_children`` /
+        # ``pend_ops``) — the recycling guard reads them after every
+        # firing, so they must be attribute loads, not dict probes.
         #: Composed specs for fused super-nodes, by fused node name (the
         #: name encodes the full recipe, so one entry serves every
-        #: structurally identical fused node across templates).
-        self._fused_specs: dict[str, OperatorSpec] = {}
+        #: structurally identical fused node across templates), and inline
+        #: fast-path plans for pure ``OP`` nodes, keyed by node object
+        #: identity (nodes are owned by the static program, so ids are
+        #: stable for as long as the program — which also owns the cache
+        #: entry — is alive).  ``None`` marks a node that must take the
+        #: generic begin/complete path.  Both are shared across states of
+        #: the same (program, registry) pair via :data:`_PLAN_CACHES`;
+        #: entries are deterministic functions of that pair, so the worst
+        #: concurrent case is two states computing the same value.
+        if check_purity:
+            self._fused_specs: dict[str, OperatorSpec] = {}
+            self._op_plans: dict[int, tuple | None] = {}
+        else:
+            cached = _PLAN_CACHES.get(id(program))
+            if (
+                cached is not None
+                and cached[0]() is program
+                and cached[1]() is registry
+            ):
+                self._op_plans = cached[2]
+                self._fused_specs = cached[3]
+            else:
+                self._op_plans = {}
+                self._fused_specs = {}
+                for key in [
+                    k for k, v in _PLAN_CACHES.items() if v[0]() is None
+                ]:
+                    del _PLAN_CACHES[key]
+                _PLAN_CACHES[id(program)] = (
+                    weakref.ref(program),
+                    weakref.ref(registry),
+                    self._op_plans,
+                    self._fused_specs,
+                )
+        # Subscriber-set snapshot for the per-firing emit sites (the same
+        # discipline executors use for TaskFired): ``wants`` resolution
+        # is cheap but not free, and these are consulted for every task.
+        # Subscribe before constructing the state, as every executor and
+        # run context does.
+        bus = self.bus
+        self._wants_enqueued = bus is not None and bus.wants(TaskEnqueued)
+        self._wants_op_started = bus is not None and bus.wants(OpStarted)
+        self._wants_op_finished = bus is not None and bus.wants(OpFinished)
+        self._wants_donation = bus is not None and bus.wants(DonationApplied)
+        self._wants_cow = bus is not None and bus.wants(CowCopy)
+        self._wants_expansion = bus is not None and bus.wants(Expansion)
+        self._wants_tail_expansion = bus is not None and bus.wants(
+            TailExpansion
+        )
 
     # ------------------------------------------------------------------
     # Public interface
@@ -322,7 +392,69 @@ class ExecutionState:
 
         Convenience wrapper over :meth:`begin_fire` / :meth:`complete_fire`
         that runs any operator body inline (optionally through ``run_op``).
+        Pure ``OP`` nodes with no copy-on-write or donation concerns take
+        a single-pass inline path that skips the :class:`PendingOp`
+        suspension machinery entirely; ``run_op`` (fault injection,
+        timing hooks) forces the generic path so interception still sees
+        every operator call.
         """
+        if run_op is None:
+            act = task.activation
+            node = act.template.nodes[task.node_id]
+            kind = node.kind
+            if kind is NodeKind.OP:
+                key = id(node)
+                plan = self._op_plans.get(key, _NO_PLAN)
+                if plan is _NO_PLAN:
+                    plan = self._build_op_plan(node)
+                    self._op_plans[key] = plan
+                if plan is not None:
+                    return self._fire_op_inline(task, act, node, plan, home)
+            elif kind is NodeKind.IF:
+                # Direct dispatch for the other hot kinds, skipping the
+                # generic begin_fire framing (FireOutcome allocation and
+                # the full kind ladder).  Bookkeeping mirrors begin_fire.
+                act.fired += 1
+                self.stats.tasks_fired += 1
+                newly: list[Task] = []
+                self._fire_if(act, task.node_id, node, newly)
+                self._maybe_free(act)
+                return newly
+            elif kind is NodeKind.CONST:
+                act.fired += 1
+                self.stats.tasks_fired += 1
+                newly = []
+                self._deliver_output(act, task.node_id, 0, node.value, 0, newly)
+                self._maybe_free(act)
+                return newly
+            elif kind is NodeKind.CALL:
+                act.fired += 1
+                self.stats.tasks_fired += 1
+                newly = []
+                pending = self._fire_call(
+                    act, task.node_id, node, newly, home, None
+                )
+                if pending is None:
+                    self._maybe_free(act)
+                    return newly
+                pending.seq = task.seq
+                pending.priority = task.priority
+                spec = pending.spec
+                try:
+                    if self.profile_ops:
+                        t_body = _perf_counter()
+                        raw_result = spec.fn(*pending.args)
+                        self.stats.op_body_seconds += (
+                            _perf_counter() - t_body
+                        )
+                    else:
+                        raw_result = spec.fn(*pending.args)
+                except Exception as exc:  # noqa: BLE001 - wrapped, re-raised
+                    raise OperatorError(
+                        spec.name, exc, node_id=pending.node_id
+                    ) from exc
+                newly.extend(self.complete_fire(pending, raw_result))
+                return newly
         outcome = self.begin_fire(task, home=home)
         pending = outcome.pending
         if pending is None:
@@ -331,6 +463,10 @@ class ExecutionState:
         try:
             if run_op is not None:
                 raw_result = run_op(spec, pending.args)
+            elif self.profile_ops:
+                t_body = _perf_counter()
+                raw_result = spec.fn(*pending.args)
+                self.stats.op_body_seconds += _perf_counter() - t_body
             else:
                 raw_result = spec.fn(*pending.args)
         except OperatorError:
@@ -339,6 +475,284 @@ class ExecutionState:
             raise OperatorError(spec.name, exc, node_id=pending.node_id) from exc
         newly = outcome.newly
         newly.extend(self.complete_fire(pending, raw_result))
+        return newly
+
+    def _build_op_plan(self, node: Node) -> tuple | None:
+        """Precompute the inline fast-path plan for one ``OP`` node.
+
+        Returns ``None`` when the node needs the generic begin/complete
+        path: purity checking (fingerprint bookkeeping) or a static arity
+        mismatch (the generic path raises the canonical error).
+        Everything here is a per-node constant, so the decision is made
+        once and cached.
+        """
+        if self.check_purity:
+            return None
+        spec = node_spec(self.registry, node, self._fused_specs)
+        if spec.arity is not None and spec.arity != len(node.inputs):
+            return None
+        fused = node.fused
+        if fused is not None:
+            untuple_n = fused[1]
+            n_source_ops = len(fused[0]) + (1 if untuple_n else 0)
+        else:
+            untuple_n = 0
+            n_source_ops = 1
+        donated = node.donated if node.donated is not None else ()
+        modifies = spec.modifies
+        if modifies:
+            # Per-argument action codes, folding the two set-membership
+            # probes (``i in modifies`` / ``i in donated``) into one tuple
+            # index: 0 = read-only, 1 = modified + donated, 2 = modified.
+            arg_codes: tuple[int, ...] | None = tuple(
+                (1 if i in donated else 2) if i in modifies else 0
+                for i in range(len(node.inputs))
+            )
+        else:
+            arg_codes = None
+        return (
+            spec,
+            spec.fn,
+            untuple_n,
+            n_source_ops,
+            fused is not None,
+            modifies,
+            donated,
+            arg_codes,
+        )
+
+    def _fire_op_inline(
+        self,
+        task: Task,
+        act: Activation,
+        node: Node,
+        plan: tuple,
+        home: int,
+    ) -> list[Task]:
+        """One pure ``OP`` firing, begun and committed in a single pass.
+
+        Semantically identical to ``begin_fire`` + ``complete_fire`` for
+        the shapes :meth:`_build_op_plan` admits — same stats, same event
+        order, same error texts, same wrap/deliver/release discipline —
+        minus the :class:`PendingOp` suspension a synchronous firing never
+        needs.  ``OpStarted``/``OpFinished`` bracket only the operator
+        body, so generated codegen frames attribute to ``operator_body``
+        in the critical-path profile, keeping the reconciliation bound.
+        """
+        node_id = task.node_id
+        act.fired += 1
+        stats = self.stats
+        stats.tasks_fired += 1
+        stats.ops_executed += 1
+        (
+            spec,
+            fn,
+            untuple_n,
+            n_source_ops,
+            is_fused,
+            modifies,
+            donated,
+            arg_codes,
+        ) = plan
+        if is_fused:
+            stats.fused_fires += 1
+            stats.fused_ops_saved += n_source_ops - 1
+        bus = self.bus
+        # The live slots row, not a copy: the activation is pinned for the
+        # duration of this call, and a node fires exactly once, so nothing
+        # can write the row while we hold it (take_inputs adds a readiness
+        # assert and is kept for the generic path).
+        inputs = act.slots[node_id]
+        args: list[Any] = []
+        arg_blocks: list[DataBlock | None] = []
+        if arg_codes is None:
+            for v in inputs:
+                if type(v) is DataBlock:
+                    args.append(v.payload)
+                    arg_blocks.append(v)
+                else:
+                    args.append(_payload_of(v))
+                    arg_blocks.append(None)
+        else:
+            # Mirror of the _begin_operator argument loop for the local,
+            # non-purity-checked case; any semantic change there must be
+            # made here too.
+            for i, v in enumerate(inputs):
+                code = arg_codes[i]
+                if type(v) is DataBlock:
+                    if code:
+                        if v.rc == 1:
+                            stats.in_place_writes += 1
+                            if code == 1:
+                                stats.copies_avoided += 1
+                                stats.bytes_copy_avoided += v.nbytes
+                                if self._wants_donation:
+                                    bus.emit(
+                                        DonationApplied(
+                                            bus.now(), spec.name, v.nbytes
+                                        )
+                                    )
+                            args.append(v.payload)
+                            arg_blocks.append(v)
+                        else:
+                            if code == 1:
+                                stats.donation_misses += 1
+                            stats.cow_copies += 1
+                            stats.copies_by_operator[spec.name] = (
+                                stats.copies_by_operator.get(spec.name, 0) + 1
+                            )
+                            stats.copy_bytes_by_operator[spec.name] = (
+                                stats.copy_bytes_by_operator.get(spec.name, 0)
+                                + v.nbytes
+                            )
+                            if self._wants_cow:
+                                bus.emit(CowCopy(bus.now(), spec.name, v.nbytes))
+                            fresh = self._cow_copy(v, home, spec.name)
+                            args.append(fresh.payload)
+                            arg_blocks.append(fresh)
+                    else:
+                        args.append(v.payload)
+                        arg_blocks.append(v)
+                else:
+                    if code and isinstance(v, MultiValue):
+                        raise RuntimeFailure(
+                            f"operator {spec.name!r} declares it modifies "
+                            f"argument {i}, which is a multiple-value "
+                            "package; split the package and pass the parts "
+                            "instead"
+                        )
+                    args.append(_payload_of(v))
+                    arg_blocks.append(None)
+        op_began: float | None = None
+        wants_finished = self._wants_op_finished
+        if bus is not None:
+            now = bus.now
+            if wants_finished or self._wants_op_started:
+                op_began = now()
+            if self._wants_op_started:
+                bus.emit(OpStarted(op_began, spec.name, n_source_ops))
+        if self.profile_ops:
+            t_body = _perf_counter()
+            try:
+                raw_result = fn(*args)
+            except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
+                raise OperatorError(spec.name, exc, node_id=node_id) from exc
+            stats.op_body_seconds += _perf_counter() - t_body
+        else:
+            try:
+                raw_result = fn(*args)
+            except Exception as exc:  # noqa: BLE001 - wrapped and re-raised
+                raise OperatorError(spec.name, exc, node_id=node_id) from exc
+        if wants_finished:
+            op_ended = now()
+            bus.emit(OpFinished(op_ended, spec.name, op_ended - op_began))
+        # Pin the activation across delivery exactly as a pending op
+        # would: a delivered result may mark it done mid-loop, and the
+        # pin keeps the recycling check from freeing it under our feet.
+        act.pend_ops += 1
+        newly: list[Task] = []
+        # Inlined _deliver_output, specialized for carried_share == 0 and
+        # the hook-free retain fast case; the result port falls back to
+        # _handle_result exactly as the generic delivery does.
+        template = act.template
+        consumers_by_out = template.consumers[node_id]
+        result_node = template.result_node
+        result_out = template.result_out
+        slots = act.slots
+        missing = act.missing
+        priorities = template.priorities
+        hook = _blocks._BLOCK_HOOK
+        wants_enqueued = self._wants_enqueued
+        if untuple_n:
+            if not isinstance(raw_result, tuple):
+                raise RuntimeFailure(
+                    f"cannot decompose non-package value {raw_result!r} "
+                    f"(fused node {node.label!r} in {act.template.name!r})"
+                )
+            if len(raw_result) != untuple_n:
+                raise RuntimeFailure(
+                    f"package of {len(raw_result)} value(s) decomposed into "
+                    f"{untuple_n} name(s) in {act.template.name!r}"
+                )
+            outputs = enumerate(raw_result)
+        else:
+            outputs = ((0, raw_result),)
+        for out, element in outputs:
+            # Inline _wrap_result's two dominant shapes — the merging
+            # idiom (the operator returned one of its input payloads,
+            # keeping that block's identity) and a fresh opaque result.
+            # Tuples (→ MultiValue) and ndarray results (input-view
+            # aliasing check) still take the full path.
+            if isinstance(element, (tuple, np.ndarray)):
+                value = self._wrap_result(element, arg_blocks, home, donated)
+            else:
+                for b in arg_blocks:
+                    if b is not None and b.payload is element:
+                        if home >= 0:
+                            b.home = home
+                        value = b
+                        break
+                else:
+                    value = wrap_payload(element, home)
+            consumers = consumers_by_out[out]
+            is_result = result_node == node_id and result_out == out
+            shares = len(consumers) + 1 if is_result else len(consumers)
+            if shares:
+                if type(value) is DataBlock and hook is None:
+                    value.rc += shares
+                else:
+                    retain(value, shares)
+            if wants_enqueued:
+                for dest, idx in consumers:
+                    slots[dest][idx] = value
+                    left = missing[dest] - 1
+                    missing[dest] = left
+                    if left == 0:
+                        newly.append(self._task(act, dest))
+            else:
+                seq = self._task_seq
+                for dest, idx in consumers:
+                    slots[dest][idx] = value
+                    left = missing[dest] - 1
+                    missing[dest] = left
+                    if left == 0:
+                        seq += 1
+                        newly.append(Task(act, dest, priorities[dest], seq))
+                self._task_seq = seq
+            if is_result:
+                self._handle_result(act, value, newly)
+        for v in inputs:
+            # Inline ``release`` for bare blocks with no hook attached;
+            # the slow call keeps the canonical negative-rc error.
+            if type(v) is DataBlock and hook is None and v.rc > 0:
+                v.rc -= 1
+            else:
+                release(v, 1)
+        if donated:
+            # After the releases, exactly like complete_fire: a donated
+            # input that just died (rc 0) can hand its buffer to the pool
+            # unless the result may alias it.
+            for i in donated:
+                if i >= len(inputs):
+                    continue
+                v = inputs[i]
+                if (
+                    isinstance(v, DataBlock)
+                    and v.rc == 0
+                    and isinstance(v.payload, np.ndarray)
+                    and not _may_alias(raw_result, v.payload)
+                ):
+                    self.buffers.put(v.payload)
+        act.pend_ops -= 1
+        # Inlined _maybe_free.
+        if (
+            act.result_done
+            and act.fired >= act.fireable
+            and act.pend_children == 0
+            and act.pend_ops == 0
+        ):
+            act.result_done = False
+            self.pool.release(act)
         return newly
 
     def begin_fire(
@@ -452,7 +866,7 @@ class ExecutionState:
             )
         pending.committed = True
         bus = self.bus
-        if bus is not None and bus.wants(OpFinished):
+        if self._wants_op_finished:
             op_ended = bus.now()
             if op_seconds is None:
                 began = (
@@ -503,11 +917,7 @@ class ExecutionState:
             release(v, 1)
         if donated:
             self._recycle_dead_inputs(pending, raw_result)
-        count = self._pending_ops.get(act.aid, 0) - 1
-        if count > 0:
-            self._pending_ops[act.aid] = count
-        else:
-            self._pending_ops.pop(act.aid, None)
+        act.pend_ops -= 1
         self._maybe_free(act)
         return newly
 
@@ -534,7 +944,7 @@ class ExecutionState:
             "tasks_fired": self.stats.tasks_fired,
             "ops_executed": self.stats.ops_executed,
             "live_activations": self.pool.live,
-            "in_flight_ops": sum(self._pending_ops.values()),
+            "in_flight_ops": sum(a.pend_ops for a in self.pool.live_set),
             "finished": self.finished,
             "activation_stats": self.pool.stats(),
             "buffer_pool": self.buffers.stats(),
@@ -547,7 +957,7 @@ class ExecutionState:
         those nodes still await — the first thing to read when a
         hand-built graph (or an engine bug) deadlocks.
         """
-        in_flight = sum(self._pending_ops.values())
+        in_flight = sum(a.pend_ops for a in self.pool.live_set)
         lines: list[str] = [
             f"{self.pool.live} live activation(s) at stall"
             + (f" ({in_flight} operator firing(s) never completed)"
@@ -584,7 +994,7 @@ class ExecutionState:
         priority = template.priorities[node_id]
         self._task_seq += 1
         bus = self.bus
-        if bus is not None and bus.wants(TaskEnqueued):
+        if self._wants_enqueued:
             node = template.nodes[node_id]
             bus.emit(
                 TaskEnqueued(
@@ -612,16 +1022,95 @@ class ExecutionState:
         template = act.template
         consumers = template.consumers[node_id][out]
         is_result = template.result_node == node_id and template.result_out == out
-        retain(value, len(consumers) + (1 if is_result else 0))
+        shares = len(consumers) + 1 if is_result else len(consumers)
+        if shares:
+            # Inline ``retain`` for the dominant shape — a bare block with
+            # no ``observe_blocks`` hook attached; packages, unwrapped
+            # values, and hooked runs take the full call.
+            if type(value) is DataBlock and _blocks._BLOCK_HOOK is None:
+                value.rc += shares
+            else:
+                retain(value, shares)
         if carried_share:
             release(value, carried_share)
+        slots = act.slots
+        missing = act.missing
+        wants_enqueued = self._wants_enqueued
+        priorities = template.priorities
         for dest, idx in consumers:
-            act.slots[dest][idx] = value
-            act.missing[dest] -= 1
-            if act.missing[dest] == 0:
-                newly.append(self._task(act, dest))
+            slots[dest][idx] = value
+            left = missing[dest] - 1
+            missing[dest] = left
+            if left == 0:
+                if wants_enqueued:
+                    newly.append(self._task(act, dest))
+                else:
+                    seq = self._task_seq + 1
+                    self._task_seq = seq
+                    newly.append(Task(act, dest, priorities[dest], seq))
         if is_result:
             self._handle_result(act, value, newly)
+
+    def _deliver_values(
+        self,
+        act: Activation,
+        first: int,
+        values: list[Any],
+        carried_share: int,
+        newly: list[Task],
+    ) -> None:
+        """Deliver ``values`` to consecutive placeholder nodes of ``act``.
+
+        Fused form of one :meth:`_deliver_output` call per value, used by
+        :meth:`_expand` for params and captures: the per-activation
+        lookups are hoisted across the batch, and the retain(shares) /
+        release(carried_share) pair collapses to a single count update
+        for bare hook-free blocks.  Semantics match ``_deliver_output``
+        exactly, including the negative-count error release() raises.
+        """
+        template = act.template
+        consumers_by_node = template.consumers
+        result_node = template.result_node
+        result_out = template.result_out
+        slots = act.slots
+        missing = act.missing
+        priorities = template.priorities
+        hook = _blocks._BLOCK_HOOK
+        wants_enqueued = self._wants_enqueued
+        for offset, value in enumerate(values):
+            node_id = first + offset
+            consumers = consumers_by_node[node_id][0]
+            is_result = result_node == node_id and result_out == 0
+            shares = len(consumers) + 1 if is_result else len(consumers)
+            if type(value) is DataBlock and hook is None:
+                delta = shares - carried_share
+                if delta:
+                    rc = value.rc + delta
+                    if rc < 0:
+                        raise RuntimeError(
+                            f"data block reference count went negative "
+                            f"(released {carried_share} share(s) from "
+                            f"rc={value.rc + shares}): {value!r}"
+                        )
+                    value.rc = rc
+            else:
+                if shares:
+                    retain(value, shares)
+                if carried_share:
+                    release(value, carried_share)
+            for dest, idx in consumers:
+                slots[dest][idx] = value
+                left = missing[dest] - 1
+                missing[dest] = left
+                if left == 0:
+                    if wants_enqueued:
+                        newly.append(self._task(act, dest))
+                    else:
+                        seq = self._task_seq + 1
+                        self._task_seq = seq
+                        newly.append(Task(act, dest, priorities[dest], seq))
+            if is_result:
+                self._handle_result(act, value, newly)
 
     def _handle_result(self, act: Activation, value: Any, newly: list[Task]) -> None:
         act.result_done = True
@@ -631,11 +1120,7 @@ class ExecutionState:
             self._final = value
             return
         parent, parent_node = continuation
-        count = self._pending_children.get(parent.aid, 0) - 1
-        if count > 0:
-            self._pending_children[parent.aid] = count
-        else:
-            self._pending_children.pop(parent.aid, None)
+        parent.pend_children -= 1
         self._deliver_output(parent, parent_node, 0, value, 1, newly)
         # The parent may have been waiting only on this child; re-check.
         self._maybe_free(parent)
@@ -643,9 +1128,9 @@ class ExecutionState:
     def _maybe_free(self, act: Activation) -> None:
         if (
             act.result_done
-            and act.fired >= act.fireable_nodes()
-            and self._pending_children.get(act.aid, 0) == 0
-            and self._pending_ops.get(act.aid, 0) == 0
+            and act.fired >= act.fireable
+            and act.pend_children == 0
+            and act.pend_ops == 0
         ):
             act.result_done = False  # guard against double release
             self.pool.release(act)
@@ -750,14 +1235,14 @@ class ExecutionState:
             self.stats.fused_ops_saved += n_source_ops - 1
         else:
             n_source_ops = 1
-        self._pending_ops[act.aid] = self._pending_ops.get(act.aid, 0) + 1
+        act.pend_ops += 1
         op_began: float | None = None
         if bus is not None:
-            # ``wants`` lets an unsubscribed event skip both the object
-            # construction and the clock read — the dominant emit-site
-            # costs on the master's critical path.
-            wants_started = bus.wants(OpStarted)
-            if wants_started or bus.wants(OpFinished):
+            # The subscriber-set snapshot lets an unsubscribed event skip
+            # both the object construction and the clock read — the
+            # dominant emit-site costs on the master's critical path.
+            wants_started = self._wants_op_started
+            if wants_started or self._wants_op_finished:
                 op_began = bus.now()
             if wants_started:
                 bus.emit(OpStarted(op_began, spec.name, n_source_ops))
@@ -955,22 +1440,29 @@ class ExecutionState:
         bus = self.bus
         if node.tail:
             self.stats.tail_expansions += 1
-            if bus is not None and bus.wants(TailExpansion):
+            if self._wants_tail_expansion:
                 bus.emit(TailExpansion(bus.now(), template.name, child.aid))
             child.continuation = parent.continuation
             # Delegate: the parent will never see a result of its own.
             parent.result_done = True
         else:
-            if bus is not None and bus.wants(Expansion):
+            if self._wants_expansion:
                 bus.emit(Expansion(bus.now(), template.name, child.aid))
             child.continuation = (parent, node_id)
-            self._pending_children[parent.aid] = (
-                self._pending_children.get(parent.aid, 0) + 1
+            parent.pend_children += 1
+        if self._wants_enqueued:
+            for nid in template.initial_ready:
+                newly.append(self._task(child, nid))
+        else:
+            priorities = template.priorities
+            seq = self._task_seq
+            for nid in template.initial_ready:
+                seq += 1
+                newly.append(Task(child, nid, priorities[nid], seq))
+            self._task_seq = seq
+        if params:
+            self._deliver_values(child, 0, params, param_share, newly)
+        if captures:
+            self._deliver_values(
+                child, len(template.params), captures, capture_share, newly
             )
-        for nid in template.initial_ready:
-            newly.append(self._task(child, nid))
-        n_params = len(template.params)
-        for i, v in enumerate(params):
-            self._deliver_output(child, i, 0, v, param_share, newly)
-        for j, v in enumerate(captures):
-            self._deliver_output(child, n_params + j, 0, v, capture_share, newly)

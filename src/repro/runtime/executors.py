@@ -42,7 +42,12 @@ from ..obs.events import (
 )
 from ..obs.runctx import RunContext
 from .engine import EngineStats, ExecutionState, PendingOp
-from .operators import OperatorRegistry, collect_fused_chains, default_registry
+from .operators import (
+    OperatorRegistry,
+    collect_codegen_sources,
+    collect_fused_chains,
+    default_registry,
+)
 from .scheduler import ReadyQueue
 from .supervise import Completion, FaultPolicy, Supervisor, run_with_retries
 from .tracing import Tracer
@@ -187,6 +192,7 @@ class SequentialExecutor:
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
         run_ctx: RunContext | None = None,
+        profile_ops: bool = False,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
@@ -196,6 +202,11 @@ class SequentialExecutor:
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
+        #: Accumulate operator-body wall seconds in
+        #: ``stats.op_body_seconds`` via two bare clock reads per firing —
+        #: the benchmark phase-split probe (far cheaper than subscribing
+        #: to ``OpStarted``/``OpFinished`` events).
+        self.profile_ops = profile_ops
 
     def run(
         self,
@@ -207,7 +218,11 @@ class SequentialExecutor:
         ctx = self.run_ctx
         bus, tracer = resolve_bus(self.bus, self.trace, ctx)
         state = ExecutionState(
-            program, registry, check_purity=self.check_purity, bus=bus
+            program,
+            registry,
+            check_purity=self.check_purity,
+            bus=bus,
+            profile_ops=self.profile_ops,
         )
         queue = ReadyQueue(self.use_priorities, self.seed, bus=bus)
         began = time.perf_counter()
@@ -229,9 +244,19 @@ class SequentialExecutor:
             # must not pay.
             wants_fired = bus is not None and bus.wants(TaskFired)
             queue.push_all(state.start(args))
-            while queue:
-                task = queue.pop()
-                if wants_fired:
+            if not wants_fired and run_op is None:
+                # The queue's own drain loop: per-task pop/push method
+                # dispatch folded into one frame.
+                queue.drain(state.fire)
+            elif not wants_fired:
+                pop = queue.pop
+                push_all = queue.push_all
+                fire = state.fire
+                while queue._size:
+                    push_all(fire(pop(), run_op=run_op))
+            else:
+                while queue:
+                    task = queue.pop()
                     act = task.activation
                     node = act.template.nodes[task.node_id]
                     template_name, aid = act.template.name, act.aid
@@ -252,8 +277,6 @@ class SequentialExecutor:
                             0,
                         )
                     )
-                else:
-                    queue.push_all(state.fire(task, run_op=run_op))
             wall = time.perf_counter() - began
             if not state.finished:
                 raise RuntimeFailure(
@@ -593,6 +616,7 @@ class ProcessExecutor:
                 shm_threshold=self.shm_threshold,
                 fused_chains=collect_fused_chains(program),
                 fault_spec=self.fault_spec,
+                codegen_sources=collect_codegen_sources(program),
             )
         except Exception as exc:
             if policy.degrade != "ladder":

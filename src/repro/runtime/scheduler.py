@@ -34,9 +34,14 @@ from ..graph.ir import (  # noqa: F401 - canonical home; re-exported here
 from ..obs.events import EventBus, QueueDepthSample
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(slots=True, eq=False)
 class Task:
-    """A ready node firing: (activation, node) plus its priority class."""
+    """A ready node firing: (activation, node) plus its priority class.
+
+    Treated as immutable by convention; not ``frozen=True`` because the
+    engine constructs one per firing and the frozen ``__init__`` pays an
+    ``object.__setattr__`` per field on the hottest allocation path.
+    """
 
     activation: Any  # Activation; typed loosely to avoid an import cycle
     node_id: int
@@ -82,19 +87,21 @@ class ReadyQueue:
         self._queues: list[deque[Task]] = [self._q0, self._q1, self._q2]
         self._size = 0
         self._bus = bus if (bus is not None and bus.active) else None
-        self._fast = self._rng is None and self._bus is None
+        # Snapshot of the subscriber set (executors do the same for
+        # TaskFired): a bus whose subscribers ignore depth samples must
+        # not pay a ``wants`` resolution on every push and pop.  Queues
+        # are constructed after subscriptions are attached.
+        self._sampling = self._bus is not None and self._bus.wants(
+            QueueDepthSample
+        )
+        self._fast = self._rng is None and not self._sampling
 
     def depths(self) -> tuple[int, int, int]:
         """Current depth per priority class (flight-recorder snapshot)."""
         return (len(self._q0), len(self._q1), len(self._q2))
 
     def _sample_depth(self) -> None:
-        # ``wants`` guard: an active bus whose subscribers ignore depth
-        # samples (e.g. only a flight recorder is attached) must not pay
-        # event construction on every push/pop.
         bus = self._bus
-        if not bus.wants(QueueDepthSample):
-            return
         q0, q1, q2 = self._queues
         bus.emit(QueueDepthSample(bus.now(), (len(q0), len(q1), len(q2))))
 
@@ -102,7 +109,7 @@ class ReadyQueue:
         level = task.priority if self.use_priorities else 0
         self._queues[level].append(task)
         self._size += 1
-        if self._bus is not None:
+        if self._sampling:
             self._sample_depth()
 
     def push_all(self, tasks: list[Task]) -> None:
@@ -137,10 +144,42 @@ class ReadyQueue:
                     q.rotate(-i)
                     task = q.popleft()
                     q.rotate(i)
-                if self._bus is not None:
+                if self._sampling:
                     self._sample_depth()
                 return task
         raise AssertionError("size/queue mismatch")  # pragma: no cover
+
+    def drain(self, fire: Any) -> None:
+        """Pop → ``fire`` → push-newly until the queue runs dry.
+
+        The sequential executors' hot loop, kept here so the per-task
+        pop/push method dispatch and size bookkeeping stay inside one
+        frame.  ``fire`` takes a :class:`Task` and returns the newly
+        ready tasks.  Falls back to the generic pop/push path whenever
+        sampling or seeded pops are active.
+        """
+        if not self._fast:
+            while self._size:
+                newly = fire(self.pop())
+                for t in newly:
+                    self.push(t)
+            return
+        q0, q1, q2 = self._q0, self._q1, self._q2
+        queues = self._queues
+        use_priorities = self.use_priorities
+        while self._size:
+            task = (
+                q0.popleft() if q0 else q1.popleft() if q1 else q2.popleft()
+            )
+            self._size -= 1
+            newly = fire(task)
+            if newly:
+                if use_priorities:
+                    for t in newly:
+                        queues[t.priority].append(t)
+                else:
+                    q0.extend(newly)
+                self._size += len(newly)
 
     def __len__(self) -> int:
         return self._size

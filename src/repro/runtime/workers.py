@@ -44,7 +44,7 @@ import importlib
 import pickle
 import time
 import traceback
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any
@@ -58,6 +58,7 @@ from ..errors import RuntimeFailure
 from .operators import (
     FusedChain,
     OperatorRegistry,
+    bind_codegen,
     compose_fused,
     default_registry,
 )
@@ -488,6 +489,7 @@ def worker_main(
     fused_chains: dict[str, FusedChain] | None = None,
     fault_spec: Any = None,
     fault_salt: int = 0,
+    codegen_sources: dict[str, str] | None = None,
 ) -> None:
     """Body of one worker process: batches in, batches out, until None.
 
@@ -501,7 +503,12 @@ def worker_main(
     ``fused_chains`` maps fused super-node names to their recipes (plain
     picklable data); the worker composes each chain against its own
     registry on first use, so a dispatched fused body runs exactly like a
-    registered operator.
+    registered operator.  ``codegen_sources`` (fused name → generated
+    binder source, from :func:`~repro.runtime.operators.
+    collect_codegen_sources`) upgrades those compositions: the worker
+    compiles the shipped source and binds it against its *own* registry,
+    so a dispatched fused body runs the same specialized code the master
+    would — source text crosses the process boundary, never code objects.
 
     ``fault_spec`` (a picklable :class:`repro.faults.FaultSpec`) installs
     deterministic fault injection: the per-process injector is consulted
@@ -519,6 +526,7 @@ def worker_main(
     else:
         registry = default_registry()
     fused_chains = fused_chains or {}
+    codegen_sources = codegen_sources or {}
     fused_specs: dict[str, Any] = {}
     injector = fault_spec.build(fault_salt) if fault_spec is not None else None
     while True:
@@ -538,6 +546,14 @@ def worker_main(
                         spec = compose_fused(
                             op_name, chain[0], chain[1], registry
                         )
+                        source = codegen_sources.get(op_name)
+                        if source is not None:
+                            spec = dc_replace(
+                                spec,
+                                fn=bind_codegen(
+                                    source, chain[0], registry, name=op_name
+                                ),
+                            )
                         fused_specs[op_name] = spec
                     else:
                         spec = registry.get(op_name)
@@ -592,6 +608,7 @@ class WorkerPool:
         shm_threshold: int = SHM_THRESHOLD_DEFAULT,
         fused_chains: dict[str, FusedChain] | None = None,
         fault_spec: Any = None,
+        codegen_sources: dict[str, str] | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -618,6 +635,7 @@ class WorkerPool:
         self._registry = registry
         self._fused_chains = fused_chains
         self._fault_spec = fault_spec
+        self._codegen_sources = codegen_sources
         #: Total workers replaced over the pool's lifetime.
         self.respawns = 0
         self.processes: list[Any] = [None] * n_workers
@@ -641,6 +659,7 @@ class WorkerPool:
                     self._fused_chains,
                     self._fault_spec,
                     fault_salt,
+                    self._codegen_sources,
                 ),
                 daemon=True,
                 name=f"delirium-proc-{i}",

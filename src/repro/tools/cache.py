@@ -18,7 +18,17 @@ write.
 The active pass set is part of the key, and the CLI encodes ``--fuse`` as
 the extra pass name ``"fuse"`` in that tuple — so fused and unfused
 compilations of identical source occupy *different* cache entries and can
-never be served to each other (``tests/test_fuse.py`` pins this).
+never be served to each other (``tests/test_fuse.py`` pins this).  The
+same mechanism keys ``--codegen``: lowered and interpreted graphs never
+share an entry.
+
+``$DELIRIUM_CACHE_MAX`` (an entry count) bounds the cache with LRU
+eviction: every hit refreshes the entry's mtime, and a store that pushes
+the population over the bound deletes the stalest entries.  Eviction is
+safe under concurrent readers because a reader losing the race simply
+sees a miss (``load_cached`` treats a vanished file as one) and
+recompiles.  Unset or non-positive means unbounded, the historical
+behavior.
 """
 
 from __future__ import annotations
@@ -64,16 +74,64 @@ def _entry_path(key: str) -> str:
     return os.path.join(cache_dir(), f"{key}.dlc")
 
 
+def cache_max_entries() -> int | None:
+    """The LRU bound from ``$DELIRIUM_CACHE_MAX``, or None (unbounded)."""
+    raw = os.environ.get("DELIRIUM_CACHE_MAX")
+    if not raw:
+        return None
+    try:
+        bound = int(raw)
+    except ValueError:
+        return None
+    return bound if bound > 0 else None
+
+
+def _evict_lru(directory: str, bound: int) -> int:
+    """Delete stalest ``.dlc`` entries beyond ``bound``; returns count.
+
+    Recency is mtime: stores write it, hits refresh it.  Every
+    filesystem call tolerates a concurrent evictor or reader having
+    raced us — a vanished file is simply someone else's eviction.
+    """
+    try:
+        names = [n for n in os.listdir(directory) if n.endswith(".dlc")]
+    except OSError:
+        return 0
+    entries = []
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            entries.append((os.path.getmtime(path), path))
+        except OSError:
+            continue  # already evicted by a concurrent process
+    excess = len(entries) - bound
+    if excess <= 0:
+        return 0
+    evicted = 0
+    for _, path in sorted(entries)[:excess]:
+        try:
+            os.unlink(path)
+            evicted += 1
+        except OSError:
+            continue
+    return evicted
+
+
 def load_cached(key: str) -> GraphProgram | None:
     """The cached graph for ``key``, or None on miss or unreadable entry."""
     path = _entry_path(key)
     try:
         with open(path, "r", encoding="utf-8") as fh:
-            return loads(fh.read())
+            program = loads(fh.read())
     except Exception:  # noqa: BLE001
         # A missing, corrupt, or foreign-format entry is equivalent to a
         # miss; the store below rewrites it atomically.
         return None
+    try:
+        os.utime(path)  # LRU touch: a hit makes the entry recent again
+    except OSError:
+        pass  # concurrently evicted — the graph in hand is still good
+    return program
 
 
 def store_cached(key: str, program: GraphProgram) -> str:
@@ -96,4 +154,7 @@ def store_cached(key: str, program: GraphProgram) -> str:
         except OSError:
             pass
         raise
+    bound = cache_max_entries()
+    if bound is not None:
+        _evict_lru(directory, bound)
     return path

@@ -85,6 +85,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "every copy decision dynamic)",
     )
     parser.add_argument(
+        "--codegen",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="lower fused chains to generated specialized Python at "
+        "graph-finalize time (--no-codegen interprets each recipe step "
+        "by step; results are bit-identical either way)",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the compile cache (~/.cache/delirium or "
@@ -107,6 +115,15 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
         default=4,
         metavar="N",
         help="worker count for --executor threaded/process (default 4)",
+    )
+    parser.add_argument(
+        "--recalibrate",
+        action="store_true",
+        help="measure per-operator wall costs fresh (one traced "
+        "sequential run) and persist them for this program/registry/"
+        "machine; --executor process then dispatches from measured "
+        "costs instead of heuristics.  Without the flag a previously "
+        "persisted table is loaded when one exists",
     )
     parser.add_argument(
         "--fault-policy",
@@ -204,8 +221,46 @@ def _fault_options(ns: argparse.Namespace) -> dict:
     return out
 
 
+def _dispatch_costs(
+    ns: argparse.Namespace, compiled, run_args: tuple
+) -> dict | None:
+    """Measured per-operator costs for the process executor, if any.
+
+    ``--recalibrate`` measures fresh (and persists the table);
+    otherwise a previously persisted table for this program/registry/
+    machine is loaded when present.  Sequential and threaded executors
+    never pay for this — dispatch costs only steer IPC decisions.
+    """
+    if getattr(ns, "executor", None) != "process":
+        return None
+    from ..machine.calibrate import calibrate_dispatch_cached
+
+    if not ns.recalibrate:
+        from ..machine.calibrate import load_dispatch_calibration
+
+        loaded = load_dispatch_calibration(compiled.graph, compiled.registry)
+        return loaded.seconds_by_operator if loaded is not None else None
+    calibration = calibrate_dispatch_cached(
+        compiled.graph,
+        compiled.registry,
+        args=run_args,
+        force=True,
+    )
+    print(
+        f"calibrated {len(calibration.seconds_by_operator)} operator(s): "
+        f"{len(calibration.dispatch)} dispatched, "
+        f"{len(calibration.keep_local)} kept local",
+        file=sys.stderr,
+    )
+    return calibration.seconds_by_operator
+
+
 def _make_executor(
-    ns: argparse.Namespace, trace: bool = False, bus=None, run_ctx=None
+    ns: argparse.Namespace,
+    trace: bool = False,
+    bus=None,
+    run_ctx=None,
+    measured_costs: dict | None = None,
 ):
     """Build the real (non-simulated) executor the flags ask for."""
     faults = _fault_options(ns)
@@ -214,6 +269,8 @@ def _make_executor(
     if ns.executor == "threaded":
         return ThreadedExecutor(ns.workers, trace=trace, bus=bus, **faults)
     if ns.executor == "process":
+        if measured_costs:
+            faults["measured_costs"] = measured_costs
         return ProcessExecutor(ns.workers, trace=trace, bus=bus, **faults)
     return SequentialExecutor(trace=trace, bus=bus, **faults)
 
@@ -252,6 +309,11 @@ def _compile(args: argparse.Namespace):
         passes = passes + ("fuse",)
     if args.donate:
         passes = passes + ("donate",)
+    if args.codegen:
+        # Terminal lowering; on a --no-fuse graph the pass has nothing to
+        # lower and the compiled output is unchanged, but the cache key
+        # still distinguishes the two (the pass set is hashed).
+        passes = passes + ("codegen",)
     defines = _defines(args.define)
     key = None
     if not args.no_cache:
@@ -438,8 +500,11 @@ def main(argv: list[str] | None = None) -> int:
         else:
             ctx = _make_run_ctx(ns)
             server = _serve_metrics(ctx, ns)
+            costs = _dispatch_costs(ns, compiled, run_args)
             try:
-                result = _make_executor(ns, run_ctx=ctx).run(
+                result = _make_executor(
+                    ns, run_ctx=ctx, measured_costs=costs
+                ).run(
                     compiled.graph, args=run_args, registry=compiled.registry
                 )
             finally:

@@ -76,6 +76,105 @@ class TestCalibration:
         assert all(v >= 1.0 for v in report.costs.values())
 
 
+class TestCalibrationPersistence:
+    """``calibrate_dispatch`` measurements persist to disk, keyed by
+    registry + operator population + machine; ``--recalibrate`` (the
+    ``force`` flag) re-measures on demand."""
+
+    @pytest.fixture()
+    def cache_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("DELIRIUM_CACHE_DIR", str(tmp_path))
+        return tmp_path
+
+    def test_save_load_round_trip(self, cache_env):
+        from repro.machine import (
+            load_dispatch_calibration,
+            save_dispatch_calibration,
+        )
+        from repro.machine.calibrate import calibrate_dispatch
+
+        compiled, reg = TestCalibration._program()
+        assert load_dispatch_calibration(compiled.graph, reg) is None
+        calibration = calibrate_dispatch(compiled.graph, reg, args=(1,))
+        path = save_dispatch_calibration(calibration, compiled.graph, reg)
+        assert path.startswith(str(cache_env))
+        loaded = load_dispatch_calibration(compiled.graph, reg)
+        assert loaded is not None
+        assert loaded.seconds_by_operator == calibration.seconds_by_operator
+        assert loaded.dispatch == calibration.dispatch
+        assert loaded.keep_local == calibration.keep_local
+
+    def test_cached_wrapper_skips_remeasure(self, cache_env):
+        from repro.machine import calibrate_dispatch_cached
+
+        compiled, reg = TestCalibration._program()
+        first = calibrate_dispatch_cached(compiled.graph, reg, args=(1,))
+        # Poison the stored table so a true re-measure would differ; a
+        # cache hit must serve the stored numbers verbatim.
+        import json
+
+        from repro.machine.calibrate import calibration_path
+
+        path = calibration_path(compiled.graph, reg)
+        payload = json.loads(open(path).read())
+        payload["seconds_by_operator"]["slow"] = 123.0
+        open(path, "w").write(json.dumps(payload))
+        second = calibrate_dispatch_cached(compiled.graph, reg, args=(1,))
+        assert second.seconds_by_operator["slow"] == 123.0
+        assert first.seconds_by_operator["slow"] != 123.0
+        forced = calibrate_dispatch_cached(
+            compiled.graph, reg, args=(1,), force=True
+        )
+        assert forced.seconds_by_operator["slow"] != 123.0
+
+    def test_threshold_split_recomputed_on_load(self, cache_env):
+        from repro.machine import (
+            load_dispatch_calibration,
+            save_dispatch_calibration,
+        )
+        from repro.machine.calibrate import calibrate_dispatch
+
+        compiled, reg = TestCalibration._program()
+        calibration = calibrate_dispatch(compiled.graph, reg, args=(1,))
+        save_dispatch_calibration(calibration, compiled.graph, reg)
+        # slow sleeps ~3 ms per fire: above a 1 ms bar, below a 1 s bar.
+        low = load_dispatch_calibration(
+            compiled.graph, reg, min_dispatch_seconds=0.001
+        )
+        high = load_dispatch_calibration(
+            compiled.graph, reg, min_dispatch_seconds=1.0
+        )
+        assert "slow" in low.dispatch
+        assert high.dispatch == []
+        assert "slow" in high.keep_local
+
+    def test_key_covers_registry_and_machine(self, cache_env):
+        from repro.machine.calibrate import (
+            _calibration_key,
+            machine_fingerprint,
+        )
+
+        compiled, reg = TestCalibration._program()
+        other = default_registry()
+        assert _calibration_key(compiled.graph, reg) != _calibration_key(
+            compiled.graph, other
+        )
+        assert machine_fingerprint()  # non-empty, stable
+        assert machine_fingerprint() == machine_fingerprint()
+
+    def test_corrupt_table_is_a_miss(self, cache_env):
+        from repro.machine import load_dispatch_calibration
+        from repro.machine.calibrate import calibration_path
+
+        compiled, reg = TestCalibration._program()
+        path = calibration_path(compiled.graph, reg)
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        open(path, "w").write("{truncated")
+        assert load_dispatch_calibration(compiled.graph, reg) is None
+
+
 class TestStallDiagnostics:
     @staticmethod
     def _stuck_program() -> GraphProgram:

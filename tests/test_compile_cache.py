@@ -136,3 +136,66 @@ class TestCLIIntegration:
             "compile", str(src), "--no-cache", cache=str(cache)
         )
         assert "cache hit" not in again.stdout
+
+
+class TestLRUBound:
+    """``$DELIRIUM_CACHE_MAX`` bounds the cache with LRU eviction."""
+
+    def _fill(self, n: int):
+        compiled = compile_source(SRC)
+        keys = [cache_key(SRC, {"N": i}) for i in range(n)]
+        for key in keys:
+            store_cached(key, compiled.graph)
+        return keys
+
+    def test_unbounded_by_default(self, cache_env, monkeypatch):
+        monkeypatch.delenv("DELIRIUM_CACHE_MAX", raising=False)
+        keys = self._fill(6)
+        assert all(load_cached(k) is not None for k in keys)
+
+    def test_store_evicts_stalest(self, cache_env, monkeypatch):
+        monkeypatch.delenv("DELIRIUM_CACHE_MAX", raising=False)
+        keys = self._fill(5)
+        # Age the entries deterministically: keys[0] oldest ... keys[4]
+        # newest (filesystem mtime granularity is too coarse to rely on).
+        for age, key in enumerate(keys):
+            path = cache_env / f"{key}.dlc"
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        monkeypatch.setenv("DELIRIUM_CACHE_MAX", "3")
+        extra = cache_key(SRC, {"N": 99})
+        store_cached(extra, compile_source(SRC).graph)
+        survivors = {p.name for p in cache_env.glob("*.dlc")}
+        assert len(survivors) == 3
+        assert f"{extra}.dlc" in survivors          # the fresh store
+        assert f"{keys[4]}.dlc" in survivors        # most recent old entry
+        assert f"{keys[0]}.dlc" not in survivors    # stalest went first
+        assert f"{keys[1]}.dlc" not in survivors
+
+    def test_hit_refreshes_recency(self, cache_env, monkeypatch):
+        monkeypatch.delenv("DELIRIUM_CACHE_MAX", raising=False)
+        keys = self._fill(3)
+        for age, key in enumerate(keys):
+            path = cache_env / f"{key}.dlc"
+            os.utime(path, (1_000_000 + age, 1_000_000 + age))
+        assert load_cached(keys[0]) is not None  # touch the stalest
+        monkeypatch.setenv("DELIRIUM_CACHE_MAX", "2")
+        store_cached(cache_key(SRC, {"N": 99}), compile_source(SRC).graph)
+        survivors = {p.name for p in cache_env.glob("*.dlc")}
+        # keys[0] was just read, so keys[1] (now stalest) was evicted.
+        assert f"{keys[0]}.dlc" in survivors
+        assert f"{keys[1]}.dlc" not in survivors
+
+    def test_evicted_entry_reads_as_miss(self, cache_env, monkeypatch):
+        # The concurrent-reader contract: a reader that raced an evictor
+        # sees a plain miss, never an error.
+        monkeypatch.setenv("DELIRIUM_CACHE_MAX", "1")
+        keys = self._fill(2)
+        assert load_cached(keys[0]) is None or load_cached(keys[1]) is None
+
+    def test_bogus_bound_means_unbounded(self, cache_env, monkeypatch):
+        monkeypatch.setenv("DELIRIUM_CACHE_MAX", "not-a-number")
+        keys = self._fill(4)
+        assert all(load_cached(k) is not None for k in keys)
+        monkeypatch.setenv("DELIRIUM_CACHE_MAX", "0")
+        store_cached(cache_key(SRC, {"N": 99}), compile_source(SRC).graph)
+        assert load_cached(keys[0]) is not None

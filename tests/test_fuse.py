@@ -162,10 +162,11 @@ class TestEligibility:
 
 class TestPipelineOrdering:
     def test_fuse_is_graph_level(self):
-        assert GRAPH_PASS_ORDER == ("fuse", "donate")
+        assert GRAPH_PASS_ORDER == ("fuse", "donate", "codegen")
         assert "fuse" not in PASS_ORDER
         assert "donate" not in PASS_ORDER
-        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse", "donate")
+        assert "codegen" not in PASS_ORDER
+        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse", "donate", "codegen")
 
     def test_split_passes_partitions(self):
         ast_passes, graph_passes = split_passes(
