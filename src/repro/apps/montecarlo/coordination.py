@@ -36,7 +36,14 @@ def make_registry(
     local = OperatorRegistry()
     batch_cost = float(batch_size) * ticks_per_sample
 
-    @local.register(name="pi_batch", pure=True, cost=batch_cost)
+    @local.register(
+        name="pi_batch",
+        pure=True,
+        cost=batch_cost,
+        batch=lambda calls: model.pi_batch_many(
+            seed, [c[0] for c in calls], batch_size
+        ),
+    )
     def pi_batch(batch_index: int):
         return model.pi_batch(seed, batch_index, batch_size)
 

@@ -36,13 +36,86 @@ def batch_rng(seed: int, batch_index: int) -> np.random.Generator:
 # Dartboard pi
 # ---------------------------------------------------------------------------
 
+# Optional numba tier for the hit counter.  The jitted loop computes
+# ``x*x + y*y`` per sample — the same multiply-add contraction einsum
+# performs — so it is bit-identical to the NumPy path.  Resolution is
+# lazy and sticky: one failed import (or jit failure) disables the tier
+# for the process, and the NumPy counter serves every later call.
+_NUMBA_COUNT_HITS = None
+_NUMBA_TRIED = False
+
+
+def _numba_count_hits():
+    global _NUMBA_COUNT_HITS, _NUMBA_TRIED
+    if not _NUMBA_TRIED:
+        _NUMBA_TRIED = True
+        try:
+            import numba
+
+            @numba.njit(cache=False)
+            def count_hits(xy):  # pragma: no cover - needs delirium[jit]
+                hits = 0
+                for i in range(xy.shape[0]):
+                    if xy[i, 0] * xy[i, 0] + xy[i, 1] * xy[i, 1] <= 1.0:
+                        hits += 1
+                return hits
+
+            count_hits(np.zeros((1, 2)))  # force compilation once, here
+            _NUMBA_COUNT_HITS = count_hits
+        except Exception:
+            _NUMBA_COUNT_HITS = None
+    return _NUMBA_COUNT_HITS
+
+
+def _count_hits(xy: np.ndarray) -> int:
+    counter = _numba_count_hits()
+    if counter is not None:  # pragma: no cover - needs delirium[jit]
+        return int(counter(xy))
+    # x*x + y*y on the column views is the same multiply-add, in the
+    # same order, as the ``ij,ij->i`` einsum contraction (bit-identical
+    # float64), and roughly 2x faster on strided 2-column input.
+    x, y = xy[:, 0], xy[:, 1]
+    return int(np.count_nonzero(x * x + y * y <= 1.0))
+
 
 def pi_batch(seed: int, batch_index: int, batch_size: int) -> tuple[int, int]:
     """(hits inside the quarter circle, samples) for one batch."""
     rng = batch_rng(seed, batch_index)
     xy = rng.random((batch_size, 2))
-    hits = int((np.einsum("ij,ij->i", xy, xy) <= 1.0).sum())
-    return hits, batch_size
+    return _count_hits(xy), batch_size
+
+
+#: Stacked working-set bound for :func:`pi_batch_many`.  Above this the
+#: stacked contraction loses to the per-batch loop: each 3.2 MB batch
+#: stays cache-warm between generation and reduction, while a stacked
+#: ``(n, batch_size, 2)`` array is generated cold, copied once more by
+#: ``np.stack``, and reduced cold (measured ~2.5× slower at 16×200k).
+_STACK_BYTES_MAX = 4 << 20
+
+
+def pi_batch_many(
+    seed: int, batch_indices: list[int], batch_size: int
+) -> list[tuple[int, int]]:
+    """N firings of :func:`pi_batch` in one call — the batch form.
+
+    Small batches stack into one NumPy contraction (``nij,nij->ni``
+    reduces the same ``j`` axis with the same pairwise multiply-add as
+    the per-batch ``ij,ij->i`` form); large batches run the per-batch
+    kernel in a loop, which keeps each batch cache-warm.  Either way the
+    per-batch counter-based streams make the results bit-identical to N
+    scalar :func:`pi_batch` calls — the batching win for large batches
+    is in the coordination layer (one scheduled group, one IPC message),
+    not the kernel.
+    """
+    n = len(batch_indices)
+    if 0 < n * batch_size * 16 <= _STACK_BYTES_MAX:
+        xys = np.stack(
+            [batch_rng(seed, b).random((batch_size, 2)) for b in batch_indices]
+        )
+        sq = np.einsum("nij,nij->ni", xys, xys)
+        hits = (sq <= 1.0).sum(axis=1)
+        return [(int(h), batch_size) for h in hits]
+    return [pi_batch(seed, b, batch_size) for b in batch_indices]
 
 
 def pi_estimate(hits: int, samples: int) -> float:

@@ -1,0 +1,92 @@
+"""Batch lowering: extend generated codegen sources with a batch binder.
+
+The batched execution path (``--batch``) coalesces same-node ready fires
+and executes them through one :func:`~repro.runtime.operators.batch_call`.
+For plain registered operators that call resolves a hand-written
+``batch_fn`` or falls back to a loop over ``spec.fn``.  Fused chains
+lowered by the codegen pass have neither — their callable is generated —
+so this terminal pass appends a *batch binder* to every generated source::
+
+    def _delirium_bind_batch(_f0, _f1):
+        _fused = _delirium_bind(_f0, _f1)
+        def _fused_batch(_calls):
+            return [_fused(*_args) for _args in _calls]
+        return _fused_batch
+
+Each side (master or worker) that resolves the fused spec binds both
+binders from the same source text (``node_spec`` / the worker's resolve
+path call :func:`~repro.runtime.operators.bind_codegen_batch`, which
+returns ``None`` for sources this pass never touched).  The loop lives
+inside one generated frame next to the specialized body, so a batched
+fused chain pays zero per-fire interpretation — the same property the
+scalar codegen path has — and the results are bit-identical to N scalar
+calls by construction: it *is* N scalar calls, re-associated.
+
+Runs after ``codegen`` (it rewrites that pass's artifact) and is a no-op
+on graphs where codegen never ran, so ``--batch --no-codegen`` stays
+valid: batching then uses the interpreted fallback loop.
+"""
+
+from __future__ import annotations
+
+from ...graph.ir import GraphProgram
+from ...runtime.operators import (
+    BATCH_BINDER_NAME,
+    CODEGEN_BINDER_NAME,
+    OperatorRegistry,
+)
+
+
+def generate_batch_source(n_members: int) -> str:
+    """The batch-binder text appended to one generated codegen source.
+
+    A pure function of the member count — the scalar binder's signature —
+    so equal codegen sources always grow equal batch binders and stay
+    safe cache/dedup keys.
+    """
+    fns = ", ".join(f"_f{j}" for j in range(n_members))
+    return "\n".join(
+        [
+            "",
+            f"def {BATCH_BINDER_NAME}({fns}):",
+            f"    _fused = {CODEGEN_BINDER_NAME}({fns})",
+            "    def _fused_batch(_calls):",
+            "        return [_fused(*_args) for _args in _calls]",
+            "    return _fused_batch",
+            "",
+        ]
+    )
+
+
+def run(graph: GraphProgram, registry: OperatorRegistry) -> dict[str, int]:
+    """Append batch binders to every codegen source in ``graph``, in place.
+
+    Idempotent (sources already carrying the binder are left alone) and
+    keyed by fused node name like the codegen pass, so structurally
+    identical recipes keep sharing one source text.  ``codegen_fn`` is
+    untouched — the scalar binder's output is unchanged; only new text is
+    appended.  Statistics merge into the optimization report as
+    ``batch.chains_batchable`` / ``batch.unique_sources``.
+    """
+    extended: dict[str, str] = {}
+    lowered = 0
+    for template in graph.templates.values():
+        for node in template.nodes:
+            source = node.codegen
+            if source is None or node.fused is None:
+                continue
+            if BATCH_BINDER_NAME in source:
+                continue
+            new = extended.get(node.name)
+            if new is None:
+                new = extended[node.name] = source + generate_batch_source(
+                    len(node.fused[0])
+                )
+            node.codegen = new
+            lowered += 1
+    if not lowered:
+        return {}
+    return {
+        "batch.chains_batchable": lowered,
+        "batch.unique_sources": len(extended),
+    }

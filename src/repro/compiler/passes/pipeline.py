@@ -59,9 +59,11 @@ PASS_ORDER = ("inline", "constprop", "cse", "dce")
 #: loop).  Names share the same flat namespace as :data:`PASS_ORDER`.
 #: ``donate`` always runs after ``fuse`` so last-use facts are computed on
 #: the post-fusion graph (fused super-nodes are ordinary OP nodes by then);
-#: ``codegen`` is terminal — it lowers the final set of fused recipes to
-#: generated source and must see every annotation in place.
-GRAPH_PASS_ORDER = ("fuse", "donate", "codegen")
+#: ``codegen`` lowers the final set of fused recipes to generated source
+#: and must see every annotation in place; ``batch`` runs last because it
+#: rewrites codegen's artifact (appending the batch binder the batched
+#: execution path binds vectorized forms from).
+GRAPH_PASS_ORDER = ("fuse", "donate", "codegen", "batch")
 
 #: Every pass name a caller may request, in execution order.
 FULL_PASS_ORDER = PASS_ORDER + GRAPH_PASS_ORDER

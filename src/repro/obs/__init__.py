@@ -54,6 +54,7 @@ from .events import (
     EventLog,
     ExecutorDegraded,
     Expansion,
+    FireBatchFormed,
     FireRetried,
     FireTimedOut,
     OpFinished,
@@ -115,6 +116,7 @@ __all__ = [
     "EventLog",
     "ExecutorDegraded",
     "Expansion",
+    "FireBatchFormed",
     "FireRetried",
     "FireTimedOut",
     "FiringRecord",

@@ -134,7 +134,11 @@ class ChromeTraceCollector:
         Spans within one track are emitted in start order as an adjacent
         ``B`` then ``E`` pair; the coordination model runs one task per
         processor at a time, so tracks never need nested or overlapping
-        spans and the ``B``/``E`` sequence is monotonic by construction.
+        spans.  Batched fires tile one measured interval into per-fire
+        shares (``base + i*per``), and the two float expressions for a
+        tile's end and its successor's start can disagree by one ulp —
+        each span's start is clamped to the previous end so the ``B``/``E``
+        sequence stays monotonic.
         """
         scale = self.time_scale
         pid = 0
@@ -164,9 +168,11 @@ class ChromeTraceCollector:
                     },
                 }
             )
+            last_end = float("-inf")
             for span in sorted(by_track[tid], key=lambda s: (s.ts, s.seq)):
-                start = span.ts * scale
-                end = (span.ts + span.duration) * scale
+                start = max(span.ts * scale, last_end)
+                end = max((span.ts + span.duration) * scale, start)
+                last_end = end
                 common = {
                     "pid": pid,
                     "tid": tid,

@@ -38,6 +38,7 @@ from .events import (
     EventBus,
     ExecutorDegraded,
     Expansion,
+    FireBatchFormed,
     FireRetried,
     FireTimedOut,
     OperatorsFused,
@@ -292,6 +293,8 @@ def attach_metrics(
     shm_nbytes = reg.counter("shm_nbytes")
     fused_fires = reg.counter("fused_fires")
     fused_ops_saved = reg.counter("fused_ops_saved")
+    fire_batches = reg.counter("fire_batches")
+    batched_fires = reg.counter("batched_fires")
     donated_fires = reg.counter("blocks.donated_fires")
     donated_bytes = reg.counter("blocks.donated_bytes")
     blocks_allocated = reg.counter("blocks_allocated")
@@ -357,6 +360,9 @@ def attach_metrics(
         elif isinstance(e, TaskDispatched):
             ops_dispatched.inc(label=e.operator)
             dispatch_nbytes.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, FireBatchFormed):
+            fire_batches.inc(label=e.operator)
+            batched_fires.inc(e.size, label=e.operator)
         elif isinstance(e, ResultReceived):
             result_nbytes.inc(e.nbytes, label=e.operator)
             reg.histogram(f"worker_seconds/{e.operator}").observe(e.duration)

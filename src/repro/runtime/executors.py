@@ -32,10 +32,11 @@ from ..errors import (
     PoolIrrecoverableError,
     RuntimeFailure,
 )
-from ..graph.ir import GraphProgram
+from ..graph.ir import GraphProgram, NodeKind
 from ..obs.events import (
     EventBus,
     ExecutorDegraded,
+    FireBatchFormed,
     FireRetried,
     ResultReceived,
     TaskFired,
@@ -44,12 +45,19 @@ from ..obs.runctx import RunContext
 from .engine import EngineStats, ExecutionState, PendingOp
 from .operators import (
     OperatorRegistry,
+    batch_call,
     collect_codegen_sources,
     collect_fused_chains,
     default_registry,
 )
-from .scheduler import ReadyQueue
-from .supervise import Completion, FaultPolicy, Supervisor, run_with_retries
+from .scheduler import ReadyQueue, Task
+from .supervise import (
+    DEFAULT_BATCH_THRESHOLD,
+    Completion,
+    FaultPolicy,
+    Supervisor,
+    run_with_retries,
+)
 from .tracing import Tracer
 from .workers import (
     SHM_THRESHOLD_DEFAULT,
@@ -135,6 +143,24 @@ def make_inline_run_op(
     return run_op
 
 
+def batch_key(task: Task) -> tuple[int, int] | None:
+    """Coalescing key for :meth:`ReadyQueue.pop_batch`.
+
+    Ready fires of the same ``(template, node)`` are candidates for one
+    :class:`FireBatch` — they run the same operator on symmetric
+    activations, which is what a vectorized ``batch_call`` (or one
+    grouped IPC message) can exploit.  ``OP`` nodes and ``CALL`` nodes
+    both qualify (a ``CALL`` may resolve to an operator value, e.g. the
+    prelude's ``par_reduce`` leaf calls); everything else — consts,
+    expansions, plumbing — returns ``None`` and pops as a singleton.
+    """
+    node = task.activation.template.nodes[task.node_id]
+    kind = node.kind
+    if kind is NodeKind.OP or kind is NodeKind.CALL:
+        return (id(task.activation.template), task.node_id)
+    return None
+
+
 @dataclass
 class RunResult:
     """Outcome of one program execution."""
@@ -193,6 +219,8 @@ class SequentialExecutor:
         fault_spec: Any = None,
         run_ctx: RunContext | None = None,
         profile_ops: bool = False,
+        batch: bool = False,
+        batch_threshold: int | None = None,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
@@ -207,6 +235,13 @@ class SequentialExecutor:
         #: the benchmark phase-split probe (far cheaper than subscribing
         #: to ``OpStarted``/``OpFinished`` events).
         self.profile_ops = profile_ops
+        #: Opt-in same-node fire coalescing (default off: one processor
+        #: gains only the vectorized-kernel win, and the reference
+        #: executor stays the simplest possible drain loop).  Groups up
+        #: to ``batch_threshold`` ready fires per :func:`batch_key` and
+        #: runs them through the operator's ``batch_call``.
+        self.batch = batch
+        self.batch_threshold = batch_threshold
 
     def run(
         self,
@@ -244,7 +279,9 @@ class SequentialExecutor:
             # must not pay.
             wants_fired = bus is not None and bus.wants(TaskFired)
             queue.push_all(state.start(args))
-            if not wants_fired and run_op is None:
+            if self.batch and run_op is None:
+                self._drain_batched(state, queue, began, bus, wants_fired)
+            elif not wants_fired and run_op is None:
                 # The queue's own drain loop: per-task pop/push method
                 # dispatch folded into one frame.
                 queue.drain(state.fire)
@@ -292,6 +329,157 @@ class SequentialExecutor:
             ctx.run_finished(wall)
         return RunResult(state.result(), state.snapshot_stats(), tracer, wall)
 
+    def _drain_batched(
+        self,
+        state: ExecutionState,
+        queue: ReadyQueue,
+        began: float,
+        bus: EventBus | None,
+        wants_fired: bool,
+    ) -> None:
+        """The batched drain loop: coalesce, vectorize, commit in order.
+
+        Singleton pops go through the ordinary ``state.fire`` fast path;
+        groups are begun with :meth:`ExecutionState.begin_fires`, their
+        operator bodies run through :func:`batch_call` (one vectorized
+        kernel call when the operator has a batch form, a plain loop
+        otherwise), and committed with
+        :meth:`ExecutionState.complete_fires` in master-assigned order —
+        so results are bit-identical to the unbatched drain.
+        """
+        threshold = self.batch_threshold or DEFAULT_BATCH_THRESHOLD
+        profile = self.profile_ops
+        stats = state.stats
+        wants_batch = bus is not None and bus.wants(FireBatchFormed)
+        while queue:
+            tasks = queue.pop_batch(threshold, batch_key)
+            if len(tasks) == 1:
+                task = tasks[0]
+                if not wants_fired:
+                    queue.push_all(state.fire(task))
+                    continue
+                act = task.activation
+                node = act.template.nodes[task.node_id]
+                template_name, aid = act.template.name, act.aid
+                t0 = time.perf_counter() - began
+                queue.push_all(state.fire(task))
+                bus.emit(
+                    TaskFired(
+                        t0,
+                        node.label,
+                        node.kind.value,
+                        task.priority,
+                        template_name,
+                        aid,
+                        task.node_id,
+                        task.seq,
+                        time.perf_counter() - began - t0,
+                        0,
+                    )
+                )
+                continue
+            pendings: list[PendingOp] = []
+            for outcome in state.begin_fires(tasks):
+                if outcome.newly:
+                    queue.push_all(outcome.newly)
+                if outcome.pending is not None:
+                    pendings.append(outcome.pending)
+            if not pendings:
+                continue
+            spec = pendings[0].spec
+            if len(pendings) == 1 or any(
+                p.spec is not spec for p in pendings
+            ):
+                # A lone pending, or a CALL node that resolved to
+                # different operators across activations: per-fire path.
+                for p in pendings:
+                    self._finish_one(state, queue, began, bus, wants_fired, p)
+                continue
+            args_lists = [p.args for p in pendings]
+            t0 = time.perf_counter()
+            try:
+                raws = batch_call(spec, args_lists)
+            except Exception:
+                # Nothing is committed yet: re-run per fire so the
+                # failing firing surfaces its own error, exactly as the
+                # unbatched drain would have.
+                for p in pendings:
+                    self._finish_one(state, queue, began, bus, wants_fired, p)
+                continue
+            t1 = time.perf_counter()
+            if profile:
+                stats.op_body_seconds += t1 - t0
+            per = (t1 - t0) / len(pendings)
+            stats.fire_batches += 1
+            stats.batched_fires += len(pendings)
+            if wants_batch:
+                bus.emit(
+                    FireBatchFormed(
+                        bus.now(),
+                        spec.name,
+                        pendings[0].node_id,
+                        len(pendings),
+                        False,
+                    )
+                )
+            queue.push_all(
+                state.complete_fires(
+                    list(zip(pendings, raws)), op_seconds=per
+                )
+            )
+            if wants_fired:
+                base = t0 - began
+                for i, p in enumerate(pendings):
+                    act = p.activation
+                    bus.emit(
+                        TaskFired(
+                            base + i * per,
+                            spec.name,
+                            "op",
+                            p.priority,
+                            act.template.name,
+                            act.aid,
+                            p.node_id,
+                            p.seq,
+                            per,
+                            0,
+                        )
+                    )
+
+    def _finish_one(
+        self,
+        state: ExecutionState,
+        queue: ReadyQueue,
+        began: float,
+        bus: EventBus | None,
+        wants_fired: bool,
+        pending: PendingOp,
+    ) -> None:
+        """Run and commit one begun pending (batched drain's scalar leg)."""
+        spec = pending.spec
+        t0 = time.perf_counter()
+        raw = spec.fn(*pending.args)
+        t1 = time.perf_counter()
+        if self.profile_ops:
+            state.stats.op_body_seconds += t1 - t0
+        queue.push_all(state.complete_fire(pending, raw, op_seconds=t1 - t0))
+        if wants_fired:
+            act = pending.activation
+            bus.emit(
+                TaskFired(
+                    t0 - began,
+                    spec.name,
+                    "op",
+                    pending.priority,
+                    act.template.name,
+                    act.aid,
+                    pending.node_id,
+                    pending.seq,
+                    t1 - t0,
+                    0,
+                )
+            )
+
 
 class ThreadedExecutor:
     """Run a coordination graph on real OS threads.
@@ -317,6 +505,8 @@ class ThreadedExecutor:
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
         run_ctx: RunContext | None = None,
+        batch: bool = False,
+        batch_threshold: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -328,6 +518,14 @@ class ThreadedExecutor:
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
+        #: Opt-in same-node fire coalescing (see :func:`batch_key`): a
+        #: worker thread claims a whole group under the lock and runs one
+        #: ``batch_call`` outside it — fewer lock round-trips per firing
+        #: and a vectorized kernel when the operator has a batch form.
+        #: Disabled automatically when a fault policy or fault spec is
+        #: active (retry/injection decisions are per firing).
+        self.batch = batch
+        self.batch_threshold = batch_threshold
 
     def run(
         self,
@@ -365,6 +563,9 @@ class ThreadedExecutor:
             if fault_policy is not None
             else (FaultPolicy() if injector is not None else None)
         )
+        batching = self.batch and retry_policy is None
+        threshold = self.batch_threshold or DEFAULT_BATCH_THRESHOLD
+        wants_batch = bus is not None and bus.wants(FireBatchFormed)
 
         def run_pending(pending: PendingOp) -> None:
             # Drop the engine lock for the duration of the sequential
@@ -447,6 +648,77 @@ class ThreadedExecutor:
                     )
                 )
 
+        def run_pendings(pendings: list[PendingOp]) -> None:
+            # The batched analogue of run_pending: one lock release, one
+            # batch_call over all N bodies, one in-order commit.
+            spec = pendings[0].spec
+            error: BaseException | None = None
+            raws: Any = None
+            condition.release()
+            t0 = time.perf_counter()
+            try:
+                raws = batch_call(spec, [p.args for p in pendings])
+            except OperatorError as exc:
+                error = exc
+            except Exception as exc:  # noqa: BLE001 - wrapped, re-raised
+                error = OperatorError(spec.name, exc)
+            finally:
+                elapsed = time.perf_counter() - t0
+                condition.acquire()
+            if error is not None:
+                raise error
+            per = elapsed / len(pendings)
+            state.stats.fire_batches += 1
+            state.stats.batched_fires += len(pendings)
+            if wants_batch:
+                bus.emit(
+                    FireBatchFormed(
+                        bus.now(),
+                        spec.name,
+                        pendings[0].node_id,
+                        len(pendings),
+                        False,
+                    )
+                )
+            queue.push_all(
+                state.complete_fires(list(zip(pendings, raws)), op_seconds=per)
+            )
+            if wants_fired:
+                name = threading.current_thread().name
+                processor = int(name.rsplit("-", 1)[-1]) if "-" in name else 0
+                base = t0 - run_began
+                for i, p in enumerate(pendings):
+                    act = p.activation
+                    bus.emit(
+                        TaskFired(
+                            base + i * per,
+                            spec.name,
+                            "op",
+                            p.priority,
+                            act.template.name,
+                            act.aid,
+                            p.node_id,
+                            p.seq,
+                            per,
+                            processor,
+                        )
+                    )
+
+        def fire_batch(tasks: list[Task]) -> None:
+            pendings: list[PendingOp] = []
+            for outcome in state.begin_fires(tasks):
+                queue.push_all(outcome.newly)
+                if outcome.pending is not None:
+                    pendings.append(outcome.pending)
+            if not pendings:
+                return
+            spec = pendings[0].spec
+            if len(pendings) > 1 and all(p.spec is spec for p in pendings):
+                run_pendings(pendings)
+            else:
+                for p in pendings:
+                    run_pending(p)
+
         def worker() -> None:
             nonlocal active
             with condition:
@@ -456,13 +728,23 @@ class ThreadedExecutor:
                     if errors or (not queue and active == 0):
                         condition.notify_all()
                         return
-                    task = queue.pop()
                     active += 1
                     try:
-                        outcome = state.begin_fire(task)
-                        queue.push_all(outcome.newly)
-                        if outcome.pending is not None:
-                            run_pending(outcome.pending)
+                        if batching:
+                            tasks = queue.pop_batch(threshold, batch_key)
+                            if len(tasks) > 1:
+                                fire_batch(tasks)
+                            else:
+                                outcome = state.begin_fire(tasks[0])
+                                queue.push_all(outcome.newly)
+                                if outcome.pending is not None:
+                                    run_pending(outcome.pending)
+                        else:
+                            task = queue.pop()
+                            outcome = state.begin_fire(task)
+                            queue.push_all(outcome.newly)
+                            if outcome.pending is not None:
+                                run_pending(outcome.pending)
                     except Exception as exc:  # noqa: BLE001 - collected
                         errors.append(exc)
                     except BaseException as exc:
@@ -557,6 +839,8 @@ class ProcessExecutor:
         self,
         n_workers: int = 4,
         batch_size: int = 4,
+        batch: bool = True,
+        batch_threshold: int | None = None,
         cost_threshold: float = 2_000_000.0,
         shm_threshold: int = SHM_THRESHOLD_DEFAULT,
         use_priorities: bool = True,
@@ -578,6 +862,19 @@ class ProcessExecutor:
             raise ValueError("batch_size must be >= 1")
         self.n_workers = n_workers
         self.batch_size = batch_size
+        #: Batched execution (default on): ready same-node fires are
+        #: coalesced per :func:`batch_key`, remote groups ship as one
+        #: grouped IPC message answered by one N-result message, and
+        #: operators with a vectorized batch form run all N firings in
+        #: one kernel call (worker-side, or inline for kept-local
+        #: groups).  ``batch_threshold`` caps firings per group
+        #: (default :data:`~repro.runtime.supervise.
+        #: DEFAULT_BATCH_THRESHOLD`; the CLI passes a measured
+        #: suggestion from ``suggest_batch_threshold``).  Automatically
+        #: disabled while fault injection is active, since injection
+        #: decisions are per firing.
+        self.batch = batch
+        self.batch_threshold = batch_threshold
         self.policy = DispatchPolicy(
             cost_threshold=cost_threshold,
             nbytes_threshold=shm_threshold,
@@ -660,6 +957,8 @@ class ProcessExecutor:
             fault_policy=self.fault_policy,
             fault_spec=self.fault_spec,
             run_ctx=self.run_ctx,
+            batch=self.batch,
+            batch_threshold=self.batch_threshold,
         )
         try:
             result = threaded.run(program, args, registry)
@@ -710,10 +1009,13 @@ class ProcessExecutor:
         )
         if injector is not None:
             pool.arena.fail_hook = injector.on_arena_acquire
+        batching = self.batch and injector is None
+        threshold = self.batch_threshold or DEFAULT_BATCH_THRESHOLD
         supervisor = Supervisor(
             pool,
             policy,
             batch_size=self.batch_size,
+            batch_threshold=threshold,
             shm_threshold=self.shm_threshold,
             bus=bus,
             stats=state.stats,
@@ -841,6 +1143,55 @@ class ProcessExecutor:
                     )
                 )
 
+        def run_inline_batch(pendings: list[PendingOp]) -> None:
+            # Kept-local group with a vectorized batch form: one kernel
+            # call, one in-order commit.  Retries are per firing, so a
+            # failed batch falls back to the per-fire inline path (with
+            # its retry/poison handling) — nothing was committed.
+            spec = pendings[0].spec
+            t0 = time.perf_counter()
+            try:
+                raws = batch_call(spec, [p.args for p in pendings])
+            except Exception:  # noqa: BLE001 - refired per-fire below
+                for p in pendings:
+                    run_inline(p)
+                return
+            t1 = time.perf_counter()
+            per = (t1 - t0) / len(pendings)
+            state.stats.fire_batches += 1
+            state.stats.batched_fires += len(pendings)
+            if bus is not None and bus.wants(FireBatchFormed):
+                bus.emit(
+                    FireBatchFormed(
+                        bus.now(),
+                        spec.name,
+                        pendings[0].node_id,
+                        len(pendings),
+                        False,
+                    )
+                )
+            queue.push_all(
+                state.complete_fires(list(zip(pendings, raws)), op_seconds=per)
+            )
+            if wants_fired:
+                base = t0 - began
+                for i, p in enumerate(pendings):
+                    act = p.activation
+                    bus.emit(
+                        TaskFired(
+                            base + i * per,
+                            spec.name,
+                            "op",
+                            p.priority,
+                            act.template.name,
+                            act.aid,
+                            p.node_id,
+                            p.seq,
+                            per,
+                            0,
+                        )
+                    )
+
         def degrade(reason: str) -> None:
             """The pool is irrecoverable mid-run: finish in-process.
 
@@ -864,45 +1215,79 @@ class ProcessExecutor:
             for pending in supervisor.drain_in_flight():
                 run_inline(pending, isolate=True)
 
+        def begin_one(task: Task) -> PendingOp | None:
+            if wants_fired:
+                # Master engine spans: fires that resolve without
+                # an operator body (consts, expansions, result
+                # plumbing) otherwise vanish from the stream, and
+                # with them the causal chain and the master's
+                # share of the timeline.
+                act = task.activation
+                node = act.template.nodes[task.node_id]
+                template_name, aid = act.template.name, act.aid
+                t0 = bus.now()
+                outcome = state.begin_fire(task, classify=classify)
+                if outcome.pending is None:
+                    bus.emit(
+                        TaskFired(
+                            t0,
+                            node.label,
+                            node.kind.value,
+                            task.priority,
+                            template_name,
+                            aid,
+                            task.node_id,
+                            task.seq,
+                            bus.now() - t0,
+                            0,
+                        )
+                    )
+            else:
+                outcome = state.begin_fire(task, classify=classify)
+            queue.push_all(outcome.newly)
+            return outcome.pending
+
         try:
             queue.push_all(state.start(args))
             while queue or supervisor.in_flight:
                 while queue:
-                    task = queue.pop()
-                    if wants_fired:
-                        # Master engine spans: fires that resolve without
-                        # an operator body (consts, expansions, result
-                        # plumbing) otherwise vanish from the stream, and
-                        # with them the causal chain and the master's
-                        # share of the timeline.
-                        act = task.activation
-                        node = act.template.nodes[task.node_id]
-                        template_name, aid = act.template.name, act.aid
-                        t0 = bus.now()
-                        outcome = state.begin_fire(task, classify=classify)
-                        if outcome.pending is None:
-                            bus.emit(
-                                TaskFired(
-                                    t0,
-                                    node.label,
-                                    node.kind.value,
-                                    task.priority,
-                                    template_name,
-                                    aid,
-                                    task.node_id,
-                                    task.seq,
-                                    bus.now() - t0,
-                                    0,
+                    if batching:
+                        tasks = queue.pop_batch(threshold, batch_key)
+                        if len(tasks) > 1:
+                            pendings = [
+                                p
+                                for t in tasks
+                                if (p := begin_one(t)) is not None
+                            ]
+                            local: list[PendingOp] = []
+                            for p in pendings:
+                                if p.remote:
+                                    # Vector-eligible: the supervisor
+                                    # groups staged same-operator records
+                                    # into one wire entry at flush time.
+                                    supervisor.dispatch(p, vector=True)
+                                else:
+                                    local.append(p)
+                            if (
+                                len(local) > 1
+                                and local[0].spec.batch_fn is not None
+                                and all(
+                                    p.spec is local[0].spec for p in local
                                 )
-                            )
+                            ):
+                                run_inline_batch(local)
+                            else:
+                                for p in local:
+                                    run_inline(p)
+                            continue
+                        task = tasks[0]
                     else:
-                        outcome = state.begin_fire(task, classify=classify)
-                    queue.push_all(outcome.newly)
-                    pending = outcome.pending
+                        task = queue.pop()
+                    pending = begin_one(task)
                     if pending is None:
                         continue
                     if pending.remote:
-                        supervisor.dispatch(pending)
+                        supervisor.dispatch(pending, vector=batching)
                     else:
                         run_inline(pending)
                 if not supervisor.in_flight:

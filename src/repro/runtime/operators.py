@@ -23,6 +23,15 @@ Optional metadata powers the rest of the environment:
     speedup curves depend only on the dependency structure.
 ``arity``
     Expected argument count, checked at graph execution time.
+``batch``
+    Opt-in vectorized protocol: a callable receiving a *list of argument
+    tuples* (N firings of the same operator) and returning N results in
+    order.  Executors that coalesce same-node firings into one batch call
+    it through :func:`batch_call`, which falls back to a plain loop over
+    ``fn`` when no vectorized form is registered — results are required
+    to be bit-identical either way (the batching property suite enforces
+    it).  Batched operators must not declare ``modifies``: a vectorized
+    body has no per-firing copy-on-write boundary.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ import operator as _pyop
 from dataclasses import dataclass, replace
 from typing import Any, Callable, Iterable, Iterator
 
-from ..errors import DeliriumError, UnknownOperatorError
+from ..errors import DeliriumError, RuntimeFailure, UnknownOperatorError
 from .values import NULL, MultiValue
 
 
@@ -48,6 +57,12 @@ class OperatorSpec:
     cost: float | Callable[..., float] | None = None
     arity: int | None = None
     doc: str = ""
+    #: Optional vectorized form: ``batch_fn(args_lists)`` executes N
+    #: firings (one argument tuple each) and returns their N results in
+    #: order.  ``None`` (the default) means :func:`batch_call` loops over
+    #: ``fn`` — batching then still wins on scheduling and IPC, just not
+    #: on kernel vectorization.
+    batch_fn: Callable[[list[tuple[Any, ...]]], Any] | None = None
 
     def cost_ticks(self, args: tuple[Any, ...]) -> float | None:
         """Evaluate the cost hint for a concrete argument tuple."""
@@ -99,8 +114,14 @@ class OperatorRegistry:
         foldable: bool = False,
         cost: float | Callable[..., float] | None = None,
         arity: int | None = None,
+        batch: Callable[[list[tuple[Any, ...]]], Any] | None = None,
     ) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
         """Decorator: register the wrapped callable as an operator.
+
+        ``batch`` opts the operator into the vectorized protocol: it
+        receives a list of argument tuples (N coalesced firings) and must
+        return their N results in order, bit-identical to N calls of the
+        plain function.
 
         Example::
 
@@ -114,16 +135,24 @@ class OperatorRegistry:
 
         def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
             op_name = name or fn.__name__
+            mods = frozenset(modifies)
+            if batch is not None and mods:
+                raise DeliriumError(
+                    f"operator {op_name!r} cannot register a batch form: "
+                    f"it declares modifies={sorted(mods)} (vectorized "
+                    "bodies have no per-firing copy-on-write boundary)"
+                )
             self.add(
                 OperatorSpec(
                     name=op_name,
                     fn=fn,
-                    modifies=frozenset(modifies),
+                    modifies=mods,
                     pure=pure,
                     foldable=foldable or (pure and foldable),
                     cost=cost,
                     arity=arity,
                     doc=(fn.__doc__ or "").strip(),
+                    batch_fn=batch,
                 )
             )
             return fn
@@ -382,12 +411,48 @@ def compose_fused(
     )
 
 
+def batch_call(
+    spec: OperatorSpec, args_lists: list[tuple[Any, ...]]
+) -> list[Any]:
+    """Execute N firings of one operator, vectorized when possible.
+
+    The single entry point of the batched execution path's operator
+    protocol: when ``spec`` registered a vectorized form it runs once
+    over the whole batch; otherwise the fallback is a plain loop over
+    ``spec.fn`` — same results, one call frame per firing.  A vectorized
+    form that returns the wrong number of results is a contract
+    violation and raises :class:`~repro.errors.RuntimeFailure` (silently
+    mis-aligning results with firings would corrupt single-assignment
+    state).
+    """
+    fn = spec.batch_fn
+    if fn is None:
+        call = spec.fn
+        return [call(*args) for args in args_lists]
+    results = list(fn(args_lists))
+    if len(results) != len(args_lists):
+        raise RuntimeFailure(
+            f"batch form of operator {spec.name!r} returned "
+            f"{len(results)} result(s) for {len(args_lists)} firing(s)"
+        )
+    return results
+
+
 #: Name of the factory every generated codegen source must define.  The
 #: codegen pass emits sources shaped ``def _delirium_bind(_f0, ...): ...``;
 #: each process compiles the text and calls the binder with the member
 #: operator functions from its *own* registry (closure cells, so calls in
 #: the generated body are plain ``LOAD_DEREF`` + ``CALL``).
 CODEGEN_BINDER_NAME = "_delirium_bind"
+
+#: Name of the *batch* factory the ``batch`` lowering pass appends to
+#: generated codegen sources: ``def _delirium_bind_batch(_f0, ...)``
+#: returns a callable with the :attr:`OperatorSpec.batch_fn` signature
+#: (list of argument tuples in, list of results out) that loops the
+#: specialized fused body inside one generated frame.  Optional — plain
+#: codegen sources simply have no batch binder and the chain stays
+#: unbatchable at the vectorized level.
+BATCH_BINDER_NAME = "_delirium_bind_batch"
 
 
 #: Sticky flag: a failed ``import numba`` walks ``sys.path`` every time,
@@ -451,6 +516,36 @@ def bind_codegen(
     return fn
 
 
+def bind_codegen_batch(
+    source: str,
+    steps: tuple[tuple[str, tuple[tuple[str, int], ...]], ...],
+    registry: OperatorRegistry,
+    name: str = "<fused>",
+) -> Callable[[list[tuple[Any, ...]]], Any] | None:
+    """Bind the batch binder of a generated source, when it has one.
+
+    Returns a ``batch_fn``-shaped callable for chains the ``batch``
+    lowering pass extended with :data:`BATCH_BINDER_NAME`, or ``None``
+    for plain codegen sources (the chain then falls back to
+    :func:`batch_call`'s loop when batched).  Shares the compiled-code
+    cache with :func:`bind_codegen` — the source text is the key.
+    """
+    if BATCH_BINDER_NAME not in source:
+        return None
+    namespace: dict[str, Any] = {}
+    code = _CODE_CACHE.get(source)
+    if code is None:
+        code = _CODE_CACHE[source] = compile(
+            source, f"<delirium-codegen {name}>", "exec"
+        )
+    exec(code, namespace)
+    binder = namespace.get(BATCH_BINDER_NAME)
+    if binder is None:  # pragma: no cover - name mentioned in a comment
+        return None
+    member_fns = [registry.get(op_name).fn for op_name, _ in steps]
+    return binder(*member_fns)
+
+
 def node_spec(
     registry: OperatorRegistry,
     node: Any,
@@ -477,6 +572,9 @@ def node_spec(
         spec = replace(
             spec,
             fn=bind_codegen(codegen, fused[0], registry, name=node.name),
+            batch_fn=bind_codegen_batch(
+                codegen, fused[0], registry, name=node.name
+            ),
         )
     if cache is not None:
         cache[node.name] = spec

@@ -149,6 +149,48 @@ class ReadyQueue:
                 return task
         raise AssertionError("size/queue mismatch")  # pragma: no cover
 
+    def pop_batch(self, limit: int, key: Any) -> list[Task]:
+        """Pop the next task plus same-key peers from its priority class.
+
+        ``key(task)`` names the coalescing group — the batched executors
+        pass ``(template, node)`` for batchable operator nodes and
+        ``None`` for everything else.  The head task is popped exactly as
+        :meth:`pop` would (so a seeded queue still randomizes the head),
+        then up to ``limit - 1`` tasks with the head's key are collected
+        from the *same* priority class; non-matching tasks keep their
+        relative order.  A ``None``-keyed head returns as a singleton.
+
+        Safe under single-assignment: batching reorders only *when*
+        bodies run relative to other groups, and results never depend on
+        pop order (the module docstring's determinism note) — resource
+        usage is the only observable difference, exactly as with seeded
+        pops.
+        """
+        head = self.pop()
+        if limit <= 1 or self._size == 0:
+            return [head]
+        k = key(head)
+        if k is None:
+            return [head]
+        level = head.priority if self.use_priorities else 0
+        q = self._queues[level]
+        batch = [head]
+        kept: list[Task] = []
+        take = limit - 1
+        while q and take:
+            t = q.popleft()
+            if key(t) == k:
+                batch.append(t)
+                take -= 1
+            else:
+                kept.append(t)
+        if kept:
+            q.extendleft(reversed(kept))
+        self._size -= len(batch) - 1
+        if self._sampling:
+            self._sample_depth()
+        return batch
+
     def drain(self, fire: Any) -> None:
         """Pop → ``fire`` → push-newly until the queue runs dry.
 

@@ -43,6 +43,7 @@ from typing import Any, Callable
 from ..errors import OperatorError, PoolIrrecoverableError, RuntimeFailure
 from ..obs.events import (
     EventBus,
+    FireBatchFormed,
     FireRetried,
     FireTimedOut,
     ShmBlockCreated,
@@ -65,6 +66,13 @@ from .workers import (
 #: when the pool is irrecoverable; ``"off"`` raises
 #: :class:`~repro.errors.PoolIrrecoverableError` to the caller instead.
 DEGRADE_MODES = ("ladder", "off")
+
+#: Default cap on how many same-node fires coalesce into one batched
+#: group (one IPC message / one vectorized kernel call).  Lives here
+#: rather than in :mod:`repro.machine.calibrate` — which computes a
+#: measured suggestion via ``suggest_batch_threshold`` — because
+#: calibrate imports the executors and the executors need the default.
+DEFAULT_BATCH_THRESHOLD = 32
 
 
 @dataclass(frozen=True)
@@ -182,6 +190,10 @@ class _CallRecord:
     attempts: list[tuple[int, int | None, str]] = field(default_factory=list)
     deadline: float | None = None
     encoded: bool = False
+    #: Eligible for grouped ("batch", op, calls) dispatch.  First
+    #: attempts only: a retried record always goes out as a plain
+    #: singleton so the per-call salvage semantics govern recovery.
+    vector: bool = False
 
     @property
     def attempt_next(self) -> int:
@@ -214,6 +226,7 @@ class Supervisor:
         policy: FaultPolicy,
         *,
         batch_size: int = 4,
+        batch_threshold: int = DEFAULT_BATCH_THRESHOLD,
         shm_threshold: int | None = None,
         bus: EventBus | None = None,
         stats: EngineStats | None = None,
@@ -221,6 +234,13 @@ class Supervisor:
         self.pool = pool
         self.policy = policy
         self.batch_size = batch_size
+        self.batch_threshold = max(1, batch_threshold)
+        #: Staging bar for the eager flush in :meth:`dispatch` — high
+        #: enough that a vectorizable group is not broken up just because
+        #: the plain-batch bar (batch_size × workers) filled first.
+        self._flush_bar = max(
+            batch_size * pool.n_workers, self.batch_threshold
+        )
         self.shm_threshold = (
             shm_threshold if shm_threshold is not None else pool.shm_threshold
         )
@@ -245,12 +265,20 @@ class Supervisor:
         """Firings the supervisor still owes the executor a commit for."""
         return len(self._assigned) + len(self._staged) + len(self._delayed)
 
-    def dispatch(self, pending: PendingOp) -> int:
-        """Accept one remote firing; returns its call id."""
+    def dispatch(self, pending: PendingOp, vector: bool = False) -> int:
+        """Accept one remote firing; returns its call id.
+
+        ``vector=True`` marks the firing eligible for grouped dispatch:
+        staged vector records of the same operator ship as one
+        ``("batch", op, calls)`` wire entry — one IPC message, answered
+        by one N-result message — instead of ``batch_size``-chunked
+        per-call entries.
+        """
         self._call_seq += 1
-        record = _CallRecord(self._call_seq, pending)
+        record = _CallRecord(self._call_seq, pending, vector=vector)
         self._staged.append(record)
-        if len(self._staged) >= self.batch_size * self.pool.n_workers:
+        self.stats.dispatched_fires += 1
+        if len(self._staged) >= self._flush_bar:
             self.flush()
         return record.call_id
 
@@ -357,8 +385,12 @@ class Supervisor:
         """Assign staged records to workers and send the batches.
 
         Retried records go out as singleton batches (a poison fire must
-        not drag batchmates past their deadlines or retry budgets);
-        fresh records are chunked so every worker gets work.
+        not drag batchmates past their deadlines or retry budgets —
+        and a crashed *vectorized* group retries through the per-call
+        worker loop, isolating the poison member); fresh plain records
+        are chunked so every worker gets work; fresh vector records are
+        grouped by operator into ``("batch", ...)`` wire entries capped
+        at ``batch_threshold`` firings each.
         """
         while True:
             staged, self._staged = self._staged, []
@@ -366,37 +398,75 @@ class Supervisor:
                 return
             retries = [r for r in staged if r.attempts]
             fresh = [r for r in staged if not r.attempts]
-            batches: list[list[_CallRecord]] = [[r] for r in retries]
-            if fresh:
+            batches: list[tuple[list[_CallRecord], bool]] = [
+                ([r], False) for r in retries
+            ]
+            plain = [r for r in fresh if not r.vector]
+            if plain:
                 chunk = max(
                     1,
                     min(
                         self.batch_size,
-                        -(-len(fresh) // self.pool.n_workers),
+                        -(-len(plain) // self.pool.n_workers),
                     ),
                 )
                 batches.extend(
-                    fresh[i : i + chunk] for i in range(0, len(fresh), chunk)
+                    (plain[i : i + chunk], False)
+                    for i in range(0, len(plain), chunk)
                 )
+            vector = [r for r in fresh if r.vector]
+            if vector:
+                groups: dict[str, list[_CallRecord]] = {}
+                for r in vector:
+                    groups.setdefault(r.pending.spec.name, []).append(r)
+                for records in groups.values():
+                    chunk = max(
+                        1,
+                        min(
+                            self.batch_threshold,
+                            -(-len(records) // self.pool.n_workers),
+                        ),
+                    )
+                    batches.extend(
+                        (records[i : i + chunk], True)
+                        for i in range(0, len(records), chunk)
+                    )
             resend = False
-            for batch in batches:
-                if not self._send(batch):
+            for batch, is_vector in batches:
+                if not self._send(batch, vector=is_vector):
                     resend = True  # a worker died on send; records restaged
             if not resend and not self._staged:
                 return
 
-    def _send(self, batch: list[_CallRecord]) -> bool:
-        """Send one batch to the least-loaded worker; False on dead pipe."""
+    def _send(self, batch: list[_CallRecord], vector: bool = False) -> bool:
+        """Send one batch to the least-loaded worker; False on dead pipe.
+
+        ``vector=True`` with two or more records ships the batch as one
+        grouped wire entry (all records share one operator by
+        construction in :meth:`flush`), which the worker answers with a
+        single N-result message.
+        """
         worker = self._least_loaded()
-        payload: list[tuple[int, str, list[EncodedValue]]] = []
         now = time.monotonic()
         bus = self.bus
         for record in batch:
             if not record.encoded:
                 self._encode(record)
-            payload.append(
+        grouped = vector and len(batch) > 1
+        payload: list[tuple]
+        if grouped:
+            payload = [
+                (
+                    "batch",
+                    batch[0].pending.spec.name,
+                    [(r.call_id, r.enc_args) for r in batch],
+                )
+            ]
+        else:
+            payload = [
                 (record.call_id, record.pending.spec.name, record.enc_args)
-            )
+                for record in batch
+            ]
         try:
             self.pool.submit_to(worker, payload)
         except (BrokenPipeError, OSError):
@@ -414,6 +484,20 @@ class Supervisor:
                     process.join(timeout=5.0)
             self._handle_crash(worker)
             return False
+        self.stats.ipc_messages_sent += 1
+        if grouped:
+            self.stats.fire_batches += 1
+            self.stats.batched_fires += len(batch)
+            if bus is not None and bus.wants(FireBatchFormed):
+                bus.emit(
+                    FireBatchFormed(
+                        bus.now(),
+                        batch[0].pending.spec.name,
+                        batch[0].pending.node_id,
+                        len(batch),
+                        True,
+                    )
+                )
         timeout = self.policy.timeout
         for record in batch:
             record.worker = worker
@@ -506,6 +590,7 @@ class Supervisor:
 
     def _absorb(self, message: tuple[int, list[tuple]]) -> None:
         worker_id, results = message
+        self.stats.ipc_messages_received += 1
         for call_id, ok, payload, t0, duration in results:
             record = self._assigned.pop(call_id, None)
             if record is None:

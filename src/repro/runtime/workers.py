@@ -59,6 +59,7 @@ from .operators import (
     FusedChain,
     OperatorRegistry,
     bind_codegen,
+    bind_codegen_batch,
     compose_fused,
     default_registry,
 )
@@ -500,6 +501,14 @@ def worker_main(
     ``time.perf_counter`` stamp (CLOCK_MONOTONIC is process-shared, so
     the master can place worker spans on its own timeline).
 
+    A batch entry is either a plain call ``(call_id, op_name, enc_args)``
+    — answered by one single-result message as soon as it finishes — or a
+    grouped entry ``("batch", op_name, [(call_id, enc_args), ...])``: N
+    firings of one operator answered by *one* N-result message, executed
+    through the operator's vectorized ``batch_fn`` when it has one and
+    fault injection is off, and otherwise unrolled through the plain
+    per-call loop (so injection decisions stay per firing).
+
     ``fused_chains`` maps fused super-node names to their recipes (plain
     picklable data); the worker composes each chain against its own
     registry on first use, so a dispatched fused body runs exactly like a
@@ -529,6 +538,29 @@ def worker_main(
     codegen_sources = codegen_sources or {}
     fused_specs: dict[str, Any] = {}
     injector = fault_spec.build(fault_salt) if fault_spec is not None else None
+
+    def resolve(op_name: str) -> Any:
+        spec = fused_specs.get(op_name)
+        if spec is None:
+            chain = fused_chains.get(op_name)
+            if chain is not None:
+                spec = compose_fused(op_name, chain[0], chain[1], registry)
+                source = codegen_sources.get(op_name)
+                if source is not None:
+                    spec = dc_replace(
+                        spec,
+                        fn=bind_codegen(
+                            source, chain[0], registry, name=op_name
+                        ),
+                        batch_fn=bind_codegen_batch(
+                            source, chain[0], registry, name=op_name
+                        ),
+                    )
+                fused_specs[op_name] = spec
+            else:
+                spec = registry.get(op_name)
+        return spec
+
     while True:
         try:
             batch = conn.recv()
@@ -536,52 +568,103 @@ def worker_main(
             return
         if batch is None:
             return
-        for call_id, op_name, enc_args in batch:
-            t0 = time.perf_counter()
-            try:
-                spec = fused_specs.get(op_name)
-                if spec is None:
-                    chain = fused_chains.get(op_name)
-                    if chain is not None:
-                        spec = compose_fused(
-                            op_name, chain[0], chain[1], registry
-                        )
-                        source = codegen_sources.get(op_name)
-                        if source is not None:
-                            spec = dc_replace(
-                                spec,
-                                fn=bind_codegen(
-                                    source, chain[0], registry, name=op_name
-                                ),
+        for entry in batch:
+            if entry[0] == "batch":
+                # Grouped entry ("batch", op_name, [(call_id, enc_args),
+                # ...]): N firings of one operator, one reply message.
+                # One message for N results concentrates the mid-batch
+                # crash window, but a crashed vectorized group is retried
+                # by the supervisor as plain singleton fires, which
+                # restores the streamed-result salvage semantics.
+                _, op_name, calls = entry
+                spec = resolve(op_name)
+                if spec.batch_fn is not None and injector is None:
+                    t_start = time.perf_counter()
+                    try:
+                        args_lists = [
+                            tuple(decode_value(e) for e in enc_args)
+                            for _, enc_args in calls
+                        ]
+                        raws = list(spec.batch_fn(args_lists))
+                        if len(raws) != len(calls):
+                            raise RuntimeFailure(
+                                f"batch form of operator {op_name!r} "
+                                f"returned {len(raws)} result(s) for "
+                                f"{len(calls)} firing(s)"
                             )
-                        fused_specs[op_name] = spec
-                    else:
-                        spec = registry.get(op_name)
-                args = tuple(decode_value(e) for e in enc_args)
-                if injector is not None:
-                    injector.on_call(op_name)
-                raw = spec.fn(*args)
-                payload = encode_value(raw, shm_threshold)
-                ok = True
-            except BaseException as exc:  # noqa: BLE001 - shipped to master
-                payload = _encode_exception(exc)
-                ok = False
-            # Each result is shipped as soon as it exists, not at the end
-            # of the batch: a result's fresh shm segments have no owner
-            # until the master sees them, so holding finished results
-            # while later batchmates run would leak those segments if
-            # this process dies mid-batch (the supervisor salvages the
-            # pipe's contents on a crash, but cannot know the names of
-            # segments that were never sent).
-            try:
-                conn.send(
-                    (
-                        worker_id,
-                        [(call_id, ok, payload, t0, time.perf_counter() - t0)],
+                        total = time.perf_counter() - t_start
+                        # The vectorized kernel ran all N firings in one
+                        # call; attribute each an equal share so master
+                        # timelines stay additive.
+                        per = total / len(calls)
+                        results = [
+                            (
+                                cid,
+                                True,
+                                encode_value(raw, shm_threshold),
+                                t_start + i * per,
+                                per,
+                            )
+                            for i, ((cid, _), raw) in enumerate(
+                                zip(calls, raws)
+                            )
+                        ]
+                    except BaseException as exc:  # noqa: BLE001
+                        duration = time.perf_counter() - t_start
+                        payload = _encode_exception(exc)
+                        results = [
+                            (cid, False, payload, t_start, duration)
+                            for cid, _ in calls
+                        ]
+                    try:
+                        conn.send((worker_id, results))
+                    except BrokenPipeError:  # master gone
+                        return
+                    continue
+                # No vectorized form (or fault injection active, which
+                # is decided per firing): fall through to the per-call
+                # loop so injection points and result streaming behave
+                # exactly as unbatched dispatch.
+                singles = [(cid, op_name, enc_args) for cid, enc_args in calls]
+            else:
+                singles = [entry]
+            for call_id, op_name, enc_args in singles:
+                t0 = time.perf_counter()
+                try:
+                    spec = resolve(op_name)
+                    args = tuple(decode_value(e) for e in enc_args)
+                    if injector is not None:
+                        injector.on_call(op_name)
+                    raw = spec.fn(*args)
+                    payload = encode_value(raw, shm_threshold)
+                    ok = True
+                except BaseException as exc:  # noqa: BLE001 - to master
+                    payload = _encode_exception(exc)
+                    ok = False
+                # Each result is shipped as soon as it exists, not at the
+                # end of the batch: a result's fresh shm segments have no
+                # owner until the master sees them, so holding finished
+                # results while later batchmates run would leak those
+                # segments if this process dies mid-batch (the supervisor
+                # salvages the pipe's contents on a crash, but cannot
+                # know the names of segments that were never sent).
+                try:
+                    conn.send(
+                        (
+                            worker_id,
+                            [
+                                (
+                                    call_id,
+                                    ok,
+                                    payload,
+                                    t0,
+                                    time.perf_counter() - t0,
+                                )
+                            ],
+                        )
                     )
-                )
-            except BrokenPipeError:  # master gone; nothing to report to
-                return
+                except BrokenPipeError:  # master gone; nothing to report
+                    return
 
 
 class WorkerPool:

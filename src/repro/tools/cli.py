@@ -93,6 +93,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "by step; results are bit-identical either way)",
     )
     parser.add_argument(
+        "--batch",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="coalesce same-node ready fires into vectorized batches "
+        "executed through one call (and, for --executor process, one "
+        "IPC message per batch); --no-batch fires strictly one at a "
+        "time.  Results are bit-identical either way",
+    )
+    parser.add_argument(
         "--no-cache",
         action="store_true",
         help="bypass the compile cache (~/.cache/delirium or "
@@ -266,13 +275,25 @@ def _make_executor(
     faults = _fault_options(ns)
     if run_ctx is not None:
         faults["run_ctx"] = run_ctx
+    batch = getattr(ns, "batch", True)
     if ns.executor == "threaded":
-        return ThreadedExecutor(ns.workers, trace=trace, bus=bus, **faults)
+        return ThreadedExecutor(
+            ns.workers, trace=trace, bus=bus, batch=batch, **faults
+        )
     if ns.executor == "process":
         if measured_costs:
             faults["measured_costs"] = measured_costs
-        return ProcessExecutor(ns.workers, trace=trace, bus=bus, **faults)
-    return SequentialExecutor(trace=trace, bus=bus, **faults)
+            # Measured costs also size the batches: cheap dispatched
+            # operators coalesce wide, expensive ones near-singleton.
+            from ..machine.calibrate import suggest_batch_threshold
+
+            faults["batch_threshold"] = suggest_batch_threshold(
+                measured_costs
+            )
+        return ProcessExecutor(
+            ns.workers, trace=trace, bus=bus, batch=batch, **faults
+        )
+    return SequentialExecutor(trace=trace, bus=bus, batch=batch, **faults)
 
 
 def _defines(pairs: list[str]) -> dict[str, object]:
@@ -310,10 +331,15 @@ def _compile(args: argparse.Namespace):
     if args.donate:
         passes = passes + ("donate",)
     if args.codegen:
-        # Terminal lowering; on a --no-fuse graph the pass has nothing to
-        # lower and the compiled output is unchanged, but the cache key
-        # still distinguishes the two (the pass set is hashed).
+        # On a --no-fuse graph the pass has nothing to lower and the
+        # compiled output is unchanged, but the cache key still
+        # distinguishes the two (the pass set is hashed).
         passes = passes + ("codegen",)
+    if args.batch:
+        # Appends batch binders to codegen sources (no-op without
+        # codegen).  In the pass tuple even then, so --batch and
+        # --no-batch compilations never share a cache entry.
+        passes = passes + ("batch",)
     defines = _defines(args.define)
     key = None
     if not args.no_cache:

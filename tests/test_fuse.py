@@ -162,11 +162,17 @@ class TestEligibility:
 
 class TestPipelineOrdering:
     def test_fuse_is_graph_level(self):
-        assert GRAPH_PASS_ORDER == ("fuse", "donate", "codegen")
+        assert GRAPH_PASS_ORDER == ("fuse", "donate", "codegen", "batch")
         assert "fuse" not in PASS_ORDER
         assert "donate" not in PASS_ORDER
         assert "codegen" not in PASS_ORDER
-        assert FULL_PASS_ORDER == PASS_ORDER + ("fuse", "donate", "codegen")
+        assert "batch" not in PASS_ORDER
+        assert FULL_PASS_ORDER == PASS_ORDER + (
+            "fuse",
+            "donate",
+            "codegen",
+            "batch",
+        )
 
     def test_split_passes_partitions(self):
         ast_passes, graph_passes = split_passes(
