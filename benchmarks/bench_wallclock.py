@@ -522,6 +522,16 @@ def test_wallclock_montecarlo(report, bench_json):
     for workers in WORKER_COUNTS[1:]:
         entry["process"][str(workers)] = process_row(workers, batch=True)
 
+    # The committed improvement number is subject to the same gates as
+    # the assertion that enforces it: a throttled host (regime probe) or
+    # a 1-CPU host measures a number the target was never about, and
+    # committing it ungated reads as a regression that is not one.  The
+    # raw measurement is still recorded, explicitly labelled.
+    regime = seq_entry["seconds"] / MC_BASELINE_SEQUENTIAL_SECONDS
+    raw_improvement = (
+        1.0 - batched_1["seconds"] / MC_BASELINE_PROCESS1_SECONDS
+    )
+    gated = regime <= MC_REGIME_TOLERANCE
     entry["batching"] = {
         "baseline_process1_seconds": MC_BASELINE_PROCESS1_SECONDS,
         "improvement_target": MC_BATCH_IMPROVEMENT,
@@ -529,17 +539,28 @@ def test_wallclock_montecarlo(report, bench_json):
         "ipc_drop_factor": (
             unbatched_1["ipc_per_fire"] / batched_1["ipc_per_fire"]
         ),
-        "improvement_vs_baseline": (
-            1.0 - batched_1["seconds"] / MC_BASELINE_PROCESS1_SECONDS
+        "improvement_vs_baseline": raw_improvement if gated else None,
+        "improvement_vs_baseline_raw": raw_improvement,
+        "improvement_gate": (
+            "in-regime"
+            if gated
+            else (
+                f"host {regime:.2f}x slower than the committed "
+                f"sequential baseline (tolerance "
+                f"{MC_REGIME_TOLERANCE}); absolute improvement not "
+                "comparable"
+            )
         ),
-        "host_regime": seq_entry["seconds"] / MC_BASELINE_SEQUENTIAL_SECONDS,
+        "host_regime": regime,
     }
     rows.append("")
     rows.append(
         f"batched 1-worker vs committed baseline "
         f"({MC_BASELINE_PROCESS1_SECONDS:.4f}s): "
-        f"{entry['batching']['improvement_vs_baseline']:+.1%} "
-        f"(target >= {MC_BATCH_IMPROVEMENT:.0%})"
+        f"{raw_improvement:+.1%} "
+        f"(target >= {MC_BATCH_IMPROVEMENT:.0%}"
+        + ("" if gated else f"; ungated: host regime {regime:.2f}x")
+        + ")"
     )
     rows.append(
         f"ipc per dispatched fire: {unbatched_1['ipc_per_fire']:.3f} -> "
@@ -598,4 +619,121 @@ def test_wallclock_montecarlo(report, bench_json):
     assert entry["process"]["4"]["speedup"] >= 1.0, (
         "coarse-grained montecarlo batches must not lose to sequential "
         f"at 4 workers, got {entry['process']['4']['speedup']:.2f}x"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Affinity: locality-aware dispatch on a production-size fan-out
+# ---------------------------------------------------------------------------
+
+#: Fan-out shape for the locality rows: one block, read by AF_FAN
+#: dispatched consumers.  Sized so each avoided ship is megabytes.
+AF_FAN = 8
+AF_BLOCK_ELEMS = 500_000  # 4 MB of float64
+AF_COSTS = {"af_produce": 0.05, "af_stage": 0.05}
+
+
+def _affinity_workload():
+    import numpy as np
+
+    from repro import compile_source
+    from repro.runtime import default_registry
+
+    reg = default_registry()
+
+    @reg.register(name="af_produce", pure=True)
+    def af_produce(seed):
+        rng = np.random.default_rng(seed)
+        return rng.standard_normal(AF_BLOCK_ELEMS)
+
+    @reg.register(name="af_stage", pure=True)
+    def af_stage(a, k):
+        return float((a * k).sum())
+
+    stages = "\n".join(
+        f"      s{i} = af_stage(blk, {i})" for i in range(1, AF_FAN + 1)
+    )
+    acc = "s1"
+    for i in range(2, AF_FAN + 1):
+        acc = f"add({acc}, s{i})"
+    src = (
+        f"main(seed)\n  let blk = af_produce(seed)\n{stages}\n  in {acc}\n"
+    )
+    return compile_source(src, registry=reg), reg
+
+
+def test_wallclock_affinity(report, bench_json):
+    compiled, registry = _affinity_workload()
+    graph = compiled.graph
+    args = (31,)
+    reference = SequentialExecutor().run(
+        graph, args=args, registry=registry
+    ).value
+
+    def affinity_row(affinity, workers=2):
+        seconds, result = _best_of(
+            lambda: ProcessExecutor(
+                workers,
+                measured_costs=AF_COSTS,
+                shm_threshold=1 << 30,  # measure the pickle wire path
+                affinity=affinity,
+            ).run(graph, args=args, registry=registry)
+        )
+        assert result.value == reference, (
+            f"affinity={affinity!r} diverged from sequential"
+        )
+        stats = result.stats
+        return {
+            "seconds": seconds,
+            "encode_bytes": stats.encode_bytes,
+            "encode_bytes_avoided": stats.encode_bytes_avoided,
+            "blocks_ref_shipped": stats.blocks_ref_shipped,
+            "blocks_cached": stats.blocks_cached,
+            "affinity_misses": stats.affinity_misses,
+        }
+
+    none_row = affinity_row("none")
+    data_row = affinity_row("data")
+    reduction = none_row["encode_bytes"] / max(data_row["encode_bytes"], 1)
+
+    entry = {
+        "workload": {
+            "app": "affinity-fanout",
+            "fan": AF_FAN,
+            "block_bytes": AF_BLOCK_ELEMS * 8,
+        },
+        "cpu_count": os.cpu_count(),
+        "repeats": REPEATS,
+        "none": none_row,
+        "data": data_row,
+        "encode_reduction_factor": reduction,
+    }
+    _record("affinity_fanout", entry)
+    bench_json("affinity_fanout", entry)
+
+    rows = [
+        f"fan-out: 1 x {AF_BLOCK_ELEMS * 8 / 1e6:.0f} MB block -> "
+        f"{AF_FAN} dispatched reads; host cpus: {os.cpu_count()}",
+        "",
+        f"{'configuration':<18} {'seconds':>9} {'enc bytes':>12} "
+        f"{'avoided':>12} {'refs':>5}",
+        f"{'affinity=none':<18} {none_row['seconds']:>9.3f} "
+        f"{none_row['encode_bytes']:>12d} "
+        f"{none_row['encode_bytes_avoided']:>12d} "
+        f"{none_row['blocks_ref_shipped']:>5d}",
+        f"{'affinity=data':<18} {data_row['seconds']:>9.3f} "
+        f"{data_row['encode_bytes']:>12d} "
+        f"{data_row['encode_bytes_avoided']:>12d} "
+        f"{data_row['blocks_ref_shipped']:>5d}",
+        "",
+        f"encoded wire bytes: {reduction:.1f}x fewer with affinity=data "
+        f"(target >= 2x, bit-identical results)",
+    ]
+    report("Wall-clock — affinity fan-out (locality)", "\n".join(rows))
+
+    assert data_row["blocks_ref_shipped"] >= AF_FAN - 1
+    assert none_row["encode_bytes"] >= 2 * data_row["encode_bytes"], (
+        f"affinity=data must halve the encoded wire bytes on the "
+        f"fan-out: {data_row['encode_bytes']} vs "
+        f"{none_row['encode_bytes']}"
     )

@@ -5,7 +5,7 @@ Grammar (clauses separated by ``;``, parameters by ``,``)::
     SPEC   := CLAUSE (';' CLAUSE)*
     CLAUSE := KIND [':' PARAM (',' PARAM)*]
     PARAM  := KEY '=' VALUE
-    KIND   := 'raise' | 'delay' | 'kill' | 'arena'
+    KIND   := 'raise' | 'delay' | 'kill' | 'arena' | 'cachemiss'
 
 Kinds:
 
@@ -24,6 +24,12 @@ Kinds:
 ``arena``
     Fail a :class:`~repro.runtime.workers.ShmArena` segment acquisition
     (the encoder falls back to a fresh unpooled segment).
+``cachemiss``
+    Force a worker block-cache miss on a by-reference argument lookup
+    (``--affinity``): the worker reports the structured cache-miss reply
+    and the master re-dispatches the fire with full encodings — the
+    safe-fallback path, exercised on demand.  Inert when no argument is
+    ref-shipped.
 
 Selection parameters, common to all kinds:
 
@@ -58,7 +64,7 @@ from dataclasses import dataclass, field
 
 from ..errors import DeliriumError
 
-_KINDS = ("raise", "delay", "kill", "arena")
+_KINDS = ("raise", "delay", "kill", "arena", "cachemiss")
 
 #: Pseudo-operator name under which ``arena`` clause invocations are
 #: counted (arena acquisitions have no operator context).
@@ -253,7 +259,7 @@ class FaultInjector:
         arguments.
         """
         for idx, clause in enumerate(self.spec.clauses):
-            if clause.kind == "arena":
+            if clause.kind in ("arena", "cachemiss"):
                 continue
             if not self._should_fire(idx, clause, op_name):
                 continue
@@ -273,5 +279,16 @@ class FaultInjector:
             if clause.kind != "arena":
                 continue
             if self._should_fire(idx, clause, ARENA_SCOPE):
+                return True
+        return False
+
+    def on_cache_lookup(self, op_name: str) -> bool:
+        """Consulted per by-reference block-cache lookup in a worker;
+        True = treat the lookup as a miss even when the block is
+        resident.  Scoped by the operator being fired (``op=``)."""
+        for idx, clause in enumerate(self.spec.clauses):
+            if clause.kind != "cachemiss":
+                continue
+            if self._should_fire(idx, clause, op_name):
                 return True
         return False

@@ -356,6 +356,48 @@ class ShmSegmentReclaimed(Event):
 
 
 # ----------------------------------------------------------------------
+# Locality (process executor with an affinity policy)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class BlockCached(Event):
+    """A worker now holds a resident decoded copy of a block.
+
+    ``kind`` is ``"arg"`` when the copy was created by decoding a
+    shipped argument, ``"result"`` when the worker kept its own operator
+    result under the master-assigned id.
+    """
+
+    bid: int
+    nbytes: int
+    worker: int
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class BlockRefShipped(Event):
+    """An input block crossed the wire as a ``("ref", bid)`` token —
+    no pickle, no shared-memory segment — because the target worker
+    holds a resident copy."""
+
+    bid: int
+    nbytes: int
+    worker: int
+    operator: str
+
+
+@dataclass(frozen=True, slots=True)
+class AffinityMiss(Event):
+    """A worker's block cache missed on a ref-shipped input (eviction,
+    injected fault, or stale residency); the master re-dispatches the
+    fire with full encodings."""
+
+    operator: str
+    call_id: int
+    worker: int
+    missing: int
+
+
+# ----------------------------------------------------------------------
 # Compiler fusion (emitted once per run, at start)
 # ----------------------------------------------------------------------
 @dataclass(frozen=True, slots=True)
@@ -413,6 +455,9 @@ ALL_EVENTS: tuple[type, ...] = (
     FireTimedOut,
     ExecutorDegraded,
     ShmSegmentReclaimed,
+    BlockCached,
+    BlockRefShipped,
+    AffinityMiss,
     OperatorsFused,
     QueueDepthSample,
 )

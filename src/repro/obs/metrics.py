@@ -28,7 +28,10 @@ from typing import Any, Callable
 from .events import (
     ActivationAllocated,
     ActivationRecycled,
+    AffinityMiss,
     BlockAllocated,
+    BlockCached,
+    BlockRefShipped,
     BlockReleased,
     BlockRetained,
     BufferRecycled,
@@ -308,6 +311,11 @@ def attach_metrics(
     executor_degraded = reg.counter("executor_degraded")
     shm_reclaimed = reg.counter("shm_segments_reclaimed")
     shm_reclaimed_bytes = reg.counter("shm_reclaimed_bytes")
+    blocks_cached = reg.counter("blocks_cached")
+    blocks_cached_bytes = reg.counter("blocks_cached_bytes")
+    blocks_ref_shipped = reg.counter("blocks_ref_shipped")
+    ref_bytes_avoided = reg.counter("ref_bytes_avoided")
+    affinity_misses = reg.counter("affinity_misses")
     runs_started = reg.counter("runs_started")
     runs_finished = reg.counter("runs_finished")
     runs_failed = reg.counter("runs_failed")
@@ -382,6 +390,14 @@ def attach_metrics(
         elif isinstance(e, ShmSegmentReclaimed):
             shm_reclaimed.inc()
             shm_reclaimed_bytes.inc(e.nbytes)
+        elif isinstance(e, BlockCached):
+            blocks_cached.inc(label=e.kind)
+            blocks_cached_bytes.inc(e.nbytes, label=e.kind)
+        elif isinstance(e, BlockRefShipped):
+            blocks_ref_shipped.inc(label=e.operator)
+            ref_bytes_avoided.inc(e.nbytes, label=e.operator)
+        elif isinstance(e, AffinityMiss):
+            affinity_misses.inc(label=e.operator)
         elif isinstance(e, OperatorsFused):
             reg.gauge("fused_nodes").set(e.fused_nodes)
             reg.gauge("fused_ops_absorbed").set(e.ops_absorbed)

@@ -16,15 +16,65 @@ Policies choose among the *idle* processors for a ready task; they never
 delay a task (work-conserving), which preserves the simulator's greedy
 list-scheduling guarantees.  Results are unaffected (determinism is the
 model's guarantee); only simulated time and traffic change.
+
+Two dispatch paths share these policies: the discrete-event simulator
+(where "cached location" is a block's ``home`` processor) and the real
+process executor's supervisor (where it is the worker-resident block
+cache — see :mod:`repro.runtime.supervise`).  Both feed
+:func:`input_residency` with their own notion of *holders* and break
+ties with :func:`pick_most_resident`, so the paper's placement rule is
+written once.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from .blocks import DataBlock
 from .scheduler import Task
 from .values import MultiValue
+
+
+def input_residency(
+    values: Iterable[Any], holders: Callable[[DataBlock], Iterable[int]]
+) -> dict[int, int]:
+    """Bytes of input blocks grouped by holder.
+
+    ``holders(block)`` yields the ids (processors or workers) that hold a
+    usable copy of ``block``; packages are walked recursively, exactly as
+    the simulator's original block scan did.
+    """
+    out: dict[int, int] = {}
+
+    def visit(value: Any) -> None:
+        if isinstance(value, DataBlock):
+            for h in holders(value):
+                out[h] = out.get(h, 0) + value.nbytes
+        elif isinstance(value, MultiValue):
+            for item in value.items:
+                visit(item)
+
+    for value in values:
+        visit(value)
+    return out
+
+
+def pick_most_resident(
+    bytes_by_holder: dict[int, int], idle: Iterable[int]
+) -> int:
+    """The idle id holding the most input bytes; ties pick the lowest id.
+
+    This is the §9.3 data-affinity rule ("takes into account the size
+    and cached locations of its inputs"), deterministic by construction.
+    """
+    idle_set = set(idle)
+    best = min(idle_set)
+    best_bytes = bytes_by_holder.get(best, 0)
+    for p in sorted(idle_set):
+        resident = bytes_by_holder.get(p, 0)
+        if resident > best_bytes:
+            best, best_bytes = p, resident
+    return best
 
 
 class AffinityPolicy:
@@ -59,21 +109,16 @@ class OperatorAffinity(AffinityPolicy):
         self._last[task.label()] = processor
 
 
+def _home_holders(block: DataBlock) -> tuple[int, ...]:
+    """Simulator residency: the producing processor, when placed."""
+    return (block.home,) if block.home >= 0 else ()
+
+
 def _input_bytes_by_home(task: Task) -> dict[int, int]:
     """Bytes of the task's input blocks, grouped by home processor."""
-    out: dict[int, int] = {}
-
-    def visit(value: Any) -> None:
-        if isinstance(value, DataBlock):
-            if value.home >= 0:
-                out[value.home] = out.get(value.home, 0) + value.nbytes
-        elif isinstance(value, MultiValue):
-            for item in value.items:
-                visit(item)
-
-    for value in task.activation.slots[task.node_id]:
-        visit(value)
-    return out
+    return input_residency(
+        task.activation.slots[task.node_id], _home_holders
+    )
 
 
 class DataAffinity(AffinityPolicy):
@@ -82,15 +127,7 @@ class DataAffinity(AffinityPolicy):
     name = "data"
 
     def choose(self, task: Task, idle: Iterable[int]) -> int:
-        idle_set = set(idle)
-        by_home = _input_bytes_by_home(task)
-        best = min(idle_set)
-        best_bytes = by_home.get(best, 0)
-        for p in sorted(idle_set):
-            resident = by_home.get(p, 0)
-            if resident > best_bytes:
-                best, best_bytes = p, resident
-        return best
+        return pick_most_resident(_input_bytes_by_home(task), idle)
 
 
 def make_policy(spec: "str | AffinityPolicy") -> AffinityPolicy:

@@ -112,9 +112,18 @@ class DataBlock:
         ``-1`` when unplaced.
     nbytes:
         Cached size estimate.
+    bid:
+        Master-assigned block id for worker-cache residency tracking
+        (process executor with an affinity policy), or ``None`` while the
+        block has never crossed the wire.  An in-place write must clear
+        it (see ``ExecutionState._begin_operator``): resident worker
+        copies keyed by the old id would otherwise serve stale payloads.
+
+    Blocks are weak-referenceable so the residency tracker can observe
+    block death without extending any lifetime.
     """
 
-    __slots__ = ("payload", "rc", "home", "nbytes")
+    __slots__ = ("payload", "rc", "home", "nbytes", "bid", "__weakref__")
 
     _COUNTER = 0
 
@@ -123,6 +132,7 @@ class DataBlock:
         self.rc = 0
         self.home = home
         self.nbytes = payload_nbytes(payload)
+        self.bid: int | None = None
         if _BLOCK_HOOK is not None:
             _BLOCK_HOOK("alloc", self, 1)
 
@@ -278,6 +288,30 @@ def wrap_payload(payload: Any, home: int = -1) -> Any:
     if cls is not _NULL_CLS:
         _WRAP_KIND[cls] = 2
     return DataBlock(payload, home=home)
+
+
+def wraps_as_block(payload: Any) -> bool:
+    """Would :func:`wrap_payload` put this payload in a fresh DataBlock?
+
+    The worker-resident block cache keys on this mirror of the wrap
+    classification: a result worth caching under its block id is exactly
+    one the master will circulate as a :class:`DataBlock` (atomics,
+    tuples, and pre-wrapped values never carry a block id).  Kept next to
+    :func:`wrap_payload` so the two classifications cannot drift.
+    """
+    cls = payload.__class__
+    kind = _WRAP_KIND.get(cls)
+    if kind is not None:
+        return kind == 2
+    if payload is NULL or isinstance(
+        payload, (Closure, OperatorValue, MultiValue, DataBlock)
+    ):
+        return False
+    if isinstance(payload, IMMUTABLE_TYPES) or isinstance(payload, tuple):
+        return False
+    if isinstance(payload, (np.integer, np.floating, np.bool_)):
+        return False
+    return True
 
 
 def retain(value: Any, n: int = 1) -> None:

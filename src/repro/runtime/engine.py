@@ -137,6 +137,14 @@ class PendingOp:
     #: fire must never be committed twice — the second commit would
     #: double-release every input share and underflow the pools.
     committed: bool = False
+    #: The wrapped value :meth:`complete_fire` delivered for a
+    #: single-output firing (``None`` for multi-output fused untuples).
+    #: The supervised executor reads it after commit to adopt a
+    #: worker-cached result into the residency tracker — but only when it
+    #: is a :class:`DataBlock` whose payload *is* the raw result, which
+    #: proves the worker's cached copy and the master's block hold the
+    #: same value.
+    result_value: Any = None
 
 
 @dataclass(slots=True)
@@ -202,6 +210,18 @@ class EngineStats:
     dispatched_fires: int = 0
     ipc_messages_sent: int = 0
     ipc_messages_received: int = 0
+    #: Locality counters (process executor with ``--affinity``; see
+    #: :mod:`repro.runtime.supervise`): blocks made resident in a worker
+    #: cache (shipped arguments + adopted results), inputs shipped as
+    #: ``("ref", bid)`` tokens instead of full encodings, ref fires the
+    #: worker could not serve (re-dispatched with full encodings), bytes
+    #: of argument encodings actually produced, and bytes a full encoding
+    #: would have cost where a ref sufficed.
+    blocks_cached: int = 0
+    blocks_ref_shipped: int = 0
+    affinity_misses: int = 0
+    encode_bytes: int = 0
+    encode_bytes_avoided: int = 0
     #: Wall seconds spent inside operator bodies, accumulated only when
     #: the state runs with ``profile_ops=True`` — the low-overhead probe
     #: the wallclock benchmark uses for its phase split (two bare
@@ -303,6 +323,12 @@ class ExecutionState:
         #: Free lists of dead donated buffers for COW-copy reuse; touched
         #: only under the engine's serialization discipline.
         self.buffers = BufferPool()
+        #: Residency tracker installed by the supervised process executor
+        #: when an affinity policy is active; consulted (via ``block.bid``
+        #: guards, so the sequential hot path pays one attribute load)
+        #: before any in-place write so worker-resident copies of the
+        #: mutated block are invalidated before the payload changes.
+        self.locality: Any = None
         self.stats = EngineStats()
         self._final: Any = _NO_RESULT
         self._task_seq = 0
@@ -595,6 +621,14 @@ class ExecutionState:
                     if code:
                         if v.rc == 1:
                             stats.in_place_writes += 1
+                            if v.bid is not None:
+                                # Same invalidate-before-write discipline
+                                # as _begin_operator's modifies branch:
+                                # this local single-pass fire mutates the
+                                # payload workers may hold resident.
+                                if self.locality is not None:
+                                    self.locality.forget(v)
+                                v.bid = None
                             if code == 1:
                                 stats.copies_avoided += 1
                                 stats.bytes_copy_avoided += v.nbytes
@@ -957,6 +991,7 @@ class ExecutionState:
             result = self._wrap_result(
                 raw_result, pending.arg_blocks, pending.home, donated
             )
+            pending.result_value = result
             self._deliver_output(act, pending.node_id, 0, result, 0, newly)
         for v in pending.all_inputs:
             release(v, 1)
@@ -1212,6 +1247,16 @@ class ExecutionState:
                 if i in spec.modifies:
                     if v.unique():
                         self.stats.in_place_writes += 1
+                        if v.bid is not None and not remote:
+                            # The operator body is about to mutate this
+                            # payload in place while workers may hold
+                            # resident copies keyed by its block id:
+                            # invalidate before the bytes change.  (A
+                            # remote fire leaves the master copy intact —
+                            # serialization isolates the worker's write.)
+                            if self.locality is not None:
+                                self.locality.forget(v)
+                            v.bid = None
                         if i in donated_set:
                             # The compiler proved this is the edge's last
                             # use, so the in-place handoff is statically

@@ -34,6 +34,7 @@ from ..errors import (
 )
 from ..graph.ir import GraphProgram, NodeKind
 from ..obs.events import (
+    BlockCached,
     EventBus,
     ExecutorDegraded,
     FireBatchFormed,
@@ -42,6 +43,7 @@ from ..obs.events import (
     TaskFired,
 )
 from ..obs.runctx import RunContext
+from .blocks import DataBlock
 from .engine import EngineStats, ExecutionState, PendingOp
 from .operators import (
     OperatorRegistry,
@@ -833,6 +835,15 @@ class ProcessExecutor:
         fault injection — shipped to every worker (and respawned
         worker), consulted by the master's inline path, and hooked into
         the shared-memory arena.
+    affinity:
+        Locality policy for remote dispatch: ``"data"`` (default —
+        place fires on the idle worker already holding the most input
+        bytes, ship resident inputs by reference), ``"operator"``
+        (prefer the worker an operator last ran on), or ``"none"``
+        (legacy least-loaded dispatch, full encodings always).  See
+        :mod:`repro.runtime.affinity` and the residency machinery in
+        :mod:`repro.runtime.supervise`.  Results are bit-identical
+        across all three settings.
     """
 
     def __init__(
@@ -855,6 +866,7 @@ class ProcessExecutor:
         fault_policy: FaultPolicy | None = None,
         fault_spec: Any = None,
         run_ctx: RunContext | None = None,
+        affinity: str = "data",
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -892,6 +904,7 @@ class ProcessExecutor:
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
+        self.affinity = affinity
 
     def run(
         self,
@@ -1019,7 +1032,21 @@ class ProcessExecutor:
             shm_threshold=self.shm_threshold,
             bus=bus,
             stats=state.stats,
+            affinity=self.affinity,
         )
+        # The engine's in-place-write paths must invalidate worker
+        # residency before mutating a block (see ExecutionState.locality).
+        state.locality = supervisor.residency
+
+        def export_memory_gauges() -> None:
+            metrics = ctx.metrics if ctx is not None else None
+            if metrics is None:
+                return
+            for key, value in pool.arena.stats().items():
+                metrics.gauge(f"shm_arena/{key}").set(float(value))
+            for key, value in supervisor.locality_stats().items():
+                metrics.gauge(f"worker_cache/{key}").set(float(value))
+
         if ctx is not None:
             ctx.add_snapshot_source("engine", state.snapshot_state)
             ctx.add_snapshot_source(
@@ -1031,6 +1058,7 @@ class ProcessExecutor:
                 lambda: {
                     "respawns": pool.respawns,
                     "arena": pool.arena.stats(),
+                    "locality": supervisor.locality_stats(),
                 },
             )
             ctx.run_started("process")
@@ -1048,6 +1076,29 @@ class ProcessExecutor:
             # worker-measured body time rides along so OpFinished carries
             # real compute seconds, not compute + queue + IPC.
             newly = state.complete_fire(pending, c.raw, op_seconds=c.duration)
+            tracker = supervisor.residency
+            if tracker is not None and c.cached and c.rbid is not None:
+                # The worker kept its raw result resident under rbid.
+                # Adopt only when the committed block holds exactly the
+                # decoded payload (identity check — fan-out/untuple
+                # commits leave result_value unset and are skipped).
+                result = pending.result_value
+                if (
+                    type(result) is DataBlock
+                    and result.payload is c.raw
+                ):
+                    tracker.adopt(result, c.rbid, c.worker)
+                    state.stats.blocks_cached += 1
+                    if bus is not None and bus.wants(BlockCached):
+                        bus.emit(
+                            BlockCached(
+                                bus.now(),
+                                c.rbid,
+                                result.nbytes,
+                                c.worker,
+                                "result",
+                            )
+                        )
             if bus is not None:
                 if bus.wants(ResultReceived):
                     bus.emit(
@@ -1301,7 +1352,9 @@ class ProcessExecutor:
                     continue
                 for c in completions:
                     commit(c)
+                export_memory_gauges()
 
+            export_memory_gauges()
             wall = time.perf_counter() - began
             if not state.finished:
                 raise RuntimeFailure(

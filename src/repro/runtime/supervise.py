@@ -32,16 +32,32 @@ Every fault surfaces as a typed event on the bus (``WorkerCrashed``,
 ``WorkerRespawned``, ``FireRetried``, ``FireTimedOut``,
 ``ShmSegmentReclaimed``, ``ExecutorDegraded``) and as counters on
 :class:`~repro.runtime.engine.EngineStats` / the metrics registry.
+
+The supervisor is also where the paper's §9.3 locality story meets the
+real dispatch path.  With an affinity policy active it keeps a
+:class:`ResidencyTracker` — the master-side record of which workers hold
+decoded copies of which live blocks — chooses among *idle* workers with
+the shared :mod:`repro.runtime.affinity` policies (work-conserving: a
+busy preference never queues work), ships already-resident inputs as
+``("ref", bid)`` wire tokens instead of full encodings, and piggybacks
+block invalidations on outgoing task messages so cache hygiene costs no
+extra IPC.  A worker-side miss comes back as a structured reply and the
+fire is re-dispatched fully encoded — residency is an optimization
+belief, never a correctness input.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..errors import OperatorError, PoolIrrecoverableError, RuntimeFailure
 from ..obs.events import (
+    AffinityMiss,
+    BlockCached,
+    BlockRefShipped,
     EventBus,
     FireBatchFormed,
     FireRetried,
@@ -52,6 +68,14 @@ from ..obs.events import (
     WorkerCrashed,
     WorkerRespawned,
 )
+from .affinity import (
+    AffinityPolicy,
+    DataAffinity,
+    input_residency,
+    make_policy,
+    pick_most_resident,
+)
+from .blocks import DataBlock
 from .engine import EngineStats, PendingOp
 from .workers import (
     EncodedValue,
@@ -175,6 +199,10 @@ class Completion:
     duration: float
     nbytes: int
     via_shm: bool
+    #: The worker kept its raw result resident under ``rbid`` — the
+    #: executor adopts the committed block into the residency tracker.
+    cached: bool = False
+    rbid: int | None = None
 
 
 @dataclass
@@ -183,7 +211,9 @@ class _CallRecord:
 
     call_id: int
     pending: PendingOp
-    enc_args: list[EncodedValue] = field(default_factory=list)
+    #: Wire-form arguments: plain :class:`EncodedValue` entries mixed
+    #: with ``("blk", bid, EncodedValue)`` / ``("ref", bid)`` tuples.
+    enc_args: list[Any] = field(default_factory=list)
     pooled: list[str] = field(default_factory=list)
     worker: int = -1
     #: Completed failed attempts: ``(attempt, worker_pid, outcome)``.
@@ -194,10 +224,193 @@ class _CallRecord:
     #: attempts only: a retried record always goes out as a plain
     #: singleton so the per-call salvage semantics govern recovery.
     vector: bool = False
+    #: Master-assigned block id for the worker to cache its result under.
+    rbid: int | None = None
+    #: Force full encodings on the next dispatch (set after a cache-miss
+    #: reply; full encodings cannot miss, so the fallback terminates).
+    no_ref: bool = False
+    #: Block ids shipped by reference in the current encoding — refs are
+    #: only meaningful to the worker they were encoded for.
+    ref_bids: list[int] = field(default_factory=list)
+    #: Worker the current encoding targets (refs bind to one worker).
+    enc_worker: int = -1
 
     @property
     def attempt_next(self) -> int:
         return len(self.attempts) + 1
+
+
+class ResidencyTracker:
+    """Master-side record of which workers hold which live blocks.
+
+    Block ids are master-assigned, monotonically increasing, and *never
+    reused* — so a stale id in a worker cache can at worst waste budget,
+    never alias a different block.  Residency is tracker-owned (not on
+    the block) because block death is observed through weakref callbacks,
+    which must not touch the dying object.  Invalidations queue per
+    worker and piggyback on the next outgoing task message — block
+    hygiene costs no extra IPC, and a worker that never receives another
+    message simply exits with its cache.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        self._next_bid = 0
+        #: bid → weakref to the live master block (death callback queues
+        #: invalidations to every holder).
+        self._blocks: dict[int, weakref.ref] = {}
+        self._nbytes: dict[int, int] = {}
+        #: bid → workers believed to hold a resident decoded copy.
+        self._residency: dict[int, set[int]] = {}
+        self._by_worker: dict[int, set[int]] = {
+            i: set() for i in range(n_workers)
+        }
+        self._pending_inval: dict[int, list[int]] = {
+            i: [] for i in range(n_workers)
+        }
+        self.invalidations_queued = 0
+        self.refs_shipped = 0
+        self.refs_missed = 0
+
+    # -- block identity --------------------------------------------------
+    def reserve_bid(self) -> int:
+        """A fresh id with no registration yet (result ids: the block
+        does not exist on the master until the fire commits)."""
+        self._next_bid += 1
+        return self._next_bid
+
+    def ensure_bid(self, block: DataBlock) -> int:
+        """The block's id, assigning and registering one on first use."""
+        bid = block.bid
+        if bid is None:
+            bid = self.reserve_bid()
+            block.bid = bid
+            self._register(block, bid)
+        return bid
+
+    def adopt(self, block: DataBlock, bid: int, worker: int) -> None:
+        """A worker cached its raw result under ``bid``; register the
+        master's committed block under the same id, resident there."""
+        if block.bid is not None:
+            return  # identity-reused an already-tracked block
+        block.bid = bid
+        self._register(block, bid)
+        self.add(bid, worker)
+
+    def _register(self, block: DataBlock, bid: int) -> None:
+        self._blocks[bid] = weakref.ref(
+            block, lambda _ref, _bid=bid: self._dead(_bid)
+        )
+        self._nbytes[bid] = block.nbytes
+        self._residency[bid] = set()
+
+    def _dead(self, bid: int) -> None:
+        # GC dropped the master's last reference: queue invalidations so
+        # holders release their resident copies.  Runs from a weakref
+        # callback — only tracker-owned dicts are touched.
+        self._blocks.pop(bid, None)
+        self._nbytes.pop(bid, None)
+        holders = self._residency.pop(bid, None)
+        if holders:
+            for w in holders:
+                self._by_worker[w].discard(bid)
+                self._pending_inval[w].append(bid)
+                self.invalidations_queued += 1
+
+    def forget(self, block: DataBlock) -> None:
+        """The engine is about to mutate this block in place: invalidate
+        every resident copy *now* (the engine clears ``block.bid``)."""
+        bid = block.bid
+        if bid is None:
+            return
+        # Drop the weakref registration so eventual death of the block
+        # does not queue a second round for an id nobody holds anymore.
+        self._blocks.pop(bid, None)
+        self._nbytes.pop(bid, None)
+        holders = self._residency.pop(bid, None)
+        if holders:
+            for w in holders:
+                self._by_worker[w].discard(bid)
+                self._pending_inval[w].append(bid)
+                self.invalidations_queued += 1
+
+    # -- residency -------------------------------------------------------
+    def add(self, bid: int, worker: int) -> None:
+        holders = self._residency.get(bid)
+        if holders is not None:
+            holders.add(worker)
+            self._by_worker[worker].add(bid)
+
+    def discard(self, bid: int, worker: int) -> None:
+        holders = self._residency.get(bid)
+        if holders is not None:
+            holders.discard(worker)
+        self._by_worker[worker].discard(bid)
+
+    def resident(self, bid: int, worker: int) -> bool:
+        holders = self._residency.get(bid)
+        return holders is not None and worker in holders
+
+    def holders(self, block: DataBlock) -> Any:
+        """Workers holding this block (the ``input_residency`` feed)."""
+        bid = block.bid
+        if bid is None:
+            return ()
+        return self._residency.get(bid, ())
+
+    def drop_worker(self, worker: int) -> None:
+        """A worker died (or was killed): its cache died with it.  Purge
+        its residency *before* re-fire/respawn so salvage and retries
+        never ref a dead cache, and drop its queued invalidations — a
+        fresh process has nothing to invalidate."""
+        for bid in self._by_worker[worker]:
+            holders = self._residency.get(bid)
+            if holders is not None:
+                holders.discard(worker)
+        self._by_worker[worker] = set()
+        self._pending_inval[worker] = []
+
+    def take_invalidations(self, worker: int) -> list[int]:
+        """Drain the worker's queued invalidations for piggybacking."""
+        out = self._pending_inval[worker]
+        if out:
+            self._pending_inval[worker] = []
+        return out
+
+    def stats(self) -> dict[str, Any]:
+        resident_blocks = sum(len(s) for s in self._by_worker.values())
+        resident_bytes = sum(
+            self._nbytes.get(bid, 0)
+            for bids in self._by_worker.values()
+            for bid in bids
+        )
+        shipped = self.refs_shipped
+        return {
+            "blocks_tracked": len(self._blocks),
+            "resident_blocks": resident_blocks,
+            "resident_bytes": resident_bytes,
+            "invalidations_queued": self.invalidations_queued,
+            "pending_invalidations": sum(
+                len(v) for v in self._pending_inval.values()
+            ),
+            "refs_shipped": shipped,
+            "refs_missed": self.refs_missed,
+            "hit_rate": (
+                (shipped - self.refs_missed) / shipped if shipped else 1.0
+            ),
+        }
+
+
+class _DispatchLabel:
+    """Adapter giving a dispatch batch the ``label()`` surface the
+    simulator-facing affinity policies expect from a task."""
+
+    __slots__ = ("_label",)
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+
+    def label(self) -> str:
+        return self._label
 
 
 class Supervisor:
@@ -230,10 +443,22 @@ class Supervisor:
         shm_threshold: int | None = None,
         bus: EventBus | None = None,
         stats: EngineStats | None = None,
+        affinity: str | AffinityPolicy = "none",
     ) -> None:
         self.pool = pool
         self.policy = policy
         self.batch_size = batch_size
+        #: Locality layer: placement policy + residency tracker, or both
+        #: ``None`` for ``affinity="none"`` — which is exactly the legacy
+        #: least-loaded dispatch path (full encodings, no caches), the
+        #: baseline the affinity benchmarks compare against.
+        _policy = make_policy(affinity)
+        if _policy.name == "none":
+            self._affinity: AffinityPolicy | None = None
+            self.residency: ResidencyTracker | None = None
+        else:
+            self._affinity = _policy
+            self.residency = ResidencyTracker(pool.n_workers)
         self.batch_threshold = max(1, batch_threshold)
         #: Staging bar for the eager flush in :meth:`dispatch` — high
         #: enough that a vectorizable group is not broken up just because
@@ -323,21 +548,110 @@ class Supervisor:
         return [r.pending for r in records]
 
     # -- encoding / staging ---------------------------------------------
-    def _encode(self, record: _CallRecord) -> None:
-        record.enc_args = [
-            encode_value(a, self.shm_threshold, arena=self.pool.arena)
-            for a in record.pending.args
-        ]
+    @staticmethod
+    def _enc_values(enc_args: list[Any]) -> Any:
+        """The :class:`EncodedValue` objects inside a wire-form argument
+        list (plain entries and the payloads of ``("blk", ...)`` forms;
+        ``("ref", ...)`` tokens carry none)."""
+        for e in enc_args:
+            if type(e) is tuple:
+                if e[0] == "blk":
+                    yield e[2]
+            else:
+                yield e
+
+    def _encode(self, record: _CallRecord, worker: int) -> None:
+        """Produce the wire-form argument list for ``worker``.
+
+        Without the locality layer every argument is a plain
+        :class:`EncodedValue` (the legacy path).  With it, an input that
+        is a live block the worker already holds ships as a ``("ref",
+        bid)`` token; a block input the worker does not hold ships as
+        ``("blk", bid, enc)`` so the worker makes it resident for next
+        time.  Only arguments that provably *are* a block's payload
+        (identity-checked against ``pending.op_inputs``) and are not
+        declared-``modifies`` positions participate — a worker must
+        never cache a payload its operator is allowed to mutate.
+        """
+        pending = record.pending
+        tracker = self.residency
+        stats = self.stats
+        bus = self.bus
+        enc_args: list[Any] = []
+        ref_bids: list[int] = []
+        encoded_nbytes = 0
+        if tracker is not None:
+            modifies = pending.spec.modifies
+            op_inputs = pending.op_inputs
+            n_inputs = len(op_inputs)
+            op_name = pending.spec.name
+            use_refs = not record.no_ref
+            for i, a in enumerate(pending.args):
+                block = op_inputs[i] if i < n_inputs else None
+                if (
+                    type(block) is DataBlock
+                    and block.payload is a
+                    and i not in modifies
+                ):
+                    bid = tracker.ensure_bid(block)
+                    if use_refs and tracker.resident(bid, worker):
+                        enc_args.append(("ref", bid))
+                        ref_bids.append(bid)
+                        tracker.refs_shipped += 1
+                        stats.blocks_ref_shipped += 1
+                        stats.encode_bytes_avoided += block.nbytes
+                        if bus is not None and bus.wants(BlockRefShipped):
+                            bus.emit(
+                                BlockRefShipped(
+                                    bus.now(),
+                                    bid,
+                                    block.nbytes,
+                                    worker,
+                                    op_name,
+                                )
+                            )
+                        continue
+                    enc = encode_value(
+                        a, self.shm_threshold, arena=self.pool.arena
+                    )
+                    encoded_nbytes += enc.nbytes
+                    tracker.add(bid, worker)
+                    stats.blocks_cached += 1
+                    if bus is not None and bus.wants(BlockCached):
+                        bus.emit(
+                            BlockCached(
+                                bus.now(), bid, block.nbytes, worker, "arg"
+                            )
+                        )
+                    enc_args.append(("blk", bid, enc))
+                    continue
+                enc = encode_value(
+                    a, self.shm_threshold, arena=self.pool.arena
+                )
+                encoded_nbytes += enc.nbytes
+                enc_args.append(enc)
+            record.rbid = tracker.reserve_bid()
+        else:
+            for a in pending.args:
+                enc = encode_value(
+                    a, self.shm_threshold, arena=self.pool.arena
+                )
+                encoded_nbytes += enc.nbytes
+                enc_args.append(enc)
+            record.rbid = None
+        stats.encode_bytes += encoded_nbytes
+        record.enc_args = enc_args
+        record.ref_bids = ref_bids
+        record.enc_worker = worker
         record.pooled = [
             e.shm_name
-            for e in record.enc_args
+            for e in self._enc_values(enc_args)
             if e.pooled and e.shm_name is not None
         ]
         record.encoded = True
-        bus = self.bus
         if bus is not None and bus.wants(ShmBlockCreated):
             now = bus.now()
-            for enc in record.enc_args:
+            for enc in self._enc_values(enc_args):
                 if enc.shm_name is not None:
                     bus.emit(ShmBlockCreated(now, enc.shm_name, enc.shm_nbytes))
 
@@ -366,7 +680,7 @@ class Supervisor:
                         bus.emit(
                             ShmSegmentReclaimed(now, name, nbytes, pid or 0)
                         )
-            for enc in record.enc_args:
+            for enc in self._enc_values(record.enc_args):
                 if not enc.pooled:
                     discard_encoded(enc)
         else:
@@ -374,11 +688,45 @@ class Supervisor:
                 self.pool.arena.release(name)
         record.enc_args = []
         record.pooled = []
+        record.ref_bids = []
         record.encoded = False
 
     def _least_loaded(self) -> int:
         return min(
             self._worker_calls, key=lambda i: len(self._worker_calls[i])
+        )
+
+    def _choose_worker(self, batch: list[_CallRecord]) -> int:
+        """Pick the target worker for one batch.
+
+        Without affinity: least-loaded (the legacy rule).  With it:
+        choose among *idle* workers only (work-conserving — when none is
+        idle, fall back to least-loaded rather than queueing behind a
+        preference, exactly the paper's "overridden if the desired
+        processor is busy").  Data affinity feeds the shared
+        :func:`~repro.runtime.affinity.input_residency` scan with the
+        residency tracker's holders; operator affinity sees the batch's
+        operator name through a :class:`_DispatchLabel`.
+        """
+        policy = self._affinity
+        if policy is None:
+            return self._least_loaded()
+        idle = [i for i, calls in self._worker_calls.items() if not calls]
+        if not idle:
+            return self._least_loaded()
+        tracker = self.residency
+        if tracker is not None and isinstance(policy, DataAffinity):
+            bytes_by_worker = input_residency(
+                (
+                    v
+                    for record in batch
+                    for v in record.pending.op_inputs
+                ),
+                tracker.holders,
+            )
+            return pick_most_resident(bytes_by_worker, idle)
+        return policy.choose(
+            _DispatchLabel(batch[0].pending.spec.name), set(idle)
         )
 
     def flush(self) -> None:
@@ -439,19 +787,31 @@ class Supervisor:
                 return
 
     def _send(self, batch: list[_CallRecord], vector: bool = False) -> bool:
-        """Send one batch to the least-loaded worker; False on dead pipe.
+        """Send one batch to its chosen worker; False on dead pipe.
 
         ``vector=True`` with two or more records ships the batch as one
         grouped wire entry (all records share one operator by
         construction in :meth:`flush`), which the worker answers with a
-        single N-result message.
+        single N-result message.  The batch is placed as a unit — one
+        :meth:`_choose_worker` decision covers all members, so grouped
+        fires cannot be split across caches.
         """
-        worker = self._least_loaded()
+        worker = self._choose_worker(batch)
         now = time.monotonic()
         bus = self.bus
         for record in batch:
+            if (
+                record.encoded
+                and record.enc_worker != worker
+                and record.ref_bids
+            ):
+                # The old encoding refs a different worker's cache —
+                # refs are worker-bound, so drop it and re-encode.  The
+                # old target never saw the message (crashed=True: its
+                # consumption state is exactly "never consumed").
+                self._release_encodings(record, crashed=True, pid=None)
             if not record.encoded:
-                self._encode(record)
+                self._encode(record, worker)
         grouped = vector and len(batch) > 1
         payload: list[tuple]
         if grouped:
@@ -459,22 +819,35 @@ class Supervisor:
                 (
                     "batch",
                     batch[0].pending.spec.name,
-                    [(r.call_id, r.enc_args) for r in batch],
+                    [(r.call_id, r.enc_args, r.rbid) for r in batch],
                 )
             ]
         else:
             payload = [
-                (record.call_id, record.pending.spec.name, record.enc_args)
+                (
+                    record.call_id,
+                    record.pending.spec.name,
+                    record.enc_args,
+                    record.rbid,
+                )
                 for record in batch
             ]
+        inval = (
+            self.residency.take_invalidations(worker)
+            if self.residency is not None
+            else []
+        )
         try:
-            self.pool.submit_to(worker, payload)
+            self.pool.submit_to(worker, (inval, payload))
         except (BrokenPipeError, OSError):
             # The worker died before taking the batch: nothing executed,
             # so the records go back to staging without an attempt mark.
-            # A broken pipe implies the process is (about to be) dead —
-            # make sure it is before the crash handler inspects it, so
-            # the flush loop cannot spin on a half-dead worker.
+            # The encodings are released on the crash path (refs/blk
+            # entries bind to the dead worker's cache) and the drained
+            # invalidations are moot — drop_worker purges the queue a
+            # fresh respawn must not see.
+            for record in batch:
+                self._release_encodings(record, crashed=True, pid=None)
             self._staged.extend(batch)
             process = self.pool.processes[worker]
             if process is not None and process.is_alive():
@@ -485,6 +858,11 @@ class Supervisor:
             self._handle_crash(worker)
             return False
         self.stats.ipc_messages_sent += 1
+        if self._affinity is not None:
+            for record in batch:
+                self._affinity.notify(
+                    _DispatchLabel(record.pending.spec.name), worker
+                )
         if grouped:
             self.stats.fire_batches += 1
             self.stats.batched_fires += len(batch)
@@ -512,12 +890,17 @@ class Supervisor:
                         bus.now(),
                         record.pending.spec.name,
                         record.call_id,
-                        sum(e.nbytes for e in record.enc_args),
-                        any(e.via_shm for e in record.enc_args),
+                        sum(e.nbytes for e in self._enc_values(record.enc_args)),
+                        any(e.via_shm for e in self._enc_values(record.enc_args)),
                         record.pending.node_id,
                     )
                 )
         return True
+
+    def locality_stats(self) -> dict[str, Any]:
+        """Residency-tracker counters, or ``{}`` with affinity off."""
+        tracker = self.residency
+        return tracker.stats() if tracker is not None else {}
 
     def snapshot(self) -> dict[str, Any]:
         """Point-in-time dispatch state (flight-recorder snapshot source).
@@ -591,13 +974,43 @@ class Supervisor:
     def _absorb(self, message: tuple[int, list[tuple]]) -> None:
         worker_id, results = message
         self.stats.ipc_messages_received += 1
-        for call_id, ok, payload, t0, duration in results:
+        bus = self.bus
+        for call_id, ok, payload, t0, duration, cached in results:
             record = self._assigned.pop(call_id, None)
             if record is None:
                 continue  # already resolved via the crash path
             self._worker_calls[record.worker].discard(call_id)
-            self._release_encodings(record, crashed=False, pid=None)
             pending = record.pending
+            if ok == "miss":
+                # The worker's cache no longer held a ref-shipped block.
+                # It decoded every full encoding before resolving refs
+                # (pooled segments were consumed), so release normally,
+                # correct the residency belief, and re-dispatch fully
+                # encoded — no attempt is recorded: nothing executed,
+                # and a miss must never eat the retry budget.
+                self._release_encodings(record, crashed=False, pid=None)
+                tracker = self.residency
+                if tracker is not None:
+                    for bid in payload:
+                        tracker.discard(bid, worker_id)
+                    tracker.refs_missed += len(payload)
+                record.no_ref = True
+                record.worker = -1
+                record.deadline = None
+                self.stats.affinity_misses += 1
+                if bus is not None and bus.wants(AffinityMiss):
+                    bus.emit(
+                        AffinityMiss(
+                            bus.now(),
+                            pending.spec.name,
+                            call_id,
+                            worker_id,
+                            len(payload),
+                        )
+                    )
+                self._staged.append(record)
+                continue
+            self._release_encodings(record, crashed=False, pid=None)
             if ok:
                 raw_payload: EncodedValue = payload
                 self._completions.append(
@@ -610,6 +1023,8 @@ class Supervisor:
                         duration,
                         raw_payload.nbytes,
                         raw_payload.via_shm,
+                        cached=bool(cached),
+                        rbid=record.rbid,
                     )
                 )
                 continue
@@ -710,6 +1125,11 @@ class Supervisor:
             )
         lost = [self._assigned.pop(cid) for cid in lost_ids]
         self._worker_calls[worker].clear()
+        if self.residency is not None:
+            # The cache died with the process: purge residency before
+            # any re-fire so retries never ship refs into a dead (or
+            # freshly respawned, hence empty) cache.
+            self.residency.drop_worker(worker)
         if self.pool.respawns >= self.policy.max_respawns:
             # Put the lost records back so drain_in_flight can recover
             # them for the degradation path.

@@ -55,6 +55,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
     _posixshmem = None
 
 from ..errors import RuntimeFailure
+from .blocks import payload_nbytes, wraps_as_block
 from .operators import (
     FusedChain,
     OperatorRegistry,
@@ -66,6 +67,9 @@ from .operators import (
 
 #: NumPy buffers at or above this many bytes travel via shared memory.
 SHM_THRESHOLD_DEFAULT = 64 * 1024
+
+#: Per-worker resident block-cache budget (see :class:`BlockCache`).
+CACHE_BYTES_DEFAULT = 256 * 1024 * 1024
 
 #: Shared-memory segment offsets are aligned to this many bytes.
 _ALIGN = 64
@@ -482,6 +486,87 @@ def _decode_exception(enc: tuple[str, Any, str]) -> BaseException:
     return RemoteOperatorFailure(f"{payload}\n--- worker traceback ---\n{tb}")
 
 
+#: Distinguishes "not resident" from any legitimately cached payload.
+_CACHE_MISS = object()
+
+
+class BlockCache:
+    """Bytes-bounded LRU of decoded payloads resident in one worker.
+
+    Keys are master-assigned block ids (``DataBlock.bid``); values are
+    the raw payloads operators receive.  Single-assignment makes resident
+    copies valid for a block's whole lifetime — the only invalidation
+    traffic is block death and declared in-place writes, which the master
+    piggybacks on ordinary task messages.  Eviction is strictly
+    least-recently-used by bytes; the master's residency belief may then
+    run stale, which a lookup miss self-heals (the master re-ships the
+    fire fully encoded), so the budget is a memory bound, never a
+    correctness constraint.
+    """
+
+    __slots__ = (
+        "max_bytes", "held_bytes", "hits", "misses", "evictions", "stored",
+        "_entries",
+    )
+
+    def __init__(self, max_bytes: int = CACHE_BYTES_DEFAULT) -> None:
+        self.max_bytes = max_bytes
+        self.held_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.stored = 0
+        #: bid → (payload, nbytes); dict order is the LRU order (oldest
+        #: first — hits pop and re-insert).
+        self._entries: dict[int, tuple[Any, int]] = {}
+
+    def get(self, bid: int) -> Any:
+        """The resident payload, or :data:`_CACHE_MISS`."""
+        entry = self._entries.pop(bid, None)
+        if entry is None:
+            self.misses += 1
+            return _CACHE_MISS
+        self._entries[bid] = entry
+        self.hits += 1
+        return entry[0]
+
+    def put(self, bid: int, value: Any) -> bool:
+        """Make ``value`` resident under ``bid``; False if it cannot fit."""
+        nbytes = payload_nbytes(value)
+        if nbytes > self.max_bytes:
+            return False
+        old = self._entries.pop(bid, None)
+        if old is not None:
+            self.held_bytes -= old[1]
+        entries = self._entries
+        while self.held_bytes + nbytes > self.max_bytes and entries:
+            oldest = next(iter(entries))
+            _, evicted_nbytes = entries.pop(oldest)
+            self.held_bytes -= evicted_nbytes
+            self.evictions += 1
+        entries[bid] = (value, nbytes)
+        self.held_bytes += nbytes
+        self.stored += 1
+        return True
+
+    def invalidate(self, bids: Any) -> None:
+        """Drop every listed block (dead or mutated on the master)."""
+        for bid in bids:
+            entry = self._entries.pop(bid, None)
+            if entry is not None:
+                self.held_bytes -= entry[1]
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "resident_blocks": len(self._entries),
+            "resident_bytes": self.held_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "stored": self.stored,
+        }
+
+
 def worker_main(
     worker_id: int,
     conn: Any,
@@ -491,23 +576,49 @@ def worker_main(
     fault_spec: Any = None,
     fault_salt: int = 0,
     codegen_sources: dict[str, str] | None = None,
+    cache_bytes: int = CACHE_BYTES_DEFAULT,
 ) -> None:
     """Body of one worker process: batches in, batches out, until None.
 
     ``conn`` is the worker's end of a duplex pipe owned exclusively by
-    this process — batches arrive on it, ``(worker_id, results)``
-    messages go back on it.  Each result is ``(call_id, ok,
-    EncodedValue-or-error, t0, duration)`` with ``t0`` a raw
+    this process — ``(invalidations, batch)`` messages arrive on it,
+    ``(worker_id, results)`` messages go back on it.  ``invalidations``
+    is a list of block ids to drop from the resident cache before the
+    batch runs (dead or mutated master blocks, piggybacked here so
+    invalidation costs no extra IPC).  Each result is ``(call_id, ok,
+    payload, t0, duration, cached)`` with ``t0`` a raw
     ``time.perf_counter`` stamp (CLOCK_MONOTONIC is process-shared, so
-    the master can place worker spans on its own timeline).
+    the master can place worker spans on its own timeline) and ``cached``
+    whether the worker kept its raw result resident under the
+    master-assigned result block id.  ``ok`` is ``True`` (payload an
+    :class:`EncodedValue`), ``False`` (payload an encoded exception), or
+    ``"miss"`` — the structured cache-miss reply, payload the list of
+    block ids this worker could not resolve; the master re-dispatches
+    that fire with full encodings.
 
-    A batch entry is either a plain call ``(call_id, op_name, enc_args)``
-    — answered by one single-result message as soon as it finishes — or a
-    grouped entry ``("batch", op_name, [(call_id, enc_args), ...])``: N
-    firings of one operator answered by *one* N-result message, executed
-    through the operator's vectorized ``batch_fn`` when it has one and
-    fault injection is off, and otherwise unrolled through the plain
-    per-call loop (so injection decisions stay per firing).
+    A batch entry is either a plain call ``(call_id, op_name, enc_args,
+    rbid)`` — answered by one single-result message as soon as it
+    finishes — or a grouped entry ``("batch", op_name, [(call_id,
+    enc_args, rbid), ...])``: N firings of one operator answered by *one*
+    N-result message, executed through the operator's vectorized
+    ``batch_fn`` when it has one and fault injection is off, and
+    otherwise unrolled through the plain per-call loop (so injection
+    decisions stay per firing).  ``rbid`` is the master-assigned block id
+    the result should be cached under (``None`` outside affinity runs).
+
+    Each element of ``enc_args`` is one of three wire forms:
+
+    * a plain :class:`EncodedValue` — decoded fresh, never cached
+      (non-block arguments and declared-``modifies`` positions);
+    * ``("blk", bid, EncodedValue)`` — decoded, made resident in the
+      :class:`BlockCache` under ``bid``, then used;
+    * ``("ref", bid)`` — served from the resident cache; no pickle, no
+      shared-memory segment crossed the wire.
+
+    Full encodings are always decoded (consuming their pooled shm
+    segments) *before* refs are resolved, so a cache miss never leaves a
+    segment half-consumed — the master releases a missed fire's
+    encodings exactly as it releases a completed one's.
 
     ``fused_chains`` maps fused super-node names to their recipes (plain
     picklable data); the worker composes each chain against its own
@@ -538,6 +649,41 @@ def worker_main(
     codegen_sources = codegen_sources or {}
     fused_specs: dict[str, Any] = {}
     injector = fault_spec.build(fault_salt) if fault_spec is not None else None
+    cache = BlockCache(cache_bytes)
+
+    def resolve_args(
+        op_name: str, enc_args: list[Any]
+    ) -> tuple[list[Any], list[int]]:
+        """Decoded argument payloads plus the block ids that missed.
+
+        Two passes: every full encoding is decoded first (consuming its
+        shm segments and making ``("blk", ...)`` entries resident), then
+        refs are served from the cache — which lets a later argument ref
+        a block shipped earlier in the *same* message.
+        """
+        out: list[Any] = [None] * len(enc_args)
+        refs: list[tuple[int, int]] = []
+        for i, a in enumerate(enc_args):
+            if type(a) is tuple:
+                if a[0] == "blk":
+                    value = decode_value(a[2])
+                    cache.put(a[1], value)
+                    out[i] = value
+                else:  # ("ref", bid)
+                    refs.append((i, a[1]))
+            else:
+                out[i] = decode_value(a)
+        missing: list[int] = []
+        for i, bid in refs:
+            forced = injector is not None and injector.on_cache_lookup(
+                op_name
+            )
+            value = _CACHE_MISS if forced else cache.get(bid)
+            if value is _CACHE_MISS:
+                missing.append(bid)
+            else:
+                out[i] = value
+        return out, missing
 
     def resolve(op_name: str) -> Any:
         spec = fused_specs.get(op_name)
@@ -563,58 +709,90 @@ def worker_main(
 
     while True:
         try:
-            batch = conn.recv()
+            message = conn.recv()
         except EOFError:  # master closed its end (or died): clean exit
             return
-        if batch is None:
+        if message is None:
             return
+        invalidations, batch = message
+        if invalidations:
+            cache.invalidate(invalidations)
         for entry in batch:
             if entry[0] == "batch":
-                # Grouped entry ("batch", op_name, [(call_id, enc_args),
-                # ...]): N firings of one operator, one reply message.
-                # One message for N results concentrates the mid-batch
-                # crash window, but a crashed vectorized group is retried
-                # by the supervisor as plain singleton fires, which
-                # restores the streamed-result salvage semantics.
+                # Grouped entry ("batch", op_name, [(call_id, enc_args,
+                # rbid), ...]): N firings of one operator, one reply
+                # message.  One message for N results concentrates the
+                # mid-batch crash window, but a crashed vectorized group
+                # is retried by the supervisor as plain singleton fires,
+                # which restores the streamed-result salvage semantics.
                 _, op_name, calls = entry
                 spec = resolve(op_name)
                 if spec.batch_fn is not None and injector is None:
                     t_start = time.perf_counter()
                     try:
-                        args_lists = [
-                            tuple(decode_value(e) for e in enc_args)
-                            for _, enc_args in calls
+                        resolved = [
+                            resolve_args(op_name, enc_args)
+                            for _, enc_args, _ in calls
                         ]
-                        raws = list(spec.batch_fn(args_lists))
-                        if len(raws) != len(calls):
-                            raise RuntimeFailure(
-                                f"batch form of operator {op_name!r} "
-                                f"returned {len(raws)} result(s) for "
-                                f"{len(calls)} firing(s)"
-                            )
-                        total = time.perf_counter() - t_start
-                        # The vectorized kernel ran all N firings in one
-                        # call; attribute each an equal share so master
-                        # timelines stay additive.
-                        per = total / len(calls)
+                        # Members whose refs missed get structured miss
+                        # replies; the rest still run vectorized, so one
+                        # stale residency entry does not forfeit the
+                        # whole group's batching win.
                         results = [
-                            (
-                                cid,
-                                True,
-                                encode_value(raw, shm_threshold),
-                                t_start + i * per,
-                                per,
+                            (cid, "miss", missing, t_start, 0.0, False)
+                            for (cid, _, _), (_, missing) in zip(
+                                calls, resolved
                             )
-                            for i, ((cid, _), raw) in enumerate(
-                                zip(calls, raws)
-                            )
+                            if missing
                         ]
+                        ready = [
+                            (cid, rbid, args)
+                            for (cid, _, rbid), (args, missing) in zip(
+                                calls, resolved
+                            )
+                            if not missing
+                        ]
+                        if ready:
+                            raws = list(
+                                spec.batch_fn(
+                                    [tuple(args) for _, _, args in ready]
+                                )
+                            )
+                            if len(raws) != len(ready):
+                                raise RuntimeFailure(
+                                    f"batch form of operator {op_name!r} "
+                                    f"returned {len(raws)} result(s) for "
+                                    f"{len(ready)} firing(s)"
+                                )
+                            total = time.perf_counter() - t_start
+                            # The vectorized kernel ran all N firings in
+                            # one call; attribute each an equal share so
+                            # master timelines stay additive.
+                            per = total / len(ready)
+                            for i, ((cid, rbid, _), raw) in enumerate(
+                                zip(ready, raws)
+                            ):
+                                cached = (
+                                    rbid is not None
+                                    and wraps_as_block(raw)
+                                    and cache.put(rbid, raw)
+                                )
+                                results.append(
+                                    (
+                                        cid,
+                                        True,
+                                        encode_value(raw, shm_threshold),
+                                        t_start + i * per,
+                                        per,
+                                        cached,
+                                    )
+                                )
                     except BaseException as exc:  # noqa: BLE001
                         duration = time.perf_counter() - t_start
                         payload = _encode_exception(exc)
                         results = [
-                            (cid, False, payload, t_start, duration)
-                            for cid, _ in calls
+                            (cid, False, payload, t_start, duration, False)
+                            for cid, _, _ in calls
                         ]
                     try:
                         conn.send((worker_id, results))
@@ -625,19 +803,34 @@ def worker_main(
                 # is decided per firing): fall through to the per-call
                 # loop so injection points and result streaming behave
                 # exactly as unbatched dispatch.
-                singles = [(cid, op_name, enc_args) for cid, enc_args in calls]
+                singles = [
+                    (cid, op_name, enc_args, rbid)
+                    for cid, enc_args, rbid in calls
+                ]
             else:
                 singles = [entry]
-            for call_id, op_name, enc_args in singles:
+            for call_id, op_name, enc_args, rbid in singles:
                 t0 = time.perf_counter()
+                cached = False
                 try:
                     spec = resolve(op_name)
-                    args = tuple(decode_value(e) for e in enc_args)
-                    if injector is not None:
-                        injector.on_call(op_name)
-                    raw = spec.fn(*args)
-                    payload = encode_value(raw, shm_threshold)
-                    ok = True
+                    args, missing = resolve_args(op_name, enc_args)
+                    if missing:
+                        # Structured cache-miss reply: every full
+                        # encoding above was already decoded, so the
+                        # master's segment bookkeeping proceeds as for a
+                        # completed fire; it re-ships this one fully
+                        # encoded.
+                        ok: Any = "miss"
+                        payload: Any = missing
+                    else:
+                        if injector is not None:
+                            injector.on_call(op_name)
+                        raw = spec.fn(*args)
+                        payload = encode_value(raw, shm_threshold)
+                        if rbid is not None and wraps_as_block(raw):
+                            cached = cache.put(rbid, raw)
+                        ok = True
                 except BaseException as exc:  # noqa: BLE001 - to master
                     payload = _encode_exception(exc)
                     ok = False
@@ -659,6 +852,7 @@ def worker_main(
                                     payload,
                                     t0,
                                     time.perf_counter() - t0,
+                                    cached,
                                 )
                             ],
                         )
@@ -692,12 +886,14 @@ class WorkerPool:
         fused_chains: dict[str, FusedChain] | None = None,
         fault_spec: Any = None,
         codegen_sources: dict[str, str] | None = None,
+        cache_bytes: int = CACHE_BYTES_DEFAULT,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.registry_ref = registry_ref
         self.shm_threshold = shm_threshold
+        self.cache_bytes = cache_bytes
         #: Reusable dispatch-argument segments.  Created (empty) before the
         #: workers fork so children never inherit arena mappings; the pool
         #: owns its teardown in :meth:`close`.
@@ -743,6 +939,7 @@ class WorkerPool:
                     self._fault_spec,
                     fault_salt,
                     self._codegen_sources,
+                    self.cache_bytes,
                 ),
                 daemon=True,
                 name=f"delirium-proc-{i}",
@@ -773,16 +970,14 @@ class WorkerPool:
         self.respawns += 1
         return self._spawn(i, fault_salt=self.respawns)
 
-    def submit_to(
-        self, i: int, batch: list[tuple[int, str, list[EncodedValue]]]
-    ) -> None:
-        """Send one batch to worker ``i``.
+    def submit_to(self, i: int, message: tuple[list[int], list[Any]]) -> None:
+        """Send one ``(invalidations, batch)`` message to worker ``i``.
 
         Raises ``BrokenPipeError``/``OSError`` if the worker is already
         dead — callers treat that exactly like a crash-after-dispatch
         (the sentinel fires on the next :meth:`wait`).
         """
-        self.conns[i].send(batch)
+        self.conns[i].send(message)
 
     def wait(self, timeout: float | None = None) -> list[Any]:
         """Block until a result pipe is readable or a sentinel fires.

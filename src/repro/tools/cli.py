@@ -135,6 +135,17 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
         "persisted table is loaded when one exists",
     )
     parser.add_argument(
+        "--affinity",
+        choices=("none", "operator", "data"),
+        default="data",
+        help="locality policy for --executor process dispatch: 'data' "
+        "(default) places fires on the idle worker holding the most "
+        "input bytes and ships already-resident blocks by reference; "
+        "'operator' prefers the worker an operator last ran on; 'none' "
+        "is legacy least-loaded dispatch with full encodings.  Results "
+        "are bit-identical across all three",
+    )
+    parser.add_argument(
         "--fault-policy",
         metavar="SPEC",
         default=None,
@@ -149,8 +160,9 @@ def _add_executor(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="deterministic fault injection for chaos testing: "
         "semicolon-separated clauses KIND[:KEY=VALUE,...] with kinds "
-        "raise|delay|kill|arena and params op=, p=, nth=, times=, "
-        "seconds=, seed= (e.g. 'raise:op=scale,p=0.1;kill:p=0.02')",
+        "raise|delay|kill|arena|cachemiss and params op=, p=, nth=, "
+        "times=, seconds=, seed= (e.g. "
+        "'raise:op=scale,p=0.1;kill:p=0.02')",
     )
 
 
@@ -291,7 +303,12 @@ def _make_executor(
                 measured_costs
             )
         return ProcessExecutor(
-            ns.workers, trace=trace, bus=bus, batch=batch, **faults
+            ns.workers,
+            trace=trace,
+            bus=bus,
+            batch=batch,
+            affinity=getattr(ns, "affinity", "data"),
+            **faults,
         )
     return SequentialExecutor(trace=trace, bus=bus, batch=batch, **faults)
 
