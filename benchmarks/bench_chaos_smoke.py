@@ -67,6 +67,9 @@ def test_retina_survives_chaos():
     assert stats.fires_timed_out >= 1, "the forced timeout never fired"
     assert stats.fires_retried >= stats.worker_crashes
     assert _shm_entries() <= before, "leaked shared-memory segments"
+    from repro.runtime.workers import cleanup_arenas
+
+    assert cleanup_arenas() == 0, "live arenas left for the atexit reaper"
 
 
 def test_montecarlo_survives_chaos():
@@ -87,6 +90,9 @@ def test_montecarlo_survives_chaos():
     assert result.stats.worker_crashes >= 1
     assert result.stats.fires_timed_out >= 1
     assert _shm_entries() <= before, "leaked shared-memory segments"
+    from repro.runtime.workers import cleanup_arenas
+
+    assert cleanup_arenas() == 0, "live arenas left for the atexit reaper"
 
 
 if __name__ == "__main__":  # pragma: no cover

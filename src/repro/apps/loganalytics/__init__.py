@@ -1,0 +1,37 @@
+"""Log-analytics: an unbounded streaming pipeline case study.
+
+Where the retina (section 5) streams a *stateful simulation*, this app
+streams an *aggregation*: synthetic log batches shard four ways, reduce
+in parallel, and fold into a carried running aggregate.  It exists to
+exercise the PR 10 robustness surface — bounded-memory streaming,
+checkpoint/resume, and the ``masterkill`` crash drill — on a workload
+whose state is plain data rather than NumPy arrays.
+"""
+
+from .coordination import LOG_PROGRAM, compile_log_program, make_registry
+from .model import (
+    empty_stats,
+    make_batch,
+    merge_stats,
+    sequential_stats,
+    shard_batch,
+    shard_stats,
+    stats_row,
+)
+from .stream import batch_source, make_stream_runner, stream_logs
+
+__all__ = [
+    "LOG_PROGRAM",
+    "batch_source",
+    "compile_log_program",
+    "empty_stats",
+    "make_batch",
+    "make_registry",
+    "make_stream_runner",
+    "merge_stats",
+    "sequential_stats",
+    "shard_batch",
+    "shard_stats",
+    "stats_row",
+    "stream_logs",
+]

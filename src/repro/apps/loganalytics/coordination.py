@@ -1,0 +1,80 @@
+"""Delirium coordination for the log-analytics stream.
+
+One stream item is one log batch; the program shards it four ways,
+aggregates each shard in parallel, and folds the combined partial into
+the running aggregate carried across items::
+
+    agg ──────────────────────────────┐
+    batch ─ shard4 ─┬─ shard_stats ─┐ │
+                    ├─ shard_stats ─┼─ combine4 ─ merge_stats ─ agg'
+                    ├─ shard_stats ─┤
+                    └─ shard_stats ─┘
+
+The same shape as the retina's fork-join, but over an *unbounded* item
+sequence — which is exactly the workload class
+:mod:`repro.runtime.stream` exists for.  The aggregate is a plain dict
+(picklable, JSON-able), so a checkpoint of the carry is a checkpoint of
+the whole pipeline state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ...compiler import CompiledProgram, compile_source
+from ...runtime.operators import OperatorRegistry, default_registry
+from . import model
+
+#: ``main(agg, batch)`` — the carried aggregate first, the new batch
+#: second, matching carry mode's default argument order.
+LOG_PROGRAM = """
+main(agg, batch)
+  let
+    <s1,s2,s3,s4>=shard4(batch)
+    r1=shard_stats(s1)
+    r2=shard_stats(s2)
+    r3=shard_stats(s3)
+    r4=shard_stats(s4)
+  in merge_stats(agg, combine4(r1,r2,r3,r4))
+"""
+
+
+def make_registry(ticks_per_record: float = 25.0) -> OperatorRegistry:
+    """Log-analytics operators; costs scale with records touched."""
+    reg = default_registry()
+    local = OperatorRegistry()
+
+    @local.register(
+        name="shard4",
+        pure=True,
+        cost=lambda batch: 5.0 * max(len(batch), 1),
+    )
+    def shard4(batch: list):
+        return tuple(model.shard_batch(batch, model.N_SHARDS))
+
+    @local.register(
+        name="shard_stats",
+        pure=True,
+        cost=lambda shard: ticks_per_record * max(len(shard), 1),
+    )
+    def shard_stats(shard: list):
+        return model.shard_stats(shard)
+
+    @local.register(name="combine4", pure=True, cost=50.0)
+    def combine4(r1, r2, r3, r4):
+        partial = model.merge_stats(
+            model.merge_stats(model.merge_stats(r1, r2), r3), r4
+        )
+        partial["batches"] = 1
+        return partial
+
+    @local.register(name="merge_stats", pure=True, cost=50.0)
+    def merge_stats(agg, partial):
+        return model.merge_stats(agg, partial)
+
+    return reg.merged_with(local)
+
+
+def compile_log_program(**kwargs: Any) -> CompiledProgram:
+    """Compile the per-batch program against its registry."""
+    return compile_source(LOG_PROGRAM, registry=make_registry(), **kwargs)

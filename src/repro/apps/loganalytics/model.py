@@ -1,0 +1,175 @@
+"""Synthetic log batches and shard-statistics kernels.
+
+A deterministic stand-in for a log-ingest pipeline: batch ``i`` of a
+stream is a pure function of ``(seed, i)`` — a list of records with a
+service name, a level, a latency, and a status code — so a pull-based
+source can re-seek to any offset after a crash and regenerate the exact
+bytes it would have produced anyway.  The statistics are plain dicts
+(JSON-able, picklable) combined by associative merges, which keeps the
+running aggregate an ordinary carried Delirium value.
+
+Everything here is engine-free; :mod:`.coordination` wraps these
+functions as registered operators.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from typing import Any
+
+#: The services whose logs the synthetic feed interleaves.
+SERVICES = (
+    "auth",
+    "billing",
+    "cart",
+    "catalog",
+    "gateway",
+    "search",
+    "shipping",
+    "users",
+)
+
+_LEVELS = ("INFO",) * 6 + ("WARN",) * 3 + ("ERROR",)
+_STATUSES = (200,) * 7 + (404, 429, 500)
+
+N_SHARDS = 4
+
+
+def make_batch(
+    seed: int, index: int, batch_size: int = 64
+) -> list[dict[str, Any]]:
+    """Batch ``index`` of the stream: ``batch_size`` synthetic records.
+
+    Pure in ``(seed, index, batch_size)`` — the property the checkpoint
+    subsystem relies on to store just a source *offset*.
+    """
+    rng = random.Random(seed * 1_000_003 + index)
+    records = []
+    for k in range(batch_size):
+        service = SERVICES[rng.randrange(len(SERVICES))]
+        level = _LEVELS[rng.randrange(len(_LEVELS))]
+        status = _STATUSES[rng.randrange(len(_STATUSES))]
+        latency = round(rng.expovariate(1 / 40.0), 3)
+        records.append(
+            {
+                "batch": index,
+                "k": k,
+                "service": service,
+                "level": level,
+                "status": status,
+                "latency_ms": latency,
+            }
+        )
+    return records
+
+
+def shard_of(service: str, n_shards: int = N_SHARDS) -> int:
+    """Stable shard assignment (``hash()`` is salted; CRC is not)."""
+    return zlib.crc32(service.encode("ascii")) % n_shards
+
+
+def shard_batch(
+    batch: list[dict[str, Any]], n_shards: int = N_SHARDS
+) -> list[list[dict[str, Any]]]:
+    """Partition one batch by service shard, order-preserving."""
+    shards: list[list[dict[str, Any]]] = [[] for _ in range(n_shards)]
+    for record in batch:
+        shards[shard_of(record["service"], n_shards)].append(record)
+    return shards
+
+
+def empty_stats() -> dict[str, Any]:
+    """The identity element of :func:`merge_stats`."""
+    return {
+        "batches": 0,
+        "records": 0,
+        "errors": 0,
+        "warnings": 0,
+        "latency_sum": 0.0,
+        "latency_max": 0.0,
+        "by_service": {},
+        "by_status": {},
+    }
+
+
+def shard_stats(shard: list[dict[str, Any]]) -> dict[str, Any]:
+    """Aggregate one shard's records into a partial-stats dict."""
+    out = empty_stats()
+    out["records"] = len(shard)
+    for record in shard:
+        if record["level"] == "ERROR":
+            out["errors"] += 1
+        elif record["level"] == "WARN":
+            out["warnings"] += 1
+        out["latency_sum"] += record["latency_ms"]
+        if record["latency_ms"] > out["latency_max"]:
+            out["latency_max"] = record["latency_ms"]
+        svc = record["service"]
+        out["by_service"][svc] = out["by_service"].get(svc, 0) + 1
+        status = str(record["status"])
+        out["by_status"][status] = out["by_status"].get(status, 0) + 1
+    return out
+
+
+def merge_stats(
+    a: dict[str, Any], b: dict[str, Any]
+) -> dict[str, Any]:
+    """Associative merge of two stats dicts (never mutates either).
+
+    ``latency_sum`` is rounded to fixed precision so the merge tree's
+    shape cannot perturb the low bits — the bit-identity guarantee of
+    checkpoint/resume extends to the aggregate rows.
+    """
+    out = empty_stats()
+    out["batches"] = a["batches"] + b["batches"]
+    out["records"] = a["records"] + b["records"]
+    out["errors"] = a["errors"] + b["errors"]
+    out["warnings"] = a["warnings"] + b["warnings"]
+    out["latency_sum"] = round(a["latency_sum"] + b["latency_sum"], 6)
+    out["latency_max"] = max(a["latency_max"], b["latency_max"])
+    for src in (a, b):
+        for svc, n in src["by_service"].items():
+            out["by_service"][svc] = out["by_service"].get(svc, 0) + n
+        for status, n in src["by_status"].items():
+            out["by_status"][status] = out["by_status"].get(status, 0) + n
+    return out
+
+
+def stats_row(agg: dict[str, Any]) -> dict[str, Any]:
+    """One JSON-able sink row summarizing the running aggregate."""
+    records = agg["records"]
+    return {
+        "batches": agg["batches"],
+        "records": records,
+        "errors": agg["errors"],
+        "warnings": agg["warnings"],
+        "latency_mean": (
+            round(agg["latency_sum"] / records, 6) if records else 0.0
+        ),
+        "latency_max": agg["latency_max"],
+        "top_status": (
+            max(sorted(agg["by_status"]), key=agg["by_status"].__getitem__)
+            if agg["by_status"]
+            else None
+        ),
+    }
+
+
+def sequential_stats(
+    seed: int, n_batches: int, batch_size: int = 64
+) -> dict[str, Any]:
+    """Engine-free reference: the aggregate after ``n_batches`` batches.
+
+    Computed with the *same* shard decomposition and merge order as the
+    coordination program, so tests can demand equality, not closeness.
+    """
+    agg = empty_stats()
+    for index in range(n_batches):
+        shards = shard_batch(make_batch(seed, index, batch_size))
+        partial = shard_stats(shards[0])
+        for shard in shards[1:]:
+            partial = merge_stats(partial, shard_stats(shard))
+        partial["batches"] = 1
+        agg = merge_stats(agg, partial)
+    return agg

@@ -4,15 +4,19 @@ from .model import Band, RetinaConfig, RetinaState, TargetChunk
 from .operators import make_registry
 from .programs import RETINA_V1, RETINA_V2, compile_retina
 from .sequential import run_sequential
+from .stream import RETINA_STREAM_STEP, compile_retina_stream, stream_retina
 
 __all__ = [
     "Band",
+    "RETINA_STREAM_STEP",
     "RETINA_V1",
     "RETINA_V2",
     "RetinaConfig",
     "RetinaState",
     "TargetChunk",
     "compile_retina",
+    "compile_retina_stream",
     "make_registry",
     "run_sequential",
+    "stream_retina",
 ]

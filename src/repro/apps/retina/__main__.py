@@ -1,7 +1,10 @@
 """Driver: ``python -m repro.apps.retina [processors]``.
 
 Runs the balanced retina program on the simulated Cray Y-MP and prints
-the speedup curve plus a load-balance summary.
+the speedup curve plus a load-balance summary.  With ``--stream N`` it
+instead runs ``N`` timesteps as a continuous-frame stream
+(:mod:`repro.apps.retina.stream`) and prints each committed frame's
+signature row — the unbounded-workload face of the same model.
 """
 
 import sys
@@ -12,7 +15,24 @@ from .model import RetinaConfig
 from .programs import compile_retina
 
 
+def _stream_main(n_steps: int) -> int:
+    from ...runtime.stream import MemorySink
+    from .stream import stream_retina
+
+    sink = MemorySink()
+    result = stream_retina(n_steps, sink=sink)
+    for i, row in enumerate(sink.items):
+        print(f"frame {i}: {row}")
+    print(
+        f"{result.items} frames, {result.fires} fires, "
+        f"sink digest {result.sink_digest[:16]}..."
+    )
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) > 2 and sys.argv[1] == "--stream":
+        return _stream_main(int(sys.argv[2]))
     max_p = int(sys.argv[1]) if len(sys.argv) > 1 else 4
     config = RetinaConfig()
     compiled = compile_retina(2, config)

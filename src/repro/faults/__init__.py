@@ -24,6 +24,8 @@ decisions depend only on the calls it actually executes.
 """
 
 from .spec import (
+    ARENA_SCOPE,
+    MASTER_SCOPE,
     FaultClause,
     FaultInjector,
     FaultSpec,
@@ -32,6 +34,8 @@ from .spec import (
 )
 
 __all__ = [
+    "ARENA_SCOPE",
+    "MASTER_SCOPE",
     "FaultClause",
     "FaultInjector",
     "FaultSpec",

@@ -6,6 +6,7 @@ Grammar (clauses separated by ``;``, parameters by ``,``)::
     CLAUSE := KIND [':' PARAM (',' PARAM)*]
     PARAM  := KEY '=' VALUE
     KIND   := 'raise' | 'delay' | 'kill' | 'arena' | 'cachemiss'
+            | 'masterkill'
 
 Kinds:
 
@@ -30,6 +31,15 @@ Kinds:
     and the master re-dispatches the fire with full encodings — the
     safe-fallback path, exercised on demand.  Inert when no argument is
     ref-shipped.
+``masterkill``
+    ``SIGKILL`` the *master* process at a streaming item boundary — the
+    mirror image of ``kill``: inert inside workers, inert in
+    non-streaming runs (only :class:`~repro.runtime.stream.StreamRunner`
+    consults the boundary hook).  Invocations are counted under
+    :data:`MASTER_SCOPE`, one per committed stream item, so
+    ``masterkill:nth=K`` deterministically crashes the master right
+    after item ``K`` commits — the seeded crash the checkpoint/resume
+    property tests and ``bench_checkpoint_smoke`` are built on.
 
 Selection parameters, common to all kinds:
 
@@ -64,11 +74,15 @@ from dataclasses import dataclass, field
 
 from ..errors import DeliriumError
 
-_KINDS = ("raise", "delay", "kill", "arena", "cachemiss")
+_KINDS = ("raise", "delay", "kill", "arena", "cachemiss", "masterkill")
 
 #: Pseudo-operator name under which ``arena`` clause invocations are
 #: counted (arena acquisitions have no operator context).
 ARENA_SCOPE = "<arena>"
+
+#: Pseudo-operator name under which ``masterkill`` clause invocations
+#: are counted (one per streaming item boundary in the master).
+MASTER_SCOPE = "<master>"
 
 
 class FaultSpecError(DeliriumError):
@@ -259,7 +273,7 @@ class FaultInjector:
         arguments.
         """
         for idx, clause in enumerate(self.spec.clauses):
-            if clause.kind in ("arena", "cachemiss"):
+            if clause.kind in ("arena", "cachemiss", "masterkill"):
                 continue
             if not self._should_fire(idx, clause, op_name):
                 continue
@@ -292,3 +306,46 @@ class FaultInjector:
             if self._should_fire(idx, clause, op_name):
                 return True
         return False
+
+    def on_master_boundary(self) -> None:
+        """Consulted by the streaming runner after each item commits.
+
+        A matching ``masterkill`` clause SIGKILLs the current process —
+        no flush, no atexit, exactly a ``kill -9`` — but only when the
+        process *is* the master.  Counters advance either way so a spec
+        shared with workers stays deterministic.
+        """
+        for idx, clause in enumerate(self.spec.clauses):
+            if clause.kind != "masterkill":
+                continue
+            if self._should_fire(idx, clause, MASTER_SCOPE):
+                if not _in_worker_process():
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- checkpoint support --------------------------------------------
+    def state_dict(self) -> dict:
+        """The injector's cursors as checkpointable plain data.
+
+        Decisions are pure functions of ``(seed, salt, kind, op, count)``,
+        so restoring the counters is all a resumed master needs to keep
+        making the *same* decisions it would have made uninterrupted —
+        e.g. a ``masterkill:nth=200`` clause that fired before the crash
+        must not fire again at the resumed run's 200th boundary.
+        """
+        return {
+            "salt": self.salt,
+            "counts": [
+                [idx, op, n] for (idx, op), n in sorted(self._counts.items())
+            ],
+            "fired": [[idx, n] for idx, n in sorted(self._fired.items())],
+            "injected": self.injected,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore cursors captured by :meth:`state_dict`."""
+        self.salt = int(state["salt"])
+        self._counts = {
+            (int(idx), str(op)): int(n) for idx, op, n in state["counts"]
+        }
+        self._fired = {int(idx): int(n) for idx, n in state["fired"]}
+        self.injected = int(state["injected"])

@@ -47,6 +47,7 @@ from .events import (
     BlockReleased,
     BlockRetained,
     BufferRecycled,
+    CheckpointWritten,
     CowCopy,
     DonationApplied,
     Event,
@@ -61,8 +62,10 @@ from .events import (
     OpStarted,
     OperatorsFused,
     QueueDepthSample,
+    QueueSaturated,
     ResultReceived,
     RunFinished,
+    RunResumed,
     RunStarted,
     ShmBlockCreated,
     ShmSegmentReclaimed,
@@ -103,6 +106,7 @@ __all__ = [
     "BlockReleased",
     "BlockRetained",
     "BufferRecycled",
+    "CheckpointWritten",
     "ChromeTraceCollector",
     "Counter",
     "CowCopy",
@@ -129,9 +133,11 @@ __all__ = [
     "OpStarted",
     "OperatorsFused",
     "QueueDepthSample",
+    "QueueSaturated",
     "ResultReceived",
     "RunContext",
     "RunFinished",
+    "RunResumed",
     "RunStarted",
     "Series",
     "ShmBlockCreated",

@@ -427,6 +427,55 @@ class QueueDepthSample(Event):
         return sum(self.depths)
 
 
+@dataclass(frozen=True, slots=True)
+class QueueSaturated(Event):
+    """The ready queue crossed its ``max_ready`` watermark.
+
+    Emitted once per upward crossing (re-armed when the depth falls back
+    under the watermark), so a saturated hot loop produces one event, not
+    one per push.  Streaming sources treat the saturated state as
+    backpressure and stop pulling input until it clears.
+    """
+
+    depth: int
+    max_ready: int
+
+
+# ----------------------------------------------------------------------
+# Streaming / checkpoint (runtime.stream, runtime.checkpoint)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class CheckpointWritten(Event):
+    """A crash-consistent snapshot reached durable storage.
+
+    Emitted after the atomic rename, so an event implies the file named
+    by ``path`` is complete and verifiable.  ``seconds`` is the wall
+    time spent flushing the sink plus serializing and fsyncing the
+    snapshot — the cost the <5% overhead budget is measured against.
+    """
+
+    path: str
+    seq: int
+    items: int
+    fires: int
+    nbytes: int
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class RunResumed(Event):
+    """A streaming run was rebuilt from a checkpoint instead of scratch.
+
+    ``items``/``fires`` are the restored frontier: everything before it
+    is committed (single-assignment makes it final) and is never
+    re-fired.
+    """
+
+    path: str
+    items: int
+    fires: int
+
+
 #: Every concrete event type, for subscribers that want the full stream.
 ALL_EVENTS: tuple[type, ...] = (
     RunStarted,
@@ -460,6 +509,9 @@ ALL_EVENTS: tuple[type, ...] = (
     AffinityMiss,
     OperatorsFused,
     QueueDepthSample,
+    QueueSaturated,
+    CheckpointWritten,
+    RunResumed,
 )
 
 

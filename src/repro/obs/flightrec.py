@@ -43,6 +43,7 @@ import signal
 from typing import Any, Callable
 
 from .events import (
+    CheckpointWritten,
     CowCopy,
     DonationApplied,
     Event,
@@ -53,8 +54,10 @@ from .events import (
     FireRetried,
     FireTimedOut,
     OperatorsFused,
+    QueueSaturated,
     ResultReceived,
     RunFinished,
+    RunResumed,
     RunStarted,
     ShmBlockCreated,
     ShmSegmentReclaimed,
@@ -85,6 +88,9 @@ DEFAULT_EVENTS: tuple[type, ...] = (
     FireTimedOut,
     ExecutorDegraded,
     ShmSegmentReclaimed,
+    QueueSaturated,
+    CheckpointWritten,
+    RunResumed,
 )
 
 #: Event types whose arrival triggers an automatic dump.
@@ -240,8 +246,17 @@ class FlightRecorder:
         target = path or self.path
         doc = self.to_dict(trigger, reason)
         tmp = target + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(doc, fh, indent=1, default=repr)
-        os.replace(tmp, target)
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1, default=repr)
+            os.replace(tmp, target)
+        except BaseException:
+            # A dump interrupted mid-write (the recorder runs on crash
+            # paths by design) must not leave a stale ``.tmp`` behind.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         self.dumps += 1
         return target

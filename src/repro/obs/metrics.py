@@ -35,6 +35,7 @@ from .events import (
     BlockReleased,
     BlockRetained,
     BufferRecycled,
+    CheckpointWritten,
     CowCopy,
     DonationApplied,
     Event,
@@ -47,8 +48,10 @@ from .events import (
     OperatorsFused,
     OpStarted,
     QueueDepthSample,
+    QueueSaturated,
     ResultReceived,
     RunFinished,
+    RunResumed,
     RunStarted,
     ShmBlockCreated,
     ShmSegmentReclaimed,
@@ -319,6 +322,11 @@ def attach_metrics(
     runs_started = reg.counter("runs_started")
     runs_finished = reg.counter("runs_finished")
     runs_failed = reg.counter("runs_failed")
+    queue_saturations = reg.counter("queue_saturations")
+    checkpoints_written = reg.counter("checkpoints_written")
+    checkpoint_nbytes = reg.counter("checkpoint_nbytes")
+    checkpoint_seconds = reg.counter("checkpoint_seconds")
+    runs_resumed = reg.counter("runs_resumed")
     act_live = reg.gauge("activations_live")
 
     def on_event(e: Event) -> None:
@@ -398,6 +406,16 @@ def attach_metrics(
             ref_bytes_avoided.inc(e.nbytes, label=e.operator)
         elif isinstance(e, AffinityMiss):
             affinity_misses.inc(label=e.operator)
+        elif isinstance(e, QueueSaturated):
+            queue_saturations.inc()
+            reg.gauge("queue_saturated_depth").set(e.depth)
+        elif isinstance(e, CheckpointWritten):
+            checkpoints_written.inc()
+            checkpoint_nbytes.inc(e.nbytes)
+            checkpoint_seconds.inc(e.seconds)
+            reg.histogram("checkpoint_seconds_each").observe(e.seconds)
+        elif isinstance(e, RunResumed):
+            runs_resumed.inc()
         elif isinstance(e, OperatorsFused):
             reg.gauge("fused_nodes").set(e.fused_nodes)
             reg.gauge("fused_ops_absorbed").set(e.ops_absorbed)

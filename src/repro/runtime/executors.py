@@ -223,6 +223,7 @@ class SequentialExecutor:
         profile_ops: bool = False,
         batch: bool = False,
         batch_threshold: int | None = None,
+        max_ready: int | None = None,
     ) -> None:
         self.use_priorities = use_priorities
         self.seed = seed
@@ -232,6 +233,7 @@ class SequentialExecutor:
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
+        self.max_ready = max_ready
         #: Accumulate operator-body wall seconds in
         #: ``stats.op_body_seconds`` via two bare clock reads per firing —
         #: the benchmark phase-split probe (far cheaper than subscribing
@@ -261,7 +263,9 @@ class SequentialExecutor:
             bus=bus,
             profile_ops=self.profile_ops,
         )
-        queue = ReadyQueue(self.use_priorities, self.seed, bus=bus)
+        queue = ReadyQueue(
+            self.use_priorities, self.seed, bus=bus, max_ready=self.max_ready
+        )
         began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - began)
@@ -509,6 +513,7 @@ class ThreadedExecutor:
         run_ctx: RunContext | None = None,
         batch: bool = False,
         batch_threshold: int | None = None,
+        max_ready: int | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -520,6 +525,7 @@ class ThreadedExecutor:
         self.fault_policy = fault_policy
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
+        self.max_ready = max_ready
         #: Opt-in same-node fire coalescing (see :func:`batch_key`): a
         #: worker thread claims a whole group under the lock and runs one
         #: ``batch_call`` outside it — fewer lock round-trips per firing
@@ -541,7 +547,9 @@ class ThreadedExecutor:
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
         )
-        queue = ReadyQueue(self.use_priorities, bus=bus)
+        queue = ReadyQueue(
+            self.use_priorities, bus=bus, max_ready=self.max_ready
+        )
         condition = threading.Condition()
         active = 0
         errors: list[BaseException] = []
@@ -844,6 +852,17 @@ class ProcessExecutor:
         :mod:`repro.runtime.affinity` and the residency machinery in
         :mod:`repro.runtime.supervise`.  Results are bit-identical
         across all three settings.
+    persistent:
+        Keep the worker pool alive across :meth:`run` calls (streaming
+        and server-style use: repeated runs of the *same* program and
+        registry skip pool startup and registry/fused-chain/codegen
+        shipping).  The pool is rebuilt automatically when a different
+        program or registry arrives, and torn down by :meth:`close`.
+        Worker block caches persist across runs too; that is safe
+        because each run's fresh residency tracker never ref-ships a
+        block it did not itself record, so a stale entry can only be
+        overwritten (at next full ship of its bid) or LRU-evicted —
+        never served.
     """
 
     def __init__(
@@ -867,6 +886,8 @@ class ProcessExecutor:
         fault_spec: Any = None,
         run_ctx: RunContext | None = None,
         affinity: str = "data",
+        max_ready: int | None = None,
+        persistent: bool = False,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -905,6 +926,30 @@ class ProcessExecutor:
         self.fault_spec = fault_spec
         self.run_ctx = run_ctx
         self.affinity = affinity
+        self.max_ready = max_ready
+        self.persistent = persistent
+        self._pool: WorkerPool | None = None
+        self._pool_key: tuple[int, int] | None = None
+
+    def close(self) -> None:
+        """Tear down the persistent worker pool, if one is warm."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            self._pool_key = None
+            pool.close()
+
+    def _build_pool(
+        self, program: GraphProgram, registry: OperatorRegistry
+    ) -> WorkerPool:
+        return WorkerPool(
+            self.n_workers,
+            registry=registry,
+            registry_ref=self.registry_ref,
+            shm_threshold=self.shm_threshold,
+            fused_chains=collect_fused_chains(program),
+            fault_spec=self.fault_spec,
+            codegen_sources=collect_codegen_sources(program),
+        )
 
     def run(
         self,
@@ -918,16 +963,31 @@ class ProcessExecutor:
             if self.fault_policy is not None
             else FaultPolicy()
         )
+        if self.persistent:
+            key = (id(program), id(registry))
+            if self._pool is not None and self._pool_key != key:
+                self.close()
+            if self._pool is None:
+                try:
+                    self._pool = self._build_pool(program, registry)
+                    self._pool_key = key
+                except Exception as exc:
+                    if policy.degrade != "ladder":
+                        raise
+                    return self._run_degraded(
+                        program, args, registry, repr(exc)
+                    )
+            try:
+                return self._run_supervised(
+                    self._pool, program, args, registry, policy
+                )
+            except BaseException:
+                # A run that errored may leave the pool in an unknown
+                # state (mid-respawn, poisoned pipes); don't reuse it.
+                self.close()
+                raise
         try:
-            pool = WorkerPool(
-                self.n_workers,
-                registry=registry,
-                registry_ref=self.registry_ref,
-                shm_threshold=self.shm_threshold,
-                fused_chains=collect_fused_chains(program),
-                fault_spec=self.fault_spec,
-                codegen_sources=collect_codegen_sources(program),
-            )
+            pool = self._build_pool(program, registry)
         except Exception as exc:
             if policy.degrade != "ladder":
                 raise
@@ -1013,7 +1073,9 @@ class ProcessExecutor:
         state = ExecutionState(
             program, registry, check_purity=self.check_purity, bus=bus
         )
-        queue = ReadyQueue(self.use_priorities, self.seed, bus=bus)
+        queue = ReadyQueue(
+            self.use_priorities, self.seed, bus=bus, max_ready=self.max_ready
+        )
         began = time.perf_counter()
         if bus is not None:
             bus.set_clock(lambda: time.perf_counter() - began)

@@ -120,6 +120,12 @@ class FaultPolicy:
     max_respawns:
         Worker replacements allowed per run before the pool is declared
         irrecoverable.
+    checkpoint:
+        Wall-clock checkpoint cadence in seconds for streaming runs
+        (:class:`~repro.runtime.stream.StreamRunner`); ``None`` (the
+        default) means no time-based cadence.  Non-streaming executors
+        ignore it — there is nothing durable to snapshot mid-run until
+        a sink exists.
     """
 
     max_retries: int = 2
@@ -127,6 +133,7 @@ class FaultPolicy:
     backoff: float = 0.05
     degrade: str = "ladder"
     max_respawns: int = 8
+    checkpoint: float | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -141,6 +148,8 @@ class FaultPolicy:
             )
         if self.max_respawns < 0:
             raise ValueError("max_respawns must be >= 0")
+        if self.checkpoint is not None and self.checkpoint <= 0:
+            raise ValueError("checkpoint cadence must be positive (or None)")
 
     @classmethod
     def parse(cls, text: str) -> "FaultPolicy":
@@ -148,7 +157,8 @@ class FaultPolicy:
 
         Keys: ``retries``, ``timeout`` (seconds, or ``none``),
         ``backoff`` (seconds), ``degrade`` (``ladder``/``off``),
-        ``respawns``.  Example: ``retries=3,timeout=10,degrade=off``.
+        ``respawns``, ``checkpoint`` (seconds, or ``none``).
+        Example: ``retries=3,timeout=10,degrade=off,checkpoint=30``.
         """
         kwargs: dict[str, Any] = {}
         for part in text.split(","):
@@ -176,6 +186,12 @@ class FaultPolicy:
                     kwargs["degrade"] = value
                 elif key == "respawns":
                     kwargs["max_respawns"] = int(value)
+                elif key == "checkpoint":
+                    kwargs["checkpoint"] = (
+                        None
+                        if value.lower() in ("none", "off")
+                        else float(value)
+                    )
                 else:
                     raise ValueError(f"unknown fault-policy key {key!r}")
             except ValueError as exc:

@@ -40,10 +40,13 @@ analogue.  Three pieces:
 
 from __future__ import annotations
 
+import atexit
 import importlib
 import pickle
+import signal
 import time
 import traceback
+import weakref
 from dataclasses import dataclass, field, replace as dc_replace
 from multiprocessing import get_all_start_methods, get_context
 from multiprocessing import resource_tracker, shared_memory
@@ -190,11 +193,20 @@ class ShmArena:
     every registration is withdrawn where it happens — here after
     create, in :func:`decode_value` after attach — and :meth:`close`
     unlinks through ``shm_unlink`` directly, bypassing the tracker's
-    bookkeeping.  Crash cleanup is therefore manual (``/dev/shm``), the
-    usual cost of explicitly managed segment lifetime.
+    bookkeeping.
+
+    Explicit lifetime needs an explicit last line of defense: every
+    arena registers in a module-level ``WeakSet`` and a single
+    ``atexit`` pass (:func:`cleanup_arenas`) unlinks whatever is still
+    live when the master exits — so a master that dies between pool
+    start and the first commit (unhandled exception, ``SystemExit``,
+    SIGTERM routed through :func:`install_arena_signal_cleanup`) leaks
+    nothing into ``/dev/shm``.  Only ``SIGKILL`` still leaks, which no
+    in-process mechanism can prevent.
     """
 
     def __init__(self, min_bytes: int = 4096) -> None:
+        _LIVE_ARENAS.add(self)
         self.min_bytes = min_bytes
         self.created = 0
         self.reused = 0
@@ -281,6 +293,10 @@ class ShmArena:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
 
+    def live_segments(self) -> int:
+        """Segments currently backed by ``/dev/shm`` (lent plus free)."""
+        return len(self._lent) + sum(len(v) for v in self._free.values())
+
     def stats(self) -> dict[str, int]:
         return {
             "created": self.created,
@@ -290,6 +306,65 @@ class ShmArena:
             "lent": len(self._lent),
             "free": sum(len(v) for v in self._free.values()),
         }
+
+
+#: Every arena constructed in this process and not yet garbage-collected;
+#: the atexit pass below closes (= unlinks) whichever still hold segments.
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+def cleanup_arenas() -> int:
+    """Unlink the segments of every live arena; returns arenas closed.
+
+    Registered with ``atexit`` so an abandoned master (unhandled
+    exception, ``SystemExit``, a signal routed through
+    :func:`install_arena_signal_cleanup`) never leaks ``/dev/shm``
+    segments.  Safe to call any number of times — :meth:`ShmArena.close`
+    leaves the arena empty and reusable.
+    """
+    closed = 0
+    for arena in list(_LIVE_ARENAS):
+        if arena.live_segments():
+            try:
+                arena.close()
+            except Exception:  # noqa: BLE001 - exit path must not raise
+                continue
+            closed += 1
+    return closed
+
+
+atexit.register(cleanup_arenas)
+
+_SIGNAL_CLEANUP_INSTALLED = False
+
+
+def install_arena_signal_cleanup(
+    signals: tuple[int, ...] = (signal.SIGTERM,),
+) -> None:
+    """Chain arena cleanup into fatal-signal handling (main thread only).
+
+    SIGTERM's default disposition kills the process without running
+    ``atexit`` hooks, so a terminated master would leak its pooled
+    segments.  The installed handler unlinks them, restores the previous
+    handler, and re-raises the signal — the same chain-and-reraise shape
+    as :meth:`~repro.obs.flightrec.FlightRecorder.install_signal_handlers`.
+    The CLI installs this once per process; idempotent.
+    """
+    global _SIGNAL_CLEANUP_INSTALLED
+    if _SIGNAL_CLEANUP_INSTALLED:
+        return
+    for signum in signals:
+        previous = signal.getsignal(signum)
+
+        def handler(num: int, frame: Any, _prev: Any = previous) -> None:
+            cleanup_arenas()
+            signal.signal(
+                num, _prev if _prev is not None else signal.SIG_DFL
+            )
+            signal.raise_signal(num)
+
+        signal.signal(signum, handler)
+    _SIGNAL_CLEANUP_INSTALLED = True
 
 
 def encode_value(

@@ -313,31 +313,13 @@ def _make_executor(
     return SequentialExecutor(trace=trace, bus=bus, batch=batch, **faults)
 
 
-def _defines(pairs: list[str]) -> dict[str, object]:
-    out: dict[str, object] = {}
-    for pair in pairs:
-        if "=" not in pair:
-            raise SystemExit(f"bad --define {pair!r}; expected NAME=VALUE")
-        name, value = pair.split("=", 1)
-        out[name] = _parse_value(value)
-    return out
+def _pass_tuple(args: argparse.Namespace) -> tuple[str, ...]:
+    """The optimization pass tuple the flags select.
 
-
-class _LoadedGraph:
-    """Adapter giving a loaded ``.dlc`` graph the CompiledProgram shape."""
-
-    def __init__(self, graph, cached: bool = False) -> None:
-        self.graph = graph
-        self.registry = None  # builtins; supplied by the executor default
-        self.pass_seconds: dict[str, float] = {}
-        self.cached = cached
-
-
-def _compile(args: argparse.Namespace):
-    if args.file.endswith(".dlc"):
-        from ..graph.serialize import load
-
-        return _LoadedGraph(load(args.file))
+    Shared by compilation, the compile-cache key, and the checkpoint
+    flag-set identity — a resume under different passes must fail the
+    ``flags`` compatibility gate, not silently diverge.
+    """
     passes = () if args.no_optimize else ("inline", "constprop", "cse", "dce")
     if args.fuse:
         # Graph-pass flags are part of the pass tuple, so the compile
@@ -357,6 +339,126 @@ def _compile(args: argparse.Namespace):
         # codegen).  In the pass tuple even then, so --batch and
         # --no-batch compilations never share a cache entry.
         passes = passes + ("batch",)
+    return passes
+
+
+def _defines(pairs: list[str]) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad --define {pair!r}; expected NAME=VALUE")
+        name, value = pair.split("=", 1)
+        out[name] = _parse_value(value)
+    return out
+
+
+def _parse_stream_spec(spec: str):
+    """``count:N`` / ``count:`` / ``lines:FILE`` → a pull-based source."""
+    from ..runtime.stream import LineSource, count_source
+
+    if spec.startswith("count:"):
+        rest = spec[len("count:") :]
+        if rest in ("", "inf"):
+            return count_source(None)
+        try:
+            return count_source(int(rest))
+        except ValueError:
+            raise SystemExit(
+                f"bad --stream {spec!r}: count wants an integer"
+            )
+    if spec.startswith("lines:"):
+        return LineSource(spec[len("lines:") :])
+    raise SystemExit(
+        f"bad --stream {spec!r}; expected count:N or lines:FILE"
+    )
+
+
+def _run_stream(ns: argparse.Namespace, compiled) -> int:
+    """The ``delirium run --stream`` path: one run per item, with
+    optional durable sink, checkpoints, and resume."""
+    import json as json_mod
+
+    from ..runtime.checkpoint import CheckpointMismatchError
+    from ..runtime.stream import JsonlSink, MemorySink, StreamRunner
+    from ..runtime.workers import install_arena_signal_cleanup
+
+    install_arena_signal_cleanup()
+    ctx = _make_run_ctx(ns)
+    server = _serve_metrics(ctx, ns)
+    faults = _fault_options(ns)
+    # The checkpoint's flag-set identity: the compile pass tuple (the
+    # compile-cache key ingredient) plus everything that changes what
+    # the stream writes.  Executor choice is deliberately absent —
+    # bit-identity across executors is the standing guarantee.
+    flags = {
+        "passes": list(_pass_tuple(ns)),
+        "defines": {k: v for k, v in sorted(_defines(ns.define).items())},
+        "carry": bool(ns.carry),
+    }
+    source = _parse_stream_spec(ns.stream)
+    sink = (
+        JsonlSink(ns.sink, resume=ns.resume is not None)
+        if ns.sink
+        else MemorySink()
+    )
+    runner = StreamRunner(
+        compiled,
+        executor=ns.executor,
+        n_workers=ns.workers,
+        carry=ns.carry,
+        initial=(
+            _parse_value(ns.initial) if ns.initial is not None else None
+        ),
+        max_ready=ns.max_ready,
+        checkpoint_path=ns.checkpoint,
+        checkpoint_every=ns.checkpoint_every,
+        fault_policy=faults.get("fault_policy"),
+        fault_spec=faults.get("fault_spec"),
+        flags=flags,
+        run_ctx=ctx,
+    )
+    try:
+        result = runner.run(source, sink, resume=ns.resume)
+    except CheckpointMismatchError as exc:
+        print(f"RESUME REFUSED: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        runner.close()
+        sink.close()
+        if server is not None:
+            server.stop()
+    summary = {
+        "items": result.items,
+        "fires": result.fires,
+        "wall_seconds": round(result.wall_seconds, 6),
+        "checkpoints": result.checkpoints_written,
+        "resumed_from": result.resumed_from,
+        "sink_digest": result.sink_digest,
+    }
+    print(f"# {json_mod.dumps(summary, sort_keys=True)}", file=sys.stderr)
+    if isinstance(sink, MemorySink) and sink.items:
+        print(sink.items[-1])
+    elif ns.carry:
+        print(result.value)
+    return 0
+
+
+class _LoadedGraph:
+    """Adapter giving a loaded ``.dlc`` graph the CompiledProgram shape."""
+
+    def __init__(self, graph, cached: bool = False) -> None:
+        self.graph = graph
+        self.registry = None  # builtins; supplied by the executor default
+        self.pass_seconds: dict[str, float] = {}
+        self.cached = cached
+
+
+def _compile(args: argparse.Namespace):
+    if args.file.endswith(".dlc"):
+        from ..graph.serialize import load
+
+        return _LoadedGraph(load(args.file))
+    passes = _pass_tuple(args)
     defines = _defines(args.define)
     key = None
     if not args.no_cache:
@@ -415,6 +517,72 @@ def main(argv: list[str] | None = None) -> int:
         help="execute on a simulated machine instead of directly",
     )
     p_run.add_argument("--processors", "-p", type=int, default=None)
+    p_run.add_argument(
+        "--stream",
+        metavar="SPEC",
+        default=None,
+        help="run the program once per stream item instead of once: "
+        "'count:N' feeds item indices 0..N-1 ('count:' streams "
+        "forever), 'lines:FILE' feeds JSON lines from FILE.  Items "
+        "arrive as main()'s argument; memory stays flat regardless of "
+        "stream length",
+    )
+    p_run.add_argument(
+        "--carry",
+        action="store_true",
+        help="thread each run's result into the next as main()'s first "
+        "argument (main(carry, item)); --initial seeds the first carry",
+    )
+    p_run.add_argument(
+        "--initial",
+        metavar="VALUE",
+        default=None,
+        help="initial carry value for --carry (int/float/string literal)",
+    )
+    p_run.add_argument(
+        "--sink",
+        metavar="FILE.jsonl",
+        default=None,
+        help="append one JSON line per committed stream item (durable, "
+        "digest-chained); default: keep results in memory and print "
+        "the last",
+    )
+    p_run.add_argument(
+        "--checkpoint",
+        metavar="FILE.ckpt",
+        default=None,
+        help="atomically snapshot the stream frontier to FILE so a "
+        "killed run can --resume; written on the --checkpoint-every "
+        "cadence, on the fault-policy checkpoint= wall-clock cadence, "
+        "and at end of stream",
+    )
+    p_run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="FIRES",
+        default=None,
+        help="checkpoint after every N engine firings (cost amortizes "
+        "over work done; keeps overhead under the <5%% budget)",
+    )
+    p_run.add_argument(
+        "--resume",
+        metavar="FILE.ckpt",
+        default=None,
+        help="resume a killed streaming run from its checkpoint: seeks "
+        "the source, truncates the sink to its durable prefix, and "
+        "continues — output is bit-identical to an uninterrupted run. "
+        "Refuses (naming the key) if the program, registry, or flag "
+        "set differs from the checkpointed run",
+    )
+    p_run.add_argument(
+        "--max-ready",
+        type=int,
+        metavar="N",
+        default=None,
+        help="ready-queue saturation watermark: emits QueueSaturated "
+        "(and counts queue_saturations) when a run's ready set crosses "
+        "N — the backpressure signal",
+    )
 
     p_viz = sub.add_parser("viz", help="render the coordination framework")
     _add_common(p_viz)
@@ -531,6 +699,17 @@ def main(argv: list[str] | None = None) -> int:
 
     run_args = tuple(_parse_value(a) for a in ns.arg)
     if ns.command == "run":
+        if ns.stream is not None:
+            if ns.machine:
+                raise SystemExit(
+                    "--stream drives real executors; drop --machine"
+                )
+            return _run_stream(ns, compiled)
+        if ns.resume or ns.checkpoint or ns.sink:
+            raise SystemExit(
+                "--checkpoint/--resume/--sink need --stream (checkpoints "
+                "snapshot a stream frontier; a one-shot run has none)"
+            )
         if ns.machine:
             machine = PRESETS[ns.machine]()
             if ns.processors:
